@@ -1,0 +1,174 @@
+// Package bench is the paper-reproduction benchmark harness: one benchmark
+// per table and figure of the evaluation section (see DESIGN.md's
+// experiment index). Each benchmark regenerates the corresponding artifact
+// through internal/experiments, or times the underlying algorithm directly
+// where the paper reports running time (Figure 18).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"stratrec/internal/adpar"
+	"stratrec/internal/batch"
+	"stratrec/internal/experiments"
+	"stratrec/internal/strategy"
+	"stratrec/internal/synth"
+)
+
+// benchCfg keeps per-iteration work bounded; the full-scale numbers come
+// from cmd/experiments.
+func benchCfg() experiments.Config {
+	return experiments.Config{Seed: 2020, Short: true, Runs: 1}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Example regenerates the running-example table and its
+// satisfaction check.
+func BenchmarkTable1Example(b *testing.B) { runExperiment(b, "table-1") }
+
+// BenchmarkADPaRTrace regenerates Tables 2-5, the ADPaR-Exact walk-through
+// on d2.
+func BenchmarkADPaRTrace(b *testing.B) { runExperiment(b, "tables-2-5") }
+
+// BenchmarkFigure11Availability regenerates the worker-availability
+// estimation figure.
+func BenchmarkFigure11Availability(b *testing.B) { runExperiment(b, "figure-11") }
+
+// BenchmarkFigure12Relationship regenerates the availability-vs-parameters
+// panels.
+func BenchmarkFigure12Relationship(b *testing.B) { runExperiment(b, "figure-12") }
+
+// BenchmarkTable6Fit regenerates the (alpha, beta) estimation table.
+func BenchmarkTable6Fit(b *testing.B) { runExperiment(b, "table-6") }
+
+// BenchmarkFigure13Effectiveness regenerates the with/without-StratRec
+// comparison.
+func BenchmarkFigure13Effectiveness(b *testing.B) { runExperiment(b, "figure-13") }
+
+// BenchmarkFigure14Satisfied regenerates the satisfied-request sweeps.
+func BenchmarkFigure14Satisfied(b *testing.B) { runExperiment(b, "figure-14") }
+
+// BenchmarkFigure15Throughput regenerates the throughput comparison.
+func BenchmarkFigure15Throughput(b *testing.B) { runExperiment(b, "figure-15") }
+
+// BenchmarkFigure16Payoff regenerates the pay-off comparison with
+// approximation factors.
+func BenchmarkFigure16Payoff(b *testing.B) { runExperiment(b, "figure-16") }
+
+// BenchmarkFigure17ADPaRQuality regenerates the ADPaR distance comparison.
+func BenchmarkFigure17ADPaRQuality(b *testing.B) { runExperiment(b, "figure-17") }
+
+// --- Figure 18: the paper reports running times, so these benchmarks time
+// the algorithms directly at the paper's parameter points. ---
+
+// batchItems builds m feasible optimization items directly, isolating the
+// timing comparison to the optimizers themselves.
+func batchItems(rng *rand.Rand, m int) []batch.Item {
+	items := make([]batch.Item, m)
+	for i := range items {
+		items[i] = batch.Item{
+			Index:     i,
+			Value:     0.625 + 0.375*rng.Float64(),
+			Workforce: rng.Float64() * 0.1,
+		}
+	}
+	return items
+}
+
+// BenchmarkFigure18aBatchScalability times BruteForce (exponential; small
+// m) against BatchStrat (linear; the paper's m range).
+func BenchmarkFigure18aBatchScalability(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	for _, m := range []int{10, 14, 18} {
+		items := batchItems(rng, m)
+		b.Run("BruteForce/m="+itoa(m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := batch.BruteForce(items, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, m := range []int{200, 400, 600, 800} {
+		items := batchItems(rng, m)
+		b.Run("BatchStrat/m="+itoa(m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				batch.BatchStrat(items, 0.5)
+			}
+		})
+	}
+}
+
+func adparInstance(rng *rand.Rand, n, k int) (strategy.Set, strategy.Request) {
+	cfg := synth.DefaultConfig(synth.Uniform)
+	set := cfg.Strategies(rng, n)
+	return set, cfg.ADPaRRequest(rng, k)
+}
+
+// BenchmarkFigure18bADPaRStrategies times ADPaR-Exact at the paper's
+// strategy-set sizes (k = 5).
+func BenchmarkFigure18bADPaRStrategies(b *testing.B) {
+	for _, n := range []int{1000, 5000, 25000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		set, d := adparInstance(rng, n, 5)
+		b.Run("S="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := adpar.Exact(set, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure18cADPaRK times ADPaR-Exact at the paper's cardinality
+// constraints (|S| = 10000).
+func BenchmarkFigure18cADPaRK(b *testing.B) {
+	for _, k := range []int{10, 50, 250} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		set, d := adparInstance(rng, 10000, k)
+		b.Run("k="+itoa(k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := adpar.Exact(set, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

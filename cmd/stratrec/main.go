@@ -1,0 +1,208 @@
+// Command stratrec runs the StratRec middle layer over a batch of
+// deployment requests: it recommends k strategies for every satisfiable
+// request and alternative deployment parameters (via ADPaR) for the rest.
+//
+// Usage:
+//
+//	stratrec [flags]                 # run the paper's running example
+//	stratrec -input batch.json       # run a batch from a JSON file
+//
+// The input file format:
+//
+//	{
+//	  "workforce": 0.8,
+//	  "strategies": [
+//	    {"name": "s1", "quality": 0.5, "cost": 0.25, "latency": 0.28,
+//	     "models": {"quality": {"alpha": 0.2, "beta": 0.34}, ...}},
+//	    ...
+//	  ],
+//	  "requests": [
+//	    {"id": "d1", "quality": 0.4, "cost": 0.17, "latency": 0.28, "k": 3},
+//	    ...
+//	  ]
+//	}
+//
+// Strategies without explicit models get linear models anchored at their
+// parameters for the given workforce (the Section 3.1 default).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"stratrec/internal/batch"
+	"stratrec/internal/core"
+	"stratrec/internal/linmodel"
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+type inputStrategy struct {
+	Name    string  `json:"name"`
+	Quality float64 `json:"quality"`
+	Cost    float64 `json:"cost"`
+	Latency float64 `json:"latency"`
+	Models  *struct {
+		Quality linmodel.Model `json:"quality"`
+		Cost    linmodel.Model `json:"cost"`
+		Latency linmodel.Model `json:"latency"`
+	} `json:"models,omitempty"`
+}
+
+type inputRequest struct {
+	ID      string  `json:"id"`
+	Quality float64 `json:"quality"`
+	Cost    float64 `json:"cost"`
+	Latency float64 `json:"latency"`
+	K       int     `json:"k"`
+}
+
+type input struct {
+	Workforce  float64         `json:"workforce"`
+	Strategies []inputStrategy `json:"strategies"`
+	Requests   []inputRequest  `json:"requests"`
+}
+
+func main() {
+	var (
+		inputPath = flag.String("input", "", "JSON batch file; empty runs the paper's running example")
+		objective = flag.String("objective", "throughput", "platform goal: throughput or payoff")
+		mode      = flag.String("mode", "max", "workforce aggregation: sum (deploy all k) or max (deploy one of k)")
+		workF     = flag.Float64("workforce", -1, "override available workforce W in [0,1]")
+	)
+	flag.Parse()
+
+	if err := run(*inputPath, *objective, *mode, *workF); err != nil {
+		fmt.Fprintln(os.Stderr, "stratrec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inputPath, objective, mode string, overrideW float64) error {
+	var (
+		set    strategy.Set
+		models workforce.PerStrategyModels
+		reqs   []strategy.Request
+		W      float64
+	)
+	if inputPath == "" {
+		set = strategy.PaperExampleStrategies()
+		reqs = strategy.PaperExampleRequests()
+		W = 0.8
+		models = defaultModels(set, W)
+		fmt.Println("(no -input given: running the paper's Table 1 example at W = 0.8)")
+	} else {
+		data, err := os.ReadFile(inputPath)
+		if err != nil {
+			return err
+		}
+		var in input
+		if err := json.Unmarshal(data, &in); err != nil {
+			return fmt.Errorf("parsing %s: %w", inputPath, err)
+		}
+		W = in.Workforce
+		for i, s := range in.Strategies {
+			set = append(set, strategy.Strategy{
+				ID: i, Name: s.Name,
+				Params: strategy.Params{Quality: s.Quality, Cost: s.Cost, Latency: s.Latency},
+			})
+		}
+		models = make(workforce.PerStrategyModels, len(set))
+		defaults := defaultModels(set, W)
+		for i, s := range in.Strategies {
+			if s.Models != nil {
+				models[i] = linmodel.ParamModels{Quality: s.Models.Quality, Cost: s.Models.Cost, Latency: s.Models.Latency}
+			} else {
+				models[i] = defaults[i]
+			}
+		}
+		for _, r := range in.Requests {
+			reqs = append(reqs, strategy.Request{
+				ID:     r.ID,
+				Params: strategy.Params{Quality: r.Quality, Cost: r.Cost, Latency: r.Latency},
+				K:      r.K,
+			})
+		}
+	}
+	if overrideW >= 0 {
+		W = overrideW
+	}
+
+	cfg := core.Config{}
+	switch objective {
+	case "throughput":
+		cfg.Objective = batch.Throughput
+	case "payoff":
+		cfg.Objective = batch.Payoff
+	default:
+		return fmt.Errorf("unknown objective %q", objective)
+	}
+	switch mode {
+	case "sum":
+		cfg.Mode = workforce.SumCase
+	case "max":
+		cfg.Mode = workforce.MaxCase
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	sr, err := core.New(set, models, cfg)
+	if err != nil {
+		return err
+	}
+	report, err := sr.Recommend(reqs, W)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nBatch of %d requests, %d strategies, W = %.2f, objective = %s, mode = %s\n\n",
+		len(reqs), len(set), W, objective, mode)
+	fmt.Printf("Satisfied (%d), objective value %.3f, workforce used %.3f:\n",
+		len(report.Satisfied), report.Objective, report.WorkforceUsed)
+	for _, rec := range report.Satisfied {
+		fmt.Printf("  %-4s workforce %.3f, strategies:", reqs[rec.Request].ID, rec.Workforce)
+		for _, id := range rec.Strategies {
+			fmt.Printf(" %s", name(set[id]))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nUnsatisfied (%d), with ADPaR alternatives:\n", len(report.Alternatives))
+	for _, alt := range report.Alternatives {
+		fmt.Printf("  %-4s %s\n", reqs[alt.Request].ID, alt.Reason)
+		if alt.HasSolution {
+			a := alt.Solution.Alternative
+			fmt.Printf("       alternative: quality>=%.2f cost<=%.2f latency<=%.2f (distance %.3f), strategies:",
+				a.Quality, a.Cost, a.Latency, alt.Solution.Distance)
+			for _, id := range alt.Solution.Strategies(reqs[alt.Request].K) {
+				fmt.Printf(" %s", name(set[id]))
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// defaultModels anchors linear models at each strategy's parameters for the
+// ambient workforce: quality grows toward the advertised value, cost and
+// latency shrink toward it.
+func defaultModels(set strategy.Set, W float64) workforce.PerStrategyModels {
+	models := make(workforce.PerStrategyModels, len(set))
+	for i, s := range set {
+		qAlpha := s.Quality * 0.4
+		models[i] = linmodel.ParamModels{
+			Quality: linmodel.Model{Alpha: qAlpha, Beta: s.Quality - qAlpha*W},
+			Cost:    linmodel.Model{Alpha: -0.1, Beta: s.Cost + 0.1*W},
+			Latency: linmodel.Model{Alpha: -0.3, Beta: s.Latency + 0.3*W},
+		}
+	}
+	return models
+}
+
+func name(s strategy.Strategy) string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("s%d", s.ID+1)
+}

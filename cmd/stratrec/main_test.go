@@ -1,0 +1,90 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestRunPaperExample(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", "throughput", "max", -1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only d3 is satisfied, served s2/s3/s4; d1 and d2 get alternatives.
+	if !strings.Contains(out, "Satisfied (1)") {
+		t.Errorf("output missing satisfied count:\n%s", out)
+	}
+	for _, want := range []string{"d3", "s2", "s3", "s4", "Unsatisfied (2)", "alternative"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// d1's ADPaR answer matches the Section 2.3 example.
+	if !strings.Contains(out, "cost<=0.50") {
+		t.Errorf("d1 alternative cost missing:\n%s", out)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("testdata/batch.json", "payoff", "sum", -1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "objective = payoff") || !strings.Contains(out, "mode = sum") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "d3") {
+		t.Errorf("d3 missing:\n%s", out)
+	}
+}
+
+func TestRunWorkforceOverride(t *testing.T) {
+	// With W = 0 nothing can be served; every request goes to ADPaR.
+	out, err := capture(t, func() error {
+		return run("", "throughput", "max", 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Satisfied (0)") || !strings.Contains(out, "Unsatisfied (3)") {
+		t.Errorf("W=0 should satisfy nothing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "bogus", "max", -1); err == nil {
+		t.Error("bogus objective accepted")
+	}
+	if err := run("", "throughput", "bogus", -1); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if err := run("/nonexistent.json", "throughput", "max", -1); err == nil {
+		t.Error("missing input accepted")
+	}
+}

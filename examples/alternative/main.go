@@ -1,0 +1,82 @@
+// Alternative parameters: a requester asks for more than the strategy
+// catalog can deliver — high quality, tiny budget, tight deadline — and
+// ADPaR (Section 4) answers with the closest thresholds for which k
+// strategies do exist. The example compares ADPaR-Exact against the
+// exponential brute force and the two baselines of Section 5.2.1 on the
+// same instance.
+//
+//	go run ./examples/alternative
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"stratrec/internal/adpar"
+	"stratrec/internal/strategy"
+	"stratrec/internal/synth"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// A catalog of 24 strategies (small enough for the brute force).
+	gen := synth.DefaultConfig(synth.Normal)
+	catalog := gen.Strategies(rng, 24)
+
+	// An over-ambitious request: 85% quality at a fifth of the budget and
+	// a fifth of the window, with k = 4 recommendations.
+	request := strategy.Request{
+		ID:     "ambitious",
+		Params: strategy.Params{Quality: 0.85, Cost: 0.20, Latency: 0.20},
+		K:      4,
+	}
+	if got := catalog.Satisfying(request); len(got) < request.K {
+		fmt.Printf("request satisfied by only %d strategies, needs k=%d -> ADPaR\n\n",
+			len(got), request.K)
+	}
+
+	solvers := []struct {
+		name  string
+		solve func(strategy.Set, strategy.Request) (adpar.Solution, error)
+	}{
+		{"ADPaR-Exact (sweep-line)", adpar.Exact},
+		{"ADPaRB (brute force)", adpar.BruteForceK},
+		{"Baseline2 (one dim at a time)", adpar.Baseline2},
+		{"Baseline3 (R-tree MBB)", adpar.Baseline3},
+	}
+	fmt.Printf("%-30s %-38s %s\n", "solver", "alternative (q>=, c<=, l<=)", "distance")
+	for _, s := range solvers {
+		sol, err := s.solve(catalog, request)
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		a := sol.Alternative
+		fmt.Printf("%-30s (%.3f, %.3f, %.3f) covers %2d    %.4f\n",
+			s.name, a.Quality, a.Cost, a.Latency, len(sol.Covered), sol.Distance)
+	}
+
+	// Show what the exact alternative actually buys.
+	sol, err := adpar.Exact(catalog, request)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nADPaR-Exact recommends relaxing to quality>=%.3f, cost<=%.3f, latency<=%.3f;\n",
+		sol.Alternative.Quality, sol.Alternative.Cost, sol.Alternative.Latency)
+	fmt.Println("the k strategies available there:")
+	for _, id := range sol.Strategies(request.K) {
+		s := catalog[id]
+		fmt.Printf("  %v: quality %.3f, cost %.3f, latency %.3f\n",
+			s.Dims, s.Quality, s.Cost, s.Latency)
+	}
+
+	// The walked-through example of the paper (Section 2.3, d1).
+	fmt.Println("\npaper example: d1 = (0.4, 0.17, 0.28), k=3 over Table 1")
+	paper, err := adpar.Exact(strategy.PaperExampleStrategies(), strategy.PaperExampleRequests()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alternative = (%.2f, %.2f, %.2f), distance %.2f  — matches the paper\n",
+		paper.Alternative.Quality, paper.Alternative.Cost, paper.Alternative.Latency, paper.Distance)
+}

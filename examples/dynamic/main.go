@@ -1,0 +1,116 @@
+// Dynamic deployment: the paper's conclusion poses the "fully dynamic
+// stream-like setting of incoming deployment requests, where the
+// deployment requests could be revoked" as an open problem. This example
+// drives the stream.Manager extension through a day of platform life —
+// submissions, revocations and availability drift — and also shows the
+// composite multi-goal objective (throughput + pay-off + worker welfare)
+// from the same future-work list.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"stratrec/internal/batch"
+	"stratrec/internal/stream"
+	"stratrec/internal/synth"
+	"stratrec/internal/workforce"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	gen := synth.DefaultConfig(synth.Uniform)
+	catalog := gen.Strategies(rng, 200)
+	models := gen.Models(rng, catalog)
+
+	mgr, err := stream.NewManager(catalog, models, workforce.MaxCase, batch.Throughput, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(when string) {
+		plan := mgr.Plan()
+		fmt.Printf("%-28s serving %v, displaced %v (W=%.2f, epoch %d)\n",
+			when, plan.Serving, plan.Displaced, mgr.Availability(), mgr.Epoch())
+	}
+
+	// Morning: requests trickle in.
+	fmt.Println("-- morning: submissions --")
+	for i := 1; i <= 6; i++ {
+		d := gen.Requests(rng, 1, 3)[0]
+		d.ID = fmt.Sprintf("r%d", i)
+		served, err := mgr.Submit(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("submit %-3s (q>=%.2f c<=%.2f l<=%.2f) -> served=%v\n",
+			d.ID, d.Quality, d.Cost, d.Latency, served)
+	}
+	show("after submissions:")
+
+	// Midday: the weekend approaches and workers leave.
+	fmt.Println("\n-- midday: availability drops to 0.15 --")
+	if err := mgr.SetAvailability(0.15); err != nil {
+		log.Fatal(err)
+	}
+	show("after the drought:")
+
+	// A requester gives up and revokes; capacity is redistributed.
+	fmt.Println("\n-- a served requester revokes --")
+	plan := mgr.Plan()
+	if len(plan.Serving) > 0 {
+		victim := plan.Serving[0]
+		if err := mgr.Revoke(victim); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("revoked %s\n", victim)
+	}
+	show("after the revocation:")
+
+	// Evening: workers return.
+	fmt.Println("\n-- evening: availability recovers to 0.8 --")
+	if err := mgr.SetAvailability(0.8); err != nil {
+		log.Fatal(err)
+	}
+	show("after the recovery:")
+	if len(mgr.Plan().Serving) > 0 {
+		id := mgr.Plan().Serving[0]
+		fmt.Printf("strategies recommended to %s: %v\n", id, mgr.Strategies(id))
+	}
+
+	// Composite objective (future work: "combine multiple goals inside the
+	// same optimization function"): triage the same pool under a blend of
+	// throughput, pay-off and worker welfare.
+	fmt.Println("\n-- composite objective over a fresh batch --")
+	requests := gen.Requests(rng, 12, 3)
+	reqs := make([]workforce.Requirement, len(requests))
+	for i, d := range requests {
+		reqs[i] = workforce.RequirementFor(d, i, catalog, models, workforce.MaxCase)
+	}
+	for _, blend := range []struct {
+		name    string
+		weights []float64
+	}{
+		{"pure throughput", []float64{1, 0, 0}},
+		{"pure pay-off", []float64{0, 1, 0}},
+		{"balanced", []float64{0.4, 0.4, 0.2}},
+	} {
+		goal, err := batch.NewWeightedGoal(
+			[]batch.Goal{batch.ThroughputGoal{}, batch.PayoffGoal{}, batch.WorkerWelfareGoal{}},
+			blend.weights,
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		items := batch.CompositeItems(requests, reqs, goal)
+		res := batch.BatchStrat(items, 0.4)
+		served := make([]string, 0, len(res.Selected))
+		for _, idx := range res.Selected {
+			served = append(served, requests[idx].ID)
+		}
+		fmt.Printf("%-16s objective %.3f, serving %v\n", blend.name, res.Objective, served)
+	}
+}

@@ -1,0 +1,165 @@
+// Full marketplace loop: the Section 5.1 methodology end to end on the
+// simulated AMT marketplace —
+//
+//  1. estimate worker availability from repeated probe deployments in each
+//     weekly window (Figure 11),
+//
+//  2. fit the linear parameter models from observed deployments (Table 6),
+//
+//  3. build a strategy catalog from the fitted models and ask StratRec for
+//     a recommendation,
+//
+//  4. deploy mirrored HITs with and without the recommendation and compare
+//     quality, latency and edit counts (Figure 13).
+//
+//     go run ./examples/marketplace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stratrec/internal/batch"
+	"stratrec/internal/core"
+	"stratrec/internal/crowd"
+	"stratrec/internal/linmodel"
+	"stratrec/internal/linreg"
+	"stratrec/internal/stats"
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+func main() {
+	market := crowd.NewMarketplace(crowd.Config{
+		PoolSize:       1200,
+		WindowActivity: [3]float64{0.62, 0.85, 0.58},
+		ActivityJitter: 0.15,
+	}, 42)
+	task := crowd.SentenceTranslation
+	seqInd := strategy.Dimensions{Structure: strategy.Sequential, Organization: strategy.Independent, Style: strategy.CrowdOnly}
+	simCol := strategy.Dimensions{Structure: strategy.Simultaneous, Organization: strategy.Collaborative, Style: strategy.CrowdOnly}
+
+	// 1. Availability estimation (Figure 11).
+	fmt.Println("step 1: estimating worker availability per deployment window")
+	pdfs, err := market.EstimateAvailability(task, seqInd, 10, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	W := 0.0
+	for i, pdf := range pdfs {
+		fmt.Printf("  %s: W = %.2f\n", crowd.StandardWindows()[i].Name, pdf.Expected())
+		W += pdf.Expected()
+	}
+	W /= float64(len(pdfs))
+	fmt.Printf("  pooled W = %.2f\n\n", W)
+
+	// 2. Model fitting from observed deployments (Table 6).
+	fmt.Println("step 2: fitting linear parameter models from observed deployments")
+	fitted := map[strategy.Dimensions]linmodel.ParamModels{}
+	for _, dims := range []strategy.Dimensions{seqInd, simCol} {
+		var avail, quality, cost, latency []float64
+		for _, win := range crowd.StandardWindows() {
+			for i := 0; i < 30; i++ {
+				out, err := market.Deploy(crowd.HIT{
+					Task: task, Dims: dims, Window: win,
+					MaxWorkers: 10, PayPerWorker: 2, Guided: true,
+				})
+				if err != nil || out.WorkersRecruited == 0 {
+					continue
+				}
+				avail = append(avail, out.Availability)
+				quality = append(quality, out.Quality)
+				cost = append(cost, out.Cost)
+				latency = append(latency, out.Latency)
+			}
+		}
+		qf, err := linreg.OLS(avail, quality)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cf, err := linreg.OLS(avail, cost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lf, err := linreg.OLS(avail, latency)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fitted[dims] = linmodel.ParamModels{
+			Quality: linmodel.Model{Alpha: qf.Alpha, Beta: qf.Beta},
+			Cost:    linmodel.Model{Alpha: cf.Alpha, Beta: cf.Beta},
+			Latency: linmodel.Model{Alpha: lf.Alpha, Beta: lf.Beta},
+		}
+		fmt.Printf("  %v: quality=(%.2f, %.2f) cost=(%.2f, %.2f) latency=(%.2f, %.2f), quality R2=%.2f\n",
+			dims, qf.Alpha, qf.Beta, cf.Alpha, cf.Beta, lf.Alpha, lf.Beta, qf.R2)
+	}
+	fmt.Println()
+
+	// 3. Recommendation from the fitted models.
+	fmt.Println("step 3: asking StratRec for a deployment recommendation")
+	var catalog strategy.Set
+	var models workforce.PerStrategyModels
+	for dims, pm := range fitted {
+		catalog = append(catalog, strategy.Strategy{
+			ID: len(catalog), Name: dims.String(), Dims: dims, Params: pm.ParamsAt(W),
+		})
+		models = append(models, pm)
+	}
+	catalog = catalog.Renumber()
+	sr, err := core.New(catalog, models, core.Config{Objective: batch.Throughput, Mode: workforce.MaxCase})
+	if err != nil {
+		log.Fatal(err)
+	}
+	request := strategy.Request{
+		ID:     "translation-batch",
+		Params: strategy.Params{Quality: 0.70, Cost: 1.0, Latency: 1.0},
+		K:      1,
+	}
+	report, err := sr.Recommend([]strategy.Request{request}, W)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recommended := seqInd
+	if len(report.Satisfied) > 0 {
+		recommended = catalog[report.Satisfied[0].Strategies[0]].Dims
+		fmt.Printf("  recommended strategy: %v\n\n", recommended)
+	} else {
+		fmt.Println("  request unsatisfiable; deploying the fallback strategy")
+	}
+
+	// 4. Mirrored deployments (Figure 13).
+	fmt.Println("step 4: mirrored deployments, with vs without the recommendation")
+	var gq, uq, ge, ue []float64
+	wins := crowd.StandardWindows()
+	for i := 0; i < 10; i++ {
+		win := wins[i%len(wins)]
+		guided, err := market.Deploy(crowd.HIT{
+			Task: task, Dims: recommended, Window: win,
+			MaxWorkers: 7, PayPerWorker: 2, Guided: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		unguided, err := market.Deploy(crowd.HIT{
+			Task: task, Dims: simCol, Window: win,
+			MaxWorkers: 7, PayPerWorker: 2, Guided: false,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gq, ge = append(gq, guided.Quality), append(ge, guided.AvgEdits)
+		uq, ue = append(uq, unguided.Quality), append(ue, unguided.AvgEdits)
+	}
+	qt, err := stats.WelchTTest(gq, uq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	et, err := stats.WelchTTest(ge, ue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  quality:   StratRec %.1f%% vs unguided %.1f%% (p = %.4f)\n",
+		qt.MeanA*100, qt.MeanB*100, qt.P)
+	fmt.Printf("  avg edits: StratRec %.2f vs unguided %.2f (p = %.4f) — the edit war\n",
+		et.MeanA, et.MeanB, et.P)
+}

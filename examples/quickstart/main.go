@@ -1,0 +1,91 @@
+// Quickstart: run StratRec on the paper's running example (Table 1).
+//
+// Three requesters submit sentence-translation deployment requests with
+// quality/cost/latency thresholds; the platform knows four deployment
+// strategies and expects 80% of its suitable workforce to be available.
+// StratRec serves d3 with {s2, s3, s4} and hands d1 and d2 alternative
+// parameters computed by ADPaR.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stratrec/internal/availability"
+	"stratrec/internal/batch"
+	"stratrec/internal/core"
+	"stratrec/internal/linmodel"
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+func main() {
+	// The platform's strategy catalog (Table 1): SIM-COL-CRO, SEQ-IND-CRO,
+	// SIM-IND-CRO, SIM-IND-HYB with their estimated parameters at W = 0.8.
+	strategies := strategy.PaperExampleStrategies()
+
+	// Per-strategy linear models p = alpha*w + beta (Section 3.1),
+	// anchored so the Table 1 parameters hold at W = 0.8: quality improves
+	// with availability, cost and latency fall.
+	models := make(workforce.PerStrategyModels, len(strategies))
+	for i, s := range strategies {
+		qAlpha := s.Quality * 0.4
+		models[i] = linmodel.ParamModels{
+			Quality: linmodel.Model{Alpha: qAlpha, Beta: s.Quality - qAlpha*0.8},
+			Cost:    linmodel.Model{Alpha: -0.1, Beta: s.Cost + 0.1*0.8},
+			Latency: linmodel.Model{Alpha: -0.3, Beta: s.Latency + 0.3*0.8},
+		}
+	}
+
+	// Worker availability (Section 2.2): 50% chance of 700 and 50% chance
+	// of 900 of the 1000 suitable workers -> W = 0.8 in expectation.
+	pdf, err := availability.NewPDF([]availability.Outcome{
+		{Proportion: 0.7, Prob: 0.5},
+		{Proportion: 0.9, Prob: 0.5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sr, err := core.New(strategies, models, core.Config{
+		Objective: batch.Throughput,
+		Mode:      workforce.MaxCase,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	requests := strategy.PaperExampleRequests()
+	report, err := sr.RecommendPDF(requests, pdf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("expected worker availability W = %.2f\n\n", pdf.Expected())
+	fmt.Printf("satisfied requests (%d):\n", len(report.Satisfied))
+	for _, rec := range report.Satisfied {
+		fmt.Printf("  %s -> strategies", requests[rec.Request].ID)
+		for _, id := range rec.Strategies {
+			fmt.Printf(" %s", strategies[id].Name)
+		}
+		fmt.Printf(" (workforce %.2f)\n", rec.Workforce)
+	}
+
+	fmt.Printf("\nunsatisfied requests with ADPaR alternatives (%d):\n", len(report.Alternatives))
+	for _, alt := range report.Alternatives {
+		d := requests[alt.Request]
+		fmt.Printf("  %s (wanted q>=%.2f c<=%.2f l<=%.2f): %s\n",
+			d.ID, d.Quality, d.Cost, d.Latency, alt.Reason)
+		if alt.HasSolution {
+			a := alt.Solution.Alternative
+			fmt.Printf("     try q>=%.2f c<=%.2f l<=%.2f (distance %.3f) -> strategies",
+				a.Quality, a.Cost, a.Latency, alt.Solution.Distance)
+			for _, id := range alt.Solution.Strategies(d.K) {
+				fmt.Printf(" %s", strategies[id].Name)
+			}
+			fmt.Println()
+		}
+	}
+}

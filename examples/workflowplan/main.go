@@ -1,0 +1,96 @@
+// Workflow planning: Section 2.1 observes that Turkomatic-style workflows
+// with x tasks admit v^x composite strategies (1,073,741,824 for ten tasks
+// and eight combinations) and that "such tools would certainly benefit from
+// strategy recommendation". This example plans a four-stage document
+// pipeline — outline, draft, translate, proofread — choosing a deployment
+// strategy per stage to maximize end-to-end quality under cost and latency
+// budgets, then lists the top-3 alternatives and the Pareto frontier of
+// ADPaR alternatives for an over-constrained request.
+//
+//	go run ./examples/workflowplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stratrec/internal/adpar"
+	"stratrec/internal/strategy"
+	"stratrec/internal/workflow"
+)
+
+func dims(st strategy.Structure, org strategy.Organization, sty strategy.Style) strategy.Dimensions {
+	return strategy.Dimensions{Structure: st, Organization: org, Style: sty}
+}
+
+func opt(d strategy.Dimensions, q, c, l float64) workflow.Option {
+	return workflow.Option{Dims: d, Params: strategy.Params{Quality: q, Cost: c, Latency: l}}
+}
+
+func main() {
+	// Per-stage option menus (cost in dollars, latency in hours, quality
+	// in [0,1]), estimated from the platform's fitted models.
+	stages := []workflow.Stage{
+		{Name: "outline", Options: []workflow.Option{
+			opt(dims(strategy.Simultaneous, strategy.Collaborative, strategy.CrowdOnly), 0.90, 4, 3),
+			opt(dims(strategy.Sequential, strategy.Independent, strategy.CrowdOnly), 0.95, 6, 6),
+		}},
+		{Name: "draft", Options: []workflow.Option{
+			opt(dims(strategy.Sequential, strategy.Independent, strategy.CrowdOnly), 0.93, 10, 12),
+			opt(dims(strategy.Simultaneous, strategy.Independent, strategy.CrowdOnly), 0.88, 8, 6),
+			opt(dims(strategy.Simultaneous, strategy.Collaborative, strategy.CrowdOnly), 0.82, 6, 5),
+		}},
+		{Name: "translate", Options: []workflow.Option{
+			opt(dims(strategy.Simultaneous, strategy.Independent, strategy.Hybrid), 0.90, 7, 5),
+			opt(dims(strategy.Simultaneous, strategy.Independent, strategy.CrowdOnly), 0.94, 12, 9),
+			opt(dims(strategy.Sequential, strategy.Independent, strategy.Hybrid), 0.96, 14, 14),
+		}},
+		{Name: "proofread", Options: []workflow.Option{
+			opt(dims(strategy.Sequential, strategy.Independent, strategy.CrowdOnly), 0.97, 5, 6),
+			opt(dims(strategy.Simultaneous, strategy.Collaborative, strategy.CrowdOnly), 0.90, 3, 2),
+		}},
+	}
+	fmt.Printf("strategy space: %.0f composite plans over %d stages\n\n",
+		workflow.SpaceSize(stages), len(stages))
+
+	request := workflow.Request{MinQuality: 0.60, MaxCost: 30, MaxLatency: 26}
+	best, err := workflow.Best(stages, request)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best plan under cost<=%.0f latency<=%.0f: quality %.3f, cost %.0f, latency %.0f\n",
+		request.MaxCost, request.MaxLatency, best.Quality, best.Cost, best.Latency)
+	for i, d := range best.Dims(stages) {
+		fmt.Printf("  %-10s %v\n", stages[i].Name, d)
+	}
+
+	plans, err := workflow.TopK(stages, request, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-3 alternatives:")
+	for _, p := range plans {
+		fmt.Printf("  quality %.3f  cost %4.0f  latency %4.0f  %v\n",
+			p.Quality, p.Cost, p.Latency, p.Dims(stages))
+	}
+
+	// If even the relaxed workflow budgets cannot host the requester's
+	// single-task thresholds, ADPaR's frontier shows every Pareto trade-off.
+	catalog := strategy.PaperExampleStrategies()
+	tight := strategy.Request{
+		ID:     "tight",
+		Params: strategy.Params{Quality: 0.85, Cost: 0.2, Latency: 0.2},
+		K:      2,
+	}
+	frontier, err := adpar.Frontier(catalog, tight)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nADPaR Pareto frontier for the single-task request (q>=%.2f c<=%.2f l<=%.2f, k=%d):\n",
+		tight.Quality, tight.Cost, tight.Latency, tight.K)
+	for _, sol := range frontier {
+		fmt.Printf("  q>=%.2f c<=%.2f l<=%.2f  distance %.3f  covers %d\n",
+			sol.Alternative.Quality, sol.Alternative.Cost, sol.Alternative.Latency,
+			sol.Distance, len(sol.Covered))
+	}
+}

@@ -1,0 +1,133 @@
+package adpar
+
+import (
+	"math"
+	"sort"
+
+	"stratrec/internal/geometry"
+	"stratrec/internal/rtree"
+	"stratrec/internal/strategy"
+)
+
+// This file implements the two non-exact baselines of Section 5.2.1.
+
+// Baseline2 is the query-refinement-inspired baseline (Mishra et al.): it
+// modifies the original deployment request one parameter at a time and is
+// not optimization driven.
+//
+// Phase 1 tries each dimension alone: the smallest relaxation of that single
+// dimension that reaches k covered strategies (strategies needing any other
+// dimension relaxed cannot be covered this way). If one or more dimensions
+// succeed, the cheapest such single-dimension alternative is returned.
+//
+// Phase 2 (when no single dimension suffices) relaxes dimensions round-robin
+// — quality, cost, latency, quality, ... — each step advancing the current
+// bound of one dimension to the next distinct strategy coordinate, until k
+// strategies are covered. The myopic order, not the distance, drives the
+// search, which is exactly why the baseline trails ADPaR-Exact in Figure 17.
+func Baseline2(set strategy.Set, d strategy.Request) (Solution, error) {
+	p, err := newProblem(set, d)
+	if err != nil {
+		return Solution{}, err
+	}
+	n := len(p.pts)
+
+	// Phase 1: single-dimension relaxation.
+	best2 := math.Inf(1)
+	var bestAlt geometry.Point3
+	found := false
+	for dim := 0; dim < geometry.Dims; dim++ {
+		oa, ob := otherDims(dim)
+		// Strategies coverable by relaxing dim alone: zero relaxation in
+		// the two other dimensions.
+		var vals []float64
+		for i := 0; i < n; i++ {
+			if p.relax(i, oa) == 0 && p.relax(i, ob) == 0 {
+				vals = append(vals, p.abs[i][dim])
+			}
+		}
+		if len(vals) < p.k {
+			continue
+		}
+		sort.Float64s(vals)
+		v := vals[p.k-1] // k-th smallest coordinate reaches k strategies
+		alt := p.u
+		alt[dim] = v
+		if d2 := alt.Dist2(p.u); !found || d2 < best2 {
+			found, best2, bestAlt = true, d2, alt
+		}
+	}
+	if found {
+		return p.solutionAt(bestAlt), nil
+	}
+
+	// Phase 2: myopic round-robin relaxation.
+	sorted := make([][]float64, geometry.Dims)
+	for dim := range sorted {
+		sorted[dim] = distinctDimValues(p, dim)
+	}
+	cursor := [geometry.Dims]int{} // index into sorted[dim] of the current bound
+	alt := p.u
+	for steps := 0; ; steps++ {
+		if geometry.CoverCount(p.pts, alt) >= p.k {
+			return p.solutionAt(alt), nil
+		}
+		advanced := false
+		dim := steps % geometry.Dims
+		// Try the scheduled dimension first, then the others, so a maxed-out
+		// dimension does not stall the rotation.
+		for off := 0; off < geometry.Dims; off++ {
+			dd := (dim + off) % geometry.Dims
+			if cursor[dd]+1 < len(sorted[dd]) {
+				cursor[dd]++
+				alt[dd] = sorted[dd][cursor[dd]]
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			// Every dimension fully relaxed: covers all n >= k strategies.
+			return p.solutionAt(alt), nil
+		}
+	}
+}
+
+// Baseline3 indexes the strategy points with an R-tree and scans node
+// minimum bounding boxes: if some MBB holds exactly k strategies its
+// top-right corner becomes the alternative; otherwise the best corner of an
+// MBB holding at least k is used (Section 5.2.1). The corner is lifted to
+// max(corner, d) so the alternative never tightens the original bounds.
+func Baseline3(set strategy.Set, d strategy.Request) (Solution, error) {
+	p, err := newProblem(set, d)
+	if err != nil {
+		return Solution{}, err
+	}
+	tree := rtree.BulkLoadPoints(p.pts)
+
+	bestExact, bestOver := math.Inf(1), math.Inf(1)
+	var altExact, altOver geometry.Point3
+	haveExact, haveOver := false, false
+	tree.Nodes(func(info rtree.NodeInfo) bool {
+		corner := info.MBB.Hi.Max(p.u)
+		d2 := corner.Dist2(p.u)
+		switch {
+		case info.Count == p.k:
+			if !haveExact || d2 < bestExact {
+				haveExact, bestExact, altExact = true, d2, corner
+			}
+		case info.Count > p.k:
+			if !haveOver || d2 < bestOver {
+				haveOver, bestOver, altOver = true, d2, corner
+			}
+		}
+		return true
+	})
+	switch {
+	case haveExact:
+		return p.solutionAt(altExact), nil
+	case haveOver:
+		return p.solutionAt(altOver), nil
+	}
+	// Unreachable: the root MBB holds all n >= k strategies.
+	return Solution{}, ErrNotEnoughStrategies
+}

@@ -1,0 +1,87 @@
+package adpar
+
+import (
+	"math/rand"
+	"testing"
+
+	"stratrec/internal/strategy"
+)
+
+func benchInstance(n, k int, seed int64) (strategy.Set, strategy.Request) {
+	rng := rand.New(rand.NewSource(seed))
+	set := make(strategy.Set, n)
+	for i := range set {
+		set[i] = strategy.Strategy{ID: i, Params: strategy.Params{
+			Quality: 0.5 * rng.Float64(),
+			Cost:    0.5 + 0.5*rng.Float64(),
+			Latency: 0.5 + 0.5*rng.Float64(),
+		}}
+	}
+	d := strategy.Request{
+		ID:     "bench",
+		Params: strategy.Params{Quality: 0.6 + 0.3*rng.Float64(), Cost: 0.3 * rng.Float64(), Latency: 0.3 * rng.Float64()},
+		K:      k,
+	}
+	return set, d
+}
+
+func BenchmarkExact(b *testing.B) {
+	for _, size := range []struct{ n, k int }{{100, 5}, {1000, 10}, {10000, 50}} {
+		set, d := benchInstance(size.n, size.k, int64(size.n))
+		b.Run(byNK(size.n, size.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Exact(set, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBaseline2(b *testing.B) {
+	set, d := benchInstance(1000, 10, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Baseline2(set, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaseline3(b *testing.B) {
+	set, d := benchInstance(1000, 10, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Baseline3(set, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBruteForceK(b *testing.B) {
+	set, d := benchInstance(20, 5, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BruteForceK(set, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func byNK(n, k int) string {
+	return "n=" + itoa(n) + "/k=" + itoa(k)
+}
+
+func itoa(v int) string {
+	digits := "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	out := ""
+	for v > 0 {
+		out = string(digits[v%10]) + out
+		v /= 10
+	}
+	return out
+}

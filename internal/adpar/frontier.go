@@ -1,0 +1,103 @@
+package adpar
+
+import (
+	"sort"
+
+	"stratrec/internal/geometry"
+	"stratrec/internal/strategy"
+)
+
+// This file extends ADPaR from "the single closest alternative" to the
+// full Pareto frontier of alternatives: every minimal corner covering at
+// least k strategies such that no other covering corner relaxes every
+// parameter at most as much. A requester who dislikes the l2-closest
+// suggestion (maybe their budget is harder than their deadline) can pick a
+// different trade-off from the frontier; the l2 optimum returned by Exact
+// is always one of its members.
+
+// FrontierLimit caps the instance size for Frontier; the frontier can hold
+// O(|S|^2) corners, each needing an O(|S|) coverage check.
+const FrontierLimit = 2000
+
+// Frontier returns the Pareto-optimal alternative deployments for (set, d):
+// solutions whose relaxation vectors are pairwise non-dominated, sorted by
+// ascending distance. The first element achieves the minimum distance (it
+// is Exact's solution up to ties).
+func Frontier(set strategy.Set, d strategy.Request) ([]Solution, error) {
+	p, err := newProblem(set, d)
+	if err != nil {
+		return nil, err
+	}
+	if len(set) > FrontierLimit {
+		return nil, ErrTooLarge
+	}
+
+	// Enumerate minimal covering corners: for every pair of candidate
+	// values in dimensions 0 and 1, the minimal dimension-2 value covering
+	// k strategies. Every Pareto-optimal corner has this form (fixing any
+	// two coordinates, Pareto-optimality forces the third to its minimum).
+	xs := distinctDimValues(p, 0)
+	ys := distinctDimValues(p, 1)
+	type corner struct {
+		alt geometry.Point3
+		d2  float64
+	}
+	var corners []corner
+	// For each (x, y): admit strategies with pts[0] <= x && pts[1] <= y;
+	// the minimal z is the k-th smallest pts[2] among them.
+	heap := newBoundedMaxHeap(p.k)
+	for _, x := range xs {
+		for _, y := range ys {
+			heap.reset()
+			for i := range p.pts {
+				if p.pts[i][0] <= x && p.pts[i][1] <= y {
+					heap.offer(p.abs[i][2])
+				}
+			}
+			if heap.size() < p.k {
+				continue
+			}
+			z := heap.top()
+			alt := geometry.Point3{x, y, z}
+			corners = append(corners, corner{alt: alt, d2: alt.Dist2(p.u)})
+		}
+	}
+
+	// Keep the non-dominated corners (smaller in every coordinate is
+	// better). Sort by distance so the survivors come out ordered and each
+	// corner only needs checking against prior survivors.
+	sort.Slice(corners, func(a, b int) bool {
+		if corners[a].d2 != corners[b].d2 {
+			return corners[a].d2 < corners[b].d2
+		}
+		return lexLess(corners[a].alt, corners[b].alt)
+	})
+	var frontier []geometry.Point3
+	for _, c := range corners {
+		dominated := false
+		for _, f := range frontier {
+			if f.DominatedBy(c.alt) { // f <= c everywhere: c is redundant
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, c.alt)
+		}
+	}
+
+	out := make([]Solution, len(frontier))
+	for i, alt := range frontier {
+		out[i] = p.solutionAt(alt)
+	}
+	return out, nil
+}
+
+func lexLess(a, b geometry.Point3) bool {
+	for i := 0; i < geometry.Dims; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package adpar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stratrec/internal/strategy"
+)
+
+func TestFrontierPaperExampleD2(t *testing.T) {
+	set := strategy.PaperExampleStrategies()
+	d := strategy.PaperExampleRequests()[1] // d2, k=3
+	frontier, err := Frontier(set, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// The first member is the l2 optimum (0.75, 0.58, 0.28).
+	first := frontier[0]
+	if math.Abs(first.Alternative.Quality-0.75) > 1e-9 ||
+		math.Abs(first.Alternative.Cost-0.58) > 1e-9 ||
+		math.Abs(first.Alternative.Latency-0.28) > 1e-9 {
+		t.Errorf("frontier[0] = %+v", first.Alternative)
+	}
+	// Another legitimate trade-off covers {s1, s2, s3} by paying more
+	// quality relaxation but less cost: (0.5, 0.5, 0.28).
+	foundCheapQuality := false
+	for _, sol := range frontier {
+		if math.Abs(sol.Alternative.Quality-0.5) < 1e-9 && math.Abs(sol.Alternative.Cost-0.5) < 1e-9 {
+			foundCheapQuality = true
+		}
+	}
+	if !foundCheapQuality {
+		t.Errorf("frontier misses the (0.5, 0.5, 0.28) trade-off: %+v", frontier)
+	}
+}
+
+func TestFrontierValidation(t *testing.T) {
+	set := strategy.PaperExampleStrategies()
+	if _, err := Frontier(set, strategy.Request{Params: set[0].Params, K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	big := make(strategy.Set, FrontierLimit+1)
+	for i := range big {
+		big[i] = strategy.Strategy{ID: i, Params: strategy.Params{Quality: 0.5, Cost: 0.5, Latency: 0.5}}
+	}
+	if _, err := Frontier(big, strategy.Request{Params: strategy.Params{Quality: 0.5, Cost: 0.5, Latency: 0.5}, K: 1}); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestPropertyFrontierSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	f := func() bool {
+		set, d := randomInstance(rng, 15)
+		frontier, err := Frontier(set, d)
+		if err != nil || len(frontier) == 0 {
+			return false
+		}
+		exact, err := Exact(set, d)
+		if err != nil {
+			return false
+		}
+		// Sorted by distance; head equals the exact optimum.
+		if math.Abs(frontier[0].Distance-exact.Distance) > 1e-9 {
+			return false
+		}
+		for i := 1; i < len(frontier); i++ {
+			if frontier[i].Distance < frontier[i-1].Distance-1e-12 {
+				return false
+			}
+		}
+		// Every member covers >= k and is feasible.
+		for _, sol := range frontier {
+			if len(sol.Covered) < d.K {
+				return false
+			}
+			for _, id := range sol.Covered {
+				if !strategy.Satisfies(set[id].Params, sol.Alternative) {
+					return false
+				}
+			}
+		}
+		// Pairwise non-dominated in relaxation space: no member's
+		// alternative is at least as tight as another's in every
+		// parameter.
+		for i := range frontier {
+			for j := range frontier {
+				if i == j {
+					continue
+				}
+				a, b := frontier[i].Alternative, frontier[j].Alternative
+				if a.Quality >= b.Quality && a.Cost <= b.Cost && a.Latency <= b.Latency &&
+					(a.Quality > b.Quality || a.Cost < b.Cost || a.Latency < b.Latency) {
+					return false // a strictly dominates b: b shouldn't be here
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFrontierCoversAllTradeoffs(t *testing.T) {
+	// Completeness: every k-subset's tightest covering corner is dominated
+	// by (or equal to) some frontier member.
+	rng := rand.New(rand.NewSource(132))
+	f := func() bool {
+		set, d := randomInstance(rng, 10)
+		frontier, err := Frontier(set, d)
+		if err != nil {
+			return false
+		}
+		// Random k-subsets as probes.
+		n := len(set)
+		for probe := 0; probe < 10; probe++ {
+			perm := rng.Perm(n)[:d.K]
+			// Tightest corner covering this subset.
+			alt := d.Params
+			for _, i := range perm {
+				s := set[i].Params
+				alt.Quality = math.Min(alt.Quality, s.Quality)
+				alt.Cost = math.Max(alt.Cost, s.Cost)
+				alt.Latency = math.Max(alt.Latency, s.Latency)
+			}
+			dominated := false
+			for _, sol := range frontier {
+				f := sol.Alternative
+				if f.Quality >= alt.Quality && f.Cost <= alt.Cost && f.Latency <= alt.Latency {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

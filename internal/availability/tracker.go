@@ -1,0 +1,77 @@
+package availability
+
+import (
+	"errors"
+	"math"
+)
+
+// This file adds the online availability tracker the dynamic deployment
+// setting needs (stream.Manager's SetAvailability has to be fed from
+// somewhere): an exponentially weighted moving average over per-window
+// observations with a drift detector, so a platform can keep the expected
+// availability W current as workers come and go.
+
+// Tracker maintains an EWMA estimate of worker availability with an
+// accompanying EWMA of the squared deviation (for a crude drift signal).
+type Tracker struct {
+	alpha    float64
+	mean     float64
+	variance float64
+	n        int
+}
+
+// ErrBadAlpha rejects smoothing factors outside (0, 1].
+var ErrBadAlpha = errors.New("availability: smoothing factor must be in (0, 1]")
+
+// NewTracker builds a tracker with smoothing factor alpha (weight of the
+// newest observation; 0.2-0.4 reacts within a few windows).
+func NewTracker(alpha float64) (*Tracker, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, ErrBadAlpha
+	}
+	return &Tracker{alpha: alpha}, nil
+}
+
+// Observe folds one availability observation (x'/x of a window) into the
+// estimate and returns the updated mean.
+func (t *Tracker) Observe(w float64) float64 {
+	if w < 0 {
+		w = 0
+	}
+	if w > 1 {
+		w = 1
+	}
+	if t.n == 0 {
+		t.mean = w
+	} else {
+		d := w - t.mean
+		t.mean += t.alpha * d
+		t.variance = (1 - t.alpha) * (t.variance + t.alpha*d*d)
+	}
+	t.n++
+	return t.mean
+}
+
+// Estimate returns the current availability estimate (0 before any
+// observation).
+func (t *Tracker) Estimate() float64 { return t.mean }
+
+// StdDev returns the EWMA deviation estimate.
+func (t *Tracker) StdDev() float64 { return math.Sqrt(math.Max(0, t.variance)) }
+
+// Count returns the number of folded observations.
+func (t *Tracker) Count() int { return t.n }
+
+// Drifted reports whether observation w sits more than k deviations from
+// the current estimate — the "replan now" trigger for stream.Manager. It
+// needs a handful of observations before it can fire.
+func (t *Tracker) Drifted(w float64, k float64) bool {
+	if t.n < 3 {
+		return false
+	}
+	sd := t.StdDev()
+	if sd < 1e-6 {
+		sd = 1e-6
+	}
+	return math.Abs(w-t.mean) > k*sd
+}

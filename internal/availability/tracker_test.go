@@ -1,0 +1,93 @@
+package availability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewTrackerValidation(t *testing.T) {
+	for _, a := range []float64{0, -0.1, 1.1, math.NaN()} {
+		if _, err := NewTracker(a); err == nil {
+			t.Errorf("alpha=%v accepted", a)
+		}
+	}
+	if _, err := NewTracker(1); err != nil {
+		t.Errorf("alpha=1 rejected: %v", err)
+	}
+}
+
+func TestTrackerConvergesToConstant(t *testing.T) {
+	tr, err := NewTracker(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tr.Observe(0.8)
+	}
+	if math.Abs(tr.Estimate()-0.8) > 1e-6 {
+		t.Errorf("estimate = %v, want 0.8", tr.Estimate())
+	}
+	if tr.StdDev() > 1e-3 {
+		t.Errorf("stddev = %v, want ~0", tr.StdDev())
+	}
+	if tr.Count() != 50 {
+		t.Errorf("count = %d", tr.Count())
+	}
+}
+
+func TestTrackerFirstObservationSeeds(t *testing.T) {
+	tr, _ := NewTracker(0.1)
+	if got := tr.Observe(0.6); got != 0.6 {
+		t.Errorf("first observation = %v, want 0.6", got)
+	}
+}
+
+func TestTrackerClampsInput(t *testing.T) {
+	tr, _ := NewTracker(0.5)
+	tr.Observe(-2)
+	if tr.Estimate() != 0 {
+		t.Errorf("negative input estimate = %v", tr.Estimate())
+	}
+	tr.Observe(5)
+	if tr.Estimate() > 1 {
+		t.Errorf("clamped estimate = %v", tr.Estimate())
+	}
+}
+
+func TestTrackerTracksShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, _ := NewTracker(0.3)
+	for i := 0; i < 40; i++ {
+		tr.Observe(0.4 + rng.NormFloat64()*0.02)
+	}
+	before := tr.Estimate()
+	for i := 0; i < 40; i++ {
+		tr.Observe(0.8 + rng.NormFloat64()*0.02)
+	}
+	after := tr.Estimate()
+	if math.Abs(before-0.4) > 0.05 {
+		t.Errorf("pre-shift estimate = %v", before)
+	}
+	if math.Abs(after-0.8) > 0.05 {
+		t.Errorf("post-shift estimate = %v", after)
+	}
+}
+
+func TestTrackerDriftDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr, _ := NewTracker(0.2)
+	// Too few observations: never drifted.
+	if tr.Drifted(0.9, 3) {
+		t.Error("drift fired with no history")
+	}
+	for i := 0; i < 30; i++ {
+		tr.Observe(0.7 + rng.NormFloat64()*0.03)
+	}
+	if tr.Drifted(0.71, 3) {
+		t.Error("in-band observation flagged as drift")
+	}
+	if !tr.Drifted(0.2, 3) {
+		t.Error("weekend collapse not flagged as drift")
+	}
+}

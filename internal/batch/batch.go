@@ -1,0 +1,269 @@
+// Package batch implements the Optimization-Guided Batch Deployment of
+// Section 3.3: distributing the available workforce W among m deployment
+// requests to maximize a platform-centric goal.
+//
+// Three solvers are provided, matching Section 5.2.1:
+//
+//   - BatchStrat — the paper's greedy (Algorithm 1): exact for throughput
+//     (Theorem 2), 1/2-approximate for the NP-hard pay-off objective
+//     (Theorems 1 and 3).
+//   - BaselineG — plain density greedy without the best-of step.
+//   - BruteForce — exhaustive subset enumeration, exponential, exact.
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+// Objective is the platform-centric optimization goal F.
+type Objective int
+
+const (
+	// Throughput maximizes the number of satisfied deployment requests
+	// (f_i = 1 for every request).
+	Throughput Objective = iota
+	// Payoff maximizes the total payment of satisfied requests
+	// (f_i = d_i.cost).
+	Payoff
+)
+
+func (o Objective) String() string {
+	switch o {
+	case Throughput:
+		return "throughput"
+	case Payoff:
+		return "payoff"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// Item is one deployment request prepared for optimization: its aggregated
+// workforce requirement, its objective value f_i, and the k strategies that
+// would be recommended if it is selected.
+type Item struct {
+	Index      int     // position of the request in the batch
+	Value      float64 // f_i
+	Workforce  float64 // aggregated requirement w_i
+	Strategies []int   // the k recommended strategy IDs
+}
+
+// feasibleAlone reports whether the item can ever be part of a solution.
+func (it Item) feasibleAlone(W float64) bool {
+	return !math.IsInf(it.Workforce, 1) && it.Workforce <= W
+}
+
+// Result is a batch deployment plan.
+type Result struct {
+	// Selected holds the indices (Item.Index) of satisfied requests in
+	// selection order.
+	Selected []int
+	// Objective is the achieved objective value F.
+	Objective float64
+	// Workforce is the total workforce the plan consumes.
+	Workforce float64
+	// Recommendations maps each selected request index to its k strategies.
+	Recommendations map[int][]int
+}
+
+// selectedSet returns membership of Selected as a map for tests and callers.
+func (r Result) selectedSet() map[int]bool {
+	set := make(map[int]bool, len(r.Selected))
+	for _, i := range r.Selected {
+		set[i] = true
+	}
+	return set
+}
+
+// IsSelected reports whether request index i was satisfied by the plan.
+func (r Result) IsSelected(i int) bool { return r.selectedSet()[i] }
+
+// BuildItems turns requests and their aggregated requirements into
+// optimization items (lines 3-6 of Algorithm 1). Requests whose requirement
+// is infeasible are excluded — they can never be satisfied and are routed to
+// ADPaR by the core layer.
+func BuildItems(requests []strategy.Request, reqs []workforce.Requirement, obj Objective) []Item {
+	var items []Item
+	for i, r := range reqs {
+		if !r.Feasible() {
+			continue
+		}
+		v := 1.0
+		if obj == Payoff {
+			v = requests[i].Cost
+		}
+		items = append(items, Item{
+			Index:      i,
+			Value:      v,
+			Workforce:  r.Workforce,
+			Strategies: r.Strategies,
+		})
+	}
+	return items
+}
+
+// BatchStrat is Algorithm 1: sort items by non-increasing density f_i/w_i,
+// greedily add every item that still fits in W, then return the better of
+// the greedy solution and the best single item. For throughput all values
+// are 1, so density order is ascending workforce order and the greedy
+// solution is exact; for pay-off the best-of step yields the 1/2 guarantee.
+func BatchStrat(items []Item, W float64) Result {
+	feasible := filterFeasible(items, W)
+	sortByDensity(feasible)
+
+	greedy := greedyPack(feasible, W)
+
+	// Best single item: with items sorted by density, the breaking item of
+	// the classic knapsack analysis is among the feasible items, so taking
+	// the overall best single feasible item dominates it.
+	bestSingle := Result{Recommendations: map[int][]int{}}
+	for _, it := range feasible {
+		if it.Value > bestSingle.Objective {
+			bestSingle = singleItemResult(it)
+		}
+	}
+	if bestSingle.Objective > greedy.Objective {
+		return bestSingle
+	}
+	return greedy
+}
+
+// BaselineG is the plain greedy baseline of Section 5.2.1: sort by
+// non-increasing f_i/w_i and add requests until one no longer fits, without
+// the best-of comparison.
+func BaselineG(items []Item, W float64) Result {
+	feasible := filterFeasible(items, W)
+	sortByDensity(feasible)
+	res := Result{Recommendations: map[int][]int{}}
+	for _, it := range feasible {
+		if res.Workforce+it.Workforce > W {
+			break
+		}
+		addItem(&res, it)
+	}
+	return res
+}
+
+// ErrTooLarge guards BruteForce against instances whose 2^m enumeration
+// would not terminate in reasonable time.
+var ErrTooLarge = errors.New("batch: brute force limited to 30 items")
+
+// BruteForce enumerates every subset of items and returns the best feasible
+// one. Exponential in len(items); used as the exact reference in the quality
+// experiments (Figures 15, 16, 18a).
+func BruteForce(items []Item, W float64) (Result, error) {
+	n := len(items)
+	if n > 30 {
+		return Result{}, ErrTooLarge
+	}
+	best := Result{Recommendations: map[int][]int{}}
+	var bestMask uint64
+	found := false
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		var value, weight float64
+		ok := true
+		for b := 0; b < n && ok; b++ {
+			if mask&(1<<uint(b)) == 0 {
+				continue
+			}
+			it := items[b]
+			if math.IsInf(it.Workforce, 1) {
+				ok = false
+				break
+			}
+			value += it.Value
+			weight += it.Workforce
+			if weight > W {
+				ok = false
+			}
+		}
+		if ok && (!found || value > best.Objective ||
+			(value == best.Objective && weight < best.Workforce)) {
+			found = true
+			best.Objective = value
+			best.Workforce = weight
+			bestMask = mask
+		}
+	}
+	best.Selected = nil
+	best.Recommendations = map[int][]int{}
+	for b := 0; b < n; b++ {
+		if bestMask&(1<<uint(b)) != 0 {
+			best.Selected = append(best.Selected, items[b].Index)
+			best.Recommendations[items[b].Index] = items[b].Strategies
+		}
+	}
+	return best, nil
+}
+
+// ApproximationFactor returns achieved/optimal, treating 0/0 as 1. It is the
+// metric reported by Figure 16.
+func ApproximationFactor(achieved, optimal float64) float64 {
+	if optimal == 0 {
+		return 1
+	}
+	return achieved / optimal
+}
+
+func filterFeasible(items []Item, W float64) []Item {
+	out := make([]Item, 0, len(items))
+	for _, it := range items {
+		if it.feasibleAlone(W) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// sortByDensity orders by non-increasing f_i/w_i. Zero-workforce items have
+// infinite density and come first; ties break on smaller workforce, then on
+// input order for determinism.
+func sortByDensity(items []Item) {
+	sort.SliceStable(items, func(a, b int) bool {
+		da := density(items[a])
+		db := density(items[b])
+		if da != db {
+			return da > db
+		}
+		if items[a].Workforce != items[b].Workforce {
+			return items[a].Workforce < items[b].Workforce
+		}
+		return items[a].Index < items[b].Index
+	})
+}
+
+func density(it Item) float64 {
+	if it.Workforce == 0 {
+		return math.Inf(1)
+	}
+	return it.Value / it.Workforce
+}
+
+func greedyPack(sorted []Item, W float64) Result {
+	res := Result{Recommendations: map[int][]int{}}
+	for _, it := range sorted {
+		if res.Workforce+it.Workforce > W {
+			continue
+		}
+		addItem(&res, it)
+	}
+	return res
+}
+
+func singleItemResult(it Item) Result {
+	res := Result{Recommendations: map[int][]int{}}
+	addItem(&res, it)
+	return res
+}
+
+func addItem(res *Result, it Item) {
+	res.Selected = append(res.Selected, it.Index)
+	res.Objective += it.Value
+	res.Workforce += it.Workforce
+	res.Recommendations[it.Index] = it.Strategies
+}

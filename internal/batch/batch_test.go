@@ -1,0 +1,311 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stratrec/internal/knapsack"
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+func item(idx int, value, w float64) Item {
+	return Item{Index: idx, Value: value, Workforce: w, Strategies: []int{idx}}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if Throughput.String() != "throughput" || Payoff.String() != "payoff" {
+		t.Error("objective strings")
+	}
+	if Objective(9).String() == "" {
+		t.Error("unknown objective string empty")
+	}
+}
+
+func TestBuildItems(t *testing.T) {
+	reqs := []strategy.Request{
+		{ID: "d1", Params: strategy.Params{Quality: 0.4, Cost: 0.17, Latency: 0.28}, K: 3},
+		{ID: "d2", Params: strategy.Params{Quality: 0.8, Cost: 0.20, Latency: 0.28}, K: 3},
+	}
+	vec := []workforce.Requirement{
+		{Workforce: 0.3, Strategies: []int{0, 1, 2}},
+		{Workforce: math.Inf(1)},
+	}
+	items := BuildItems(reqs, vec, Throughput)
+	if len(items) != 1 || items[0].Index != 0 || items[0].Value != 1 {
+		t.Errorf("throughput items = %+v", items)
+	}
+	items = BuildItems(reqs, vec, Payoff)
+	if len(items) != 1 || items[0].Value != 0.17 {
+		t.Errorf("payoff items = %+v", items)
+	}
+}
+
+func TestBatchStratThroughputPrefersCheap(t *testing.T) {
+	items := []Item{item(0, 1, 0.5), item(1, 1, 0.1), item(2, 1, 0.2), item(3, 1, 0.4)}
+	res := BatchStrat(items, 0.5)
+	// Cheapest-first: 0.1 + 0.2 fit, 0.4 doesn't, total 2 requests.
+	if res.Objective != 2 {
+		t.Errorf("objective = %v, want 2", res.Objective)
+	}
+	if !res.IsSelected(1) || !res.IsSelected(2) {
+		t.Errorf("selected = %v, want {1, 2}", res.Selected)
+	}
+	if math.Abs(res.Workforce-0.3) > 1e-12 {
+		t.Errorf("workforce = %v", res.Workforce)
+	}
+	if res.Recommendations[1][0] != 1 {
+		t.Errorf("recommendations = %v", res.Recommendations)
+	}
+}
+
+func TestBatchStratPayoffBestSingle(t *testing.T) {
+	// The greedy trap: density favors the small item but the big one pays.
+	items := []Item{item(0, 0.2, 0.05), item(1, 0.9, 0.5)}
+	res := BatchStrat(items, 0.5)
+	if res.Objective != 0.9 {
+		t.Errorf("objective = %v, want 0.9 (best single)", res.Objective)
+	}
+	if len(res.Selected) != 1 || res.Selected[0] != 1 {
+		t.Errorf("selected = %v", res.Selected)
+	}
+}
+
+func TestBatchStratSkipsInfeasible(t *testing.T) {
+	items := []Item{item(0, 1, math.Inf(1)), item(1, 1, 0.9), item(2, 1, 0.2)}
+	res := BatchStrat(items, 0.5)
+	if res.Objective != 1 || !res.IsSelected(2) {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestBatchStratZeroWorkforceItems(t *testing.T) {
+	items := []Item{item(0, 0.5, 0), item(1, 0.7, 0), item(2, 0.9, 0.4)}
+	res := BatchStrat(items, 0.5)
+	if math.Abs(res.Objective-2.1) > 1e-12 {
+		t.Errorf("objective = %v, want 2.1 (everything fits)", res.Objective)
+	}
+}
+
+func TestBatchStratEmpty(t *testing.T) {
+	res := BatchStrat(nil, 0.5)
+	if res.Objective != 0 || len(res.Selected) != 0 {
+		t.Errorf("empty result = %+v", res)
+	}
+}
+
+func TestBaselineGStopsAtFirstMisfit(t *testing.T) {
+	// Density order: item 1 (10), item 0 (2), item 2 (1.8).
+	items := []Item{item(0, 0.2, 0.1), item(1, 0.5, 0.05), item(2, 0.45, 0.25)}
+	res := BaselineG(items, 0.2)
+	// Takes 1 (0.05), then 0 (0.1), then 2 does not fit -> stop.
+	if math.Abs(res.Objective-0.7) > 1e-12 {
+		t.Errorf("objective = %v, want 0.7", res.Objective)
+	}
+	// BatchStrat with skip-and-continue does no better here but never worse.
+	if bs := BatchStrat(items, 0.2); bs.Objective < res.Objective {
+		t.Errorf("BatchStrat %v worse than BaselineG %v", bs.Objective, res.Objective)
+	}
+}
+
+func TestBruteForceSmall(t *testing.T) {
+	items := []Item{item(0, 0.6, 0.3), item(1, 0.5, 0.3), item(2, 0.55, 0.35)}
+	res, err := BruteForce(items, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-1.1) > 1e-12 { // items 0 and 1
+		t.Errorf("objective = %v, want 1.1", res.Objective)
+	}
+	if _, err := BruteForce(make([]Item, 31), 0.5); err == nil {
+		t.Error("oversized brute force accepted")
+	}
+}
+
+func TestBruteForceSkipsInfeasibleItem(t *testing.T) {
+	items := []Item{item(0, 5, math.Inf(1)), item(1, 1, 0.1)}
+	res, err := BruteForce(items, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != 1 {
+		t.Errorf("objective = %v, want 1", res.Objective)
+	}
+}
+
+func TestApproximationFactor(t *testing.T) {
+	if got := ApproximationFactor(0.9, 1.0); got != 0.9 {
+		t.Errorf("factor = %v", got)
+	}
+	if got := ApproximationFactor(0, 0); got != 1 {
+		t.Errorf("0/0 factor = %v, want 1", got)
+	}
+}
+
+// TestPaperExampleOnlyD3Served reproduces Section 2.2: with W = 0.8 and the
+// Table 1 batch, only d3 can be fully served (d1 and d2 have no satisfying
+// strategies at all, so they are infeasible regardless of W).
+func TestPaperExampleOnlyD3Served(t *testing.T) {
+	reqs := strategy.PaperExampleRequests()
+	vec := []workforce.Requirement{
+		{Workforce: math.Inf(1)},                     // d1: no k=3 strategies exist
+		{Workforce: math.Inf(1)},                     // d2: no k=3 strategies exist
+		{Workforce: 0.8, Strategies: []int{1, 2, 3}}, // d3: s2, s3, s4
+	}
+	for _, obj := range []Objective{Throughput, Payoff} {
+		items := BuildItems(reqs, vec, obj)
+		res := BatchStrat(items, 0.8)
+		if len(res.Selected) != 1 || res.Selected[0] != 2 {
+			t.Errorf("%v: selected = %v, want [2]", obj, res.Selected)
+		}
+		rec := res.Recommendations[2]
+		if len(rec) != 3 || rec[0] != 1 || rec[1] != 2 || rec[2] != 3 {
+			t.Errorf("%v: recommended strategies = %v, want [1 2 3]", obj, rec)
+		}
+	}
+}
+
+func randomItems(rng *rand.Rand) ([]Item, float64) {
+	n := 1 + rng.Intn(10)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Index:     i,
+			Value:     0.625 + 0.375*rng.Float64(),
+			Workforce: rng.Float64(),
+		}
+	}
+	return items, rng.Float64()
+}
+
+func throughputItems(rng *rand.Rand) ([]Item, float64) {
+	items, W := randomItems(rng)
+	for i := range items {
+		items[i].Value = 1
+	}
+	return items, W
+}
+
+// TestPropertyThroughputExact is Theorem 2: BatchStrat equals the brute
+// force on every throughput instance.
+func TestPropertyThroughputExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	f := func() bool {
+		items, W := throughputItems(rng)
+		got := BatchStrat(items, W)
+		want, err := BruteForce(items, W)
+		if err != nil {
+			return false
+		}
+		return got.Objective == want.Objective
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPayoffHalfApproximation is Theorem 3: BatchStrat achieves at
+// least half the optimal pay-off and never exceeds it.
+func TestPropertyPayoffHalfApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	f := func() bool {
+		items, W := randomItems(rng)
+		got := BatchStrat(items, W)
+		opt, err := BruteForce(items, W)
+		if err != nil {
+			return false
+		}
+		if got.Objective > opt.Objective+1e-9 {
+			return false
+		}
+		return got.Objective >= opt.Objective/2-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBatchStratDominatesBaselineG: the best-of step can only help.
+func TestPropertyBatchStratDominatesBaselineG(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	f := func() bool {
+		items, W := randomItems(rng)
+		return BatchStrat(items, W).Objective >= BaselineG(items, W).Objective-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPlansRespectCapacity: every solver returns a feasible plan
+// with consistent bookkeeping.
+func TestPropertyPlansRespectCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	f := func() bool {
+		items, W := randomItems(rng)
+		for _, res := range []Result{BatchStrat(items, W), BaselineG(items, W)} {
+			if res.Workforce > W+1e-9 {
+				return false
+			}
+			var v, w float64
+			seen := map[int]bool{}
+			for _, idx := range res.Selected {
+				if seen[idx] {
+					return false // duplicate selection
+				}
+				seen[idx] = true
+				v += items[idx].Value
+				w += items[idx].Workforce
+			}
+			if math.Abs(v-res.Objective) > 1e-9 || math.Abs(w-res.Workforce) > 1e-9 {
+				return false
+			}
+			if len(res.Recommendations) != len(res.Selected) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPayoffMatchesKnapsackDP validates the Theorem-1 reduction in
+// practice: on instances with exactly representable integer weights, the
+// brute-force batch optimum equals the knapsack DP optimum.
+func TestPropertyPayoffMatchesKnapsackDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	f := func() bool {
+		n := 1 + rng.Intn(10)
+		items := make([]Item, n)
+		weights := make([]float64, n)
+		payoffs := make([]float64, n)
+		for i := range items {
+			w := float64(rng.Intn(20)) / 128 // dyadic: float sums stay exact
+			v := 0.625 + 0.375*rng.Float64()
+			items[i] = Item{Index: i, Value: v, Workforce: w}
+			weights[i] = w
+			payoffs[i] = v
+		}
+		W := float64(rng.Intn(50)) / 128
+		opt, err := BruteForce(items, W)
+		if err != nil {
+			return false
+		}
+		kItems, cap, err := knapsack.FromPayoff(weights, payoffs, W, 128)
+		if err != nil {
+			return false
+		}
+		dp, err := knapsack.SolveDP(kItems, cap)
+		if err != nil {
+			return false
+		}
+		return math.Abs(opt.Objective-dp.Value) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package batch
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+func benchItems(m int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, m)
+	for i := range items {
+		items[i] = Item{Index: i, Value: 0.625 + 0.375*rng.Float64(), Workforce: rng.Float64() * 0.1}
+	}
+	return items
+}
+
+func BenchmarkBatchStrat(b *testing.B) {
+	for _, m := range []int{10, 100, 1000, 10000} {
+		items := benchItems(m, int64(m))
+		b.Run("m="+strconv.Itoa(m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				BatchStrat(items, 0.5)
+			}
+		})
+	}
+}
+
+func BenchmarkBaselineG(b *testing.B) {
+	items := benchItems(1000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BaselineG(items, 0.5)
+	}
+}
+
+func BenchmarkBruteForce(b *testing.B) {
+	for _, m := range []int{10, 15, 20} {
+		items := benchItems(m, int64(m))
+		b.Run("m="+strconv.Itoa(m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BruteForce(items, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBranchAndBound(b *testing.B) {
+	for _, m := range []int{20, 30, 50} {
+		items := benchItems(m, int64(m))
+		b.Run("m="+strconv.Itoa(m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				BranchAndBound(items, 0.5)
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBranchAndBoundSmall(t *testing.T) {
+	items := []Item{item(0, 0.6, 0.3), item(1, 0.5, 0.3), item(2, 0.55, 0.35)}
+	res := BranchAndBound(items, 0.6)
+	if math.Abs(res.Objective-1.1) > 1e-12 {
+		t.Errorf("objective = %v, want 1.1", res.Objective)
+	}
+}
+
+func TestBranchAndBoundEmpty(t *testing.T) {
+	res := BranchAndBound(nil, 0.5)
+	if res.Objective != 0 || len(res.Selected) != 0 {
+		t.Errorf("empty result = %+v", res)
+	}
+}
+
+func TestPropertyBranchAndBoundMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	f := func() bool {
+		items, W := randomItems(rng)
+		bb := BranchAndBound(items, W)
+		bf, err := BruteForce(items, W)
+		if err != nil {
+			return false
+		}
+		if math.Abs(bb.Objective-bf.Objective) > 1e-9 {
+			return false
+		}
+		// Internal consistency of the returned plan.
+		var v, w float64
+		for _, idx := range bb.Selected {
+			v += items[idx].Value
+			w += items[idx].Workforce
+		}
+		return math.Abs(v-bb.Objective) < 1e-9 && w <= W+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBranchAndBoundThroughput(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	f := func() bool {
+		items, W := throughputItems(rng)
+		bb := BranchAndBound(items, W)
+		bs := BatchStrat(items, W)
+		// Theorem 2: the greedy is already exact for throughput.
+		return bb.Objective == bs.Objective
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchAndBoundScalesTo30(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	items := make([]Item, 30)
+	for i := range items {
+		items[i] = Item{Index: i, Value: 0.625 + 0.375*rng.Float64(), Workforce: rng.Float64() * 0.2}
+	}
+	start := time.Now()
+	res := BranchAndBound(items, 0.5)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("m=30 took %v", elapsed)
+	}
+	if res.Objective <= 0 {
+		t.Error("no value packed")
+	}
+}

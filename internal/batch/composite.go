@@ -1,0 +1,123 @@
+package batch
+
+import (
+	"fmt"
+
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+// This file implements one of the paper's stated future directions
+// (Section 7): "adapting batch deployment to optimize additional criteria,
+// such as worker-centric goals, or to combine multiple goals inside the
+// same optimization function."
+//
+// A Goal assigns each request a non-negative value; CompositeItems blends
+// several goals linearly. Because the blended value is still a fixed
+// non-negative number per request, the blended problem is the same knapsack
+// shape as pay-off maximization, so BatchStrat keeps its 1/2-approximation
+// guarantee (Theorem 3's proof only uses value non-negativity).
+
+// Goal scores one request for selection purposes.
+type Goal interface {
+	// Value returns the request's contribution to the objective if it is
+	// satisfied. Must be non-negative.
+	Value(d strategy.Request, req workforce.Requirement) float64
+	// Name identifies the goal in reports.
+	Name() string
+}
+
+// ThroughputGoal counts satisfied requests (f_i = 1).
+type ThroughputGoal struct{}
+
+// Value implements Goal.
+func (ThroughputGoal) Value(strategy.Request, workforce.Requirement) float64 { return 1 }
+
+// Name implements Goal.
+func (ThroughputGoal) Name() string { return "throughput" }
+
+// PayoffGoal values a request at its cost threshold (the platform's
+// revenue).
+type PayoffGoal struct{}
+
+// Value implements Goal.
+func (PayoffGoal) Value(d strategy.Request, _ workforce.Requirement) float64 { return d.Cost }
+
+// Name implements Goal.
+func (PayoffGoal) Name() string { return "payoff" }
+
+// WorkerWelfareGoal is the worker-centric goal the paper's conclusion
+// sketches: value a request by the workforce it employs, so the platform
+// prefers plans that put more of the available crowd to paid work.
+type WorkerWelfareGoal struct{}
+
+// Value implements Goal.
+func (WorkerWelfareGoal) Value(_ strategy.Request, req workforce.Requirement) float64 {
+	if !req.Feasible() {
+		return 0
+	}
+	return req.Workforce
+}
+
+// Name implements Goal.
+func (WorkerWelfareGoal) Name() string { return "worker-welfare" }
+
+// WeightedGoal is a convex (or arbitrary non-negative) combination of
+// goals.
+type WeightedGoal struct {
+	Parts   []Goal
+	Weights []float64
+}
+
+// NewWeightedGoal validates and builds a combination.
+func NewWeightedGoal(parts []Goal, weights []float64) (WeightedGoal, error) {
+	if len(parts) == 0 || len(parts) != len(weights) {
+		return WeightedGoal{}, fmt.Errorf("batch: %d goals with %d weights", len(parts), len(weights))
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return WeightedGoal{}, fmt.Errorf("batch: negative weight %v for goal %s", w, parts[i].Name())
+		}
+	}
+	return WeightedGoal{Parts: parts, Weights: weights}, nil
+}
+
+// Value implements Goal.
+func (g WeightedGoal) Value(d strategy.Request, req workforce.Requirement) float64 {
+	v := 0.0
+	for i, part := range g.Parts {
+		v += g.Weights[i] * part.Value(d, req)
+	}
+	return v
+}
+
+// Name implements Goal.
+func (g WeightedGoal) Name() string {
+	name := "weighted("
+	for i, part := range g.Parts {
+		if i > 0 {
+			name += "+"
+		}
+		name += fmt.Sprintf("%.2f*%s", g.Weights[i], part.Name())
+	}
+	return name + ")"
+}
+
+// CompositeItems builds optimization items under an arbitrary goal, the
+// generalization of BuildItems. The returned items feed BatchStrat,
+// BaselineG, BranchAndBound or BruteForce unchanged.
+func CompositeItems(requests []strategy.Request, reqs []workforce.Requirement, goal Goal) []Item {
+	var items []Item
+	for i, r := range reqs {
+		if !r.Feasible() {
+			continue
+		}
+		items = append(items, Item{
+			Index:      i,
+			Value:      goal.Value(requests[i], r),
+			Workforce:  r.Workforce,
+			Strategies: r.Strategies,
+		})
+	}
+	return items
+}

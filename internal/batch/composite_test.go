@@ -1,0 +1,153 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+func compositeFixture() ([]strategy.Request, []workforce.Requirement) {
+	reqs := []strategy.Request{
+		{ID: "d1", Params: strategy.Params{Quality: 0.5, Cost: 0.9, Latency: 0.5}, K: 2},
+		{ID: "d2", Params: strategy.Params{Quality: 0.5, Cost: 0.3, Latency: 0.5}, K: 2},
+		{ID: "d3", Params: strategy.Params{Quality: 0.5, Cost: 0.6, Latency: 0.5}, K: 2},
+	}
+	wf := []workforce.Requirement{
+		{Workforce: 0.2, Strategies: []int{0, 1}},
+		{Workforce: 0.1, Strategies: []int{1, 2}},
+		{Workforce: math.Inf(1)},
+	}
+	return reqs, wf
+}
+
+func TestGoalValues(t *testing.T) {
+	reqs, wf := compositeFixture()
+	if got := (ThroughputGoal{}).Value(reqs[0], wf[0]); got != 1 {
+		t.Errorf("throughput value = %v", got)
+	}
+	if got := (PayoffGoal{}).Value(reqs[0], wf[0]); got != 0.9 {
+		t.Errorf("payoff value = %v", got)
+	}
+	if got := (WorkerWelfareGoal{}).Value(reqs[0], wf[0]); got != 0.2 {
+		t.Errorf("welfare value = %v", got)
+	}
+	if got := (WorkerWelfareGoal{}).Value(reqs[2], wf[2]); got != 0 {
+		t.Errorf("welfare of infeasible = %v", got)
+	}
+}
+
+func TestGoalNames(t *testing.T) {
+	if (ThroughputGoal{}).Name() != "throughput" ||
+		(PayoffGoal{}).Name() != "payoff" ||
+		(WorkerWelfareGoal{}).Name() != "worker-welfare" {
+		t.Error("goal names")
+	}
+	g, err := NewWeightedGoal([]Goal{ThroughputGoal{}, PayoffGoal{}}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := g.Name()
+	if !strings.Contains(name, "throughput") || !strings.Contains(name, "payoff") {
+		t.Errorf("weighted name = %q", name)
+	}
+}
+
+func TestNewWeightedGoalValidation(t *testing.T) {
+	if _, err := NewWeightedGoal(nil, nil); err == nil {
+		t.Error("empty combination accepted")
+	}
+	if _, err := NewWeightedGoal([]Goal{ThroughputGoal{}}, []float64{0.3, 0.7}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewWeightedGoal([]Goal{ThroughputGoal{}}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestCompositeItemsSkipsInfeasible(t *testing.T) {
+	reqs, wf := compositeFixture()
+	items := CompositeItems(reqs, wf, PayoffGoal{})
+	if len(items) != 2 {
+		t.Fatalf("items = %d, want 2 (d3 infeasible)", len(items))
+	}
+	if items[0].Value != 0.9 || items[1].Value != 0.3 {
+		t.Errorf("values = %v, %v", items[0].Value, items[1].Value)
+	}
+}
+
+func TestCompositeMatchesBuildItems(t *testing.T) {
+	reqs, wf := compositeFixture()
+	// The dedicated goals must reproduce BuildItems exactly.
+	throughput := CompositeItems(reqs, wf, ThroughputGoal{})
+	legacy := BuildItems(reqs, wf, Throughput)
+	if len(throughput) != len(legacy) {
+		t.Fatal("throughput item count mismatch")
+	}
+	for i := range legacy {
+		if throughput[i].Value != legacy[i].Value || throughput[i].Workforce != legacy[i].Workforce {
+			t.Errorf("item %d: %+v vs %+v", i, throughput[i], legacy[i])
+		}
+	}
+	payoff := CompositeItems(reqs, wf, PayoffGoal{})
+	legacy = BuildItems(reqs, wf, Payoff)
+	for i := range legacy {
+		if payoff[i].Value != legacy[i].Value {
+			t.Errorf("payoff item %d: %v vs %v", i, payoff[i].Value, legacy[i].Value)
+		}
+	}
+}
+
+func TestWeightedGoalInterpolates(t *testing.T) {
+	reqs, wf := compositeFixture()
+	g, err := NewWeightedGoal([]Goal{ThroughputGoal{}, PayoffGoal{}}, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d1: 0.25*1 + 0.75*0.9 = 0.925.
+	if got := g.Value(reqs[0], wf[0]); math.Abs(got-0.925) > 1e-12 {
+		t.Errorf("weighted value = %v", got)
+	}
+}
+
+// TestPropertyWeightedKeepsHalfGuarantee: blending goals preserves the 1/2
+// approximation of BatchStrat (values stay non-negative per item).
+func TestPropertyWeightedKeepsHalfGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	f := func() bool {
+		n := 1 + rng.Intn(10)
+		reqs := make([]strategy.Request, n)
+		wf := make([]workforce.Requirement, n)
+		for i := range reqs {
+			reqs[i] = strategy.Request{
+				ID:     "d",
+				Params: strategy.Params{Quality: 0.5, Cost: 0.625 + 0.375*rng.Float64(), Latency: 0.5},
+				K:      1,
+			}
+			wf[i] = workforce.Requirement{Workforce: rng.Float64(), Strategies: []int{0}}
+		}
+		lambda := rng.Float64()
+		g, err := NewWeightedGoal(
+			[]Goal{ThroughputGoal{}, PayoffGoal{}, WorkerWelfareGoal{}},
+			[]float64{lambda, 1 - lambda, rng.Float64()},
+		)
+		if err != nil {
+			return false
+		}
+		items := CompositeItems(reqs, wf, g)
+		W := rng.Float64()
+		got := BatchStrat(items, W)
+		opt, err := BruteForce(items, W)
+		if err != nil {
+			return false
+		}
+		return got.Objective >= opt.Objective/2-1e-9 && got.Objective <= opt.Objective+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package core is StratRec itself: the optimization-driven middle layer of
+// Figure 1 that sits between requesters, workers and the platform. It wires
+// the Aggregator pipeline — deployment strategy modeling (Section 3.1),
+// workforce requirement computation (Section 3.2) and optimization-guided
+// batch deployment (Section 3.3) — and routes every unsatisfied request
+// through the Alternative Parameter Recommendation module (Section 4).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"stratrec/internal/adpar"
+	"stratrec/internal/availability"
+	"stratrec/internal/batch"
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+// Config selects the platform-centric goal and aggregation semantics.
+type Config struct {
+	// Objective is the platform goal F: throughput or pay-off. Ignored
+	// when Goal is set.
+	Objective batch.Objective
+	// Goal, when non-nil, overrides Objective with an arbitrary
+	// (possibly composite, possibly worker-centric) goal — the Section 7
+	// extension surface. BatchStrat keeps its 1/2 guarantee for any
+	// non-negative goal.
+	Goal batch.Goal
+	// Mode chooses sum-case (deploy with all k strategies) or max-case
+	// (deploy with one of the k) workforce aggregation.
+	Mode workforce.Mode
+	// SkipAlternatives disables the ADPaR fallback; unsatisfied requests
+	// are then reported without alternatives.
+	SkipAlternatives bool
+	// WithFrontier additionally attaches the Pareto frontier of
+	// alternative parameters to each unsatisfied request (capped at
+	// adpar.FrontierLimit strategies; larger catalogs silently skip it).
+	WithFrontier bool
+}
+
+// StratRec is a configured middle layer for one platform: a strategy set,
+// the fitted parameter models, and the optimization configuration.
+type StratRec struct {
+	strategies strategy.Set
+	models     workforce.ModelProvider
+	cfg        Config
+}
+
+// New validates the inputs and builds the middle layer.
+func New(set strategy.Set, models workforce.ModelProvider, cfg Config) (*StratRec, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if models == nil {
+		return nil, errors.New("core: nil model provider")
+	}
+	return &StratRec{strategies: set, models: models, cfg: cfg}, nil
+}
+
+// Strategies returns the strategy set the layer recommends from.
+func (s *StratRec) Strategies() strategy.Set { return s.strategies }
+
+// Recommendation is one satisfied deployment request.
+type Recommendation struct {
+	// Request is the position of the request in the batch.
+	Request int
+	// Strategies are the k recommended strategy IDs, cheapest first.
+	Strategies []int
+	// Workforce is the aggregated workforce the deployment consumes.
+	Workforce float64
+}
+
+// Alternative is ADPaR's answer for one unsatisfied request.
+type Alternative struct {
+	// Request is the position of the request in the batch.
+	Request int
+	// Reason explains why the request was not satisfied.
+	Reason string
+	// Solution is the recommended alternative (zero-valued when
+	// SkipAlternatives is set or ADPaR itself cannot help).
+	Solution adpar.Solution
+	// HasSolution reports whether Solution is meaningful.
+	HasSolution bool
+	// Frontier holds the Pareto frontier of alternatives when
+	// Config.WithFrontier is set and the catalog is small enough;
+	// Frontier[0] is the l2 optimum (== Solution up to ties).
+	Frontier []adpar.Solution
+}
+
+// Report is the outcome of one batch recommendation round.
+type Report struct {
+	// Satisfied lists the served requests in selection order.
+	Satisfied []Recommendation
+	// Alternatives lists ADPaR recommendations for every unserved request,
+	// in batch order.
+	Alternatives []Alternative
+	// Objective is the achieved platform objective F.
+	Objective float64
+	// WorkforceUsed is the total workforce consumed, out of the available
+	// W.
+	WorkforceUsed float64
+}
+
+// RecommendPDF runs a batch round against a worker-availability
+// distribution, using its expectation as W (Section 2.1: "StratRec works
+// with such expected values").
+func (s *StratRec) RecommendPDF(requests []strategy.Request, pdf *availability.PDF) (Report, error) {
+	return s.Recommend(requests, pdf.Expected())
+}
+
+// Recommend runs the Aggregator over a batch of deployment requests with
+// available workforce W, and sends every unsatisfied request to ADPaR.
+func (s *StratRec) Recommend(requests []strategy.Request, W float64) (Report, error) {
+	if len(requests) == 0 {
+		return Report{}, errors.New("core: empty request batch")
+	}
+	if W < 0 || W > 1 {
+		return Report{}, fmt.Errorf("core: available workforce %v outside [0,1]", W)
+	}
+	// Step 1-2: model estimation and workforce requirement computation.
+	mat, err := workforce.Compute(requests, s.strategies, s.models)
+	if err != nil {
+		return Report{}, err
+	}
+	vec := mat.Vector(requests, s.cfg.Mode)
+
+	// Step 3: optimization-guided batch deployment.
+	var items []batch.Item
+	if s.cfg.Goal != nil {
+		items = batch.CompositeItems(requests, vec, s.cfg.Goal)
+	} else {
+		items = batch.BuildItems(requests, vec, s.cfg.Objective)
+	}
+	plan := batch.BatchStrat(items, W)
+
+	report := Report{
+		Objective:     plan.Objective,
+		WorkforceUsed: plan.Workforce,
+	}
+	for _, idx := range plan.Selected {
+		report.Satisfied = append(report.Satisfied, Recommendation{
+			Request:    idx,
+			Strategies: plan.Recommendations[idx],
+			Workforce:  vec[idx].Workforce,
+		})
+	}
+
+	// ADPaR: unsatisfied requests, one by one (Section 2.2).
+	selected := make(map[int]bool, len(plan.Selected))
+	for _, idx := range plan.Selected {
+		selected[idx] = true
+	}
+	for i := range requests {
+		if selected[i] {
+			continue
+		}
+		alt := Alternative{Request: i}
+		if !vec[i].Feasible() {
+			alt.Reason = fmt.Sprintf("fewer than k=%d strategies can meet the requested parameters", requests[i].K)
+		} else {
+			alt.Reason = "available workforce exhausted by higher-priority requests"
+		}
+		if !s.cfg.SkipAlternatives {
+			sol, err := adpar.Exact(s.strategies, requests[i])
+			if err == nil {
+				alt.Solution = sol
+				alt.HasSolution = true
+				if s.cfg.WithFrontier && len(s.strategies) <= adpar.FrontierLimit {
+					if frontier, err := adpar.Frontier(s.strategies, requests[i]); err == nil {
+						alt.Frontier = frontier
+					}
+				}
+			} else {
+				alt.Reason += "; ADPaR: " + err.Error()
+			}
+		}
+		report.Alternatives = append(report.Alternatives, alt)
+	}
+	return report, nil
+}
+
+// EstimateParams returns the estimated parameters of strategy stratIdx for
+// request reqIdx at availability w (the Deployment Strategy Modeling step a
+// requester-facing UI would display).
+func (s *StratRec) EstimateParams(reqIdx, stratIdx int, w float64) strategy.Params {
+	return s.models.Models(reqIdx, stratIdx).ParamsAt(w)
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stratrec/internal/adpar"
+	"stratrec/internal/batch"
+	"stratrec/internal/geometry"
+	"stratrec/internal/synth"
+)
+
+// Ablations quantifies the reproduction's own design choices (not a paper
+// artifact; listed in DESIGN.md):
+//
+//  1. ADPaR-Exact's outer sweep dimension — the fewest-distinct-values
+//     heuristic versus each fixed dimension, on a workload with heavy
+//     duplication planted in the latency dimension;
+//  2. BatchStrat's best-of step — the full algorithm versus the plain
+//     greedy (BaselineG), measured as worst-case and mean approximation
+//     factor against the exact optimum on pay-off instances.
+func Ablations(cfg Config) (Result, error) {
+	runs := cfg.runs(10)
+
+	// --- Ablation 1: outer sweep dimension. ---
+	n := 5000
+	k := 25
+	if cfg.Short {
+		n, k = 800, 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 77))
+	gen := synth.DefaultConfig(synth.Uniform)
+	set := gen.Strategies(rng, n)
+	// Plant duplication: latency snaps to four values.
+	levels := []float64{0.55, 0.7, 0.85, 1.0}
+	for i := range set {
+		set[i].Latency = levels[i%len(levels)]
+	}
+	d := gen.ADPaRRequest(rng, k)
+
+	sweep := Table{
+		Title:   "Ablation: ADPaR-Exact outer sweep dimension (mean seconds over runs)",
+		Columns: []string{"variant", "seconds", "distance"},
+	}
+	variant := func(name string, solve func() (adpar.Solution, error)) error {
+		var total time.Duration
+		var sol adpar.Solution
+		var err error
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			sol, err = solve()
+			if err != nil {
+				return err
+			}
+			total += time.Since(start)
+		}
+		sweep.AddRow(name, fmt.Sprintf("%.5f", total.Seconds()/float64(runs)), f3(sol.Distance))
+		return nil
+	}
+	if err := variant("heuristic (fewest distinct)", func() (adpar.Solution, error) {
+		return adpar.Exact(set, d)
+	}); err != nil {
+		return Result{}, err
+	}
+	for dim := 0; dim < geometry.Dims; dim++ {
+		dimCopy := dim
+		if err := variant("outer="+geometry.DimNames[dim], func() (adpar.Solution, error) {
+			return adpar.ExactWithOuterDim(set, d, dimCopy)
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// --- Ablation 2: the best-of step in BatchStrat. ---
+	bestOf := Table{
+		Title:   "Ablation: BatchStrat best-of step vs plain greedy (pay-off approximation factor)",
+		Columns: []string{"solver", "mean factor", "worst factor"},
+	}
+	type tally struct{ sum, worst float64 }
+	tallies := map[string]*tally{
+		"BatchStrat": {worst: 1},
+		"BaselineG":  {worst: 1},
+	}
+	instances := 40 * runs
+	for i := 0; i < instances; i++ {
+		irng := rand.New(rand.NewSource(cfg.Seed + int64(1000+i)))
+		nItems := 2 + irng.Intn(10)
+		items := make([]batch.Item, nItems)
+		for j := range items {
+			items[j] = batch.Item{
+				Index:     j,
+				Value:     0.625 + 0.375*irng.Float64(),
+				Workforce: irng.Float64(),
+			}
+		}
+		W := irng.Float64()
+		opt, err := batch.BruteForce(items, W)
+		if err != nil {
+			return Result{}, err
+		}
+		for name, solve := range map[string]func([]batch.Item, float64) batch.Result{
+			"BatchStrat": batch.BatchStrat,
+			"BaselineG":  batch.BaselineG,
+		} {
+			factor := batch.ApproximationFactor(solve(items, W).Objective, opt.Objective)
+			tl := tallies[name]
+			tl.sum += factor
+			if factor < tl.worst {
+				tl.worst = factor
+			}
+		}
+	}
+	for _, name := range []string{"BatchStrat", "BaselineG"} {
+		tl := tallies[name]
+		bestOf.AddRow(name, f3(tl.sum/float64(instances)), f3(tl.worst))
+	}
+
+	return Result{
+		ID: "ablations",
+		Caption: "Design-choice ablations: the fewest-distinct-values outer dimension " +
+			"tracks the best fixed choice on duplication-heavy workloads, and the " +
+			"best-of step is what keeps BatchStrat's worst case at the 1/2 guarantee " +
+			"while the plain greedy can fall below it.",
+		Tables: []Table{sweep, bestOf},
+	}, nil
+}

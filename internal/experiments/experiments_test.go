@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func shortCfg() Config { return Config{Seed: 1, Short: true, Runs: 2} }
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-header"},
+	}
+	tab.AddRow("1", "x")
+	tab.AddRow("22", "y")
+	out := tab.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "long-header") {
+		t.Errorf("render missing parts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("render lines = %d:\n%s", len(lines), out)
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| a | long-header |") {
+		t.Errorf("markdown header missing:\n%s", md)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 12 {
+		t.Fatalf("runners = %d, want 12", len(ids))
+	}
+	if _, ok := ByID("figure-14"); !ok {
+		t.Error("figure-14 missing from registry")
+	}
+	if _, ok := ByID("nonexistent"); ok {
+		t.Error("bogus ID found")
+	}
+	if ids[0] != "table-1" || ids[len(ids)-1] != "ablations" {
+		t.Errorf("order = %v", ids)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	res, err := Ablations(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables = %d", len(res.Tables))
+	}
+	// All four outer-dimension variants report the same optimal distance.
+	sweep := res.Tables[0]
+	if len(sweep.Rows) != 4 {
+		t.Fatalf("sweep rows = %d", len(sweep.Rows))
+	}
+	for _, row := range sweep.Rows[1:] {
+		if row[2] != sweep.Rows[0][2] {
+			t.Errorf("distance differs across variants: %v vs %v", row[2], sweep.Rows[0][2])
+		}
+	}
+	// BatchStrat's worst factor stays at or above BaselineG's.
+	bestOf := res.Tables[1]
+	var bsWorst, bgWorst float64
+	for _, row := range bestOf.Rows {
+		var v float64
+		if _, err := fmtSscan(row[2], &v); err != nil {
+			t.Fatalf("bad factor %q", row[2])
+		}
+		switch row[0] {
+		case "BatchStrat":
+			bsWorst = v
+		case "BaselineG":
+			bgWorst = v
+		}
+	}
+	if bsWorst < 0.5-1e-9 {
+		t.Errorf("BatchStrat worst factor %v below the 1/2 guarantee", bsWorst)
+	}
+	if bsWorst < bgWorst-1e-9 {
+		t.Errorf("best-of step made things worse: %v vs %v", bsWorst, bgWorst)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res, err := Table1(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables = %d", len(res.Tables))
+	}
+	if len(res.Tables[0].Rows) != 7 { // 3 requests + 4 strategies
+		t.Errorf("table 1 rows = %d", len(res.Tables[0].Rows))
+	}
+	// The satisfaction table marks d3 satisfiable, d1/d2 not.
+	sat := res.Tables[1]
+	if sat.Rows[0][2] != "false" || sat.Rows[1][2] != "false" || sat.Rows[2][2] != "true" {
+		t.Errorf("satisfaction column = %v %v %v", sat.Rows[0][2], sat.Rows[1][2], sat.Rows[2][2])
+	}
+}
+
+func TestTables2to5(t *testing.T) {
+	res, err := Tables2to5(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 5 {
+		t.Fatalf("tables = %d", len(res.Tables))
+	}
+	// The solution table carries the corrected optimum (0.75, 0.58, 0.28).
+	sol := res.Tables[4].Rows[0]
+	if sol[0] != "0.75" || sol[1] != "0.58" || sol[2] != "0.28" {
+		t.Errorf("solution row = %v", sol)
+	}
+	if sol[3] != "s2 s3 s4" {
+		t.Errorf("covered = %q", sol[3])
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	res, err := Figure11(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables[0].Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Tables[0].Rows))
+	}
+	for _, row := range res.Tables[0].Rows {
+		if len(row) != 4 {
+			t.Errorf("row = %v", row)
+		}
+	}
+}
+
+func TestFigure12(t *testing.T) {
+	res, err := Figure12(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 4 {
+		t.Fatalf("panels = %d", len(res.Tables))
+	}
+	// Each panel's series must show quality increasing and latency
+	// decreasing across availability bins (first vs last row).
+	for _, tab := range res.Tables {
+		if len(tab.Rows) < 2 {
+			continue // short mode may produce sparse bins
+		}
+		first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+		q0, _ := strconv.ParseFloat(first[1], 64)
+		q1, _ := strconv.ParseFloat(last[1], 64)
+		l0, _ := strconv.ParseFloat(first[3], 64)
+		l1, _ := strconv.ParseFloat(last[3], 64)
+		if q1 < q0-0.05 {
+			t.Errorf("%s: quality not increasing: %v -> %v", tab.Title, q0, q1)
+		}
+		if l1 > l0+0.05 {
+			t.Errorf("%s: latency not decreasing: %v -> %v", tab.Title, l0, l1)
+		}
+	}
+}
+
+func TestTable6(t *testing.T) {
+	res, err := Table6(Config{Seed: 1, Short: true, Runs: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 12 { // 4 panels x 3 parameters
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		fitted, _ := strconv.ParseFloat(row[2], 64)
+		truth, _ := strconv.ParseFloat(row[4], 64)
+		// Latency and cost fits track the seeded models closely; quality's
+		// shallow slope gets a loose band.
+		tol := 0.25
+		if row[1] == "Quality" {
+			tol = 0.4
+		}
+		if fitted < truth-tol || fitted > truth+tol {
+			t.Errorf("%s %s: fitted alpha %v vs truth %v", row[0], row[1], fitted, truth)
+		}
+	}
+}
+
+func TestFigure13(t *testing.T) {
+	res, err := Figure13(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables = %d", len(res.Tables))
+	}
+	for _, tab := range res.Tables {
+		if len(tab.Rows) != 4 {
+			t.Fatalf("%s rows = %d", tab.Title, len(tab.Rows))
+		}
+		// Quality: StratRec >= without (the headline finding).
+		q := tab.Rows[0]
+		with, _ := strconv.ParseFloat(q[1], 64)
+		without, _ := strconv.ParseFloat(q[2], 64)
+		if with <= without {
+			t.Errorf("%s: guided quality %v <= unguided %v", tab.Title, with, without)
+		}
+		// Edit war: more edits without StratRec.
+		e := tab.Rows[3]
+		withE, _ := strconv.ParseFloat(e[1], 64)
+		withoutE, _ := strconv.ParseFloat(e[2], 64)
+		if withoutE <= withE {
+			t.Errorf("%s: unguided edits %v <= guided %v", tab.Title, withoutE, withE)
+		}
+	}
+}
+
+func TestFigure14(t *testing.T) {
+	res, err := Figure14(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 4 {
+		t.Fatalf("panels = %d", len(res.Tables))
+	}
+	// Panel a: satisfaction non-increasing in k.
+	ka := res.Tables[0]
+	prev := 2.0
+	for _, row := range ka.Rows {
+		u, _ := strconv.ParseFloat(row[1], 64)
+		if u > prev+0.15 {
+			t.Errorf("satisfaction grew with k: %v after %v", u, prev)
+		}
+		prev = u
+	}
+	// Panel d: satisfaction non-decreasing in W.
+	wd := res.Tables[3]
+	prev = -1
+	for _, row := range wd.Rows {
+		u, _ := strconv.ParseFloat(row[1], 64)
+		if u < prev-0.15 {
+			t.Errorf("satisfaction fell with W: %v after %v", u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestFigure15ThroughputExact(t *testing.T) {
+	res, err := Figure15(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range res.Tables {
+		for _, row := range tab.Rows {
+			brute, _ := strconv.ParseFloat(row[1], 64)
+			bs, _ := strconv.ParseFloat(row[2], 64)
+			if brute != bs {
+				t.Errorf("%s: BatchStrat %v != exact %v (Theorem 2)", tab.Title, bs, brute)
+			}
+			bg, _ := strconv.ParseFloat(row[3], 64)
+			if bg > bs+1e-9 {
+				t.Errorf("%s: BaselineG %v beats BatchStrat %v", tab.Title, bg, bs)
+			}
+		}
+	}
+}
+
+func TestFigure16PayoffApprox(t *testing.T) {
+	res, err := Figure16(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range res.Tables {
+		for _, row := range tab.Rows {
+			brute, _ := strconv.ParseFloat(row[1], 64)
+			bs, _ := strconv.ParseFloat(row[2], 64)
+			if bs > brute+1e-9 {
+				t.Errorf("%s: BatchStrat %v exceeds exact %v", tab.Title, bs, brute)
+			}
+			approx, _ := strconv.ParseFloat(row[4], 64)
+			if approx < 0.5 {
+				t.Errorf("%s: approximation factor %v below 1/2", tab.Title, approx)
+			}
+		}
+	}
+}
+
+func TestFigure17ExactDominates(t *testing.T) {
+	res, err := Figure17(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 4 {
+		t.Fatalf("panels = %d", len(res.Tables))
+	}
+	for _, tab := range res.Tables {
+		hasBrute := strings.Contains(tab.Title, "with brute force")
+		for _, row := range tab.Rows {
+			exact, _ := strconv.ParseFloat(row[1], 64)
+			b2, _ := strconv.ParseFloat(row[2], 64)
+			b3, _ := strconv.ParseFloat(row[3], 64)
+			if exact > b2+1e-9 || exact > b3+1e-9 {
+				t.Errorf("%s: exact %v worse than baselines (%v, %v)", tab.Title, exact, b2, b3)
+			}
+			if hasBrute {
+				brute, _ := strconv.ParseFloat(row[4], 64)
+				if diff := exact - brute; diff > 1e-3 || diff < -1e-3 {
+					t.Errorf("%s: exact %v != ADPaRB %v", tab.Title, exact, brute)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure18Scalability(t *testing.T) {
+	res, err := Figure18(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 3 {
+		t.Fatalf("tables = %d", len(res.Tables))
+	}
+	// Every timing cell parses as a positive (or zero) duration.
+	for _, tab := range res.Tables[1:] {
+		for _, row := range tab.Rows {
+			v, err := strconv.ParseFloat(row[1], 64)
+			if err != nil || v < 0 {
+				t.Errorf("%s: bad timing %q", tab.Title, row[1])
+			}
+		}
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	res, err := Table1(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "table-1") || !strings.Contains(out, "d3") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+// fmtSscan parses one float cell.
+func fmtSscan(s string, v *float64) (int, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	*v = f
+	return 1, nil
+}

@@ -1,0 +1,270 @@
+package geometry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pt(a, b, c float64) Point3 { return Point3{a, b, c} }
+
+func TestPointArithmetic(t *testing.T) {
+	p := pt(0.1, 0.2, 0.3)
+	q := pt(0.4, 0.1, 0.3)
+	if got := p.Add(q); got != pt(0.5, 0.30000000000000004, 0.6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != pt(0.30000000000000004, -0.1, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Max(q); got != pt(0.4, 0.2, 0.3) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := p.Min(q); got != pt(0.1, 0.1, 0.3) {
+		t.Errorf("Min = %v", got)
+	}
+}
+
+func TestClampUnit(t *testing.T) {
+	if got := pt(-0.5, 1.5, 0.5).ClampUnit(); got != pt(0, 1, 0.5) {
+		t.Errorf("ClampUnit = %v", got)
+	}
+}
+
+func TestDominance(t *testing.T) {
+	cases := []struct {
+		p, q           Point3
+		dom, strictDom bool
+	}{
+		{pt(0.1, 0.2, 0.3), pt(0.1, 0.2, 0.3), true, false},
+		{pt(0.1, 0.2, 0.3), pt(0.2, 0.2, 0.3), true, true},
+		{pt(0.1, 0.2, 0.3), pt(0.2, 0.1, 0.3), false, false},
+		{pt(0, 0, 0), pt(1, 1, 1), true, true},
+	}
+	for _, c := range cases {
+		if got := c.p.DominatedBy(c.q); got != c.dom {
+			t.Errorf("DominatedBy(%v, %v) = %v, want %v", c.p, c.q, got, c.dom)
+		}
+		if got := c.p.StrictlyDominatedBy(c.q); got != c.strictDom {
+			t.Errorf("StrictlyDominatedBy(%v, %v) = %v, want %v", c.p, c.q, got, c.strictDom)
+		}
+	}
+}
+
+func TestDist(t *testing.T) {
+	p, q := pt(0, 0, 0), pt(1, 2, 2)
+	if got := p.Dist(q); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Dist = %v, want 3", got)
+	}
+	if got := p.Dist2(q); math.Abs(got-9) > 1e-12 {
+		t.Errorf("Dist2 = %v, want 9", got)
+	}
+	if got := q.Norm(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Norm = %v, want 3", got)
+	}
+}
+
+func TestInUnitCube(t *testing.T) {
+	if !pt(0, 0.5, 1).InUnitCube() {
+		t.Error("point inside unit cube reported outside")
+	}
+	if pt(0, 0.5, 1.01).InUnitCube() {
+		t.Error("point outside unit cube reported inside")
+	}
+	if pt(-0.01, 0.5, 1).InUnitCube() {
+		t.Error("negative coordinate reported inside")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := pt(0.2, 0.33, 0.28).String(); got != "(0.200, 0.330, 0.280)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect3{Lo: pt(0, 0, 0), Hi: pt(1, 1, 1)}
+	if !r.Valid() {
+		t.Fatal("unit cube invalid")
+	}
+	if !r.Contains(pt(0.5, 0.5, 0.5)) || !r.Contains(pt(0, 0, 0)) || !r.Contains(pt(1, 1, 1)) {
+		t.Error("unit cube should contain interior and corners")
+	}
+	if r.Contains(pt(1.1, 0.5, 0.5)) {
+		t.Error("unit cube should not contain exterior point")
+	}
+	if v := r.Volume(); v != 1 {
+		t.Errorf("Volume = %v", v)
+	}
+	if m := r.Margin(); m != 3 {
+		t.Errorf("Margin = %v", m)
+	}
+	inner := Rect3{Lo: pt(0.2, 0.2, 0.2), Hi: pt(0.4, 0.4, 0.4)}
+	if !r.ContainsRect(inner) {
+		t.Error("unit cube should contain inner box")
+	}
+	if inner.ContainsRect(r) {
+		t.Error("inner box should not contain unit cube")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect3{Lo: pt(0, 0, 0), Hi: pt(0.5, 0.5, 0.5)}
+	b := Rect3{Lo: pt(0.5, 0.5, 0.5), Hi: pt(1, 1, 1)}
+	c := Rect3{Lo: pt(0.6, 0.6, 0.6), Hi: pt(1, 1, 1)}
+	if !a.Intersects(b) {
+		t.Error("touching boxes should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint boxes should not intersect")
+	}
+}
+
+func TestRectUnionExtend(t *testing.T) {
+	a := Rect3{Lo: pt(0, 0, 0), Hi: pt(0.2, 0.2, 0.2)}
+	b := Rect3{Lo: pt(0.5, 0.1, 0), Hi: pt(0.6, 0.9, 0.1)}
+	u := a.Union(b)
+	if !u.ContainsRect(a) || !u.ContainsRect(b) {
+		t.Errorf("union %v does not contain operands", u)
+	}
+	e := a.Extend(pt(1, 1, 1))
+	if !e.Contains(pt(1, 1, 1)) || !e.ContainsRect(a) {
+		t.Errorf("extend %v missing point or original box", e)
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	a := Rect3{Lo: pt(0, 0, 0), Hi: pt(1, 1, 1)}
+	if e := a.Enlargement(Rect3{Lo: pt(0.5, 0.5, 0.5), Hi: pt(0.6, 0.6, 0.6)}); e != 0 {
+		t.Errorf("contained box should not enlarge, got %v", e)
+	}
+	small := Rect3{Lo: pt(0, 0, 0), Hi: pt(1, 1, 0.5)}
+	if e := small.Enlargement(a); math.Abs(e-0.5) > 1e-12 {
+		t.Errorf("Enlargement = %v, want 0.5", e)
+	}
+}
+
+func TestDegenerateVolume(t *testing.T) {
+	r := Rect3{Lo: pt(0.5, 0, 0), Hi: pt(0.5, 1, 1)}
+	if v := r.Volume(); v != 0 {
+		t.Errorf("flat box volume = %v", v)
+	}
+	bad := Rect3{Lo: pt(1, 0, 0), Hi: pt(0, 1, 1)}
+	if v := bad.Volume(); v != 0 {
+		t.Errorf("inverted box volume = %v", v)
+	}
+	if bad.Valid() {
+		t.Error("inverted box should be invalid")
+	}
+}
+
+func TestCoverCountAndCovered(t *testing.T) {
+	pts := []Point3{pt(0.1, 0.1, 0.1), pt(0.5, 0.5, 0.5), pt(0.9, 0.9, 0.9)}
+	bound := pt(0.5, 0.5, 0.5)
+	if n := CoverCount(pts, bound); n != 2 {
+		t.Errorf("CoverCount = %d, want 2", n)
+	}
+	idx := Covered(pts, bound)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Errorf("Covered = %v", idx)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []Point3{pt(0.2, 0.9, 0.4), pt(0.1, 0.5, 0.6), pt(0.3, 0.7, 0.2)}
+	bb := BoundingBox(pts)
+	want := Rect3{Lo: pt(0.1, 0.5, 0.2), Hi: pt(0.3, 0.9, 0.6)}
+	if bb != want {
+		t.Errorf("BoundingBox = %v, want %v", bb, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BoundingBox of empty set should panic")
+		}
+	}()
+	BoundingBox(nil)
+}
+
+// randomPoint draws coordinates in [0, 1].
+func randomPoint(rng *rand.Rand) Point3 {
+	return Point3{rng.Float64(), rng.Float64(), rng.Float64()}
+}
+
+func TestPropertyDominanceTransitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randomPoint(rng), randomPoint(rng)
+		c := b.Max(randomPoint(rng))
+		// a <= b and b <= c implies a <= c.
+		if a.DominatedBy(b) && b.DominatedBy(c) && !a.DominatedBy(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMaxDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randomPoint(rng), randomPoint(rng)
+		m := a.Max(b)
+		return a.DominatedBy(m) && b.DominatedBy(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDistMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b, c := randomPoint(rng), randomPoint(rng), randomPoint(rng)
+		// Symmetry, identity, triangle inequality.
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-12 {
+			return false
+		}
+		if a.Dist(a) != 0 {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUnionContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		p1, p2 := randomPoint(rng), randomPoint(rng)
+		q1, q2 := randomPoint(rng), randomPoint(rng)
+		a := Rect3{Lo: p1.Min(p2), Hi: p1.Max(p2)}
+		b := Rect3{Lo: q1.Min(q2), Hi: q1.Max(q2)}
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b) &&
+			u.Volume() >= a.Volume() && u.Volume() >= b.Volume()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCoverCountMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		pts := make([]Point3, 20)
+		for i := range pts {
+			pts[i] = randomPoint(rng)
+		}
+		a := randomPoint(rng)
+		b := a.Max(randomPoint(rng)) // b dominates a
+		return CoverCount(pts, a) <= CoverCount(pts, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

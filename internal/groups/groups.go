@@ -1,0 +1,217 @@
+// Package groups implements worker group formation for collaborative
+// tasks, the substrate behind the paper's citation of "Optimized group
+// formation for solving collaborative tasks" (Rahman et al., VLDB J. 2018):
+// once a deployment strategy prescribes a Collaborative organization, the
+// platform must decide which of the recruited workers actually work
+// together. Cohesive teams collaborate with fewer conflicts; the crowd
+// simulator uses the formed team's cohesion to modulate edit-war intensity.
+//
+// The package provides:
+//
+//   - FormTeam — greedy affinity-based team selection (seed with the
+//     highest-skill worker, grow by best marginal affinity + skill), the
+//     standard heuristic family for the NP-hard cohesive-team problem;
+//   - BestTeam — exact exponential reference for small pools;
+//   - Partition — balanced skill-snake partition for independent
+//     organizations (strong workers spread across groups).
+package groups
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Member is a candidate worker.
+type Member struct {
+	ID    string
+	Skill float64 // [0,1]
+}
+
+// Affinity scores how well two workers collaborate, in [0,1]. It must be
+// symmetric; callers typically derive it from interaction history.
+type Affinity func(a, b Member) float64
+
+// Team is a formed group.
+type Team struct {
+	Members []Member
+	// Cohesion is the average pairwise affinity (1 for singletons).
+	Cohesion float64
+	// Skill is the average member skill.
+	Skill float64
+}
+
+// ErrBadSize rejects non-positive team sizes or pools smaller than the
+// requested team.
+var ErrBadSize = errors.New("groups: bad team size")
+
+// score evaluates a team: cohesion and mean skill both matter; the weights
+// mirror the simulator's observation that conflicts (cohesion) hurt more
+// than marginal skill once workers pass qualification.
+func score(cohesion, skill float64) float64 { return 0.6*cohesion + 0.4*skill }
+
+// evaluate computes a team's cohesion and mean skill.
+func evaluate(members []Member, aff Affinity) (cohesion, skill float64) {
+	n := len(members)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, m := range members {
+		skill += m.Skill
+	}
+	skill /= float64(n)
+	if n == 1 {
+		return 1, skill
+	}
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cohesion += aff(members[i], members[j])
+			pairs++
+		}
+	}
+	return cohesion / float64(pairs), skill
+}
+
+// Evaluate scores an already-formed team (e.g. the set of workers who
+// showed up for a HIT).
+func Evaluate(members []Member, aff Affinity) Team {
+	if aff == nil {
+		aff = func(a, b Member) float64 { return 0.5 }
+	}
+	c, s := evaluate(members, aff)
+	return Team{Members: append([]Member(nil), members...), Cohesion: c, Skill: s}
+}
+
+// FormTeam greedily selects a team of the given size from the pool: seed
+// with the highest-skill worker, then repeatedly add the worker maximizing
+// the scored (cohesion, skill) combination. Deterministic for a fixed pool
+// order (ties break on smaller index).
+func FormTeam(pool []Member, size int, aff Affinity) (Team, error) {
+	if size < 1 || size > len(pool) {
+		return Team{}, fmt.Errorf("%w: size %d from pool of %d", ErrBadSize, size, len(pool))
+	}
+	if aff == nil {
+		aff = func(a, b Member) float64 { return 0.5 }
+	}
+	// Seed: highest skill.
+	seed := 0
+	for i, m := range pool {
+		if m.Skill > pool[seed].Skill {
+			seed = i
+		}
+	}
+	chosen := []Member{pool[seed]}
+	used := map[int]bool{seed: true}
+	for len(chosen) < size {
+		best, bestScore := -1, -1.0
+		for i, cand := range pool {
+			if used[i] {
+				continue
+			}
+			trial := append(chosen, cand)
+			c, s := evaluate(trial, aff)
+			if sc := score(c, s); sc > bestScore {
+				best, bestScore = i, sc
+			}
+		}
+		chosen = append(chosen, pool[best])
+		used[best] = true
+	}
+	c, s := evaluate(chosen, aff)
+	return Team{Members: chosen, Cohesion: c, Skill: s}, nil
+}
+
+// BestTeamLimit caps the exact search (C(n, k) subsets).
+const BestTeamLimit = 20
+
+// ErrTooLarge guards the exact search.
+var ErrTooLarge = errors.New("groups: pool too large for exact team search")
+
+// BestTeam enumerates every size-k subset and returns the score-optimal
+// team — the exact reference the greedy is property-tested against.
+func BestTeam(pool []Member, size int, aff Affinity) (Team, error) {
+	if size < 1 || size > len(pool) {
+		return Team{}, fmt.Errorf("%w: size %d from pool of %d", ErrBadSize, size, len(pool))
+	}
+	if len(pool) > BestTeamLimit {
+		return Team{}, ErrTooLarge
+	}
+	if aff == nil {
+		aff = func(a, b Member) float64 { return 0.5 }
+	}
+	var best Team
+	bestScore := -1.0
+	subset := make([]Member, 0, size)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(subset) == size {
+			c, s := evaluate(subset, aff)
+			if sc := score(c, s); sc > bestScore {
+				bestScore = sc
+				best = Team{Members: append([]Member(nil), subset...), Cohesion: c, Skill: s}
+			}
+			return
+		}
+		for i := start; i < len(pool); i++ {
+			if len(pool)-i < size-len(subset) {
+				return
+			}
+			subset = append(subset, pool[i])
+			rec(i + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	rec(0)
+	return best, nil
+}
+
+// Partition splits the pool into n balanced groups by skill snaking
+// (1..n, n..1, ...), so every group gets a comparable skill mix — the
+// independent-organization counterpart of FormTeam.
+func Partition(pool []Member, n int) ([][]Member, error) {
+	if n < 1 || n > len(pool) {
+		return nil, fmt.Errorf("%w: %d groups from pool of %d", ErrBadSize, n, len(pool))
+	}
+	sorted := append([]Member(nil), pool...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Skill > sorted[b].Skill })
+	out := make([][]Member, n)
+	for i, m := range sorted {
+		round := i / n
+		pos := i % n
+		if round%2 == 1 {
+			pos = n - 1 - pos // snake back
+		}
+		out[pos] = append(out[pos], m)
+	}
+	return out, nil
+}
+
+// SkillSpread returns max-min of group mean skills, the balance metric
+// Partition minimizes heuristically.
+func SkillSpread(parts [][]Member) float64 {
+	if len(parts) == 0 {
+		return 0
+	}
+	lo, hi := 2.0, -1.0
+	for _, g := range parts {
+		if len(g) == 0 {
+			continue
+		}
+		mean := 0.0
+		for _, m := range g {
+			mean += m.Skill
+		}
+		mean /= float64(len(g))
+		if mean < lo {
+			lo = mean
+		}
+		if mean > hi {
+			hi = mean
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,231 @@
+package groups
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func pool(skills ...float64) []Member {
+	out := make([]Member, len(skills))
+	for i, s := range skills {
+		out[i] = Member{ID: "w" + strconv.Itoa(i), Skill: s}
+	}
+	return out
+}
+
+// clusterAffinity makes workers with close skills collaborate well.
+func clusterAffinity(a, b Member) float64 {
+	return 1 - math.Abs(a.Skill-b.Skill)
+}
+
+func TestFormTeamValidation(t *testing.T) {
+	p := pool(0.5, 0.6)
+	if _, err := FormTeam(p, 0, nil); !errors.Is(err, ErrBadSize) {
+		t.Errorf("size 0 error = %v", err)
+	}
+	if _, err := FormTeam(p, 3, nil); !errors.Is(err, ErrBadSize) {
+		t.Errorf("oversize error = %v", err)
+	}
+}
+
+func TestFormTeamSingleton(t *testing.T) {
+	p := pool(0.3, 0.9, 0.5)
+	team, err := FormTeam(p, 1, clusterAffinity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(team.Members) != 1 || team.Members[0].Skill != 0.9 {
+		t.Errorf("team = %+v, want the 0.9 worker", team)
+	}
+	if team.Cohesion != 1 {
+		t.Errorf("singleton cohesion = %v", team.Cohesion)
+	}
+}
+
+func TestFormTeamPrefersCohesiveCluster(t *testing.T) {
+	// Two clusters: high-skill loners vs slightly weaker but cohesive trio.
+	p := pool(0.95, 0.70, 0.71, 0.72, 0.30)
+	team, err := FormTeam(p, 3, clusterAffinity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if team.Cohesion < 0.7 {
+		t.Errorf("cohesion = %v, expected a cohesive team", team.Cohesion)
+	}
+	if len(team.Members) != 3 {
+		t.Fatalf("size = %d", len(team.Members))
+	}
+}
+
+func TestBestTeamValidation(t *testing.T) {
+	p := pool(0.5, 0.6)
+	if _, err := BestTeam(p, 0, nil); !errors.Is(err, ErrBadSize) {
+		t.Error("size 0 accepted")
+	}
+	big := make([]Member, BestTeamLimit+1)
+	if _, err := BestTeam(big, 2, nil); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized pool accepted")
+	}
+}
+
+func TestNilAffinityDefaults(t *testing.T) {
+	p := pool(0.4, 0.6, 0.8)
+	team, err := FormTeam(p, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(team.Cohesion-0.5) > 1e-12 {
+		t.Errorf("default affinity cohesion = %v, want 0.5", team.Cohesion)
+	}
+	best, err := BestTeam(p, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With flat affinity, the best team is the two highest skills.
+	if math.Abs(best.Skill-0.7) > 1e-12 {
+		t.Errorf("best skill = %v, want 0.7", best.Skill)
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	p := pool(0.9, 0.8, 0.7, 0.6, 0.5, 0.4)
+	parts, err := Partition(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 || len(parts[0]) != 3 || len(parts[1]) != 3 {
+		t.Fatalf("parts = %v", parts)
+	}
+	// Snake: group0 = {0.9, 0.6, 0.5}, group1 = {0.8, 0.7, 0.4} -> spread
+	// |0.666 - 0.633| ~ 0.033; far tighter than a naive split (0.8 vs 0.5).
+	if spread := SkillSpread(parts); spread > 0.1 {
+		t.Errorf("spread = %v, want balanced", spread)
+	}
+	if _, err := Partition(p, 0); !errors.Is(err, ErrBadSize) {
+		t.Error("0 groups accepted")
+	}
+	if _, err := Partition(p, 7); !errors.Is(err, ErrBadSize) {
+		t.Error("more groups than workers accepted")
+	}
+}
+
+func TestSkillSpreadEdgeCases(t *testing.T) {
+	if got := SkillSpread(nil); got != 0 {
+		t.Errorf("nil spread = %v", got)
+	}
+	if got := SkillSpread([][]Member{{}, {}}); got != 0 {
+		t.Errorf("empty-groups spread = %v", got)
+	}
+}
+
+func randomPool(rng *rand.Rand, n int) []Member {
+	out := make([]Member, n)
+	for i := range out {
+		out[i] = Member{ID: "w" + strconv.Itoa(i), Skill: rng.Float64()}
+	}
+	return out
+}
+
+func randomAffinity(rng *rand.Rand, n int) Affinity {
+	table := make(map[string]float64)
+	key := func(a, b Member) string {
+		if a.ID < b.ID {
+			return a.ID + "/" + b.ID
+		}
+		return b.ID + "/" + a.ID
+	}
+	return func(a, b Member) float64 {
+		k := key(a, b)
+		if v, ok := table[k]; ok {
+			return v
+		}
+		v := rng.Float64()
+		table[k] = v
+		return v
+	}
+}
+
+func TestPropertyGreedyWithinFactorOfExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	f := func() bool {
+		n := 3 + rng.Intn(8)
+		p := randomPool(rng, n)
+		aff := randomAffinity(rng, n)
+		size := 1 + rng.Intn(n)
+		greedy, err := FormTeam(p, size, aff)
+		if err != nil {
+			return false
+		}
+		exact, err := BestTeam(p, size, aff)
+		if err != nil {
+			return false
+		}
+		gs := score(greedy.Cohesion, greedy.Skill)
+		es := score(exact.Cohesion, exact.Skill)
+		// Greedy never beats the exact optimum...
+		if gs > es+1e-9 {
+			return false
+		}
+		// ...and coincides with it in the regimes where greed is exact:
+		// whole-pool teams and singletons (both optimize skill alone).
+		if size == n || size == 1 {
+			if math.Abs(gs-es) > 1e-9 {
+				return false
+			}
+		}
+		// Size and membership sanity.
+		seen := map[string]bool{}
+		for _, m := range greedy.Members {
+			if seen[m.ID] {
+				return false
+			}
+			seen[m.ID] = true
+		}
+		return len(greedy.Members) == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPartitionCoversPoolOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	f := func() bool {
+		n := 1 + rng.Intn(20)
+		p := randomPool(rng, n)
+		g := 1 + rng.Intn(n)
+		parts, err := Partition(p, g)
+		if err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		total := 0
+		for _, grp := range parts {
+			total += len(grp)
+			for _, m := range grp {
+				if seen[m.ID] {
+					return false
+				}
+				seen[m.ID] = true
+			}
+		}
+		// Sizes differ by at most one.
+		lo, hi := n, 0
+		for _, grp := range parts {
+			if len(grp) < lo {
+				lo = len(grp)
+			}
+			if len(grp) > hi {
+				hi = len(grp)
+			}
+		}
+		return total == n && hi-lo <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

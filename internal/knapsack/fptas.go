@@ -1,0 +1,108 @@
+package knapsack
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// This file implements the FPTAS of Ibarra & Kim (1975) — the paper's
+// citation for fast approximate knapsack — by value scaling: profits are
+// rounded down to multiples of eps*Pmax/n and an exact dynamic program runs
+// over the scaled values, guaranteeing at least (1-eps) of the optimal
+// value in O(n^2 * floor(n/eps)) time. batch.FPTAS exposes it as a
+// higher-precision alternative to the 1/2-approximate greedy when batch
+// sizes make the exact branch-and-bound uncomfortable.
+
+// ErrBadEpsilon rejects eps outside (0, 1).
+var ErrBadEpsilon = errors.New("knapsack: epsilon must be in (0, 1)")
+
+// SolveFPTAS returns a solution with value at least (1-eps) of the optimum.
+func SolveFPTAS(items []Item, capacity int, eps float64) (Solution, error) {
+	if capacity < 0 {
+		return Solution{}, ErrBadInput
+	}
+	if eps <= 0 || eps >= 1 || math.IsNaN(eps) {
+		return Solution{}, ErrBadEpsilon
+	}
+	// Drop oversized or worthless items up front; remember positions.
+	type indexed struct {
+		Item
+		pos int
+	}
+	var feasible []indexed
+	maxValue := 0.0
+	for i, it := range items {
+		if it.Weight < 0 {
+			return Solution{}, ErrBadInput
+		}
+		if it.Weight > capacity || it.Value <= 0 {
+			continue
+		}
+		feasible = append(feasible, indexed{Item: it, pos: i})
+		maxValue = math.Max(maxValue, it.Value)
+	}
+	n := len(feasible)
+	if n == 0 {
+		return Solution{}, nil
+	}
+
+	// Scale: profits become integers in [0, n/eps].
+	scale := eps * maxValue / float64(n)
+	scaled := make([]int, n)
+	totalScaled := 0
+	for i, it := range feasible {
+		scaled[i] = int(math.Floor(it.Value / scale))
+		totalScaled += scaled[i]
+	}
+
+	// DP over achievable scaled profit: minWeight[p] = lightest subset of
+	// the first i items achieving scaled profit exactly p.
+	const inf = math.MaxInt64 / 4
+	minWeight := make([]int, totalScaled+1)
+	choice := make([][]bool, n) // choice[i][p]: item i used to reach p
+	for p := 1; p <= totalScaled; p++ {
+		minWeight[p] = inf
+	}
+	reachable := 0
+	for i := 0; i < n; i++ {
+		choice[i] = make([]bool, totalScaled+1)
+		hi := reachable + scaled[i]
+		if hi > totalScaled {
+			hi = totalScaled
+		}
+		for p := hi; p >= scaled[i]; p-- {
+			if minWeight[p-scaled[i]] == inf {
+				continue
+			}
+			if w := minWeight[p-scaled[i]] + feasible[i].Weight; w < minWeight[p] {
+				minWeight[p] = w
+				choice[i][p] = true
+			}
+		}
+		reachable = hi
+	}
+
+	// Best reachable profit within capacity.
+	best := 0
+	for p := totalScaled; p > 0; p-- {
+		if minWeight[p] <= capacity {
+			best = p
+			break
+		}
+	}
+
+	// Reconstruct.
+	var sol Solution
+	p := best
+	for i := n - 1; i >= 0 && p > 0; i-- {
+		if choice[i][p] {
+			sol.Indices = append(sol.Indices, feasible[i].pos)
+			sol.Value += feasible[i].Value
+			sol.Weight += feasible[i].Weight
+			p -= scaled[i]
+		}
+	}
+	sort.Ints(sol.Indices)
+	return sol, nil
+}

@@ -1,0 +1,110 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFPTASValidation(t *testing.T) {
+	items := []Item{{Weight: 1, Value: 1}}
+	if _, err := SolveFPTAS(items, -1, 0.1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	for _, eps := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := SolveFPTAS(items, 5, eps); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+	}
+	if _, err := SolveFPTAS([]Item{{Weight: -1, Value: 1}}, 5, 0.1); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestFPTASEmptyAndDegenerate(t *testing.T) {
+	sol, err := SolveFPTAS(nil, 10, 0.1)
+	if err != nil || sol.Value != 0 {
+		t.Errorf("empty: %+v, %v", sol, err)
+	}
+	// All items oversized.
+	sol, err = SolveFPTAS([]Item{{Weight: 100, Value: 5}}, 10, 0.1)
+	if err != nil || sol.Value != 0 {
+		t.Errorf("oversized: %+v, %v", sol, err)
+	}
+	// Worthless items are skipped.
+	sol, err = SolveFPTAS([]Item{{Weight: 1, Value: 0}}, 10, 0.1)
+	if err != nil || len(sol.Indices) != 0 {
+		t.Errorf("worthless: %+v, %v", sol, err)
+	}
+}
+
+func TestFPTASClassic(t *testing.T) {
+	items := []Item{
+		{Weight: 2, Value: 3},
+		{Weight: 3, Value: 4},
+		{Weight: 4, Value: 5},
+		{Weight: 5, Value: 6},
+	}
+	sol, err := SolveFPTAS(items, 5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With tiny eps the FPTAS matches the exact optimum 7.
+	if sol.Value != 7 {
+		t.Errorf("value = %v, want 7", sol.Value)
+	}
+	if sol.Weight > 5 {
+		t.Errorf("weight = %v exceeds capacity", sol.Weight)
+	}
+}
+
+func TestPropertyFPTASGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	f := func() bool {
+		items, cap := randomInstance(rng)
+		eps := 0.05 + 0.4*rng.Float64()
+		opt, err := SolveDP(items, cap)
+		if err != nil {
+			return false
+		}
+		approx, err := SolveFPTAS(items, cap, eps)
+		if err != nil {
+			return false
+		}
+		// Within capacity, never above the optimum, and within (1-eps).
+		if approx.Weight > cap || approx.Value > opt.Value+1e-9 {
+			return false
+		}
+		if approx.Value < (1-eps)*opt.Value-1e-9 {
+			return false
+		}
+		// Reported indices consistent with value/weight.
+		var v float64
+		w := 0
+		for _, i := range approx.Indices {
+			v += items[i].Value
+			w += items[i].Weight
+		}
+		return math.Abs(v-approx.Value) < 1e-9 && w == approx.Weight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFPTASBeatsGreedyTrap(t *testing.T) {
+	// The instance where the plain density greedy gets only half: FPTAS
+	// with small eps must find the full prize.
+	items := []Item{
+		{Weight: 1, Value: 2},
+		{Weight: 10, Value: 10},
+	}
+	sol, err := SolveFPTAS(items, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value < 10*(1-0.05) {
+		t.Errorf("FPTAS value = %v, want >= 9.5", sol.Value)
+	}
+}

@@ -1,0 +1,152 @@
+// Package knapsack is the discrete-optimization substrate behind Section
+// 3.3: the 0/1 knapsack problem that the pay-off maximization problem
+// reduces to (Theorem 1, Figure 4). It provides an exact dynamic-programming
+// solver over integer weights and the classic density-greedy
+// 1/2-approximation of Ibarra–Kim / Lawler that BatchStrat-PayOff mirrors.
+//
+// The package is used to validate the reduction both ways in tests: a batch
+// pay-off instance is translated to a knapsack instance and the optima must
+// agree.
+package knapsack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Item is a knapsack item with an integer weight and a real value.
+type Item struct {
+	Weight int
+	Value  float64
+}
+
+// Solution is a chosen subset of items.
+type Solution struct {
+	Indices []int   // positions of chosen items in input order
+	Value   float64 // total value
+	Weight  int     // total weight
+}
+
+// ErrBadInput flags negative weights/capacities.
+var ErrBadInput = errors.New("knapsack: weights and capacity must be non-negative")
+
+// SolveDP solves 0/1 knapsack exactly by dynamic programming over
+// capacities, O(n * capacity) time, O(n * capacity) space to recover the
+// chosen set.
+func SolveDP(items []Item, capacity int) (Solution, error) {
+	if capacity < 0 {
+		return Solution{}, ErrBadInput
+	}
+	for i, it := range items {
+		if it.Weight < 0 {
+			return Solution{}, fmt.Errorf("%w: item %d weight %d", ErrBadInput, i, it.Weight)
+		}
+	}
+	n := len(items)
+	// best[i][c] = max value using items[0:i] with capacity c.
+	best := make([][]float64, n+1)
+	for i := range best {
+		best[i] = make([]float64, capacity+1)
+	}
+	for i := 1; i <= n; i++ {
+		it := items[i-1]
+		for c := 0; c <= capacity; c++ {
+			best[i][c] = best[i-1][c]
+			if it.Weight <= c {
+				if v := best[i-1][c-it.Weight] + it.Value; v > best[i][c] {
+					best[i][c] = v
+				}
+			}
+		}
+	}
+	sol := Solution{Value: best[n][capacity]}
+	c := capacity
+	for i := n; i >= 1; i-- {
+		if best[i][c] != best[i-1][c] {
+			sol.Indices = append(sol.Indices, i-1)
+			sol.Weight += items[i-1].Weight
+			c -= items[i-1].Weight
+		}
+	}
+	// Reverse into input order.
+	for l, r := 0, len(sol.Indices)-1; l < r; l, r = l+1, r-1 {
+		sol.Indices[l], sol.Indices[r] = sol.Indices[r], sol.Indices[l]
+	}
+	return sol, nil
+}
+
+// SolveGreedy is the classic density-greedy with the best-single-item
+// fallback; it guarantees at least half the optimal value. This is the
+// algorithmic template BatchStrat-PayOff instantiates.
+func SolveGreedy(items []Item, capacity int) (Solution, error) {
+	if capacity < 0 {
+		return Solution{}, ErrBadInput
+	}
+	type indexed struct {
+		Item
+		pos int
+	}
+	feasible := make([]indexed, 0, len(items))
+	for i, it := range items {
+		if it.Weight < 0 {
+			return Solution{}, fmt.Errorf("%w: item %d weight %d", ErrBadInput, i, it.Weight)
+		}
+		if it.Weight <= capacity {
+			feasible = append(feasible, indexed{Item: it, pos: i})
+		}
+	}
+	sort.SliceStable(feasible, func(a, b int) bool {
+		return densityOf(feasible[a].Item) > densityOf(feasible[b].Item)
+	})
+	var greedy Solution
+	for _, it := range feasible {
+		if greedy.Weight+it.Weight > capacity {
+			continue
+		}
+		greedy.Indices = append(greedy.Indices, it.pos)
+		greedy.Weight += it.Weight
+		greedy.Value += it.Value
+	}
+	var bestSingle Solution
+	for _, it := range feasible {
+		if it.Value > bestSingle.Value {
+			bestSingle = Solution{Indices: []int{it.pos}, Value: it.Value, Weight: it.Weight}
+		}
+	}
+	if bestSingle.Value > greedy.Value {
+		sort.Ints(bestSingle.Indices)
+		return bestSingle, nil
+	}
+	sort.Ints(greedy.Indices)
+	return greedy, nil
+}
+
+func densityOf(it Item) float64 {
+	if it.Weight == 0 {
+		return math.Inf(1)
+	}
+	return it.Value / float64(it.Weight)
+}
+
+// FromPayoff performs the Theorem-1 reduction in the practical direction:
+// real-valued workforce requirements and capacity are scaled by `scale` and
+// rounded to integers, producing a knapsack instance whose optimum
+// corresponds to the pay-off optimum of the discretized batch problem.
+func FromPayoff(workforces []float64, payoffs []float64, W float64, scale int) ([]Item, int, error) {
+	if len(workforces) != len(payoffs) {
+		return nil, 0, fmt.Errorf("knapsack: %d workforces vs %d payoffs", len(workforces), len(payoffs))
+	}
+	if scale <= 0 {
+		return nil, 0, errors.New("knapsack: scale must be positive")
+	}
+	items := make([]Item, len(workforces))
+	for i := range workforces {
+		if workforces[i] < 0 || math.IsInf(workforces[i], 1) {
+			return nil, 0, fmt.Errorf("knapsack: workforce %d is %v", i, workforces[i])
+		}
+		items[i] = Item{Weight: int(math.Round(workforces[i] * float64(scale))), Value: payoffs[i]}
+	}
+	return items, int(math.Round(W * float64(scale))), nil
+}

@@ -1,0 +1,184 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveDPClassic(t *testing.T) {
+	items := []Item{
+		{Weight: 2, Value: 3},
+		{Weight: 3, Value: 4},
+		{Weight: 4, Value: 5},
+		{Weight: 5, Value: 6},
+	}
+	sol, err := SolveDP(items, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 7 { // items 0 and 1
+		t.Errorf("Value = %v, want 7", sol.Value)
+	}
+	if sol.Weight != 5 {
+		t.Errorf("Weight = %v, want 5", sol.Weight)
+	}
+	if len(sol.Indices) != 2 || sol.Indices[0] != 0 || sol.Indices[1] != 1 {
+		t.Errorf("Indices = %v, want [0 1]", sol.Indices)
+	}
+}
+
+func TestSolveDPEdgeCases(t *testing.T) {
+	sol, err := SolveDP(nil, 10)
+	if err != nil || sol.Value != 0 || len(sol.Indices) != 0 {
+		t.Errorf("empty instance: %+v, %v", sol, err)
+	}
+	sol, err = SolveDP([]Item{{Weight: 5, Value: 9}}, 0)
+	if err != nil || sol.Value != 0 {
+		t.Errorf("zero capacity: %+v, %v", sol, err)
+	}
+	if _, err := SolveDP([]Item{{Weight: -1, Value: 1}}, 5); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := SolveDP(nil, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	// Zero-weight items are free value.
+	sol, err = SolveDP([]Item{{Weight: 0, Value: 2}, {Weight: 1, Value: 1}}, 1)
+	if err != nil || sol.Value != 3 {
+		t.Errorf("zero-weight handling: %+v, %v", sol, err)
+	}
+}
+
+func TestSolveGreedyHalfGuarantee(t *testing.T) {
+	// Classic greedy trap: one dense small item, one big valuable item.
+	items := []Item{
+		{Weight: 1, Value: 2},   // density 2
+		{Weight: 10, Value: 10}, // density 1, but the real prize
+	}
+	sol, err := SolveGreedy(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy picks item 0 (value 2); best single is item 1 (value 10).
+	if sol.Value != 10 {
+		t.Errorf("greedy-with-fallback value = %v, want 10", sol.Value)
+	}
+}
+
+func TestSolveGreedySkipsOversized(t *testing.T) {
+	items := []Item{
+		{Weight: 100, Value: 100},
+		{Weight: 2, Value: 3},
+	}
+	sol, err := SolveGreedy(items, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 3 || len(sol.Indices) != 1 || sol.Indices[0] != 1 {
+		t.Errorf("oversized item not skipped: %+v", sol)
+	}
+	if _, err := SolveGreedy([]Item{{Weight: -2, Value: 1}}, 5); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := SolveGreedy(nil, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestFromPayoffReduction(t *testing.T) {
+	// The Theorem-1 mapping of Figure 4: deployment requests become items.
+	items, cap, err := FromPayoff([]float64{0.2, 0.35}, []float64{0.8, 0.9}, 0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap != 50 {
+		t.Errorf("capacity = %d, want 50", cap)
+	}
+	if items[0].Weight != 20 || items[1].Weight != 35 {
+		t.Errorf("weights = %v", items)
+	}
+	if _, _, err := FromPayoff([]float64{1}, []float64{1, 2}, 0.5, 100); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := FromPayoff([]float64{1}, []float64{1}, 0.5, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, _, err := FromPayoff([]float64{math.Inf(1)}, []float64{1}, 0.5, 10); err == nil {
+		t.Error("infeasible workforce accepted")
+	}
+}
+
+func randomInstance(rng *rand.Rand) ([]Item, int) {
+	n := 1 + rng.Intn(12)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Weight: rng.Intn(20), Value: float64(rng.Intn(50))}
+	}
+	return items, rng.Intn(60)
+}
+
+// bruteForce is the exponential reference.
+func bruteForce(items []Item, capacity int) float64 {
+	best := 0.0
+	for mask := 0; mask < 1<<len(items); mask++ {
+		w, v := 0, 0.0
+		for b := range items {
+			if mask&(1<<b) != 0 {
+				w += items[b].Weight
+				v += items[b].Value
+			}
+		}
+		if w <= capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestPropertyDPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func() bool {
+		items, cap := randomInstance(rng)
+		sol, err := SolveDP(items, cap)
+		if err != nil {
+			return false
+		}
+		if sol.Value != bruteForce(items, cap) {
+			return false
+		}
+		// Reported indices must be consistent with value and weight.
+		w, v := 0, 0.0
+		for _, i := range sol.Indices {
+			w += items[i].Weight
+			v += items[i].Value
+		}
+		return w == sol.Weight && w <= cap && math.Abs(v-sol.Value) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGreedyHalfOfOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		items, cap := randomInstance(rng)
+		opt, err := SolveDP(items, cap)
+		if err != nil {
+			return false
+		}
+		greedy, err := SolveGreedy(items, cap)
+		if err != nil {
+			return false
+		}
+		if greedy.Value > opt.Value {
+			return false // greedy can never beat the optimum
+		}
+		return greedy.Value >= opt.Value/2-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

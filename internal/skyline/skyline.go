@@ -1,0 +1,130 @@
+// Package skyline implements the skyline and k-skyband operators the paper
+// positions ADPaR against in its related work (Section 6, Börzsönyi et al.;
+// Chomicki et al.; Mouratidis & Tang): over the smaller-is-better strategy
+// space, the skyline is the set of non-dominated strategy points and the
+// k-skyband is the set of points dominated by fewer than k others.
+//
+// The package serves two purposes in this reproduction: it is a reusable
+// multi-criteria operator over strategy sets (requesters can ask for the
+// Pareto-optimal strategies directly), and its tests substantiate the
+// paper's claim that skyband machinery does not extend to ADPaR — the
+// k-skyband neither contains the information needed to pick the optimal
+// alternative parameters nor respects the request's anchoring point (see
+// TestSkybandDoesNotSolveADPaR).
+package skyline
+
+import (
+	"sort"
+
+	"stratrec/internal/geometry"
+	"stratrec/internal/strategy"
+)
+
+// Dominates reports whether point a dominates point b in the
+// smaller-is-better space: a <= b everywhere and a < b somewhere.
+func Dominates(a, b geometry.Point3) bool { return dominates(a, b) }
+
+func dominates(a, b geometry.Point3) bool {
+	return a[0] <= b[0] && a[1] <= b[1] && a[2] <= b[2] &&
+		(a[0] < b[0] || a[1] < b[1] || a[2] < b[2])
+}
+
+// Of returns the indices of skyline strategies (non-dominated points),
+// ascending. Block-nested-loop with a presort on the coordinate sum: a
+// point can only be dominated by points with smaller or equal sum, so one
+// pass over the sorted order suffices.
+func Of(set strategy.Set) []int {
+	pts := points(set)
+	order := sortBySum(pts)
+	var window []int // skyline so far, in sorted order
+	for _, i := range order {
+		dominated := false
+		for _, j := range window {
+			if dominates(pts[j], pts[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			window = append(window, i)
+		}
+	}
+	sort.Ints(window)
+	return window
+}
+
+// DominationCounts returns, for every strategy, how many other strategies
+// dominate it.
+func DominationCounts(set strategy.Set) []int {
+	pts := points(set)
+	counts := make([]int, len(pts))
+	order := sortBySum(pts)
+	// Only points earlier in sum order can dominate later ones.
+	for oi, i := range order {
+		for _, j := range order[:oi] {
+			if dominates(pts[j], pts[i]) {
+				counts[i]++
+			}
+		}
+		// Equal sums can dominate only if equal points; handled above
+		// because sortBySum is stable and equal points have equal sums but
+		// equality is not strict dominance.
+	}
+	return counts
+}
+
+// Skyband returns the indices of the k-skyband: strategies dominated by
+// fewer than k others, ascending. Skyband(set, 1) equals Of(set).
+func Skyband(set strategy.Set, k int) []int {
+	if k < 1 {
+		return nil
+	}
+	counts := DominationCounts(set)
+	var out []int
+	for i, c := range counts {
+		if c < k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TopKByDistance returns the k strategy indices whose points are closest to
+// the request's bound, a simple multi-criteria shortlist requesters can use
+// alongside the skyline.
+func TopKByDistance(set strategy.Set, d strategy.Request) []int {
+	u := d.Params.Point()
+	pts := points(set)
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return pts[idx[a]].Dist2(u) < pts[idx[b]].Dist2(u)
+	})
+	if d.K < len(idx) {
+		idx = idx[:d.K]
+	}
+	out := append([]int(nil), idx...)
+	sort.Ints(out)
+	return out
+}
+
+func points(set strategy.Set) []geometry.Point3 {
+	return set.Points()
+}
+
+// sortBySum orders indices by ascending coordinate sum (a topological order
+// consistent with dominance).
+func sortBySum(pts []geometry.Point3) []int {
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa := pts[order[a]][0] + pts[order[a]][1] + pts[order[a]][2]
+		sb := pts[order[b]][0] + pts[order[b]][1] + pts[order[b]][2]
+		return sa < sb
+	})
+	return order
+}

@@ -1,0 +1,69 @@
+package stats
+
+import "errors"
+
+// This file adds Cohen's kappa, the standard inter-rater agreement
+// statistic. The paper's quality labels come from domain experts judging
+// crowd output; when the simulated marketplace uses two expert raters
+// (texttask's per-word correctness can be re-judged with noise), kappa
+// quantifies whether their agreement exceeds chance — the sanity check a
+// careful crowdsourcing evaluation runs on its own ground truth.
+
+// ErrRaterMismatch is returned when the two raters labeled different
+// numbers of items (or none).
+var ErrRaterMismatch = errors.New("stats: raters must label the same non-empty items")
+
+// CohenKappa computes Cohen's kappa for two raters' categorical labels.
+// Labels can be any comparable coding (ints); the slices are paired by
+// index. Returns 1 for perfect agreement on a single observed category.
+func CohenKappa(rater1, rater2 []int) (float64, error) {
+	n := len(rater1)
+	if n == 0 || n != len(rater2) {
+		return 0, ErrRaterMismatch
+	}
+	// Observed agreement.
+	agree := 0
+	counts1 := map[int]int{}
+	counts2 := map[int]int{}
+	for i := 0; i < n; i++ {
+		if rater1[i] == rater2[i] {
+			agree++
+		}
+		counts1[rater1[i]]++
+		counts2[rater2[i]]++
+	}
+	po := float64(agree) / float64(n)
+
+	// Expected agreement under independent marginals.
+	pe := 0.0
+	for cat, c1 := range counts1 {
+		pe += float64(c1) / float64(n) * float64(counts2[cat]) / float64(n)
+	}
+	if pe == 1 {
+		// Both raters constant on the same category: perfect, by
+		// convention.
+		if po == 1 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return (po - pe) / (1 - pe), nil
+}
+
+// BoolKappa adapts CohenKappa to boolean labelings such as texttask's
+// per-word correctness judgments.
+func BoolKappa(rater1, rater2 []bool) (float64, error) {
+	a := make([]int, len(rater1))
+	b := make([]int, len(rater2))
+	for i, v := range rater1 {
+		if v {
+			a[i] = 1
+		}
+	}
+	for i, v := range rater2 {
+		if v {
+			b[i] = 1
+		}
+	}
+	return CohenKappa(a, b)
+}

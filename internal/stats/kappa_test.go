@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCohenKappaPerfectAgreement(t *testing.T) {
+	a := []int{0, 1, 0, 1, 2}
+	k, err := CohenKappa(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-1) > 1e-12 {
+		t.Errorf("kappa = %v, want 1", k)
+	}
+}
+
+func TestCohenKappaKnownValue(t *testing.T) {
+	// Classic textbook 2x2 example: 45 yes/yes, 15 no/no, 25 yes/no,
+	// 15 no/yes -> po = 0.6, pe = 0.7*0.6 + 0.3*0.4 = 0.54, kappa ~ 0.1304.
+	var r1, r2 []int
+	add := func(a, b, n int) {
+		for i := 0; i < n; i++ {
+			r1 = append(r1, a)
+			r2 = append(r2, b)
+		}
+	}
+	add(1, 1, 45)
+	add(0, 0, 15)
+	add(1, 0, 25)
+	add(0, 1, 15)
+	k, err := CohenKappa(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.6 - 0.54) / (1 - 0.54)
+	if math.Abs(k-want) > 1e-9 {
+		t.Errorf("kappa = %v, want %v", k, want)
+	}
+}
+
+func TestCohenKappaChanceLevel(t *testing.T) {
+	// Independent random raters: kappa near 0.
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	r1 := make([]int, n)
+	r2 := make([]int, n)
+	for i := range r1 {
+		r1[i] = rng.Intn(3)
+		r2[i] = rng.Intn(3)
+	}
+	k, err := CohenKappa(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k) > 0.03 {
+		t.Errorf("independent raters kappa = %v, want ~0", k)
+	}
+}
+
+func TestCohenKappaDegenerate(t *testing.T) {
+	// Both raters constant and identical: 1.
+	k, err := CohenKappa([]int{1, 1, 1}, []int{1, 1, 1})
+	if err != nil || k != 1 {
+		t.Errorf("constant identical: %v, %v", k, err)
+	}
+	// Constant but different: pe = 0 (no overlap), po = 0 -> kappa 0.
+	k, err = CohenKappa([]int{1, 1}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k > 0 {
+		t.Errorf("disjoint constant raters kappa = %v", k)
+	}
+}
+
+func TestCohenKappaValidation(t *testing.T) {
+	if _, err := CohenKappa(nil, nil); err == nil {
+		t.Error("empty raters accepted")
+	}
+	if _, err := CohenKappa([]int{1}, []int{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestBoolKappa(t *testing.T) {
+	a := []bool{true, false, true, true}
+	b := []bool{true, false, false, true}
+	k, err := BoolKappa(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := CohenKappa([]int{1, 0, 1, 1}, []int{1, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != ref {
+		t.Errorf("BoolKappa = %v, CohenKappa = %v", k, ref)
+	}
+}

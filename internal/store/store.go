@@ -1,0 +1,246 @@
+// Package store provides the JSON persistence layer of the reproduction: a
+// platform's strategy catalog with fitted availability models, requester
+// batches, and deployment history (the observations Section 3.1's model
+// fitting consumes). cmd/stratrec reads these formats; the marketplace
+// simulator can write history files that round-trip through the fitting
+// pipeline.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"stratrec/internal/linmodel"
+	"stratrec/internal/linreg"
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+// Catalog is a platform's strategy set with per-strategy models.
+type Catalog struct {
+	// Workforce is the platform's current expected availability W.
+	Workforce float64 `json:"workforce"`
+	Entries   []Entry `json:"strategies"`
+}
+
+// Entry is one catalog strategy.
+type Entry struct {
+	Name      string                `json:"name"`
+	Structure string                `json:"structure"`    // "SEQ" or "SIM"
+	Organize  string                `json:"organization"` // "IND" or "COL"
+	Style     string                `json:"style"`        // "CRO" or "HYB"
+	Params    strategy.Params       `json:"params"`
+	Models    *linmodel.ParamModels `json:"models,omitempty"`
+}
+
+// dimension parsing tables.
+var (
+	structures = map[string]strategy.Structure{
+		"SEQ": strategy.Sequential, "SIM": strategy.Simultaneous,
+	}
+	organizations = map[string]strategy.Organization{
+		"IND": strategy.Independent, "COL": strategy.Collaborative,
+	}
+	styles = map[string]strategy.Style{
+		"CRO": strategy.CrowdOnly, "HYB": strategy.Hybrid,
+	}
+)
+
+// ErrNoModels is returned by Materialize when a strategy carries no models
+// and no default factory is supplied.
+var ErrNoModels = errors.New("store: strategy without models")
+
+// Materialize converts the catalog into the library's runtime types. For
+// entries without explicit models, defaults(entry) supplies them (nil
+// defaults makes such entries an error).
+func (c Catalog) Materialize(defaults func(Entry) linmodel.ParamModels) (strategy.Set, workforce.PerStrategyModels, error) {
+	if len(c.Entries) == 0 {
+		return nil, nil, strategy.ErrEmptySet
+	}
+	set := make(strategy.Set, 0, len(c.Entries))
+	models := make(workforce.PerStrategyModels, 0, len(c.Entries))
+	for i, e := range c.Entries {
+		st, ok := structures[e.Structure]
+		if !ok {
+			return nil, nil, fmt.Errorf("store: strategy %d: unknown structure %q", i, e.Structure)
+		}
+		org, ok := organizations[e.Organize]
+		if !ok {
+			return nil, nil, fmt.Errorf("store: strategy %d: unknown organization %q", i, e.Organize)
+		}
+		sty, ok := styles[e.Style]
+		if !ok {
+			return nil, nil, fmt.Errorf("store: strategy %d: unknown style %q", i, e.Style)
+		}
+		if err := e.Params.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("store: strategy %d: %w", i, err)
+		}
+		set = append(set, strategy.Strategy{
+			ID: i, Name: e.Name,
+			Dims:   strategy.Dimensions{Structure: st, Organization: org, Style: sty},
+			Params: e.Params,
+		})
+		switch {
+		case e.Models != nil:
+			models = append(models, *e.Models)
+		case defaults != nil:
+			models = append(models, defaults(e))
+		default:
+			return nil, nil, fmt.Errorf("%w: %s", ErrNoModels, e.Name)
+		}
+	}
+	return set, models, nil
+}
+
+// FromRuntime builds a catalog from runtime types, the inverse of
+// Materialize.
+func FromRuntime(set strategy.Set, models workforce.PerStrategyModels, W float64) (Catalog, error) {
+	if len(set) != len(models) {
+		return Catalog{}, fmt.Errorf("store: %d strategies with %d model sets", len(set), len(models))
+	}
+	c := Catalog{Workforce: W}
+	for i, s := range set {
+		pm := models[i]
+		c.Entries = append(c.Entries, Entry{
+			Name:      s.Name,
+			Structure: s.Dims.Structure.String(),
+			Organize:  s.Dims.Organization.String(),
+			Style:     s.Dims.Style.String(),
+			Params:    s.Params,
+			Models:    &pm,
+		})
+	}
+	return c, nil
+}
+
+// Batch is a persisted batch of deployment requests.
+type Batch struct {
+	Requests []strategy.Request `json:"requests"`
+}
+
+// Observation is one recorded deployment outcome, the raw material of the
+// Section 3.1 / Table 6 model fitting.
+type Observation struct {
+	Strategy     string  `json:"strategy"` // catalog entry name
+	Window       string  `json:"window,omitempty"`
+	Availability float64 `json:"availability"`
+	Quality      float64 `json:"quality"`
+	Cost         float64 `json:"cost"`
+	Latency      float64 `json:"latency"`
+}
+
+// History is a deployment log.
+type History struct {
+	Observations []Observation `json:"observations"`
+}
+
+// ErrTooFewObservations is returned when a strategy has fewer than the
+// minimum observations needed for a fit.
+var ErrTooFewObservations = errors.New("store: too few observations to fit")
+
+// FitModels groups the history by strategy name and fits per-parameter
+// linear models by OLS. Strategies with fewer than minObs observations are
+// skipped. The returned map is keyed by strategy name.
+func (h History) FitModels(minObs int) (map[string]linmodel.ParamModels, error) {
+	if minObs < 2 {
+		minObs = 2
+	}
+	type series struct{ w, q, c, l []float64 }
+	groups := map[string]*series{}
+	for _, o := range h.Observations {
+		g := groups[o.Strategy]
+		if g == nil {
+			g = &series{}
+			groups[o.Strategy] = g
+		}
+		g.w = append(g.w, o.Availability)
+		g.q = append(g.q, o.Quality)
+		g.c = append(g.c, o.Cost)
+		g.l = append(g.l, o.Latency)
+	}
+	out := map[string]linmodel.ParamModels{}
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := groups[name]
+		if len(g.w) < minObs {
+			continue
+		}
+		qf, err := linreg.OLS(g.w, g.q)
+		if err != nil {
+			return nil, fmt.Errorf("store: fitting %s quality: %w", name, err)
+		}
+		cf, err := linreg.OLS(g.w, g.c)
+		if err != nil {
+			return nil, fmt.Errorf("store: fitting %s cost: %w", name, err)
+		}
+		lf, err := linreg.OLS(g.w, g.l)
+		if err != nil {
+			return nil, fmt.Errorf("store: fitting %s latency: %w", name, err)
+		}
+		out[name] = linmodel.ParamModels{
+			Quality: linmodel.Model{Alpha: qf.Alpha, Beta: qf.Beta},
+			Cost:    linmodel.Model{Alpha: cf.Alpha, Beta: cf.Beta},
+			Latency: linmodel.Model{Alpha: lf.Alpha, Beta: lf.Beta},
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrTooFewObservations
+	}
+	return out, nil
+}
+
+// --- generic JSON plumbing ---
+
+// Save writes v as indented JSON to path.
+func Save(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Write(f, v)
+}
+
+// Write encodes v as indented JSON to w.
+func Write(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// LoadCatalog reads a catalog file.
+func LoadCatalog(path string) (Catalog, error) {
+	var c Catalog
+	return c, load(path, &c)
+}
+
+// LoadBatch reads a request batch file.
+func LoadBatch(path string) (Batch, error) {
+	var b Batch
+	return b, load(path, &b)
+}
+
+// LoadHistory reads a deployment history file.
+func LoadHistory(path string) (History, error) {
+	var h History
+	return h, load(path, &h)
+}
+
+func load(path string, v interface{}) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("store: parsing %s: %w", path, err)
+	}
+	return nil
+}

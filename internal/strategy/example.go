@@ -1,0 +1,39 @@
+package strategy
+
+// This file encodes the paper's running example (Example 1 / Table 1): three
+// deployment requests and four strategies for collaborative sentence
+// translation. It is used by the worked-example tests, the Table 1
+// experiment, and the quickstart example.
+
+// PaperExampleStrategies returns the four strategies of Table 1:
+//
+//	s1 SIM-COL-CRO (0.50, 0.25, 0.28)
+//	s2 SEQ-IND-CRO (0.75, 0.33, 0.28)
+//	s3 SIM-IND-CRO (0.80, 0.50, 0.14)
+//	s4 SIM-IND-HYB (0.88, 0.58, 0.14)
+func PaperExampleStrategies() Set {
+	return Set{
+		{ID: 0, Name: "s1", Dims: Dimensions{Simultaneous, Collaborative, CrowdOnly},
+			Params: Params{Quality: 0.50, Cost: 0.25, Latency: 0.28}},
+		{ID: 1, Name: "s2", Dims: Dimensions{Sequential, Independent, CrowdOnly},
+			Params: Params{Quality: 0.75, Cost: 0.33, Latency: 0.28}},
+		{ID: 2, Name: "s3", Dims: Dimensions{Simultaneous, Independent, CrowdOnly},
+			Params: Params{Quality: 0.80, Cost: 0.50, Latency: 0.14}},
+		{ID: 3, Name: "s4", Dims: Dimensions{Simultaneous, Independent, Hybrid},
+			Params: Params{Quality: 0.88, Cost: 0.58, Latency: 0.14}},
+	}
+}
+
+// PaperExampleRequests returns the three deployment requests of Table 1 with
+// the paper's cardinality constraint k = 3:
+//
+//	d1 (0.4, 0.17, 0.28)
+//	d2 (0.8, 0.20, 0.28)
+//	d3 (0.7, 0.83, 0.28)
+func PaperExampleRequests() []Request {
+	return []Request{
+		{ID: "d1", Params: Params{Quality: 0.4, Cost: 0.17, Latency: 0.28}, K: 3},
+		{ID: "d2", Params: Params{Quality: 0.8, Cost: 0.20, Latency: 0.28}, K: 3},
+		{ID: "d3", Params: Params{Quality: 0.7, Cost: 0.83, Latency: 0.28}, K: 3},
+	}
+}

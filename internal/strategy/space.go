@@ -1,0 +1,45 @@
+package strategy
+
+import "math"
+
+// This file implements the strategy-space counting arguments of Section 2.1.
+// The paper observes that with v = |Structure| x |Organization| x |Style|
+// unique dimension combinations and n workers, the number of possible
+// strategies is on the order of v^n * v!, and that a Turkomatic-style
+// workflow with x tasks admits v^x strategies (8^10 = 1,073,741,824 for
+// v = 8, x = 10).
+
+// NumCombinations returns v, the number of unique (Structure, Organization,
+// Style) combinations given the number of choices per dimension.
+func NumCombinations(structures, organizations, styles int) int {
+	return structures * organizations * styles
+}
+
+// SpaceOrder returns the paper's order-of-magnitude bound v^n * v! on the
+// number of strategies for a collaborative task involving n workers, when
+// the same combination appears at most once per strategy. The result is a
+// float64 because it overflows int64 almost immediately.
+func SpaceOrder(v, n int) float64 {
+	if v <= 0 || n < 0 {
+		return 0
+	}
+	return math.Pow(float64(v), float64(n)) * factorial(v)
+}
+
+// WorkflowStrategies returns v^x, the number of possible strategies for a
+// worker-designed workflow with x tasks when each task independently picks
+// one of v combinations. Returns +Inf if the value overflows float64.
+func WorkflowStrategies(v, x int) float64 {
+	if v <= 0 || x < 0 {
+		return 0
+	}
+	return math.Pow(float64(v), float64(x))
+}
+
+func factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}

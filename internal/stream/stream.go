@@ -1,0 +1,238 @@
+// Package stream implements the fully dynamic deployment setting the
+// paper's conclusion poses as an open problem: deployment requests arrive
+// one by one, may be revoked, and worker availability drifts over time. A
+// Manager maintains a running plan under these events, replanning with
+// BatchStrat so every intermediate plan keeps the static guarantees (exact
+// throughput, 1/2-approximate pay-off) over the currently open requests.
+//
+// The manager is deliberately simple — a replan per event batch — because
+// BatchStrat itself is O(m log m) on prepared items and the expensive part,
+// the workforce requirement of a request, is computed once at admission and
+// cached. An epoch counter lets callers cheaply detect plan changes.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"stratrec/internal/batch"
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+// Event is a plan-affecting occurrence.
+type Event int
+
+const (
+	// Submitted: a new request entered the pool.
+	Submitted Event = iota
+	// Revoked: a requester withdrew an open request.
+	Revoked
+	// AvailabilityChanged: the expected workforce W moved.
+	AvailabilityChanged
+)
+
+func (e Event) String() string {
+	switch e {
+	case Submitted:
+		return "submitted"
+	case Revoked:
+		return "revoked"
+	case AvailabilityChanged:
+		return "availability-changed"
+	}
+	return fmt.Sprintf("Event(%d)", int(e))
+}
+
+// Entry is one open request with its cached workforce requirement.
+type Entry struct {
+	ID      string
+	Request strategy.Request
+	Req     workforce.Requirement
+	// Serving reports whether the current plan serves this request.
+	Serving bool
+}
+
+// Manager maintains a deployment plan over a changing request pool.
+type Manager struct {
+	strategies strategy.Set
+	models     workforce.ModelProvider
+	mode       workforce.Mode
+	objective  batch.Objective
+
+	w       float64
+	entries map[string]*Entry
+	order   []string // admission order, for deterministic iteration
+	epoch   uint64
+}
+
+// ErrDuplicateID rejects a submission reusing an open request's ID.
+var ErrDuplicateID = errors.New("stream: duplicate request ID")
+
+// ErrUnknownID rejects revocation of a request that is not open.
+var ErrUnknownID = errors.New("stream: unknown request ID")
+
+// NewManager builds a dynamic deployment manager.
+func NewManager(set strategy.Set, models workforce.ModelProvider, mode workforce.Mode, objective batch.Objective, initialW float64) (*Manager, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if models == nil {
+		return nil, errors.New("stream: nil model provider")
+	}
+	if initialW < 0 || initialW > 1 {
+		return nil, fmt.Errorf("stream: initial availability %v outside [0,1]", initialW)
+	}
+	return &Manager{
+		strategies: set,
+		models:     models,
+		mode:       mode,
+		objective:  objective,
+		w:          initialW,
+		entries:    map[string]*Entry{},
+	}, nil
+}
+
+// Epoch increments on every plan change; callers can poll it cheaply.
+func (m *Manager) Epoch() uint64 { return m.epoch }
+
+// Availability returns the current expected workforce W.
+func (m *Manager) Availability() float64 { return m.w }
+
+// Open returns the number of open (non-revoked) requests.
+func (m *Manager) Open() int { return len(m.entries) }
+
+// Submit admits a request, computes and caches its workforce requirement,
+// and replans. It returns whether the new plan serves the request.
+func (m *Manager) Submit(d strategy.Request) (bool, error) {
+	if d.ID == "" {
+		return false, errors.New("stream: request needs an ID")
+	}
+	if err := d.Validate(); err != nil {
+		return false, err
+	}
+	if _, exists := m.entries[d.ID]; exists {
+		return false, fmt.Errorf("%w: %s", ErrDuplicateID, d.ID)
+	}
+	idx := len(m.order)
+	req := workforce.RequirementFor(d, idx, m.strategies, m.models, m.mode)
+	entry := &Entry{ID: d.ID, Request: d, Req: req}
+	m.entries[d.ID] = entry
+	m.order = append(m.order, d.ID)
+	m.replan()
+	return entry.Serving, nil
+}
+
+// Revoke withdraws an open request and replans; freed workforce may admit
+// previously displaced requests.
+func (m *Manager) Revoke(id string) error {
+	if _, ok := m.entries[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownID, id)
+	}
+	delete(m.entries, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.replan()
+	return nil
+}
+
+// SetAvailability moves the expected workforce and replans.
+func (m *Manager) SetAvailability(w float64) error {
+	if w < 0 || w > 1 {
+		return fmt.Errorf("stream: availability %v outside [0,1]", w)
+	}
+	m.w = w
+	m.replan()
+	return nil
+}
+
+// Plan is the current serving decision.
+type Plan struct {
+	// Serving lists served request IDs in admission order.
+	Serving []string
+	// Displaced lists open-but-unserved request IDs in admission order.
+	Displaced []string
+	// Objective is the achieved objective value over open requests.
+	Objective float64
+	// Workforce is the plan's total workforce consumption.
+	Workforce float64
+}
+
+// Plan returns a snapshot of the current plan.
+func (m *Manager) Plan() Plan {
+	var p Plan
+	for _, id := range m.order {
+		e := m.entries[id]
+		if e.Serving {
+			p.Serving = append(p.Serving, id)
+			p.Workforce += e.Req.Workforce
+			p.Objective += m.value(e)
+		} else {
+			p.Displaced = append(p.Displaced, id)
+		}
+	}
+	return p
+}
+
+// Strategies returns the k recommended strategies of a served request, or
+// nil if the request is not currently served.
+func (m *Manager) Strategies(id string) []int {
+	e, ok := m.entries[id]
+	if !ok || !e.Serving {
+		return nil
+	}
+	out := make([]int, len(e.Req.Strategies))
+	copy(out, e.Req.Strategies)
+	return out
+}
+
+func (m *Manager) value(e *Entry) float64 {
+	if m.objective == batch.Payoff {
+		return e.Request.Cost
+	}
+	return 1
+}
+
+// replan recomputes the serving set with BatchStrat over all open requests.
+func (m *Manager) replan() {
+	ids := make([]string, len(m.order))
+	copy(ids, m.order)
+	sort.Strings(ids) // stable item order independent of admission history
+
+	var items []batch.Item
+	for i, id := range ids {
+		e := m.entries[id]
+		if !e.Req.Feasible() {
+			e.Serving = false
+			continue
+		}
+		items = append(items, batch.Item{
+			Index:      i,
+			Value:      m.value(e),
+			Workforce:  e.Req.Workforce,
+			Strategies: e.Req.Strategies,
+		})
+	}
+	res := batch.BatchStrat(items, m.w)
+	serving := map[int]bool{}
+	for _, idx := range res.Selected {
+		serving[idx] = true
+	}
+	changed := false
+	for i, id := range ids {
+		e := m.entries[id]
+		now := serving[i]
+		if e.Serving != now {
+			changed = true
+		}
+		e.Serving = now
+	}
+	if changed {
+		m.epoch++
+	}
+}

@@ -1,0 +1,277 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stratrec/internal/batch"
+	"stratrec/internal/linmodel"
+	"stratrec/internal/strategy"
+	"stratrec/internal/synth"
+	"stratrec/internal/workforce"
+)
+
+// fixedModels yields a requirement equal to (quality threshold - 0.2) /
+// 0.8 for every strategy, making plan arithmetic predictable.
+func fixedModels(n int) workforce.PerStrategyModels {
+	models := make(workforce.PerStrategyModels, n)
+	for i := range models {
+		models[i] = linmodel.ParamModels{
+			Quality: linmodel.Model{Alpha: 0.8, Beta: 0.2},
+			Cost:    linmodel.Model{Alpha: 0, Beta: 0.1},
+			Latency: linmodel.Model{Alpha: 0, Beta: 0.1},
+		}
+	}
+	return models
+}
+
+func fixedSet(n int) strategy.Set {
+	set := make(strategy.Set, n)
+	for i := range set {
+		set[i] = strategy.Strategy{ID: i, Params: strategy.Params{Quality: 1, Cost: 0.1, Latency: 0.1}}
+	}
+	return set
+}
+
+func request(id string, quality float64, k int) strategy.Request {
+	return strategy.Request{
+		ID:     id,
+		Params: strategy.Params{Quality: quality, Cost: 0.5, Latency: 0.5},
+		K:      k,
+	}
+}
+
+func newManager(t *testing.T, W float64) *Manager {
+	t.Helper()
+	m, err := NewManager(fixedSet(5), fixedModels(5), workforce.MaxCase, batch.Throughput, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(strategy.Set{}, fixedModels(1), workforce.MaxCase, batch.Throughput, 0.5); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := NewManager(fixedSet(2), nil, workforce.MaxCase, batch.Throughput, 0.5); err == nil {
+		t.Error("nil models accepted")
+	}
+	if _, err := NewManager(fixedSet(2), fixedModels(2), workforce.MaxCase, batch.Throughput, 1.5); err == nil {
+		t.Error("bad availability accepted")
+	}
+}
+
+func TestSubmitAndServe(t *testing.T) {
+	m := newManager(t, 0.5)
+	// Quality 0.52 -> requirement (0.52-0.2)/0.8 = 0.4 <= 0.5: served.
+	served, err := m.Submit(request("a", 0.52, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !served {
+		t.Fatal("affordable request not served")
+	}
+	plan := m.Plan()
+	if len(plan.Serving) != 1 || plan.Serving[0] != "a" {
+		t.Errorf("plan = %+v", plan)
+	}
+	if math.Abs(plan.Workforce-0.4) > 1e-12 {
+		t.Errorf("workforce = %v", plan.Workforce)
+	}
+	if got := m.Strategies("a"); len(got) != 2 {
+		t.Errorf("strategies = %v", got)
+	}
+	if got := m.Strategies("missing"); got != nil {
+		t.Errorf("strategies of unknown = %v", got)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := newManager(t, 0.5)
+	if _, err := m.Submit(strategy.Request{Params: strategy.Params{Quality: 0.5, Cost: 0.5, Latency: 0.5}, K: 1}); err == nil {
+		t.Error("missing ID accepted")
+	}
+	if _, err := m.Submit(request("a", 2.0, 1)); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := m.Submit(request("a", 0.5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(request("a", 0.5, 1)); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate error = %v", err)
+	}
+}
+
+func TestDisplacementAndRevocation(t *testing.T) {
+	m := newManager(t, 0.5)
+	// Two cheap requests (0.25 each) fill W = 0.5 exactly.
+	if _, err := m.Submit(request("a", 0.40, 1)); err != nil { // req 0.25
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(request("b", 0.40, 1)); err != nil { // req 0.25
+		t.Fatal(err)
+	}
+	served, err := m.Submit(request("c", 0.60, 1)) // req 0.5, cannot fit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served {
+		t.Fatal("oversubscribed request served")
+	}
+	plan := m.Plan()
+	if len(plan.Serving) != 2 || len(plan.Displaced) != 1 || plan.Displaced[0] != "c" {
+		t.Fatalf("plan = %+v", plan)
+	}
+
+	// Revoking both cheap requests frees room for c.
+	if err := m.Revoke("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Revoke("b"); err != nil {
+		t.Fatal(err)
+	}
+	plan = m.Plan()
+	if len(plan.Serving) != 1 || plan.Serving[0] != "c" {
+		t.Fatalf("after revocations plan = %+v", plan)
+	}
+	if err := m.Revoke("a"); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("double revoke error = %v", err)
+	}
+	if m.Open() != 1 {
+		t.Errorf("open = %d", m.Open())
+	}
+}
+
+func TestAvailabilityDrift(t *testing.T) {
+	m := newManager(t, 0.5)
+	if _, err := m.Submit(request("a", 0.52, 1)); err != nil { // req 0.4
+		t.Fatal(err)
+	}
+	plan := m.Plan()
+	if len(plan.Serving) != 1 {
+		t.Fatal("not served at W=0.5")
+	}
+	// Availability collapses below the requirement: plan drops the request.
+	if err := m.SetAvailability(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if plan = m.Plan(); len(plan.Serving) != 0 || len(plan.Displaced) != 1 {
+		t.Fatalf("after drought plan = %+v", plan)
+	}
+	// Recovery restores it.
+	if err := m.SetAvailability(0.9); err != nil {
+		t.Fatal(err)
+	}
+	if plan = m.Plan(); len(plan.Serving) != 1 {
+		t.Fatalf("after recovery plan = %+v", plan)
+	}
+	if err := m.SetAvailability(-0.1); err == nil {
+		t.Error("negative availability accepted")
+	}
+}
+
+func TestEpochAdvancesOnChange(t *testing.T) {
+	m := newManager(t, 0.5)
+	e0 := m.Epoch()
+	if _, err := m.Submit(request("a", 0.52, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() == e0 {
+		t.Error("epoch unchanged after serving a request")
+	}
+	e1 := m.Epoch()
+	// A no-op availability change keeps the plan and the epoch.
+	if err := m.SetAvailability(0.55); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != e1 {
+		t.Error("epoch advanced without a plan change")
+	}
+}
+
+func TestInfeasibleRequestNeverServed(t *testing.T) {
+	m := newManager(t, 1.0)
+	// k = 6 exceeds the 5-strategy catalog: infeasible forever.
+	served, err := m.Submit(request("big", 0.5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served {
+		t.Fatal("infeasible request served")
+	}
+	plan := m.Plan()
+	if len(plan.Displaced) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+// TestPropertyMatchesStaticBatchStrat: after any event sequence, the
+// dynamic plan's objective equals a fresh static BatchStrat run over the
+// open requests — the manager loses nothing to history.
+func TestPropertyMatchesStaticBatchStrat(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	gen := synth.DefaultConfig(synth.Uniform)
+	f := func() bool {
+		set := gen.Strategies(rng, 40)
+		models := gen.Models(rng, set)
+		W := rng.Float64()
+		m, err := NewManager(set, models, workforce.MaxCase, batch.Throughput, W)
+		if err != nil {
+			return false
+		}
+		var open []strategy.Request
+		nextID := 0
+		for step := 0; step < 30; step++ {
+			switch {
+			case len(open) > 0 && rng.Float64() < 0.3:
+				victim := rng.Intn(len(open))
+				if err := m.Revoke(open[victim].ID); err != nil {
+					return false
+				}
+				open = append(open[:victim], open[victim+1:]...)
+			case rng.Float64() < 0.15:
+				W = rng.Float64()
+				if err := m.SetAvailability(W); err != nil {
+					return false
+				}
+			default:
+				d := gen.Requests(rng, 1, 1+rng.Intn(4))[0]
+				d.ID = mkID("r", nextID)
+				nextID++
+				if _, err := m.Submit(d); err != nil {
+					return false
+				}
+				open = append(open, d)
+			}
+		}
+		// Static reference over the open pool.
+		reqs := make([]workforce.Requirement, len(open))
+		for i, d := range open {
+			reqs[i] = workforce.RequirementFor(d, i, set, models, workforce.MaxCase)
+		}
+		items := batch.BuildItems(open, reqs, batch.Throughput)
+		want := batch.BatchStrat(items, W).Objective
+		got := m.Plan().Objective
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkID(prefix string, n int) string {
+	digits := "0123456789"
+	if n == 0 {
+		return prefix + "0"
+	}
+	out := ""
+	for n > 0 {
+		out = string(digits[n%10]) + out
+		n /= 10
+	}
+	return prefix + out
+}

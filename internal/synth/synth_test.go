@@ -1,0 +1,207 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "uniform" || Normal.String() != "normal" {
+		t.Error("distribution strings")
+	}
+	if Distribution(9).String() == "" {
+		t.Error("unknown distribution string empty")
+	}
+}
+
+func TestStrategiesWithinRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dist := range []Distribution{Uniform, Normal} {
+		cfg := DefaultConfig(dist)
+		set := cfg.Strategies(rng, 500)
+		if err := set.Validate(); err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		for _, s := range set {
+			// Normalized dimension values live in [0.5, 1]: quality in
+			// [0, 0.5], cost and latency in [0.5, 1].
+			if s.Quality < 0 || s.Quality > 0.5 {
+				t.Fatalf("%v: quality %v outside [0, 0.5]", dist, s.Quality)
+			}
+			if s.Cost < 0.5 || s.Cost > 1 || s.Latency < 0.5 || s.Latency > 1 {
+				t.Fatalf("%v: cost/latency out of range: %+v", dist, s.Params)
+			}
+		}
+	}
+}
+
+func TestNormalConcentration(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig(Normal)
+	set := cfg.Strategies(rng, 2000)
+	var sum, sum2 float64
+	for _, s := range set {
+		sum += s.Cost
+		sum2 += s.Cost * s.Cost
+	}
+	n := float64(len(set))
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-0.75) > 0.02 {
+		t.Errorf("normal cost mean = %v, want ~0.75", mean)
+	}
+	if std > 0.12 {
+		t.Errorf("normal cost std = %v, want ~0.1", std)
+	}
+}
+
+func TestRequestsWithinRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultConfig(Uniform)
+	reqs := cfg.Requests(rng, 100, 7)
+	if len(reqs) != 100 {
+		t.Fatalf("len = %d", len(reqs))
+	}
+	for _, d := range reqs {
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if d.K != 7 {
+			t.Errorf("K = %d", d.K)
+		}
+		if d.Cost < 0.625 || d.Cost > 1 || d.Latency < 0.625 || d.Latency > 1 {
+			t.Errorf("thresholds out of range: %+v", d.Params)
+		}
+		if d.Quality < 0 || d.Quality > 0.375 {
+			t.Errorf("quality threshold %v outside [0, 0.375]", d.Quality)
+		}
+	}
+}
+
+func TestADPaRRequestIsTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := DefaultConfig(Uniform)
+	d := cfg.ADPaRRequest(rng, 5)
+	if d.K != 5 {
+		t.Errorf("K = %d", d.K)
+	}
+	if d.Cost > 0.5 || d.Latency > 0.5 || d.Quality < 0.5 {
+		t.Errorf("ADPaR request not tight: %+v", d.Params)
+	}
+}
+
+func TestModelsConsistentWithSatisfaction(t *testing.T) {
+	// The key generator invariant: a strategy's workforce requirement for
+	// a request is finite iff the strategy satisfies the request at full
+	// availability.
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultConfig(Uniform)
+	set := cfg.Strategies(rng, 60)
+	models := cfg.Models(rng, set)
+	reqs := cfg.Requests(rng, 20, 1)
+	for _, d := range reqs {
+		for j, s := range set {
+			req := models[j].Requirement(d.Params)
+			satisfies := strategy.Satisfies(s.Params, d.Params)
+			if satisfies != !math.IsInf(req, 1) {
+				t.Fatalf("strategy %d request %+v: satisfies=%v requirement=%v",
+					j, d.Params, satisfies, req)
+			}
+		}
+	}
+}
+
+func TestModelsFullAvailabilityRecoversParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := DefaultConfig(Normal)
+	set := cfg.Strategies(rng, 50)
+	models := cfg.Models(rng, set)
+	for j, s := range set {
+		p := models[j].ParamsAt(1)
+		if math.Abs(p.Quality-s.Quality) > 1e-9 ||
+			math.Abs(p.Cost-s.Cost) > 1e-9 ||
+			math.Abs(p.Latency-s.Latency) > 1e-9 {
+			t.Fatalf("strategy %d params at w=1: %+v != %+v", j, p, s.Params)
+		}
+	}
+}
+
+func TestModelsDegradeAwayFromFullAvailability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultConfig(Uniform)
+	set := cfg.Strategies(rng, 50)
+	models := cfg.Models(rng, set)
+	for j := range set {
+		lo := models[j].ParamsAt(0.2)
+		hi := models[j].ParamsAt(0.9)
+		if lo.Quality > hi.Quality+1e-12 {
+			t.Fatalf("quality should improve with availability: %v > %v", lo.Quality, hi.Quality)
+		}
+		if lo.Cost < hi.Cost-1e-12 || lo.Latency < hi.Latency-1e-12 {
+			t.Fatalf("cost/latency should fall with availability")
+		}
+	}
+}
+
+func TestInstanceShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := DefaultConfig(Uniform)
+	inst := cfg.Instance(rng, 40, 7, 3)
+	if len(inst.Strategies) != 40 || len(inst.Requests) != 7 || len(inst.Models) != 40 {
+		t.Fatalf("instance shape: %d strategies, %d requests, %d models",
+			len(inst.Strategies), len(inst.Requests), len(inst.Models))
+	}
+	if _, err := workforce.Compute(inst.Requests, inst.Strategies, inst.Models); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRequirementWithinUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := DefaultConfig(Uniform)
+	f := func() bool {
+		set := cfg.Strategies(rng, 10)
+		models := cfg.Models(rng, set)
+		d := cfg.Requests(rng, 1, 1)[0]
+		for j := range set {
+			req := models[j].Requirement(d.Params)
+			if math.IsInf(req, 1) {
+				continue
+			}
+			if req < 0 || req > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNormalSatisfiesAtLeastUniformOnAverage(t *testing.T) {
+	// Figure 14's qualitative finding: the concentrated normal generator
+	// yields more satisfying strategies per request than the uniform one.
+	rng := rand.New(rand.NewSource(10))
+	count := func(dist Distribution) int {
+		cfg := DefaultConfig(dist)
+		total := 0
+		for trial := 0; trial < 30; trial++ {
+			set := cfg.Strategies(rng, 200)
+			for _, d := range cfg.Requests(rng, 5, 1) {
+				total += len(set.Satisfying(d))
+			}
+		}
+		return total
+	}
+	u := count(Uniform)
+	n := count(Normal)
+	if n <= u*9/10 {
+		t.Errorf("normal satisfaction count %d not >= uniform %d (within 10%%)", n, u)
+	}
+}

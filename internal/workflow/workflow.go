@@ -1,0 +1,256 @@
+// Package workflow implements the multi-stage strategy space of Section
+// 2.1: Turkomatic-style worker-designed workflows where each of x tasks is
+// deployed with its own (Structure, Organization, Style) choice, giving v^x
+// possible composite strategies (the paper counts 8^10 = 1,073,741,824 for
+// ten stages). The planner searches that space for the composition that
+// maximizes end-to-end quality subject to the requester's cost and latency
+// thresholds — the "query plan" view of deployment strategies the paper
+// draws as its closest analogy.
+//
+// Composition semantics (documented design choices of this reproduction):
+//
+//   - quality composes multiplicatively: errors compound through a
+//     pipeline, so total quality is the product of stage qualities;
+//   - cost composes additively: every stage pays its workers;
+//   - latency composes additively: workflow stages run as a pipeline
+//     (stage-internal parallelism is already inside the stage parameters).
+//
+// Cost and latency thresholds for a workflow are therefore budgets over
+// stage sums, not normalized [0,1] values.
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"stratrec/internal/strategy"
+)
+
+// Option is one candidate deployment choice for a stage.
+type Option struct {
+	Dims strategy.Dimensions
+	// Params holds the estimated stage parameters (quality in [0,1]; cost
+	// and latency in stage units).
+	Params strategy.Params
+}
+
+// Stage is one task of the workflow with its candidate options.
+type Stage struct {
+	Name    string
+	Options []Option
+}
+
+// Plan is a chosen option per stage with the composed parameters.
+type Plan struct {
+	// Choices[i] indexes Stages[i].Options.
+	Choices []int
+	// Quality is the composed (product) quality.
+	Quality float64
+	// Cost and Latency are the composed (summed) budgets.
+	Cost    float64
+	Latency float64
+}
+
+// Dims renders the chosen dimension combination per stage.
+func (p Plan) Dims(stages []Stage) []strategy.Dimensions {
+	out := make([]strategy.Dimensions, len(p.Choices))
+	for i, c := range p.Choices {
+		out[i] = stages[i].Options[c].Dims
+	}
+	return out
+}
+
+// Request bounds a workflow plan: minimum end-to-end quality, maximum total
+// cost and latency.
+type Request struct {
+	MinQuality float64
+	MaxCost    float64
+	MaxLatency float64
+}
+
+// ErrInfeasible is returned when no assignment meets the request.
+var ErrInfeasible = errors.New("workflow: no feasible plan")
+
+// ErrNoStages rejects empty workflows.
+var ErrNoStages = errors.New("workflow: no stages")
+
+// SpaceSize returns the number of possible plans, v1*v2*...*vx (the paper's
+// v^x when every stage offers the same v options).
+func SpaceSize(stages []Stage) float64 {
+	size := 1.0
+	for _, s := range stages {
+		size *= float64(len(s.Options))
+	}
+	return size
+}
+
+// validate checks the stage structure.
+func validate(stages []Stage) error {
+	if len(stages) == 0 {
+		return ErrNoStages
+	}
+	for i, s := range stages {
+		if len(s.Options) == 0 {
+			return fmt.Errorf("workflow: stage %d (%s) has no options", i, s.Name)
+		}
+		for j, o := range s.Options {
+			if o.Params.Quality < 0 || o.Params.Quality > 1 {
+				return fmt.Errorf("workflow: stage %d option %d quality %v outside [0,1]", i, j, o.Params.Quality)
+			}
+			if o.Params.Cost < 0 || o.Params.Latency < 0 {
+				return fmt.Errorf("workflow: stage %d option %d has negative budgets", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Best returns the feasible plan with maximum composed quality, searched by
+// depth-first branch and bound: the remaining stages' best-possible quality
+// product bounds the branch, and remaining minimum cost/latency prune
+// budget violations early. Ties break toward lower cost, then latency.
+func Best(stages []Stage, d Request) (Plan, error) {
+	if err := validate(stages); err != nil {
+		return Plan{}, err
+	}
+	x := len(stages)
+	// Per-stage maxima and minima for bounding.
+	maxQ := make([]float64, x+1) // product of best qualities from stage i on
+	minC := make([]float64, x+1) // sum of cheapest costs from stage i on
+	minL := make([]float64, x+1) // sum of smallest latencies from stage i on
+	maxQ[x], minC[x], minL[x] = 1, 0, 0
+	for i := x - 1; i >= 0; i-- {
+		bq, bc, bl := 0.0, stages[i].Options[0].Params.Cost, stages[i].Options[0].Params.Latency
+		for _, o := range stages[i].Options {
+			if o.Params.Quality > bq {
+				bq = o.Params.Quality
+			}
+			if o.Params.Cost < bc {
+				bc = o.Params.Cost
+			}
+			if o.Params.Latency < bl {
+				bl = o.Params.Latency
+			}
+		}
+		maxQ[i] = maxQ[i+1] * bq
+		minC[i] = minC[i+1] + bc
+		minL[i] = minL[i+1] + bl
+	}
+
+	best := Plan{Quality: -1}
+	found := false
+	choices := make([]int, x)
+	var dfs func(i int, q, c, l float64)
+	dfs = func(i int, q, c, l float64) {
+		// Prune: cannot reach the quality threshold or beat the incumbent
+		// (strict: equal-quality plans may still win on cost/latency ties).
+		potential := q * maxQ[i]
+		if potential < d.MinQuality {
+			return
+		}
+		if found && potential < best.Quality {
+			return
+		}
+		// Prune: budgets already blown even with cheapest completions.
+		if c+minC[i] > d.MaxCost || l+minL[i] > d.MaxLatency {
+			return
+		}
+		if i == x {
+			better := !found || q > best.Quality ||
+				(q == best.Quality && (c < best.Cost || (c == best.Cost && l < best.Latency)))
+			if better {
+				found = true
+				best = Plan{Choices: append([]int(nil), choices...), Quality: q, Cost: c, Latency: l}
+			}
+			return
+		}
+		// Try options best-quality-first so the incumbent tightens fast.
+		order := optionOrder(stages[i])
+		for _, oi := range order {
+			o := stages[i].Options[oi]
+			choices[i] = oi
+			dfs(i+1, q*o.Params.Quality, c+o.Params.Cost, l+o.Params.Latency)
+		}
+	}
+	dfs(0, 1, 0, 0)
+	if !found || best.Quality < d.MinQuality {
+		return Plan{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// TopK returns up to k feasible plans with the highest composed quality,
+// best first — the workflow analogue of StratRec recommending k strategies.
+func TopK(stages []Stage, d Request, k int) ([]Plan, error) {
+	if err := validate(stages); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("workflow: k=%d", k)
+	}
+	var all []Plan
+	x := len(stages)
+	choices := make([]int, x)
+	var dfs func(i int, q, c, l float64)
+	dfs = func(i int, q, c, l float64) {
+		if c > d.MaxCost || l > d.MaxLatency {
+			return
+		}
+		if i == x {
+			if q >= d.MinQuality {
+				all = append(all, Plan{Choices: append([]int(nil), choices...), Quality: q, Cost: c, Latency: l})
+			}
+			return
+		}
+		for oi := range stages[i].Options {
+			o := stages[i].Options[oi]
+			choices[i] = oi
+			dfs(i+1, q*o.Params.Quality, c+o.Params.Cost, l+o.Params.Latency)
+		}
+	}
+	dfs(0, 1, 0, 0)
+	if len(all) == 0 {
+		return nil, ErrInfeasible
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].Quality != all[b].Quality {
+			return all[a].Quality > all[b].Quality
+		}
+		if all[a].Cost != all[b].Cost {
+			return all[a].Cost < all[b].Cost
+		}
+		return all[a].Latency < all[b].Latency
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// optionOrder sorts a stage's options by descending quality (ties: cheaper
+// first).
+func optionOrder(s Stage) []int {
+	order := make([]int, len(s.Options))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		oa, ob := s.Options[order[a]].Params, s.Options[order[b]].Params
+		if oa.Quality != ob.Quality {
+			return oa.Quality > ob.Quality
+		}
+		return oa.Cost < ob.Cost
+	})
+	return order
+}
+
+// UniformStages builds x stages sharing one option catalog, the paper's
+// v^x setting.
+func UniformStages(x int, options []Option) []Stage {
+	stages := make([]Stage, x)
+	for i := range stages {
+		stages[i] = Stage{Name: fmt.Sprintf("task-%d", i+1), Options: options}
+	}
+	return stages
+}

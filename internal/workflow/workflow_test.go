@@ -1,0 +1,261 @@
+package workflow
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stratrec/internal/strategy"
+)
+
+func opt(dims strategy.Dimensions, q, c, l float64) Option {
+	return Option{Dims: dims, Params: strategy.Params{Quality: q, Cost: c, Latency: l}}
+}
+
+func seqIndCro() strategy.Dimensions {
+	return strategy.Dimensions{Structure: strategy.Sequential, Organization: strategy.Independent, Style: strategy.CrowdOnly}
+}
+
+func simIndHyb() strategy.Dimensions {
+	return strategy.Dimensions{Structure: strategy.Simultaneous, Organization: strategy.Independent, Style: strategy.Hybrid}
+}
+
+func simColCro() strategy.Dimensions {
+	return strategy.Dimensions{Structure: strategy.Simultaneous, Organization: strategy.Collaborative, Style: strategy.CrowdOnly}
+}
+
+// catalog is a three-option stage menu: high-quality/slow, cheap/fast, and
+// a middle hybrid.
+func catalog() []Option {
+	return []Option{
+		opt(seqIndCro(), 0.95, 3.0, 4.0),
+		opt(simColCro(), 0.80, 1.0, 1.0),
+		opt(simIndHyb(), 0.90, 2.0, 2.0),
+	}
+}
+
+func TestSpaceSizeMatchesPaperCounting(t *testing.T) {
+	// Eight options per stage, ten stages: 8^10 = 1,073,741,824 (§2.1).
+	options := make([]Option, 8)
+	for i, dims := range strategy.AllDimensions() {
+		options[i] = opt(dims, 0.9, 1, 1)
+	}
+	stages := UniformStages(10, options)
+	if got := SpaceSize(stages); got != 1073741824 {
+		t.Errorf("SpaceSize = %v, want 1073741824", got)
+	}
+	if got := strategy.WorkflowStrategies(8, 10); got != SpaceSize(stages) {
+		t.Errorf("strategy.WorkflowStrategies disagrees: %v", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Best(nil, Request{}); !errors.Is(err, ErrNoStages) {
+		t.Errorf("empty workflow error = %v", err)
+	}
+	if _, err := Best([]Stage{{Name: "s"}}, Request{}); err == nil {
+		t.Error("stage without options accepted")
+	}
+	bad := []Stage{{Name: "s", Options: []Option{opt(seqIndCro(), 1.5, 1, 1)}}}
+	if _, err := Best(bad, Request{MaxCost: 10, MaxLatency: 10}); err == nil {
+		t.Error("out-of-range quality accepted")
+	}
+	neg := []Stage{{Name: "s", Options: []Option{opt(seqIndCro(), 0.5, -1, 1)}}}
+	if _, err := Best(neg, Request{MaxCost: 10, MaxLatency: 10}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := TopK(nil, Request{}, 3); !errors.Is(err, ErrNoStages) {
+		t.Error("TopK empty workflow accepted")
+	}
+	stages := UniformStages(2, catalog())
+	if _, err := TopK(stages, Request{MaxCost: 10, MaxLatency: 10}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestBestUnconstrainedPicksBestQuality(t *testing.T) {
+	stages := UniformStages(3, catalog())
+	plan, err := Best(stages, Request{MinQuality: 0, MaxCost: 100, MaxLatency: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unconstrained: all stages pick the 0.95 option.
+	if math.Abs(plan.Quality-0.95*0.95*0.95) > 1e-12 {
+		t.Errorf("quality = %v", plan.Quality)
+	}
+	for _, c := range plan.Choices {
+		if c != 0 {
+			t.Errorf("choices = %v, want all 0", plan.Choices)
+		}
+	}
+	dims := plan.Dims(stages)
+	if dims[0] != seqIndCro() {
+		t.Errorf("dims = %v", dims)
+	}
+}
+
+func TestBestRespectsBudgets(t *testing.T) {
+	stages := UniformStages(3, catalog())
+	// Cost budget 6 rules out three expensive stages (9); the best mix is
+	// two hybrids + one cheap (2+2+1=5 <= 6; wait 2+2+2=6 works too).
+	plan, err := Best(stages, Request{MinQuality: 0, MaxCost: 6, MaxLatency: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost > 6 {
+		t.Errorf("cost = %v exceeds budget", plan.Cost)
+	}
+	// Three hybrids (cost 6, quality 0.9^3 = 0.729) beat mixes with the
+	// cheap option.
+	if math.Abs(plan.Quality-0.9*0.9*0.9) > 1e-12 {
+		t.Errorf("quality = %v, want 0.729", plan.Quality)
+	}
+}
+
+func TestBestInfeasible(t *testing.T) {
+	stages := UniformStages(2, catalog())
+	if _, err := Best(stages, Request{MinQuality: 0.99, MaxCost: 100, MaxLatency: 100}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("unreachable quality error = %v", err)
+	}
+	if _, err := Best(stages, Request{MinQuality: 0, MaxCost: 1, MaxLatency: 100}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("impossible budget error = %v", err)
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	stages := UniformStages(2, catalog())
+	plans, err := TopK(stages, Request{MinQuality: 0, MaxCost: 100, MaxLatency: 100}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 4 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Quality > plans[i-1].Quality+1e-12 {
+			t.Errorf("plans not sorted by quality: %v after %v", plans[i].Quality, plans[i-1].Quality)
+		}
+	}
+	// The best plan equals Best's answer.
+	best, err := Best(stages, Request{MinQuality: 0, MaxCost: 100, MaxLatency: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plans[0].Quality-best.Quality) > 1e-12 {
+		t.Errorf("TopK[0] = %v, Best = %v", plans[0].Quality, best.Quality)
+	}
+}
+
+func TestTopKInfeasible(t *testing.T) {
+	stages := UniformStages(2, catalog())
+	if _, err := TopK(stages, Request{MinQuality: 0.999, MaxCost: 100, MaxLatency: 100}, 3); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+// exhaustiveBest is the definition-following reference for property tests.
+func exhaustiveBest(stages []Stage, d Request) (Plan, bool) {
+	x := len(stages)
+	best := Plan{Quality: -1}
+	found := false
+	choices := make([]int, x)
+	var rec func(i int, q, c, l float64)
+	rec = func(i int, q, c, l float64) {
+		if i == x {
+			if q >= d.MinQuality && c <= d.MaxCost && l <= d.MaxLatency {
+				better := !found || q > best.Quality ||
+					(q == best.Quality && (c < best.Cost || (c == best.Cost && l < best.Latency)))
+				if better {
+					found = true
+					best = Plan{Choices: append([]int(nil), choices...), Quality: q, Cost: c, Latency: l}
+				}
+			}
+			return
+		}
+		for oi := range stages[i].Options {
+			o := stages[i].Options[oi]
+			choices[i] = oi
+			rec(i+1, q*o.Params.Quality, c+o.Params.Cost, l+o.Params.Latency)
+		}
+	}
+	rec(0, 1, 0, 0)
+	return best, found
+}
+
+func randomStages(rng *rand.Rand) []Stage {
+	x := 1 + rng.Intn(5)
+	stages := make([]Stage, x)
+	dims := strategy.AllDimensions()
+	for i := range stages {
+		nOpts := 1 + rng.Intn(4)
+		opts := make([]Option, nOpts)
+		for j := range opts {
+			opts[j] = opt(dims[rng.Intn(len(dims))],
+				0.5+0.5*rng.Float64(), rng.Float64()*3, rng.Float64()*3)
+		}
+		stages[i] = Stage{Name: "s", Options: opts}
+	}
+	return stages
+}
+
+func TestPropertyBestMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	f := func() bool {
+		stages := randomStages(rng)
+		d := Request{
+			MinQuality: rng.Float64() * 0.8,
+			MaxCost:    rng.Float64() * 8,
+			MaxLatency: rng.Float64() * 8,
+		}
+		want, feasible := exhaustiveBest(stages, d)
+		got, err := Best(stages, d)
+		if !feasible {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Quality-want.Quality) < 1e-12 &&
+			got.Cost <= d.MaxCost && got.Latency <= d.MaxLatency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTopKSubsetOfFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	f := func() bool {
+		stages := randomStages(rng)
+		d := Request{MinQuality: 0.3, MaxCost: 6, MaxLatency: 6}
+		plans, err := TopK(stages, d, 1+rng.Intn(5))
+		if errors.Is(err, ErrInfeasible) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		for _, p := range plans {
+			if p.Quality < d.MinQuality || p.Cost > d.MaxCost || p.Latency > d.MaxLatency {
+				return false
+			}
+			// Recompute composition from choices.
+			q, c, l := 1.0, 0.0, 0.0
+			for i, oi := range p.Choices {
+				o := stages[i].Options[oi]
+				q *= o.Params.Quality
+				c += o.Params.Cost
+				l += o.Params.Latency
+			}
+			if math.Abs(q-p.Quality) > 1e-9 || math.Abs(c-p.Cost) > 1e-9 || math.Abs(l-p.Latency) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

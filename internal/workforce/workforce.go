@@ -1,0 +1,244 @@
+// Package workforce implements the Workforce Requirement Computation of
+// Section 3.2: the m x |S| matrix W of per-(deployment, strategy) workforce
+// requirements, and its aggregation into the per-deployment requirement
+// vector under the paper's sum-case and max-case semantics.
+package workforce
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"stratrec/internal/linmodel"
+	"stratrec/internal/strategy"
+)
+
+// ModelProvider supplies the linear models of one (request, strategy)
+// combination. Indices refer to positions in the request slice and strategy
+// set handed to Compute.
+type ModelProvider interface {
+	Models(reqIdx, stratIdx int) linmodel.ParamModels
+}
+
+// PerStrategyModels is the common case where models depend only on the
+// strategy (all requests in a batch are of the same task type, as in the
+// paper's running example).
+type PerStrategyModels []linmodel.ParamModels
+
+// Models returns the models of strategy stratIdx regardless of the request.
+func (p PerStrategyModels) Models(_, stratIdx int) linmodel.ParamModels { return p[stratIdx] }
+
+// FullModels is a complete per-(request, strategy) model matrix.
+type FullModels [][]linmodel.ParamModels
+
+// Models returns the models at [reqIdx][stratIdx].
+func (f FullModels) Models(reqIdx, stratIdx int) linmodel.ParamModels { return f[reqIdx][stratIdx] }
+
+// Matrix is the workforce requirement matrix W: Entry(i, j) is the minimum
+// workforce needed to deploy request i with strategy j, or
+// linmodel.Infeasible when some threshold is unreachable.
+type Matrix struct {
+	m, s    int
+	entries []float64 // row-major
+}
+
+// Compute builds the matrix for the given requests and strategies (step 1 of
+// Section 3.2). Running time O(m * |S|), each cell in constant time.
+func Compute(requests []strategy.Request, set strategy.Set, models ModelProvider) (*Matrix, error) {
+	if len(requests) == 0 {
+		return nil, fmt.Errorf("workforce: no requests")
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	mat := &Matrix{m: len(requests), s: len(set), entries: make([]float64, len(requests)*len(set))}
+	for i, d := range requests {
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("workforce: request %d: %w", i, err)
+		}
+		for j := range set {
+			mat.entries[i*mat.s+j] = models.Models(i, j).Requirement(d.Params)
+		}
+	}
+	return mat, nil
+}
+
+// Rows returns the number of requests m.
+func (mat *Matrix) Rows() int { return mat.m }
+
+// Cols returns the number of strategies |S|.
+func (mat *Matrix) Cols() int { return mat.s }
+
+// Entry returns w_ij.
+func (mat *Matrix) Entry(i, j int) float64 { return mat.entries[i*mat.s+j] }
+
+// Row returns a copy of row i.
+func (mat *Matrix) Row(i int) []float64 {
+	row := make([]float64, mat.s)
+	copy(row, mat.entries[i*mat.s:(i+1)*mat.s])
+	return row
+}
+
+// Mode selects how the k per-strategy requirements of one request aggregate
+// into a single requirement (step 2 of Section 3.2).
+type Mode int
+
+const (
+	// SumCase assumes the requester deploys with all k recommended
+	// strategies: the requirement is the sum of the k smallest w values.
+	SumCase Mode = iota
+	// MaxCase assumes the requester deploys with only one of the k
+	// recommended strategies: the requirement is the k-th smallest w.
+	MaxCase
+)
+
+func (m Mode) String() string {
+	switch m {
+	case SumCase:
+		return "sum"
+	case MaxCase:
+		return "max"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Requirement is the aggregated workforce requirement of one request
+// together with the k strategies that realize it.
+type Requirement struct {
+	// Workforce is the aggregated requirement, or linmodel.Infeasible when
+	// fewer than k strategies have finite requirements.
+	Workforce float64
+	// Strategies holds the IDs of the k selected strategies in ascending
+	// requirement order; nil when infeasible.
+	Strategies []int
+}
+
+// Feasible reports whether k strategies were found.
+func (r Requirement) Feasible() bool { return !math.IsInf(r.Workforce, 1) }
+
+// kSmallest selects the k smallest finite values of row (with their column
+// indices) using a size-k max-heap, the O(|S| log k) selection the paper
+// describes. It returns fewer than k pairs when the row has fewer finite
+// entries.
+func kSmallest(row []float64, k int) []colValue {
+	h := &maxHeap{}
+	for j, w := range row {
+		if math.IsInf(w, 1) {
+			continue
+		}
+		if h.Len() < k {
+			heap.Push(h, colValue{col: j, value: w})
+		} else if w < (*h)[0].value {
+			(*h)[0] = colValue{col: j, value: w}
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]colValue, h.Len())
+	copy(out, *h)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].value != out[b].value {
+			return out[a].value < out[b].value
+		}
+		return out[a].col < out[b].col
+	})
+	return out
+}
+
+// Aggregate computes the requirement of row i with cardinality k under the
+// given mode.
+func (mat *Matrix) Aggregate(i, k int, mode Mode) Requirement {
+	if k < 1 {
+		return Requirement{Workforce: linmodel.Infeasible}
+	}
+	picked := kSmallest(mat.entries[i*mat.s:(i+1)*mat.s], k)
+	if len(picked) < k {
+		return Requirement{Workforce: linmodel.Infeasible}
+	}
+	ids := make([]int, k)
+	agg := 0.0
+	for idx, cv := range picked {
+		ids[idx] = cv.col
+		if mode == SumCase {
+			agg += cv.value
+		} else {
+			agg = cv.value // ascending order: ends at the k-th smallest
+		}
+	}
+	return Requirement{Workforce: agg, Strategies: ids}
+}
+
+// Vector computes the aggregated requirement of every request (the vector
+// W-arrow of Section 3.2), using each request's own cardinality constraint.
+// Overall running time O(m |S| log k).
+func (mat *Matrix) Vector(requests []strategy.Request, mode Mode) []Requirement {
+	out := make([]Requirement, mat.m)
+	for i := range out {
+		out[i] = mat.Aggregate(i, requests[i].K, mode)
+	}
+	return out
+}
+
+// RequirementFor computes one request's aggregated requirement directly,
+// without materializing a matrix row. It is the streaming variant used by
+// the large-scale experiments (a 10^4 x 10^4 batch would otherwise need an
+// 800 MB matrix).
+func RequirementFor(d strategy.Request, reqIdx int, set strategy.Set, models ModelProvider, mode Mode) Requirement {
+	if d.K < 1 {
+		return Requirement{Workforce: linmodel.Infeasible}
+	}
+	h := &maxHeap{}
+	for j := range set {
+		w := models.Models(reqIdx, j).Requirement(d.Params)
+		if math.IsInf(w, 1) {
+			continue
+		}
+		if h.Len() < d.K {
+			heap.Push(h, colValue{col: j, value: w})
+		} else if w < (*h)[0].value {
+			(*h)[0] = colValue{col: j, value: w}
+			heap.Fix(h, 0)
+		}
+	}
+	if h.Len() < d.K {
+		return Requirement{Workforce: linmodel.Infeasible}
+	}
+	picked := make([]colValue, h.Len())
+	copy(picked, *h)
+	sort.Slice(picked, func(a, b int) bool {
+		if picked[a].value != picked[b].value {
+			return picked[a].value < picked[b].value
+		}
+		return picked[a].col < picked[b].col
+	})
+	out := Requirement{Strategies: make([]int, d.K)}
+	for idx, cv := range picked {
+		out.Strategies[idx] = cv.col
+		if mode == SumCase {
+			out.Workforce += cv.value
+		} else {
+			out.Workforce = cv.value
+		}
+	}
+	return out
+}
+
+type colValue struct {
+	col   int
+	value float64
+}
+
+// maxHeap keeps the k smallest values seen so far, largest on top.
+type maxHeap []colValue
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].value > h[j].value }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(colValue)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
