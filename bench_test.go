@@ -11,6 +11,8 @@ package bench
 
 import (
 	"math/rand"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"stratrec/internal/adpar"
@@ -99,7 +101,7 @@ func BenchmarkFigure18aBatchScalability(b *testing.B) {
 	rng := rand.New(rand.NewSource(18))
 	for _, m := range []int{10, 14, 18} {
 		items := batchItems(rng, m)
-		b.Run("BruteForce/m="+itoa(m), func(b *testing.B) {
+		b.Run("BruteForce/m="+strconv.Itoa(m), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := batch.BruteForce(items, 0.5); err != nil {
@@ -110,7 +112,7 @@ func BenchmarkFigure18aBatchScalability(b *testing.B) {
 	}
 	for _, m := range []int{200, 400, 600, 800} {
 		items := batchItems(rng, m)
-		b.Run("BatchStrat/m="+itoa(m), func(b *testing.B) {
+		b.Run("BatchStrat/m="+strconv.Itoa(m), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				batch.BatchStrat(items, 0.5)
@@ -131,7 +133,7 @@ func BenchmarkFigure18bADPaRStrategies(b *testing.B) {
 	for _, n := range []int{1000, 5000, 25000} {
 		rng := rand.New(rand.NewSource(int64(n)))
 		set, d := adparInstance(rng, n, 5)
-		b.Run("S="+itoa(n), func(b *testing.B) {
+		b.Run("S="+strconv.Itoa(n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := adpar.Exact(set, d); err != nil {
@@ -148,7 +150,7 @@ func BenchmarkFigure18cADPaRK(b *testing.B) {
 	for _, k := range []int{10, 50, 250} {
 		rng := rand.New(rand.NewSource(int64(k)))
 		set, d := adparInstance(rng, 10000, k)
-		b.Run("k="+itoa(k), func(b *testing.B) {
+		b.Run("k="+strconv.Itoa(k), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := adpar.Exact(set, d); err != nil {
@@ -159,16 +161,63 @@ func BenchmarkFigure18cADPaRK(b *testing.B) {
 	}
 }
 
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
+// --- Amortized serving engine: the same Figure-18 parameter points served
+// through a warm adpar.Index, quantifying what the per-request compilation
+// costs and what the parallel sweep adds. ---
+
+// BenchmarkIndexedADPaR times warm-index sequential serving: the index is
+// compiled once per parameter point and every iteration is one request
+// against it — the steady state of the online StratRec setting.
+func BenchmarkIndexedADPaR(b *testing.B) {
+	// Seeds match BenchmarkFigure18bADPaRStrategies (seed = n) and
+	// BenchmarkFigure18cADPaRK (seed = k) so warm-index numbers compare
+	// apples-to-apples against the per-request Exact path on the very same
+	// instances.
+	points := []struct {
+		n, k int
+		seed int64
+	}{
+		{1000, 5, 1000}, {5000, 5, 5000}, {25000, 5, 25000}, // Figure 18b sweep (k = 5)
+		{10000, 10, 10}, {10000, 50, 50}, {10000, 250, 250}, // Figure 18c sweep (|S| = 10000)
 	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
+	for _, pt := range points {
+		rng := rand.New(rand.NewSource(pt.seed))
+		set, d := adparInstance(rng, pt.n, pt.k)
+		ix, err := adpar.NewIndex(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.Parallelism = 1
+		b.Run("S="+strconv.Itoa(pt.n)+"/k="+strconv.Itoa(pt.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Solve(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	return string(buf[i:])
+}
+
+// BenchmarkParallelADPaR times the warm index with the parallel outer sweep
+// forced to GOMAXPROCS workers at the Figure-18c points. On a single-CPU
+// host this quantifies the coordination overhead rather than a speedup.
+func BenchmarkParallelADPaR(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	for _, k := range []int{10, 50, 250} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		set, d := adparInstance(rng, 10000, k)
+		ix, err := adpar.NewIndex(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("k="+strconv.Itoa(k)+"/workers="+strconv.Itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.SolveParallel(d, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

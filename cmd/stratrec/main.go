@@ -71,16 +71,17 @@ func main() {
 		objective = flag.String("objective", "throughput", "platform goal: throughput or payoff")
 		mode      = flag.String("mode", "max", "workforce aggregation: sum (deploy all k) or max (deploy one of k)")
 		workF     = flag.Float64("workforce", -1, "override available workforce W in [0,1]")
+		adparPar  = flag.Int("adpar-parallelism", 0, "ADPaR sweep workers: 0 auto (GOMAXPROCS), 1 sequential")
 	)
 	flag.Parse()
 
-	if err := run(*inputPath, *objective, *mode, *workF); err != nil {
+	if err := run(*inputPath, *objective, *mode, *workF, *adparPar); err != nil {
 		fmt.Fprintln(os.Stderr, "stratrec:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inputPath, objective, mode string, overrideW float64) error {
+func run(inputPath, objective, mode string, overrideW float64, adparParallelism int) error {
 	var (
 		set    strategy.Set
 		models workforce.PerStrategyModels
@@ -130,7 +131,7 @@ func run(inputPath, objective, mode string, overrideW float64) error {
 		W = overrideW
 	}
 
-	cfg := core.Config{}
+	cfg := core.Config{ADPaRParallelism: adparParallelism}
 	switch objective {
 	case "throughput":
 		cfg.Objective = batch.Throughput

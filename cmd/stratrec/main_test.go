@@ -29,7 +29,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunPaperExample(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "throughput", "max", -1)
+		return run("", "throughput", "max", -1, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +51,7 @@ func TestRunPaperExample(t *testing.T) {
 
 func TestRunFromFile(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("testdata/batch.json", "payoff", "sum", -1)
+		return run("testdata/batch.json", "payoff", "sum", -1, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +67,7 @@ func TestRunFromFile(t *testing.T) {
 func TestRunWorkforceOverride(t *testing.T) {
 	// With W = 0 nothing can be served; every request goes to ADPaR.
 	out, err := capture(t, func() error {
-		return run("", "throughput", "max", 0)
+		return run("", "throughput", "max", 0, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -78,13 +78,13 @@ func TestRunWorkforceOverride(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "bogus", "max", -1); err == nil {
+	if err := run("", "bogus", "max", -1, 0); err == nil {
 		t.Error("bogus objective accepted")
 	}
-	if err := run("", "throughput", "bogus", -1); err == nil {
+	if err := run("", "throughput", "bogus", -1, 0); err == nil {
 		t.Error("bogus mode accepted")
 	}
-	if err := run("/nonexistent.json", "throughput", "max", -1); err == nil {
+	if err := run("/nonexistent.json", "throughput", "max", -1, 0); err == nil {
 		t.Error("missing input accepted")
 	}
 }

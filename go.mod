@@ -1,0 +1,3 @@
+module stratrec
+
+go 1.24

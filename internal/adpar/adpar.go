@@ -136,21 +136,17 @@ func (p *problem) solutionAt(alt geometry.Point3) Solution {
 // (Theorem 4). Worst case O(|S|^2 log k); the monotone pruning of Lemma 2
 // (candidates are visited in non-decreasing per-dimension relaxation order)
 // usually terminates the sweeps far earlier.
+//
+// Exact is a thin wrapper over the amortized serving engine: it compiles a
+// one-shot Index and solves against it. Callers answering many requests
+// over the same strategy set should build the Index themselves with
+// NewIndex and reuse it, which skips the per-call compilation entirely.
 func Exact(set strategy.Set, d strategy.Request) (Solution, error) {
-	p, err := newProblem(set, d)
+	ix, err := NewIndex(set)
 	if err != nil {
 		return Solution{}, err
 	}
-	// Choose the outer dimension: fewest distinct absolute candidates.
-	outer := 0
-	outerCands := distinctDimValues(p, 0)
-	for dim := 1; dim < geometry.Dims; dim++ {
-		c := distinctDimValues(p, dim)
-		if len(c) < len(outerCands) {
-			outer, outerCands = dim, c
-		}
-	}
-	return exactWithOuter(p, outer, outerCands)
+	return ix.Solve(d)
 }
 
 // ExactWithOuterDim runs ADPaR-Exact with a fixed outer sweep dimension (0
@@ -160,13 +156,17 @@ func ExactWithOuterDim(set strategy.Set, d strategy.Request, outer int) (Solutio
 	if outer < 0 || outer >= geometry.Dims {
 		return Solution{}, fmt.Errorf("adpar: outer dimension %d outside [0,%d)", outer, geometry.Dims)
 	}
-	p, err := newProblem(set, d)
+	ix, err := NewIndex(set)
 	if err != nil {
 		return Solution{}, err
 	}
-	return exactWithOuter(p, outer, distinctDimValues(p, outer))
+	return ix.SolveWithOuterDim(d, outer)
 }
 
+// exactWithOuter is the original single-pass sweep Exact was built on. It is
+// retained verbatim as the reference oracle: the Index equivalence tests
+// replay randomized instances through it and require Index.Solve (sequential
+// and parallel) to reproduce its solutions bit for bit.
 func exactWithOuter(p *problem, outer int, outerCands []float64) (Solution, error) {
 	n := len(p.pts)
 	dimA, dimB := otherDims(outer)

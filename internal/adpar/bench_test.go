@@ -2,6 +2,7 @@ package adpar
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"stratrec/internal/strategy"
@@ -70,18 +71,5 @@ func BenchmarkBruteForceK(b *testing.B) {
 }
 
 func byNK(n, k int) string {
-	return "n=" + itoa(n) + "/k=" + itoa(k)
-}
-
-func itoa(v int) string {
-	digits := "0123456789"
-	if v == 0 {
-		return "0"
-	}
-	out := ""
-	for v > 0 {
-		out = string(digits[v%10]) + out
-		v /= 10
-	}
-	return out
+	return "n=" + strconv.Itoa(n) + "/k=" + strconv.Itoa(k)
 }

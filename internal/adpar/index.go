@@ -1,0 +1,555 @@
+package adpar
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"stratrec/internal/geometry"
+	"stratrec/internal/strategy"
+)
+
+// This file implements the amortized ADPaR serving engine. The paper's
+// online setting has StratRec answer a stream of deployment requests against
+// a largely static strategy set; rebuilding the normalized problem — key
+// points, per-dimension sorted orders, candidate relaxation lists — on every
+// request costs O(|S| log |S|) in setup alone. An Index compiles all
+// request-independent state once per strategy set, so serving a request does
+// no per-|S| allocation and the sweep starts immediately.
+//
+// Three further engine-level optimizations preserve the exact sequential
+// semantics of ADPaR-Exact:
+//
+//   - Admission skip: an outer candidate admitting fewer than k strategies
+//     can never fill the k-heap, so the plain sweep scans all |S| points
+//     for nothing. The index knows the k-th smallest coordinate of every
+//     dimension, so Solve binary-searches the first productive outer
+//     candidate and skips the barren prefix entirely.
+//   - Candidate skip: a candidate whose newly admitted points all fall
+//     outside the current pruning window can only reproduce the previous
+//     scan's corners at a strictly larger outer relaxation, so its whole
+//     rescan is skipped (see sweepRange).
+//   - Admitted-only scan: executed scans iterate a bitset over inner-
+//     dimension positions holding exactly the admitted points, skipping 64
+//     non-admitted positions per word operation instead of testing points
+//     one by one.
+//
+// On top of the single-request fast path, the outer-candidate sweep can be
+// parallelized across GOMAXPROCS goroutines that share the best-squared-
+// distance bound through an atomic, with deterministic merging so the
+// parallel result is bit-for-bit the sequential result.
+
+// DefaultParallelCutoff is the strategy-set size below which Solve stays
+// sequential: goroutine startup and bound-sharing overhead outweigh the
+// sweep cost on small instances.
+const DefaultParallelCutoff = 4096
+
+// Index is a reusable, request-independent compilation of one strategy set
+// for ADPaR serving. Build it once with NewIndex and call Solve for every
+// request; the compiled state is immutable after construction, so Solve is
+// safe for concurrent use from multiple goroutines.
+type Index struct {
+	// Parallelism caps the worker count of the parallel sweep. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the sequential sweep. Set it before
+	// sharing the index across goroutines.
+	Parallelism int
+	// ParallelCutoff is the minimum |S| for which Solve parallelizes.
+	// NewIndex sets it to DefaultParallelCutoff.
+	ParallelCutoff int
+
+	// pts holds the key-space point of every strategy; the position is the
+	// strategy ID (validated by NewIndex).
+	pts []geometry.Point3
+	// byDim[dim] holds the same points sorted ascending by coordinate dim.
+	// Storing whole points (not an index permutation) makes the hot sweep
+	// loop a sequential scan over contiguous memory.
+	byDim [geometry.Dims][]geometry.Point3
+	// distinct[dim] holds the sorted distinct coordinate values of dim, the
+	// request-independent part of the outer-candidate lists.
+	distinct [geometry.Dims][]float64
+	// countLE[dim][j] is the number of points whose coordinate dim is at
+	// most distinct[dim][j] — the admission count of the j-th candidate.
+	countLE [geometry.Dims][]int32
+	// perm[dim] holds point IDs sorted by coordinate dim (the ID behind
+	// each byDim[dim] slot); inv[dim] is its inverse (ID -> position).
+	// They exist to derive pair data lazily.
+	perm, inv [geometry.Dims][]int32
+	// pairs[o][a] holds the (outer = o, inner = a) sweep metadata, built on
+	// first use: a one-shot Exact call touches a single pair, so compiling
+	// all six eagerly would double the cost of cold solves for nothing.
+	pairs [geometry.Dims][geometry.Dims]indexPair
+
+	// scratch recycles per-request sweep state (the bounded k-heap and the
+	// admission bitset) across Solve calls and workers.
+	scratch sync.Pool
+}
+
+// NewIndex validates the strategy set and compiles the serving index:
+// pre-negated key points, per-dimension sorted point arrays, distinct value
+// lists with admission counts, and the position maps driving the admitted-
+// only scan. O(|S| log |S|) once; every Solve afterwards allocates only its
+// solution.
+func NewIndex(set strategy.Set) (*Index, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(set)
+	ix := &Index{ParallelCutoff: DefaultParallelCutoff}
+	ix.pts = make([]geometry.Point3, n)
+	for i, s := range set {
+		ix.pts[i] = keyPoint(s.Params)
+	}
+
+	for dim := 0; dim < geometry.Dims; dim++ {
+		d := dim
+		p := make([]int32, n)
+		for i := range p {
+			p[i] = int32(i)
+		}
+		sort.Slice(p, func(a, b int) bool { return ix.pts[p[a]][d] < ix.pts[p[b]][d] })
+		ix.perm[dim] = p
+		ix.inv[dim] = make([]int32, n)
+		pts := make([]geometry.Point3, n)
+		for pos, id := range p {
+			ix.inv[dim][id] = int32(pos)
+			pts[pos] = ix.pts[id]
+		}
+		ix.byDim[dim] = pts
+
+		vals := make([]float64, 0, n)
+		counts := make([]int32, 0, n)
+		for pos, pt := range pts {
+			if len(vals) == 0 || pt[d] != vals[len(vals)-1] {
+				vals = append(vals, pt[d])
+				counts = append(counts, int32(pos)+1)
+			} else {
+				counts[len(counts)-1] = int32(pos) + 1
+			}
+		}
+		ix.distinct[dim] = vals
+		ix.countLE[dim] = counts
+	}
+	ix.scratch.New = func() interface{} { return &sweepScratch{} }
+	return ix, nil
+}
+
+// indexPair is the sweep metadata of one (outer, inner) dimension pair,
+// compiled on first use and immutable afterwards.
+type indexPair struct {
+	once sync.Once
+	// minOther[j] is the minimum inner-dimension coordinate among the
+	// points whose outer coordinate is exactly distinct[outer][j] — the
+	// cheapest inner relaxation the j-th outer candidate can newly admit,
+	// driving the candidate skip.
+	minOther []float64
+	// pos[i] is the position in byDim[inner] of the point stored at
+	// byDim[outer][i]. Activating positions in admission (outer) order
+	// builds the bitset the admitted-only scan iterates.
+	pos []int32
+}
+
+// pair returns the compiled (outer = o, inner = a) metadata, building it on
+// first use. sync.Once makes concurrent first access safe and every later
+// access a single atomic load.
+func (ix *Index) pair(o, a int) *indexPair {
+	p := &ix.pairs[o][a]
+	p.once.Do(func() {
+		mins := make([]float64, len(ix.distinct[o]))
+		pos := make([]int32, len(ix.pts))
+		j := -1
+		for i, pt := range ix.byDim[o] {
+			if j < 0 || pt[o] != ix.distinct[o][j] {
+				j++
+				mins[j] = pt[a]
+			} else if pt[a] < mins[j] {
+				mins[j] = pt[a]
+			}
+			pos[i] = ix.inv[a][ix.perm[o][i]]
+		}
+		p.minOther = mins
+		p.pos = pos
+	})
+	return p
+}
+
+// Len returns the number of indexed strategies.
+func (ix *Index) Len() int { return len(ix.pts) }
+
+// Solve answers one deployment request against the indexed strategy set. It
+// returns exactly what Exact returns on the same inputs: the l2-closest
+// alternative parameters covering at least d.K strategies, with
+// deterministic tie-breaking. Safe for concurrent use.
+func (ix *Index) Solve(d strategy.Request) (Solution, error) {
+	return ix.solve(d, -1, 0)
+}
+
+// SolveWithOuterDim is Solve with a fixed outer sweep dimension (0 quality,
+// 1 cost, 2 latency). Any choice is exact; the ablation benchmarks use this
+// to quantify the fewest-distinct-values heuristic Solve applies.
+func (ix *Index) SolveWithOuterDim(d strategy.Request, outer int) (Solution, error) {
+	if outer < 0 || outer >= geometry.Dims {
+		return Solution{}, fmt.Errorf("adpar: outer dimension %d outside [0,%d)", outer, geometry.Dims)
+	}
+	return ix.solve(d, outer, 0)
+}
+
+// SolveParallel is Solve with an explicit worker count, bypassing the
+// ParallelCutoff heuristic. workers < 1 is treated as 1. It exists so tests
+// and benchmarks can force the parallel sweep on instances of any size.
+func (ix *Index) SolveParallel(d strategy.Request, workers int) (Solution, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	return ix.solve(d, -1, workers)
+}
+
+// solve validates the request, picks the outer dimension (fewest outer
+// candidates, matching Exact's heuristic) unless fixed, decides the worker
+// count (0 = auto) and runs the sweep.
+func (ix *Index) solve(d strategy.Request, outer, workers int) (Solution, error) {
+	if d.K < 1 {
+		return Solution{}, ErrBadK
+	}
+	if len(ix.pts) < d.K {
+		return Solution{}, fmt.Errorf("%w: |S|=%d, k=%d", ErrNotEnoughStrategies, len(ix.pts), d.K)
+	}
+	if err := d.Params.Validate(); err != nil {
+		return Solution{}, err
+	}
+	u := keyPoint(d.Params)
+
+	if outer < 0 {
+		// Fewest distinct outer candidates, first dimension on ties — the
+		// same choice Exact's distinctDimValues scan makes, in O(log |S|).
+		best := ix.candCount(0, u)
+		outer = 0
+		for dim := 1; dim < geometry.Dims; dim++ {
+			if c := ix.candCount(dim, u); c < best {
+				outer, best = dim, c
+			}
+		}
+	}
+	cands := ix.outerCands(outer, u)
+
+	// Admission skip: a candidate value below the k-th smallest coordinate
+	// of the outer dimension admits fewer than k strategies, so its inner
+	// sweep can never produce a covering corner. Start at the first
+	// candidate admitting at least k.
+	start := cands.searchStart(ix.byDim[outer][d.K-1][outer])
+
+	if workers == 0 {
+		workers = ix.Parallelism
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if len(ix.pts) < ix.ParallelCutoff {
+			workers = 1
+		}
+	}
+	if span := cands.len() - start; workers > span {
+		workers = span
+	}
+
+	dimA, dimB := otherDims(outer)
+	var best sweepOutcome
+	if workers <= 1 {
+		// The goroutine fan-out lives in its own method so this branch's
+		// locals stay off the heap: a closure anywhere in this function
+		// would force them to escape and cost the steady-state serving
+		// path its zero-allocation property.
+		var shared atomicMinFloat64
+		shared.store(math.Inf(1))
+		sc := ix.getScratch(d.K)
+		best = ix.sweepRange(u, d.K, outer, dimA, dimB, cands, start, 0, 1, &shared, sc)
+		ix.scratch.Put(sc)
+	} else {
+		best = ix.parallelSweep(u, d.K, outer, dimA, dimB, cands, start, workers)
+	}
+	if best.cand < 0 {
+		// Unreachable when |S| >= k: the all-max corner always covers k.
+		return Solution{}, fmt.Errorf("adpar: internal error: no covering corner found")
+	}
+	// Distance is re-derived from the corner coordinates (not the
+	// accumulated sweep objective, whose summation order depends on the
+	// outer dimension) so the result is bit-for-bit what problem.solutionAt
+	// computes for the same corner.
+	return Solution{
+		Alternative: keyParams(best.alt),
+		Covered:     geometry.Covered(ix.pts, best.alt),
+		Distance:    best.alt.Dist(u),
+	}, nil
+}
+
+// parallelSweep partitions the outer candidates across workers goroutines
+// (strided, so every worker sees the promising low-relaxation candidates)
+// that share the best-squared-distance bound through an atomic, then merges
+// the per-worker outcomes deterministically: smallest objective wins; on an
+// exact tie the smallest outer candidate index wins, which is the corner
+// the sequential sweep (first strict improvement in ascending candidate
+// order) would have kept.
+func (ix *Index) parallelSweep(u geometry.Point3, k, outer, dimA, dimB int, cands outerCandList, start, workers int) sweepOutcome {
+	var shared atomicMinFloat64
+	shared.store(math.Inf(1))
+	outcomes := make([]sweepOutcome, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			sc := ix.getScratch(k)
+			outcomes[w] = ix.sweepRange(u, k, outer, dimA, dimB, cands, start, w, workers, &shared, sc)
+			ix.scratch.Put(sc)
+		}(w)
+	}
+	wg.Wait()
+	best := outcomes[0]
+	for _, o := range outcomes[1:] {
+		if o.cand < 0 {
+			continue
+		}
+		if best.cand < 0 || o.best2 < best.best2 ||
+			(o.best2 == best.best2 && o.cand < best.cand) {
+			best = o
+		}
+	}
+	return best
+}
+
+// candCount returns how many outer candidate values dimension dim would
+// have for bound u: the original bound plus every distinct coordinate value
+// strictly above it.
+func (ix *Index) candCount(dim int, u geometry.Point3) int {
+	return 1 + len(ix.distinct[dim]) - sort.SearchFloat64s(ix.distinct[dim], math.Nextafter(u[dim], math.Inf(1)))
+}
+
+// outerCandList enumerates the ascending outer candidate values of one
+// request without materializing them: the original bound (zero relaxation)
+// followed by the indexed distinct values strictly above it. from records
+// where the tail starts inside Index.distinct so candidate indices map back
+// to the per-candidate metadata (minOther, countLE).
+type outerCandList struct {
+	first float64   // u[outer]
+	tail  []float64 // distinct coordinate values strictly above first
+	from  int       // index of tail[0] in Index.distinct[outer]
+}
+
+func (ix *Index) outerCands(dim int, u geometry.Point3) outerCandList {
+	from := sort.SearchFloat64s(ix.distinct[dim], math.Nextafter(u[dim], math.Inf(1)))
+	return outerCandList{first: u[dim], tail: ix.distinct[dim][from:], from: from}
+}
+
+func (c outerCandList) len() int { return 1 + len(c.tail) }
+
+func (c outerCandList) at(i int) float64 {
+	if i == 0 {
+		return c.first
+	}
+	return c.tail[i-1]
+}
+
+// searchStart returns the first candidate index whose value is at least
+// threshold (the k-th smallest outer coordinate), i.e. the first candidate
+// admitting at least k strategies.
+func (c outerCandList) searchStart(threshold float64) int {
+	if c.first >= threshold {
+		return 0
+	}
+	return 1 + sort.SearchFloat64s(c.tail, threshold)
+}
+
+// admitCount returns how many points candidate ci admits: those whose outer
+// coordinate is at most the candidate value.
+func (ix *Index) admitCount(outer int, cands outerCandList, ci int) int {
+	if ci == 0 {
+		// Points at or below the original bound: everything before the
+		// first distinct value strictly above it.
+		if cands.from == 0 {
+			return 0
+		}
+		return int(ix.countLE[outer][cands.from-1])
+	}
+	return int(ix.countLE[outer][cands.from+ci-1])
+}
+
+// sweepScratch is the reusable per-worker sweep state: the bounded max-heap
+// tracking the k smallest third-dimension coordinates and the admission
+// bitset over inner-dimension positions. Pooled on the Index so steady-state
+// serving performs no per-|S| allocation.
+type sweepScratch struct {
+	heap     boundedMaxHeap
+	admitted []uint64 // bitset over byDim[dimA] positions
+}
+
+func (ix *Index) getScratch(k int) *sweepScratch {
+	sc := ix.scratch.Get().(*sweepScratch)
+	sc.heap.k = k
+	if cap(sc.heap.data) < k {
+		sc.heap.data = make([]float64, 0, k)
+	}
+	sc.heap.data = sc.heap.data[:0]
+	words := (len(ix.pts) + 63) / 64
+	if cap(sc.admitted) < words {
+		sc.admitted = make([]uint64, words)
+	}
+	sc.admitted = sc.admitted[:words]
+	for i := range sc.admitted {
+		sc.admitted[i] = 0
+	}
+	return sc
+}
+
+// sweepOutcome is one worker's best corner: the squared objective, the
+// outer candidate index that produced it (-1 when the worker found no
+// covering corner) and the corner itself.
+type sweepOutcome struct {
+	best2 float64
+	cand  int
+	alt   geometry.Point3
+}
+
+// sweepRange runs the ADPaR-Exact inner sweep over the outer candidates of
+// one worker — those with (index - start) ≡ residue (mod stride) — and
+// returns the worker's best corner. shared carries the global best squared
+// objective across workers.
+//
+// Determinism invariants (why the merged parallel result is bit-for-bit the
+// sequential result):
+//
+//  1. A worker's local best is updated only on strict improvement, and its
+//     candidates ascend, so per worker the earliest candidate achieving the
+//     local minimum wins — exactly the sequential rule on that subset.
+//  2. Pruning against the worker's own best uses >= (the sequential rule:
+//     an equal corner can never replace the incumbent), but pruning against
+//     the shared bound uses strict >, so a corner tying the global optimum
+//     held by another worker is never skipped: the tie is resolved at merge
+//     time by the smaller outer candidate index instead.
+//  3. The globally winning corner is never pruned (its partial sums are <=
+//     its objective <= every bound in play), and the heap state when it is
+//     examined depends only on the admitted prefix in A-order, which is
+//     worker-independent. Hence the worker owning the winning candidate
+//     reproduces the sequential corner coordinates exactly.
+//
+// On top of the Lemma-2 pruning, the sweep skips whole candidates using the
+// index's per-candidate admission minima: if every point admitted since the
+// worker's last executed scan has a dimension-A relaxation outside the
+// current pruning window, the candidate's corners are exactly the last
+// scanned candidate's corners shifted to a strictly larger outer
+// relaxation, so none of them can improve (or even tie) any bound in play
+// and the rescan is skipped. pendingRA accumulates the smallest dimension-A
+// relaxation admitted since the last scan — across all candidate indices,
+// not just this worker's residue class, because a scan visits every
+// admitted point regardless of which candidate admitted it.
+//
+// Executed scans iterate only admitted points: positions in byDim[dimA]
+// order are activated in a bitset as candidates admit them (the position
+// maps are precompiled on the index), and the scan walks set bits word by
+// word. The visit order is identical to a full scan that tests and skips
+// non-admitted points, so heap states and corners are unchanged.
+func (ix *Index) sweepRange(u geometry.Point3, k, outer, dimA, dimB int, cands outerCandList, start, residue, stride int, shared *atomicMinFloat64, sc *sweepScratch) sweepOutcome {
+	ptsA := ix.byDim[dimA]
+	pairData := ix.pair(outer, dimA)
+	admitOrder := pairData.pos // byDim[outer] order -> byDim[dimA] position
+	minA := pairData.minOther
+	uOuter, uA, uB := u[outer], u[dimA], u[dimB]
+	out := sweepOutcome{best2: math.Inf(1), cand: -1}
+	heap := &sc.heap
+	admitted := sc.admitted
+	activated := 0   // points admitted into the bitset so far
+	pendingRA := 0.0 // min dimension-A relaxation admitted since the last scan; 0 forces the first scan
+	for ci := start; ci < cands.len(); ci++ {
+		if ci > 0 {
+			if ra := minA[cands.from+ci-1] - uA; ra < pendingRA {
+				if ra < 0 {
+					ra = 0
+				}
+				pendingRA = ra
+			}
+		}
+		if (ci-start)%stride != residue {
+			continue
+		}
+		cAbs := cands.at(ci)
+		rOuter := cAbs - uOuter
+		rO2 := rOuter * rOuter
+		g := shared.load()
+		if rO2 >= out.best2 || rO2 > g {
+			break // Lemma 2: candidates ascend; no better corner remains.
+		}
+		if partialMin := rO2 + pendingRA*pendingRA; partialMin >= out.best2 || partialMin > g {
+			continue // no newly admitted point inside the window: rescan is futile
+		}
+		pendingRA = math.Inf(1)
+		for target := ix.admitCount(outer, cands, ci); activated < target; activated++ {
+			pos := admitOrder[activated]
+			admitted[pos>>6] |= 1 << (pos & 63)
+		}
+		heap.reset()
+	scan:
+		for w, word := range admitted {
+			for word != 0 {
+				j := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
+				pt := &ptsA[j]
+				aAbs := pt[dimA]
+				if aAbs < uA {
+					aAbs = uA
+				}
+				rA := aAbs - uA
+				partial := rO2 + rA*rA
+				if partial >= out.best2 || partial > g {
+					break scan // all later corners for this candidate are worse
+				}
+				bAbs := pt[dimB]
+				if bAbs < uB {
+					bAbs = uB
+				}
+				heap.offer(bAbs)
+				if heap.size() == k {
+					top := heap.top()
+					rB := top - uB
+					obj2 := partial + rB*rB
+					if obj2 < out.best2 {
+						out.best2 = obj2
+						out.cand = ci
+						out.alt[outer] = cAbs
+						out.alt[dimA] = aAbs
+						out.alt[dimB] = top
+						shared.min(obj2)
+						if obj2 < g {
+							g = obj2
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// atomicMinFloat64 is a monotonically decreasing shared float64 bound. The
+// squared objective is always non-negative, so the IEEE 754 bit patterns
+// order like the values and a plain compare-and-swap loop suffices.
+type atomicMinFloat64 struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicMinFloat64) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+func (a *atomicMinFloat64) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// min lowers the bound to v if v is smaller than the current value.
+func (a *atomicMinFloat64) min(v float64) {
+	for {
+		old := a.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -58,7 +58,10 @@ func (it Item) feasibleAlone(W float64) bool {
 	return !math.IsInf(it.Workforce, 1) && it.Workforce <= W
 }
 
-// Result is a batch deployment plan.
+// Result is a batch deployment plan. Treat solver-produced Results as
+// read-only: IsSelected answers from a membership cache the solvers
+// populate while selecting, and mutating Selected afterwards would
+// desynchronize the two.
 type Result struct {
 	// Selected holds the indices (Item.Index) of satisfied requests in
 	// selection order.
@@ -69,10 +72,19 @@ type Result struct {
 	Workforce float64
 	// Recommendations maps each selected request index to its k strategies.
 	Recommendations map[int][]int
+
+	// selected caches Selected membership so repeated IsSelected probes —
+	// the common pattern in replan-heavy streaming paths — cost O(1)
+	// instead of rebuilding a map per call. The solvers populate it
+	// eagerly as they select items, so probing a shared Result from
+	// multiple goroutines is safe (no lazy mutation).
+	selected map[int]bool
 }
 
-// selectedSet returns membership of Selected as a map for tests and callers.
-func (r Result) selectedSet() map[int]bool {
+// selectedSet returns membership of Selected as a map for tests and
+// callers. It always returns a fresh map — never the internal cache — so
+// callers may mutate the result freely.
+func (r *Result) selectedSet() map[int]bool {
 	set := make(map[int]bool, len(r.Selected))
 	for _, i := range r.Selected {
 		set[i] = true
@@ -81,7 +93,19 @@ func (r Result) selectedSet() map[int]bool {
 }
 
 // IsSelected reports whether request index i was satisfied by the plan.
-func (r Result) IsSelected(i int) bool { return r.selectedSet()[i] }
+// O(1) for solver-produced plans; hand-assembled Results fall back to a
+// linear scan rather than allocating.
+func (r *Result) IsSelected(i int) bool {
+	if r.selected != nil {
+		return r.selected[i]
+	}
+	for _, idx := range r.Selected {
+		if idx == i {
+			return true
+		}
+	}
+	return false
+}
 
 // BuildItems turns requests and their aggregated requirements into
 // optimization items (lines 3-6 of Algorithm 1). Requests whose requirement
@@ -192,10 +216,12 @@ func BruteForce(items []Item, W float64) (Result, error) {
 	}
 	best.Selected = nil
 	best.Recommendations = map[int][]int{}
+	best.selected = map[int]bool{}
 	for b := 0; b < n; b++ {
 		if bestMask&(1<<uint(b)) != 0 {
 			best.Selected = append(best.Selected, items[b].Index)
 			best.Recommendations[items[b].Index] = items[b].Strategies
+			best.selected[items[b].Index] = true
 		}
 	}
 	return best, nil
@@ -262,7 +288,11 @@ func singleItemResult(it Item) Result {
 }
 
 func addItem(res *Result, it Item) {
+	if res.selected == nil {
+		res.selected = map[int]bool{}
+	}
 	res.Selected = append(res.Selected, it.Index)
+	res.selected[it.Index] = true
 	res.Objective += it.Value
 	res.Workforce += it.Workforce
 	res.Recommendations[it.Index] = it.Strategies

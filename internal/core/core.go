@@ -37,25 +37,47 @@ type Config struct {
 	// alternative parameters to each unsatisfied request (capped at
 	// adpar.FrontierLimit strategies; larger catalogs silently skip it).
 	WithFrontier bool
+	// ADPaRParallelism caps the worker count of the ADPaR engine's
+	// parallel outer-candidate sweep: 0 uses GOMAXPROCS, 1 forces the
+	// sequential sweep. Either way results are identical; this is purely a
+	// latency/CPU trade-off.
+	ADPaRParallelism int
 }
 
 // StratRec is a configured middle layer for one platform: a strategy set,
-// the fitted parameter models, and the optimization configuration.
+// the fitted parameter models, the optimization configuration, and the
+// ADPaR serving index compiled once over the strategy set so every
+// unsatisfied request is answered without re-deriving the normalized
+// problem.
 type StratRec struct {
 	strategies strategy.Set
 	models     workforce.ModelProvider
 	cfg        Config
+	adparIdx   *adpar.Index
 }
 
-// New validates the inputs and builds the middle layer.
+// New validates the inputs and builds the middle layer, compiling the
+// ADPaR index for the strategy set. Layers configured with
+// SkipAlternatives never consult ADPaR, so they skip the compilation (and
+// its per-|S| memory) entirely.
 func New(set strategy.Set, models workforce.ModelProvider, cfg Config) (*StratRec, error) {
-	if err := set.Validate(); err != nil {
-		return nil, err
-	}
 	if models == nil {
 		return nil, errors.New("core: nil model provider")
 	}
-	return &StratRec{strategies: set, models: models, cfg: cfg}, nil
+	s := &StratRec{strategies: set, models: models, cfg: cfg}
+	if cfg.SkipAlternatives {
+		if err := set.Validate(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	ix, err := adpar.NewIndex(set) // validates the set
+	if err != nil {
+		return nil, err
+	}
+	ix.Parallelism = cfg.ADPaRParallelism
+	s.adparIdx = ix
+	return s, nil
 }
 
 // Strategies returns the strategy set the layer recommends from.
@@ -146,13 +168,10 @@ func (s *StratRec) Recommend(requests []strategy.Request, W float64) (Report, er
 		})
 	}
 
-	// ADPaR: unsatisfied requests, one by one (Section 2.2).
-	selected := make(map[int]bool, len(plan.Selected))
-	for _, idx := range plan.Selected {
-		selected[idx] = true
-	}
+	// ADPaR: unsatisfied requests, one by one (Section 2.2), all served from
+	// the shared index compiled at construction.
 	for i := range requests {
-		if selected[i] {
+		if plan.IsSelected(i) {
 			continue
 		}
 		alt := Alternative{Request: i}
@@ -162,7 +181,7 @@ func (s *StratRec) Recommend(requests []strategy.Request, W float64) (Report, er
 			alt.Reason = "available workforce exhausted by higher-priority requests"
 		}
 		if !s.cfg.SkipAlternatives {
-			sol, err := adpar.Exact(s.strategies, requests[i])
+			sol, err := s.adparIdx.Solve(requests[i])
 			if err == nil {
 				alt.Solution = sol
 				alt.HasSolution = true

@@ -192,9 +192,15 @@ func CoverCount(points []Point3, bound Point3) int {
 }
 
 // Covered returns the indices of all points dominated by bound, in input
-// order.
+// order. A counting pass sizes the result exactly, so the call performs at
+// most one allocation — it sits on the per-request serving path, where
+// append-growth reallocations dominated the allocation profile.
 func Covered(points []Point3, bound Point3) []int {
-	var idx []int
+	n := CoverCount(points, bound)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, 0, n)
 	for i, p := range points {
 		if p.DominatedBy(bound) {
 			idx = append(idx, i)

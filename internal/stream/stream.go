@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"stratrec/internal/adpar"
 	"stratrec/internal/batch"
 	"stratrec/internal/strategy"
 	"stratrec/internal/workforce"
@@ -54,12 +55,16 @@ type Entry struct {
 	Serving bool
 }
 
-// Manager maintains a deployment plan over a changing request pool.
+// Manager maintains a deployment plan over a changing request pool. It
+// compiles the ADPaR serving index for its strategy set once at
+// construction and reuses it for every displaced-request alternative,
+// instead of re-deriving the normalized problem per event.
 type Manager struct {
 	strategies strategy.Set
 	models     workforce.ModelProvider
 	mode       workforce.Mode
 	objective  batch.Objective
+	adparIdx   *adpar.Index
 
 	w       float64
 	entries map[string]*Entry
@@ -73,7 +78,9 @@ var ErrDuplicateID = errors.New("stream: duplicate request ID")
 // ErrUnknownID rejects revocation of a request that is not open.
 var ErrUnknownID = errors.New("stream: unknown request ID")
 
-// NewManager builds a dynamic deployment manager.
+// NewManager builds a dynamic deployment manager. The shared ADPaR index
+// is compiled lazily on the first Alternative call, so managers that never
+// serve alternatives pay nothing for it.
 func NewManager(set strategy.Set, models workforce.ModelProvider, mode workforce.Mode, objective batch.Objective, initialW float64) (*Manager, error) {
 	if err := set.Validate(); err != nil {
 		return nil, err
@@ -191,6 +198,34 @@ func (m *Manager) Strategies(id string) []int {
 	return out
 }
 
+// ErrServed reports that an alternative was requested for a request the
+// current plan already serves.
+var ErrServed = errors.New("stream: request is served; no alternative needed")
+
+// Alternative recommends alternative deployment parameters (ADPaR,
+// Section 4) for an open request the current plan does not serve. It runs
+// against the manager's shared serving index — compiled on first use, like
+// the Manager itself not safe for concurrent use — so the steady-state
+// per-request cost is the sweep alone, with no per-event re-derivation of
+// the normalized problem.
+func (m *Manager) Alternative(id string) (adpar.Solution, error) {
+	e, ok := m.entries[id]
+	if !ok {
+		return adpar.Solution{}, fmt.Errorf("%w: %s", ErrUnknownID, id)
+	}
+	if e.Serving {
+		return adpar.Solution{}, fmt.Errorf("%w: %s", ErrServed, id)
+	}
+	if m.adparIdx == nil {
+		ix, err := adpar.NewIndex(m.strategies)
+		if err != nil {
+			return adpar.Solution{}, err
+		}
+		m.adparIdx = ix
+	}
+	return m.adparIdx.Solve(e.Request)
+}
+
 func (m *Manager) value(e *Entry) float64 {
 	if m.objective == batch.Payoff {
 		return e.Request.Cost
@@ -219,14 +254,10 @@ func (m *Manager) replan() {
 		})
 	}
 	res := batch.BatchStrat(items, m.w)
-	serving := map[int]bool{}
-	for _, idx := range res.Selected {
-		serving[idx] = true
-	}
 	changed := false
 	for i, id := range ids {
 		e := m.entries[id]
-		now := serving[i]
+		now := res.IsSelected(i)
 		if e.Serving != now {
 			changed = true
 		}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"stratrec/internal/adpar"
 	"stratrec/internal/batch"
 	"stratrec/internal/linmodel"
 	"stratrec/internal/strategy"
@@ -206,6 +207,59 @@ func TestInfeasibleRequestNeverServed(t *testing.T) {
 	plan := m.Plan()
 	if len(plan.Displaced) != 1 {
 		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+// TestAlternativeSharedIndex: displaced requests get ADPaR alternatives
+// from the manager's shared index, identical to a from-scratch Exact run on
+// the same strategy set; served and unknown requests are rejected.
+func TestAlternativeSharedIndex(t *testing.T) {
+	m := newManager(t, 0.5)
+	if _, err := m.Submit(request("a", 0.40, 1)); err != nil { // req 0.25, served
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(request("b", 0.40, 1)); err != nil { // req 0.25, served
+		t.Fatal(err)
+	}
+	displaced := request("c", 0.60, 2) // req 0.5, cannot fit
+	if _, err := m.Submit(displaced); err != nil {
+		t.Fatal(err)
+	}
+
+	sol, err := m.Alternative("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := adpar.Exact(fixedSet(5), displaced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Alternative != want.Alternative || sol.Distance != want.Distance {
+		t.Errorf("shared-index alternative = %+v (distance %v), want %+v (distance %v)",
+			sol.Alternative, sol.Distance, want.Alternative, want.Distance)
+	}
+	if len(sol.Covered) < displaced.K {
+		t.Errorf("alternative covers %d < k=%d strategies", len(sol.Covered), displaced.K)
+	}
+
+	if _, err := m.Alternative("a"); !errors.Is(err, ErrServed) {
+		t.Errorf("served request error = %v", err)
+	}
+	if _, err := m.Alternative("nope"); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("unknown request error = %v", err)
+	}
+
+	// The index survives plan churn: after revocations free capacity the
+	// previously displaced request is served and loses its alternative,
+	// while a new displaced request still gets one.
+	if err := m.Revoke("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Revoke("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alternative("c"); !errors.Is(err, ErrServed) {
+		t.Errorf("after revocations error = %v", err)
 	}
 }
 
