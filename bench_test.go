@@ -10,7 +10,12 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strconv"
 	"testing"
@@ -18,8 +23,10 @@ import (
 	"stratrec/internal/adpar"
 	"stratrec/internal/batch"
 	"stratrec/internal/experiments"
+	"stratrec/internal/server"
 	"stratrec/internal/strategy"
 	"stratrec/internal/synth"
+	"stratrec/internal/workforce"
 )
 
 // benchCfg keeps per-iteration work bounded; the full-scale numbers come
@@ -196,6 +203,141 @@ func BenchmarkIndexedADPaR(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Multi-tenant serving: end-to-end HTTP latency of the stratrec serve
+// subsystem, the online regime the warm index was built for. ---
+
+// benchServer hosts two synthetic tenants over httptest for the lifetime
+// of the benchmark.
+func benchServer(b *testing.B, strategies int) (*server.Server, *httptest.Server) {
+	b.Helper()
+	s, hs := benchLoadServer(b, strategies)
+	b.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+// benchLoadServer is benchServer without b.Cleanup, for benchmarks that
+// create and close a server every iteration.
+func benchLoadServer(b *testing.B, strategies int) (*server.Server, *httptest.Server) {
+	b.Helper()
+	gen := synth.DefaultConfig(synth.Uniform)
+	tenants := map[string]server.TenantConfig{}
+	for i, name := range []string{"alpha", "beta"} {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		set := gen.Strategies(rng, strategies)
+		tenants[name] = server.TenantConfig{
+			Set: set, Models: gen.Models(rng, set),
+			Mode: workforce.MaxCase, Objective: batch.Throughput,
+			InitialW: 0.7,
+		}
+	}
+	s, err := server.New(server.Config{Tenants: tenants})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, httptest.NewServer(s.Handler())
+}
+
+// BenchmarkServeSubmitRevoke times one submit+revoke round trip through
+// the full HTTP stack: JSON decode, event-loop hop, BatchStrat replan,
+// snapshot publish, JSON encode — twice. The open pool stays bounded, so
+// per-op cost is the steady state, not pool growth.
+func BenchmarkServeSubmitRevoke(b *testing.B) {
+	_, hs := benchServer(b, 200)
+	client := hs.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tenant := []string{"alpha", "beta"}[i%2]
+		id := "r" + strconv.Itoa(i)
+		body, _ := json.Marshal(server.SubmitRequest{
+			ID: id, Quality: 0.4, Cost: 0.6, Latency: 0.6, K: 3,
+		})
+		resp, err := client.Post(hs.URL+"/v1/tenants/"+tenant+"/requests", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/tenants/"+tenant+"/requests/"+id, nil)
+		resp, err = client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkServePlanRead times the lock-free read path: an atomic snapshot
+// load plus JSON encoding, with 100 open requests in the plan.
+func BenchmarkServePlanRead(b *testing.B) {
+	_, hs := benchServer(b, 200)
+	client := hs.Client()
+	gen := synth.DefaultConfig(synth.Uniform)
+	rng := rand.New(rand.NewSource(9))
+	for i, d := range gen.Requests(rng, 100, 3) {
+		d.ID = "r" + strconv.Itoa(i)
+		body, _ := json.Marshal(server.SubmitRequest{
+			ID: d.ID, Quality: d.Quality, Cost: d.Cost, Latency: d.Latency, K: d.K,
+		})
+		resp, err := client.Post(hs.URL+"/v1/tenants/alpha/requests", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(hs.URL + "/v1/tenants/alpha/plan")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkServeLoadHarness runs the full load harness for a short
+// closed-loop burst per iteration, giving CI a one-line throughput
+// trajectory for the whole serving stack. Each iteration gets a fresh
+// server (outside the timer): submits left open by one burst would
+// otherwise accumulate and make replanning cost grow with b.N.
+func BenchmarkServeLoadHarness(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, hs := benchLoadServer(b, 100)
+		b.StartTimer()
+		rep, err := server.RunLoad(server.LoadConfig{
+			BaseURL:        hs.URL,
+			Tenants:        []string{"alpha", "beta"},
+			Workers:        4,
+			Events:         400,
+			RevokeFraction: 0.3,
+			DriftFraction:  0.05,
+			TightFraction:  0.3,
+			K:              3,
+			Seed:           42,
+			Client:         hs.Client(),
+		})
+		b.StopTimer()
+		hs.Close()
+		s.Close()
+		b.StartTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			b.Fatalf("%d load errors", rep.Errors)
+		}
 	}
 }
 

@@ -1,11 +1,15 @@
 // Command stratrec runs the StratRec middle layer over a batch of
 // deployment requests: it recommends k strategies for every satisfiable
 // request and alternative deployment parameters (via ADPaR) for the rest.
+// The serve subcommand hosts the same engine as a long-running
+// multi-tenant HTTP service (see internal/server).
 //
 // Usage:
 //
 //	stratrec [flags]                 # run the paper's running example
 //	stratrec -input batch.json       # run a batch from a JSON file
+//	stratrec serve [flags]           # multi-tenant HTTP server
+//	stratrec serve -selftest         # serve + replay a synthetic load, print p50/p99
 //
 // The input file format:
 //
@@ -66,6 +70,13 @@ type input struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "stratrec serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		inputPath = flag.String("input", "", "JSON batch file; empty runs the paper's running example")
 		objective = flag.String("objective", "throughput", "platform goal: throughput or payoff")
@@ -191,12 +202,7 @@ func run(inputPath, objective, mode string, overrideW float64, adparParallelism 
 func defaultModels(set strategy.Set, W float64) workforce.PerStrategyModels {
 	models := make(workforce.PerStrategyModels, len(set))
 	for i, s := range set {
-		qAlpha := s.Quality * 0.4
-		models[i] = linmodel.ParamModels{
-			Quality: linmodel.Model{Alpha: qAlpha, Beta: s.Quality - qAlpha*W},
-			Cost:    linmodel.Model{Alpha: -0.1, Beta: s.Cost + 0.1*W},
-			Latency: linmodel.Model{Alpha: -0.3, Beta: s.Latency + 0.3*W},
-		}
+		models[i] = anchoredModels(s.Params, W)
 	}
 	return models
 }

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stratrec/internal/batch"
+	"stratrec/internal/linmodel"
+	"stratrec/internal/server"
+	"stratrec/internal/store"
+	"stratrec/internal/strategy"
+	"stratrec/internal/synth"
+	"stratrec/internal/workforce"
+)
+
+// runServe implements `stratrec serve`: a multi-tenant recommendation
+// server over the catalogs of a tenants file (or synthetic demo tenants),
+// plus a -selftest mode that replays a synthetic Poisson workload against
+// the live server and prints throughput and latency percentiles.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		tenantsPath = fs.String("tenants", "", "multi-tenant catalog JSON ({\"tenants\": {name: catalog}}); empty hosts synthetic demo tenants")
+		objective   = fs.String("objective", "throughput", "platform goal: throughput or payoff")
+		mode        = fs.String("mode", "max", "workforce aggregation: sum or max")
+		adparPar    = fs.Int("adpar-parallelism", 0, "ADPaR sweep workers: 0 auto (GOMAXPROCS), 1 sequential")
+		demoTenants = fs.Int("demo-tenants", 2, "synthetic tenant count when -tenants is empty")
+		demoSize    = fs.Int("demo-strategies", 64, "strategies per synthetic tenant")
+		seed        = fs.Int64("seed", 2020, "synthetic tenant / selftest workload seed")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+
+		selftest  = fs.Bool("selftest", false, "serve on an ephemeral port, replay a synthetic workload, print the report, exit")
+		stEvents  = fs.Int("selftest-requests", 2000, "selftest: total workload events")
+		stWorkers = fs.Int("selftest-workers", 8, "selftest: concurrent load workers")
+		stRate    = fs.Float64("selftest-rate", 0, "selftest: per-worker Poisson arrival rate in events/s; 0 = closed loop")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var obj batch.Objective
+	switch *objective {
+	case "throughput":
+		obj = batch.Throughput
+	case "payoff":
+		obj = batch.Payoff
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+	var agg workforce.Mode
+	switch *mode {
+	case "sum":
+		agg = workforce.SumCase
+	case "max":
+		agg = workforce.MaxCase
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	cfg := server.Config{Tenants: map[string]server.TenantConfig{}}
+	if *tenantsPath != "" {
+		tenants, err := store.LoadTenants(*tenantsPath)
+		if err != nil {
+			return err
+		}
+		for _, name := range tenants.Names() {
+			cat := tenants.Tenants[name]
+			set, models, err := cat.Materialize(func(e store.Entry) linmodel.ParamModels {
+				return anchoredModels(e.Params, cat.Workforce)
+			})
+			if err != nil {
+				return fmt.Errorf("tenant %s: %w", name, err)
+			}
+			cfg.Tenants[name] = server.TenantConfig{
+				Set: set, Models: models,
+				Mode: agg, Objective: obj,
+				InitialW:    cat.Workforce,
+				Parallelism: *adparPar,
+			}
+		}
+	} else {
+		gen := synth.DefaultConfig(synth.Uniform)
+		for i := 0; i < *demoTenants; i++ {
+			rng := rand.New(rand.NewSource(*seed + int64(i)))
+			set := gen.Strategies(rng, *demoSize)
+			name := fmt.Sprintf("tenant-%d", i+1)
+			cfg.Tenants[name] = server.TenantConfig{
+				Set: set, Models: gen.Models(rng, set),
+				Mode: agg, Objective: obj,
+				InitialW:    0.7,
+				Parallelism: *adparPar,
+			}
+		}
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *selftest {
+		return runSelftest(s, *stEvents, *stWorkers, *stRate, *seed, *drain)
+	}
+
+	fmt.Printf("stratrec serve: %d tenants on %s\n", len(s.TenantNames()), *addr)
+	for _, name := range s.TenantNames() {
+		fmt.Printf("  /v1/tenants/%s\n", name)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := s.ListenAndServe(ctx, *addr, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// runSelftest serves on an ephemeral loopback port, replays the workload,
+// prints the report, and shuts the server down.
+func runSelftest(s *server.Server, events, workers int, rate float64, seed int64, drain time.Duration) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("selftest: %d tenants at %s, %d events, %d workers\n",
+		len(s.TenantNames()), base, events, workers)
+	rep, loadErr := server.RunLoad(server.LoadConfig{
+		BaseURL:        base,
+		Tenants:        s.TenantNames(),
+		Workers:        workers,
+		Events:         events,
+		Rate:           rate,
+		RevokeFraction: 0.3,
+		DriftFraction:  0.05,
+		TightFraction:  0.3,
+		PlanEvery:      20,
+		K:              3,
+		Seed:           seed,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	shutdownErr := hs.Shutdown(ctx)
+	s.Close()
+	<-serveErr // always http.ErrServerClosed after Shutdown
+
+	if loadErr != nil {
+		return loadErr
+	}
+	fmt.Print(rep)
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("selftest: %d of %d requests failed", rep.Errors, rep.Events)
+	}
+	return nil
+}
+
+// anchoredModels is the Section 3.1 default for catalog entries without
+// fitted models: linear responses anchored at the entry's advertised
+// parameters for the ambient workforce (same rule as batch mode's
+// defaultModels).
+func anchoredModels(p strategy.Params, W float64) linmodel.ParamModels {
+	qAlpha := p.Quality * 0.4
+	return linmodel.ParamModels{
+		Quality: linmodel.Model{Alpha: qAlpha, Beta: p.Quality - qAlpha*W},
+		Cost:    linmodel.Model{Alpha: -0.1, Beta: p.Cost + 0.1*W},
+		Latency: linmodel.Model{Alpha: -0.3, Beta: p.Latency + 0.3*W},
+	}
+}

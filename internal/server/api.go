@@ -1,0 +1,304 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"stratrec/internal/adpar"
+	"stratrec/internal/strategy"
+	"stratrec/internal/stream"
+)
+
+// routes wires the HTTP surface:
+//
+//	GET    /healthz                                       liveness
+//	GET    /metrics                                       expvar metrics (JSON)
+//	GET    /v1/tenants                                    hosted tenants
+//	POST   /v1/tenants/{tenant}/requests                  submit a request
+//	DELETE /v1/tenants/{tenant}/requests/{id}             revoke a request
+//	GET    /v1/tenants/{tenant}/plan                      current plan snapshot
+//	GET    /v1/tenants/{tenant}/requests/{id}/alternative ADPaR alternative
+//	PUT    /v1/tenants/{tenant}/availability              move expected workforce
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.metricsHandler)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/requests", s.tenantHandler(handleSubmit))
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}/requests/{id}", s.tenantHandler(handleRevoke))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/plan", s.tenantHandler(handlePlan))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/requests/{id}/alternative", s.tenantHandler(handleAlternative))
+	mux.HandleFunc("PUT /v1/tenants/{tenant}/availability", s.tenantHandler(handleAvailability))
+	return mux
+}
+
+// --- JSON shapes ---
+
+// SubmitRequest is the submit body. K defaults to 1.
+type SubmitRequest struct {
+	ID      string  `json:"id"`
+	Quality float64 `json:"quality"`
+	Cost    float64 `json:"cost"`
+	Latency float64 `json:"latency"`
+	K       int     `json:"k"`
+}
+
+// SubmitResponse reports the admission outcome. Served=false means the
+// request is open but displaced; its alternative endpoint has an ADPaR
+// recommendation.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Served bool   `json:"served"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// EpochResponse acknowledges a mutation with the resulting plan epoch.
+type EpochResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// AvailabilityRequest is the availability-update body.
+type AvailabilityRequest struct {
+	Workforce float64 `json:"workforce"`
+}
+
+// PlanRequest is one open request inside a PlanResponse.
+type PlanRequest struct {
+	ID      string  `json:"id"`
+	Quality float64 `json:"quality"`
+	Cost    float64 `json:"cost"`
+	Latency float64 `json:"latency"`
+	K       int     `json:"k"`
+	Serving bool    `json:"serving"`
+	// Feasible is false when fewer than K catalog strategies can ever
+	// satisfy the request, at any availability.
+	Feasible bool `json:"feasible"`
+	// Workforce is the request's aggregated requirement; omitted when
+	// infeasible.
+	Workforce *float64 `json:"workforce,omitempty"`
+	// Strategies holds the K recommended strategy IDs when served.
+	Strategies []int `json:"strategies,omitempty"`
+}
+
+// PlanResponse is the tenant's current deployment plan.
+type PlanResponse struct {
+	Tenant       string        `json:"tenant"`
+	Epoch        uint64        `json:"epoch"`
+	Availability float64       `json:"availability"`
+	Objective    float64       `json:"objective"`
+	Workforce    float64       `json:"workforce"`
+	Serving      []string      `json:"serving"`
+	Displaced    []string      `json:"displaced"`
+	Requests     []PlanRequest `json:"requests"`
+}
+
+// AlternativeResponse is an ADPaR recommendation for a displaced request.
+type AlternativeResponse struct {
+	ID         string  `json:"id"`
+	Quality    float64 `json:"quality"`
+	Cost       float64 `json:"cost"`
+	Latency    float64 `json:"latency"`
+	Distance   float64 `json:"distance"`
+	Strategies []int   `json:"strategies"`
+	Covered    int     `json:"covered"`
+}
+
+// TenantInfo is one entry of the tenant listing.
+type TenantInfo struct {
+	Name         string  `json:"name"`
+	Strategies   int     `json:"strategies"`
+	Open         int     `json:"open"`
+	Serving      int     `json:"serving"`
+	Epoch        uint64  `json:"epoch"`
+	Availability float64 `json:"availability"`
+}
+
+// ErrorResponse carries every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	out := make([]TenantInfo, 0, len(s.names))
+	for _, name := range s.names {
+		t := s.tenants[name]
+		snap := t.snap.Load()
+		out = append(out, TenantInfo{
+			Name:         name,
+			Strategies:   t.ix.Len(),
+			Open:         len(snap.Requests),
+			Serving:      len(snap.Plan.Serving),
+			Epoch:        snap.Epoch,
+			Availability: snap.Availability,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// tenantHandler resolves the {tenant} path segment before the wrapped
+// handler runs.
+func (s *Server) tenantHandler(h func(*Tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, err := s.Tenant(r.PathValue("tenant"))
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: %s", ErrUnknownTenant, r.PathValue("tenant")))
+			return
+		}
+		h(t, w, r)
+	}
+}
+
+func handleSubmit(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	var body SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, badRequest("invalid JSON: %v", err))
+		return
+	}
+	if body.K == 0 {
+		body.K = 1
+	}
+	res, err := t.Submit(strategy.Request{
+		ID:     body.ID,
+		Params: strategy.Params{Quality: body.Quality, Cost: body.Cost, Latency: body.Latency},
+		K:      body.K,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{ID: body.ID, Served: res.Served, Epoch: res.Epoch})
+}
+
+func handleRevoke(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	epoch, err := t.Revoke(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EpochResponse{Epoch: epoch})
+}
+
+func handleAvailability(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	var body AvailabilityRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, badRequest("invalid JSON: %v", err))
+		return
+	}
+	epoch, err := t.SetAvailability(body.Workforce)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EpochResponse{Epoch: epoch})
+}
+
+func handlePlan(t *Tenant, w http.ResponseWriter, _ *http.Request) {
+	snap := t.Snapshot()
+	resp := PlanResponse{
+		Tenant:       t.name,
+		Epoch:        snap.Epoch,
+		Availability: snap.Availability,
+		Objective:    snap.Plan.Objective,
+		Workforce:    snap.Plan.Workforce,
+		Serving:      snap.Plan.Serving,
+		Displaced:    snap.Plan.Displaced,
+		Requests:     make([]PlanRequest, 0, len(snap.Requests)),
+	}
+	if resp.Serving == nil {
+		resp.Serving = []string{}
+	}
+	if resp.Displaced == nil {
+		resp.Displaced = []string{}
+	}
+	for _, rs := range snap.Requests {
+		pr := PlanRequest{
+			ID:       rs.ID,
+			Quality:  rs.Request.Quality,
+			Cost:     rs.Request.Cost,
+			Latency:  rs.Request.Latency,
+			K:        rs.Request.K,
+			Serving:  rs.Serving,
+			Feasible: rs.Feasible,
+		}
+		if rs.Feasible && !math.IsInf(rs.Workforce, 1) {
+			wf := rs.Workforce
+			pr.Workforce = &wf
+		}
+		if rs.Serving {
+			pr.Strategies = rs.Strategies
+		}
+		resp.Requests = append(resp.Requests, pr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleAlternative(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sol, rs, err := t.Alternative(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AlternativeResponse{
+		ID:         id,
+		Quality:    sol.Alternative.Quality,
+		Cost:       sol.Alternative.Cost,
+		Latency:    sol.Alternative.Latency,
+		Distance:   sol.Distance,
+		Strategies: sol.Strategies(rs.Request.K),
+		Covered:    len(sol.Covered),
+	})
+}
+
+// --- plumbing ---
+
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e statusError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return statusError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError maps domain errors onto HTTP status codes: unknown
+// tenant/request → 404, duplicate or already-served → 409, validation →
+// 400, closed tenant → 503, anything else → 500.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var se statusError
+	switch {
+	case errors.As(err, &se):
+		code = se.code
+	case errors.Is(err, ErrUnknownTenant), errors.Is(err, stream.ErrUnknownID):
+		code = http.StatusNotFound
+	case errors.Is(err, stream.ErrDuplicateID), errors.Is(err, stream.ErrServed):
+		code = http.StatusConflict
+	case errors.Is(err, stream.ErrEmptyID), errors.Is(err, stream.ErrBadAvailability),
+		errors.Is(err, strategy.ErrBadParam), errors.Is(err, strategy.ErrBadCardinality),
+		errors.Is(err, adpar.ErrBadK), errors.Is(err, adpar.ErrNotEnoughStrategies):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrTenantClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	// An encode failure means the connection is gone; with the status
+	// already written there is no recovery path.
+	_ = json.NewEncoder(w).Encode(v)
+}

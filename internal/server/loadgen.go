@@ -1,0 +1,308 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"stratrec/internal/synth"
+)
+
+// LoadConfig parameterizes the load harness: a synthetic Poisson
+// submit/revoke/drift workload (internal/synth) replayed over HTTP against
+// a live server by a pool of workers.
+type LoadConfig struct {
+	// BaseURL is the target server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Tenants are the tenant names to spread workers across
+	// (round-robin).
+	Tenants []string
+	// Workers is the number of concurrent replaying clients (default 4).
+	Workers int
+	// Events is the total number of workload arrivals across all workers
+	// (default 1000).
+	Events int
+	// Rate is the Poisson arrival rate per worker in events/second; 0
+	// replays as fast as the server allows (closed loop), which is the
+	// throughput-measuring mode.
+	Rate float64
+	// RevokeFraction, DriftFraction, TightFraction parameterize the
+	// workload mix (see synth.WorkloadConfig). Tight submissions are
+	// displaced and trigger an ADPaR alternative query.
+	RevokeFraction, DriftFraction, TightFraction float64
+	// PlanEvery inserts a plan read every n-th event per worker (0
+	// disables).
+	PlanEvery int
+	// K is the per-request cardinality constraint (default 3).
+	K int
+	// Seed makes workload generation deterministic.
+	Seed int64
+	// IDPrefix further namespaces request IDs, letting repeated harness
+	// runs against the same live server avoid ID collisions with
+	// requests an earlier run left open.
+	IDPrefix string
+	// Client overrides the HTTP client (default: keep-alive transport
+	// sized to Workers).
+	Client *http.Client
+}
+
+// OpStats summarizes latencies of one operation class.
+type OpStats struct {
+	Count  int
+	Errors int
+	P50    time.Duration
+	P90    time.Duration
+	P99    time.Duration
+	Max    time.Duration
+}
+
+// Report is the harness outcome: the repo's measured requests-per-second
+// number and its latency percentiles.
+type Report struct {
+	Events     int
+	Errors     int
+	Duration   time.Duration
+	Throughput float64 // completed HTTP requests per second
+	Overall    OpStats
+	PerOp      map[string]OpStats // submit, revoke, drift, plan, alternative
+}
+
+// String renders the report as the human-readable summary the selftest and
+// CI burst print.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load: %d requests in %v (%.0f req/s), %d errors\n",
+		r.Events, r.Duration.Round(time.Millisecond), r.Throughput, r.Errors)
+	fmt.Fprintf(&b, "  %-12s %8s %10s %10s %10s %10s\n", "op", "count", "p50", "p90", "p99", "max")
+	fmt.Fprintf(&b, "  %-12s %8d %10v %10v %10v %10v\n", "all",
+		r.Overall.Count, r.Overall.P50, r.Overall.P90, r.Overall.P99, r.Overall.Max)
+	ops := make([]string, 0, len(r.PerOp))
+	for op := range r.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		st := r.PerOp[op]
+		fmt.Fprintf(&b, "  %-12s %8d %10v %10v %10v %10v\n", op,
+			st.Count, st.P50, st.P90, st.P99, st.Max)
+	}
+	return b.String()
+}
+
+type sample struct {
+	op  string
+	d   time.Duration
+	err bool
+}
+
+// RunLoad replays the configured workload and reports throughput and
+// latency percentiles. Every worker generates its own ID-prefixed event
+// sequence (so revokes always target the worker's own submissions in
+// order) and drives one tenant; workers spread round-robin across
+// cfg.Tenants.
+func RunLoad(cfg LoadConfig) (Report, error) {
+	if cfg.BaseURL == "" {
+		return Report{}, errors.New("server: load harness needs a BaseURL")
+	}
+	if len(cfg.Tenants) == 0 {
+		return Report{}, errors.New("server: load harness needs at least one tenant")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	events := cfg.Events
+	if events <= 0 {
+		events = 1000
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 3
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        workers * 2,
+			MaxIdleConnsPerHost: workers * 2,
+		}}
+	}
+
+	gen := synth.DefaultConfig(synth.Uniform)
+	perWorker := (events + workers - 1) / workers
+	sampleCh := make(chan []sample, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		n := perWorker
+		if rest := events - i*perWorker; rest < n {
+			n = rest
+		}
+		if n <= 0 {
+			break
+		}
+		wg.Add(1)
+		go func(worker, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
+			wl := gen.Workload(rng, synth.WorkloadConfig{
+				Events:         n,
+				K:              k,
+				Rate:           cfg.Rate,
+				RevokeFraction: cfg.RevokeFraction,
+				DriftFraction:  cfg.DriftFraction,
+				TightFraction:  cfg.TightFraction,
+				IDPrefix:       fmt.Sprintf("%sw%d-", cfg.IDPrefix, worker),
+			})
+			tenant := cfg.Tenants[worker%len(cfg.Tenants)]
+			sampleCh <- replay(client, cfg.BaseURL, tenant, wl, cfg.PlanEvery, start)
+		}(i, n)
+	}
+	wg.Wait()
+	close(sampleCh)
+
+	var all []sample
+	for ss := range sampleCh {
+		all = append(all, ss...)
+	}
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Duration: elapsed,
+		PerOp:    map[string]OpStats{},
+	}
+	byOp := map[string][]time.Duration{}
+	var overall []time.Duration
+	for _, s := range all {
+		rep.Events++
+		if s.err {
+			rep.Errors++
+		}
+		overall = append(overall, s.d)
+		byOp[s.op] = append(byOp[s.op], s.d)
+	}
+	errsByOp := map[string]int{}
+	for _, s := range all {
+		if s.err {
+			errsByOp[s.op]++
+		}
+	}
+	rep.Overall = statsOf(overall, rep.Errors)
+	for op, ds := range byOp {
+		rep.PerOp[op] = statsOf(ds, errsByOp[op])
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(rep.Events) / secs
+	}
+	return rep, nil
+}
+
+// replay drives one worker's event sequence against one tenant,
+// interleaving alternative queries after displaced submissions and
+// periodic plan reads.
+func replay(client *http.Client, base, tenant string, wl []synth.WorkloadEvent, planEvery int, start time.Time) []sample {
+	samples := make([]sample, 0, len(wl)+len(wl)/4)
+	prefix := base + "/v1/tenants/" + tenant
+	for i, ev := range wl {
+		if ev.At > 0 {
+			if d := time.Until(start.Add(ev.At)); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		switch ev.Kind {
+		case synth.SubmitArrival:
+			body, _ := json.Marshal(SubmitRequest{
+				ID:      ev.Request.ID,
+				Quality: ev.Request.Quality,
+				Cost:    ev.Request.Cost,
+				Latency: ev.Request.Latency,
+				K:       ev.Request.K,
+			})
+			var resp SubmitResponse
+			s := timedCall(client, http.MethodPost, prefix+"/requests", body, &resp, false)
+			s.op = "submit"
+			samples = append(samples, s)
+			if !s.err && !resp.Served {
+				// Displaced: ask for the ADPaR alternative, the paper's
+				// Section-4 path. 404/409 are tolerated here — they just
+				// mean the plan moved between the two calls.
+				alt := timedCall(client, http.MethodGet, prefix+"/requests/"+ev.Request.ID+"/alternative", nil, nil, true)
+				alt.op = "alternative"
+				samples = append(samples, alt)
+			}
+		case synth.RevokeArrival:
+			s := timedCall(client, http.MethodDelete, prefix+"/requests/"+ev.RevokeID, nil, nil, false)
+			s.op = "revoke"
+			samples = append(samples, s)
+		case synth.DriftArrival:
+			body, _ := json.Marshal(AvailabilityRequest{Workforce: ev.Availability})
+			s := timedCall(client, http.MethodPut, prefix+"/availability", body, nil, false)
+			s.op = "drift"
+			samples = append(samples, s)
+		}
+		if planEvery > 0 && (i+1)%planEvery == 0 {
+			s := timedCall(client, http.MethodGet, prefix+"/plan", nil, nil, false)
+			s.op = "plan"
+			samples = append(samples, s)
+		}
+	}
+	return samples
+}
+
+// timedCall performs one HTTP call and decodes out when given. Non-2xx
+// counts as an error, except 404/409 when tolerateRace is set (alternative
+// queries legitimately race the plan).
+func timedCall(client *http.Client, method, url string, body []byte, out any, tolerateRace bool) sample {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	t0 := time.Now()
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return sample{d: time.Since(t0), err: true}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{d: time.Since(t0), err: true}
+	}
+	failed := resp.StatusCode >= 300
+	if tolerateRace && (resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusConflict) {
+		failed = false
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			failed = true
+		}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{d: time.Since(t0), err: failed}
+}
+
+// statsOf computes percentile stats over a latency set.
+func statsOf(ds []time.Duration, errs int) OpStats {
+	st := OpStats{Count: len(ds), Errors: errs}
+	if len(ds) == 0 {
+		return st
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	pct := func(q float64) time.Duration {
+		return ds[int(q*float64(len(ds)-1)+0.5)]
+	}
+	st.P50 = pct(0.50)
+	st.P90 = pct(0.90)
+	st.P99 = pct(0.99)
+	st.Max = ds[len(ds)-1]
+	return st
+}

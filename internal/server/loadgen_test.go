@@ -1,0 +1,120 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadHarnessThousandRequests is the acceptance run: a ≥1k-event
+// synthetic Poisson workload (submits, revokes, availability drift, tight
+// ADPaR-bound requests) replayed against a live two-tenant server, with
+// throughput and latency percentiles in the report.
+func TestLoadHarnessThousandRequests(t *testing.T) {
+	_, hs := newTestServer(t, Config{Tenants: map[string]TenantConfig{
+		"alpha": synthTenant(10, 16, 0.7),
+		"beta":  synthTenant(11, 16, 0.7),
+	}})
+
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:        hs.URL,
+		Tenants:        []string{"alpha", "beta"},
+		Workers:        4,
+		Events:         1000,
+		Rate:           0, // closed loop: as fast as the server allows
+		RevokeFraction: 0.3,
+		DriftFraction:  0.05,
+		TightFraction:  0.3,
+		PlanEvery:      10,
+		K:              3,
+		Seed:           42,
+		Client:         hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ≥1000 workload events, plus interleaved plan reads and alternative
+	// queries on displaced submissions.
+	if rep.Events < 1000 {
+		t.Fatalf("replayed %d events, want >= 1000", rep.Events)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors during replay\n%s", rep.Errors, rep)
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput = %v", rep.Throughput)
+	}
+	if rep.Overall.P50 <= 0 || rep.Overall.P99 < rep.Overall.P50 || rep.Overall.Max < rep.Overall.P99 {
+		t.Errorf("percentiles inconsistent: %+v", rep.Overall)
+	}
+	for _, op := range []string{"submit", "revoke", "plan"} {
+		if rep.PerOp[op].Count == 0 {
+			t.Errorf("no %s operations in the mix\n%s", op, rep)
+		}
+	}
+	if rep.PerOp["alternative"].Count == 0 {
+		t.Errorf("tight fraction 0.3 produced no alternative queries\n%s", rep)
+	}
+	out := rep.String()
+	for _, want := range []string{"req/s", "p50", "p99", "submit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadHarnessPacedReplay: a non-zero rate paces arrivals without
+// losing events.
+func TestLoadHarnessPacedReplay(t *testing.T) {
+	_, hs := newTestServer(t, Config{Tenants: map[string]TenantConfig{
+		"alpha": fixedTenant(8, 0.8),
+	}})
+	rep, err := RunLoad(LoadConfig{
+		BaseURL: hs.URL,
+		Tenants: []string{"alpha"},
+		Workers: 2,
+		Events:  60,
+		Rate:    2000, // fast pacing, but nonzero offsets
+		Seed:    7,
+		Client:  hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events < 60 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Duration <= 0 {
+		t.Errorf("duration = %v", rep.Duration)
+	}
+}
+
+func TestLoadHarnessValidation(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := RunLoad(LoadConfig{BaseURL: "http://localhost:1"}); err == nil {
+		t.Error("missing tenants accepted")
+	}
+}
+
+// TestLoadHarnessSurvivesServerErrors: pointing a worker at a tenant the
+// server does not host must produce error counts, not a hang.
+func TestLoadHarnessSurvivesServerErrors(t *testing.T) {
+	_, hs := newTestServer(t, Config{Tenants: map[string]TenantConfig{
+		"alpha": fixedTenant(4, 0.8),
+	}})
+	rep, err := RunLoad(LoadConfig{
+		BaseURL: hs.URL,
+		Tenants: []string{"ghost"},
+		Workers: 1,
+		Events:  20,
+		Seed:    1,
+		Client:  hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 {
+		t.Errorf("unknown tenant produced no errors: %+v", rep)
+	}
+}

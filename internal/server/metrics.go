@@ -1,0 +1,59 @@
+package server
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+	"time"
+)
+
+// tenantMetrics is one tenant's expvar surface: operation counters plus
+// gauges computed from the latest snapshot. The vars live in a per-server
+// expvar.Map rather than the process-global expvar registry, so multiple
+// servers (tests, embedded instances) never collide on variable names.
+type tenantMetrics struct {
+	submits, revokes, drifts expvar.Int
+	planReads, alternatives  expvar.Int
+	errors                   expvar.Int
+	vars                     *expvar.Map
+}
+
+func newTenantMetrics(t *Tenant) *tenantMetrics {
+	m := &tenantMetrics{vars: new(expvar.Map).Init()}
+	m.vars.Set("submits", &m.submits)
+	m.vars.Set("revokes", &m.revokes)
+	m.vars.Set("availability_updates", &m.drifts)
+	m.vars.Set("plan_reads", &m.planReads)
+	m.vars.Set("alternatives", &m.alternatives)
+	m.vars.Set("errors", &m.errors)
+	// Gauges read the atomically published snapshot, so they are safe
+	// from any goroutine and always consistent with what /plan serves.
+	m.vars.Set("epoch", expvar.Func(func() any { return t.snap.Load().Epoch }))
+	m.vars.Set("open_requests", expvar.Func(func() any { return len(t.snap.Load().Requests) }))
+	m.vars.Set("serving", expvar.Func(func() any { return len(t.snap.Load().Plan.Serving) }))
+	m.vars.Set("availability", expvar.Func(func() any { return t.snap.Load().Availability }))
+	m.vars.Set("strategies", expvar.Func(func() any { return t.ix.Len() }))
+	return m
+}
+
+// newMetricsRoot assembles the server-wide expvar tree.
+func newMetricsRoot(s *Server) *expvar.Map {
+	root := new(expvar.Map).Init()
+	root.Set("uptime_seconds", expvar.Func(func() any {
+		return time.Since(s.start).Seconds()
+	}))
+	root.Set("tenant_count", expvar.Func(func() any { return len(s.tenants) }))
+	tenants := new(expvar.Map).Init()
+	for name, t := range s.tenants {
+		tenants.Set(name, t.met.vars)
+	}
+	root.Set("tenants", tenants)
+	return root
+}
+
+// metricsHandler renders the expvar tree; expvar.Map.String() is valid
+// JSON, nested maps and Funcs included.
+func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	io.WriteString(w, s.vars.String())
+}

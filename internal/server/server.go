@@ -1,0 +1,136 @@
+// Package server hosts StratRec as a multi-tenant HTTP/JSON service: the
+// online regime the paper frames — deployment requests arriving
+// continuously, revocations, worker availability drifting — served at
+// interactive latency from the warm ADPaR index of PR 1.
+//
+// Each tenant is a named strategy catalog with its own stream.Manager.
+// Because the manager is not goroutine-safe, every tenant runs a
+// single-writer event loop fed by a channel: mutations serialize per
+// tenant with no global lock, tenants never contend with each other, and
+// read traffic (plan queries, ADPaR alternatives) is served lock-free from
+// an atomically swapped immutable snapshot plus the tenant's shared warm
+// adpar.Index. Shutdown is graceful: the HTTP layer drains in-flight
+// requests before the event loops stop.
+//
+// The package also ships a load harness (RunLoad) that replays synthetic
+// Poisson submit/revoke/drift workloads from internal/synth against a live
+// server and reports throughput and latency percentiles.
+package server
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config configures a Server: one TenantConfig per hosted tenant name.
+type Config struct {
+	Tenants map[string]TenantConfig
+}
+
+// ErrUnknownTenant reports a request for a tenant the server does not
+// host.
+var ErrUnknownTenant = errors.New("server: unknown tenant")
+
+// Server is a multi-tenant StratRec recommendation service. Create one
+// with New, expose Handler over any net/http server, and Close it to stop
+// the tenant event loops (after the HTTP layer has drained).
+type Server struct {
+	tenants map[string]*Tenant
+	names   []string // sorted, for deterministic listings
+	mux     *http.ServeMux
+	vars    *expvar.Map
+	start   time.Time
+
+	closeOnce sync.Once
+}
+
+// New builds the server and starts one event loop per tenant.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("server: no tenants configured")
+	}
+	s := &Server{
+		tenants: make(map[string]*Tenant, len(cfg.Tenants)),
+		start:   time.Now(),
+	}
+	names := make([]string, 0, len(cfg.Tenants))
+	for name := range cfg.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t, err := newTenant(name, cfg.Tenants[name])
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.tenants[name] = t
+		s.names = append(s.names, name)
+	}
+	s.vars = newMetricsRoot(s)
+	s.mux = s.routes()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler. See api.go for the routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Tenant returns a hosted tenant by name.
+func (s *Server) Tenant(name string) (*Tenant, error) {
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, ErrUnknownTenant
+	}
+	return t, nil
+}
+
+// TenantNames lists hosted tenants in sorted order.
+func (s *Server) TenantNames() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Close stops every tenant event loop and waits for them to exit. Call it
+// after the HTTP server has drained (http.Server.Shutdown or
+// httptest.Server.Close), so no handler is left mid-flight; requests
+// racing the shutdown fail with ErrTenantClosed (503). Close is
+// idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		var wg sync.WaitGroup
+		for _, t := range s.tenants {
+			wg.Add(1)
+			go func(t *Tenant) {
+				defer wg.Done()
+				t.close()
+			}(t)
+		}
+		wg.Wait()
+	})
+}
+
+// ListenAndServe runs the server on addr until ctx is cancelled, then
+// shuts down gracefully: in-flight HTTP requests get drainTimeout to
+// finish before the tenant loops stop.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	hs := &http.Server{Addr: addr, Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := hs.Shutdown(shutdownCtx)
+	s.Close()
+	return err
+}

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"stratrec/internal/adpar"
+	"stratrec/internal/batch"
+	"stratrec/internal/strategy"
+	"stratrec/internal/stream"
+	"stratrec/internal/workforce"
+)
+
+// TenantConfig describes one hosted tenant: a strategy catalog with its
+// availability models and planning semantics.
+type TenantConfig struct {
+	Set    strategy.Set
+	Models workforce.PerStrategyModels
+	// Mode and Objective select the tenant's planning semantics.
+	Mode      workforce.Mode
+	Objective batch.Objective
+	// InitialW is the starting expected workforce.
+	InitialW float64
+	// Parallelism caps the ADPaR sweep workers (0 = GOMAXPROCS).
+	Parallelism int
+	// OpBuffer sizes the event-loop inbox; 0 defaults to 64.
+	OpBuffer int
+}
+
+// ErrTenantClosed reports an operation against a tenant whose event loop
+// has shut down.
+var ErrTenantClosed = errors.New("server: tenant closed")
+
+// Tenant hosts one strategy catalog behind a single-writer event loop.
+//
+// stream.Manager is not goroutine-safe, so every mutation (submit, revoke,
+// availability) is a message to the loop goroutine — the only writer —
+// rather than a lock acquisition. After each successful mutation the loop
+// publishes an immutable stream.Snapshot through an atomic pointer, and
+// all reads (plan queries, alternative recommendations) are served from
+// that snapshot plus the tenant's immutable warm adpar.Index without ever
+// touching the manager or blocking behind writers. Replies are sent after
+// the snapshot is stored, so a client observes its own writes.
+type Tenant struct {
+	name string
+	mgr  *stream.Manager
+	ix   *adpar.Index
+	met  *tenantMetrics
+
+	ops  chan op
+	quit chan struct{}
+	done chan struct{}
+	snap atomic.Pointer[stream.Snapshot]
+}
+
+type opKind int
+
+const (
+	opSubmit opKind = iota
+	opRevoke
+	opAvailability
+)
+
+type op struct {
+	kind  opKind
+	req   strategy.Request // opSubmit
+	id    string           // opRevoke
+	w     float64          // opAvailability
+	reply chan opResult
+}
+
+type opResult struct {
+	served bool
+	epoch  uint64
+	err    error
+}
+
+// newTenant builds the tenant, compiles its warm ADPaR index, and starts
+// the event loop.
+func newTenant(name string, cfg TenantConfig) (*Tenant, error) {
+	mgr, err := stream.NewManager(cfg.Set, cfg.Models, cfg.Mode, cfg.Objective, cfg.InitialW)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %s: %w", name, err)
+	}
+	ix, err := adpar.NewIndex(cfg.Set)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %s: %w", name, err)
+	}
+	ix.Parallelism = cfg.Parallelism
+	if err := mgr.AttachIndex(ix); err != nil {
+		return nil, fmt.Errorf("server: tenant %s: %w", name, err)
+	}
+	buf := cfg.OpBuffer
+	if buf <= 0 {
+		buf = 64
+	}
+	t := &Tenant{
+		name: name,
+		mgr:  mgr,
+		ix:   ix,
+		ops:  make(chan op, buf),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	t.met = newTenantMetrics(t)
+	t.snap.Store(mgr.Snapshot())
+	go t.loop()
+	return t, nil
+}
+
+// loop is the tenant's single writer: it owns the stream.Manager
+// exclusively and publishes a fresh snapshot after every successful
+// mutation, before replying.
+func (t *Tenant) loop() {
+	defer close(t.done)
+	for {
+		select {
+		case o := <-t.ops:
+			var res opResult
+			switch o.kind {
+			case opSubmit:
+				res.served, res.err = t.mgr.Submit(o.req)
+			case opRevoke:
+				res.err = t.mgr.Revoke(o.id)
+			case opAvailability:
+				res.err = t.mgr.SetAvailability(o.w)
+			}
+			res.epoch = t.mgr.Epoch()
+			if res.err == nil {
+				t.snap.Store(t.mgr.Snapshot())
+			}
+			o.reply <- res
+		case <-t.quit:
+			return
+		}
+	}
+}
+
+// do routes one mutation through the event loop. Once the loop accepts an
+// op it always replies (the reply channel is buffered), so the only
+// abandonment point is a closed tenant.
+func (t *Tenant) do(o op) opResult {
+	o.reply = make(chan opResult, 1)
+	select {
+	case t.ops <- o:
+	case <-t.quit:
+		return opResult{err: ErrTenantClosed}
+	}
+	select {
+	case res := <-o.reply:
+		return res
+	case <-t.done:
+		// The loop exited after accepting but before serving the op.
+		select {
+		case res := <-o.reply:
+			return res
+		default:
+			return opResult{err: ErrTenantClosed}
+		}
+	}
+}
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// SubmitResult reports the outcome of a submission.
+type SubmitResult struct {
+	Served bool
+	Epoch  uint64
+}
+
+// Submit admits a request through the event loop.
+func (t *Tenant) Submit(d strategy.Request) (SubmitResult, error) {
+	res := t.do(op{kind: opSubmit, req: d})
+	if res.err != nil {
+		t.met.errors.Add(1)
+		return SubmitResult{}, res.err
+	}
+	t.met.submits.Add(1)
+	return SubmitResult{Served: res.served, Epoch: res.epoch}, nil
+}
+
+// Revoke withdraws an open request through the event loop.
+func (t *Tenant) Revoke(id string) (uint64, error) {
+	res := t.do(op{kind: opRevoke, id: id})
+	if res.err != nil {
+		t.met.errors.Add(1)
+		return 0, res.err
+	}
+	t.met.revokes.Add(1)
+	return res.epoch, nil
+}
+
+// SetAvailability moves the expected workforce through the event loop.
+func (t *Tenant) SetAvailability(w float64) (uint64, error) {
+	res := t.do(op{kind: opAvailability, w: w})
+	if res.err != nil {
+		t.met.errors.Add(1)
+		return 0, res.err
+	}
+	t.met.drifts.Add(1)
+	return res.epoch, nil
+}
+
+// Snapshot returns the latest published plan snapshot — a lock-free read.
+func (t *Tenant) Snapshot() *stream.Snapshot {
+	t.met.planReads.Add(1)
+	return t.snap.Load()
+}
+
+// Alternative recommends ADPaR alternative parameters for an open request
+// the current plan does not serve. The whole call is lock-free: the
+// request is resolved against the latest snapshot and solved on the
+// tenant's immutable warm index, so any number of alternative queries run
+// concurrently with each other and with mutations. The returned
+// RequestState is the one the solution was computed for, so callers read
+// K (and anything else) from it rather than re-resolving the ID against a
+// possibly newer snapshot.
+func (t *Tenant) Alternative(id string) (adpar.Solution, stream.RequestState, error) {
+	rs, ok := t.snap.Load().Request(id)
+	if !ok {
+		t.met.errors.Add(1)
+		return adpar.Solution{}, rs, fmt.Errorf("%w: %s", stream.ErrUnknownID, id)
+	}
+	if rs.Serving {
+		t.met.errors.Add(1)
+		return adpar.Solution{}, rs, fmt.Errorf("%w: %s", stream.ErrServed, id)
+	}
+	sol, err := t.ix.Solve(rs.Request)
+	if err != nil {
+		t.met.errors.Add(1)
+		return adpar.Solution{}, rs, err
+	}
+	t.met.alternatives.Add(1)
+	return sol, rs, nil
+}
+
+// close stops the event loop. Pending ops that the loop never accepted
+// (and callers racing the shutdown) get ErrTenantClosed.
+func (t *Tenant) close() {
+	close(t.quit)
+	<-t.done
+}

@@ -117,6 +117,51 @@ func FromRuntime(set strategy.Set, models workforce.PerStrategyModels, W float64
 	return c, nil
 }
 
+// Tenants is a multi-tenant catalog file: one named strategy catalog per
+// tenant, the unit a `stratrec serve` instance hosts. Tenant names become
+// URL path segments, so keep them URL-safe.
+type Tenants struct {
+	Tenants map[string]Catalog `json:"tenants"`
+}
+
+// Validate checks the file holds at least one tenant and no tenant name is
+// empty or contains a path separator.
+func (t Tenants) Validate() error {
+	if len(t.Tenants) == 0 {
+		return errors.New("store: tenants file holds no tenants")
+	}
+	for name := range t.Tenants {
+		if name == "" {
+			return errors.New("store: empty tenant name")
+		}
+		for _, r := range name {
+			if r == '/' || r == '?' || r == '#' || r == '%' || r == ' ' {
+				return fmt.Errorf("store: tenant name %q is not URL-safe", name)
+			}
+		}
+	}
+	return nil
+}
+
+// Names returns the tenant names sorted, for deterministic iteration.
+func (t Tenants) Names() []string {
+	names := make([]string, 0, len(t.Tenants))
+	for name := range t.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadTenants reads and validates a multi-tenant catalog file.
+func LoadTenants(path string) (Tenants, error) {
+	var t Tenants
+	if err := load(path, &t); err != nil {
+		return Tenants{}, err
+	}
+	return t, t.Validate()
+}
+
 // Batch is a persisted batch of deployment requests.
 type Batch struct {
 	Requests []strategy.Request `json:"requests"`

@@ -108,6 +108,70 @@ func TestRoundTripThroughDisk(t *testing.T) {
 	}
 }
 
+func TestTenantsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	orig := Tenants{Tenants: map[string]Catalog{
+		"alpha": sampleCatalog(),
+		"beta":  sampleCatalog(),
+	}}
+	if err := Save(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTenants(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Names(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("names = %v", got)
+	}
+	if len(loaded.Tenants["alpha"].Entries) != 2 {
+		t.Errorf("alpha catalog = %+v", loaded.Tenants["alpha"])
+	}
+	// Each tenant catalog materializes independently.
+	for _, name := range loaded.Names() {
+		if _, _, err := loaded.Tenants[name].Materialize(nil); err != nil {
+			t.Errorf("tenant %s: %v", name, err)
+		}
+	}
+}
+
+func TestTenantsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		t    Tenants
+		ok   bool
+	}{
+		{"no tenants", Tenants{}, false},
+		{"empty map", Tenants{Tenants: map[string]Catalog{}}, false},
+		{"empty name", Tenants{Tenants: map[string]Catalog{"": {}}}, false},
+		{"slash in name", Tenants{Tenants: map[string]Catalog{"a/b": {}}}, false},
+		{"space in name", Tenants{Tenants: map[string]Catalog{"a b": {}}}, false},
+		{"percent in name", Tenants{Tenants: map[string]Catalog{"a%b": {}}}, false},
+		{"clean", Tenants{Tenants: map[string]Catalog{"alpha-1": {}}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.t.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate = %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("invalid tenants accepted")
+			}
+		})
+	}
+	// LoadTenants applies Validate.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := Save(path, Tenants{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTenants(path); err == nil {
+		t.Error("empty tenants file loaded")
+	}
+}
+
 func TestFromRuntimeRoundTrip(t *testing.T) {
 	set, models, err := sampleCatalog().Materialize(nil)
 	if err != nil {

@@ -104,11 +104,19 @@ type Params struct {
 	Latency float64 `json:"latency"`
 }
 
+// ErrBadParam is wrapped by every parameter-validation failure, letting
+// API layers classify client input errors with errors.Is instead of
+// matching message text.
+var ErrBadParam = errors.New("strategy: parameter outside [0,1]")
+
+// ErrBadCardinality is wrapped by every cardinality-validation failure.
+var ErrBadCardinality = errors.New("strategy: non-positive cardinality")
+
 // Validate checks that every parameter is inside [0,1].
 func (p Params) Validate() error {
 	check := func(name string, v float64) error {
 		if v < 0 || v > 1 || v != v { // v != v catches NaN
-			return fmt.Errorf("strategy: %s parameter %v outside [0,1]", name, v)
+			return fmt.Errorf("%w: %s parameter %v", ErrBadParam, name, v)
 		}
 		return nil
 	}
@@ -166,7 +174,7 @@ func (r Request) Validate() error {
 		return err
 	}
 	if r.K < 1 {
-		return fmt.Errorf("strategy: request %q has non-positive cardinality k=%d", r.ID, r.K)
+		return fmt.Errorf("%w: request %q has k=%d", ErrBadCardinality, r.ID, r.K)
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"stratrec/internal/adpar"
@@ -72,11 +73,21 @@ type Manager struct {
 	epoch   uint64
 }
 
-// ErrDuplicateID rejects a submission reusing an open request's ID.
+// ErrEmptyID rejects a submission without a request ID.
+var ErrEmptyID = errors.New("stream: request needs an ID")
+
+// ErrDuplicateID rejects a submission reusing an *open* request's ID. A
+// revoked ID is forgotten entirely, so resubmitting it is not an error: the
+// resubmission is admitted as a brand-new request (fresh requirement, fresh
+// admission position).
 var ErrDuplicateID = errors.New("stream: duplicate request ID")
 
 // ErrUnknownID rejects revocation of a request that is not open.
 var ErrUnknownID = errors.New("stream: unknown request ID")
+
+// ErrBadAvailability rejects an expected workforce outside [0,1] (NaN
+// included).
+var ErrBadAvailability = errors.New("stream: availability outside [0,1]")
 
 // NewManager builds a dynamic deployment manager. The shared ADPaR index
 // is compiled lazily on the first Alternative call, so managers that never
@@ -88,8 +99,8 @@ func NewManager(set strategy.Set, models workforce.ModelProvider, mode workforce
 	if models == nil {
 		return nil, errors.New("stream: nil model provider")
 	}
-	if initialW < 0 || initialW > 1 {
-		return nil, fmt.Errorf("stream: initial availability %v outside [0,1]", initialW)
+	if initialW < 0 || initialW > 1 || math.IsNaN(initialW) {
+		return nil, fmt.Errorf("%w: %v", ErrBadAvailability, initialW)
 	}
 	return &Manager{
 		strategies: set,
@@ -112,9 +123,15 @@ func (m *Manager) Open() int { return len(m.entries) }
 
 // Submit admits a request, computes and caches its workforce requirement,
 // and replans. It returns whether the new plan serves the request.
+//
+// Error paths are consistent and leave the manager unchanged: an empty ID
+// is ErrEmptyID, invalid parameters surface the strategy validation error,
+// and an ID currently open is ErrDuplicateID. An ID that was revoked is no
+// longer open and may be resubmitted freely; the manager keeps no memory
+// of revoked requests.
 func (m *Manager) Submit(d strategy.Request) (bool, error) {
 	if d.ID == "" {
-		return false, errors.New("stream: request needs an ID")
+		return false, ErrEmptyID
 	}
 	if err := d.Validate(); err != nil {
 		return false, err
@@ -148,10 +165,12 @@ func (m *Manager) Revoke(id string) error {
 	return nil
 }
 
-// SetAvailability moves the expected workforce and replans.
+// SetAvailability moves the expected workforce and replans. Values outside
+// [0,1] — NaN included — are rejected with ErrBadAvailability and leave the
+// manager unchanged.
 func (m *Manager) SetAvailability(w float64) error {
-	if w < 0 || w > 1 {
-		return fmt.Errorf("stream: availability %v outside [0,1]", w)
+	if w < 0 || w > 1 || math.IsNaN(w) {
+		return fmt.Errorf("%w: %v", ErrBadAvailability, w)
 	}
 	m.w = w
 	m.replan()
@@ -186,6 +205,81 @@ func (m *Manager) Plan() Plan {
 	return p
 }
 
+// RequestState is one open request's frozen state inside a Snapshot.
+type RequestState struct {
+	ID      string
+	Request strategy.Request
+	// Serving reports whether the snapshot's plan serves the request.
+	Serving bool
+	// Feasible reports whether the request can be served at any
+	// availability (false when fewer than K strategies can ever satisfy
+	// it).
+	Feasible bool
+	// Workforce is the cached aggregated requirement; +Inf when
+	// infeasible.
+	Workforce float64
+	// Strategies holds the K recommended strategy IDs (nil when
+	// infeasible).
+	Strategies []int
+}
+
+// Snapshot is a self-contained, immutable copy of the manager's state:
+// the plan, the availability, and every open request. A single-writer
+// event loop can publish one through an atomic pointer after each event so
+// that readers (plan queries, alternative serving) never touch the
+// manager. Everything reachable from a Snapshot is a copy; mutating the
+// manager afterwards does not affect it.
+type Snapshot struct {
+	Epoch        uint64
+	Availability float64
+	Plan         Plan
+	// Requests lists every open request in admission order.
+	Requests []RequestState
+
+	byID map[string]int // index into Requests
+}
+
+// Request returns the state of an open request by ID.
+func (s *Snapshot) Request(id string) (RequestState, bool) {
+	if s == nil {
+		return RequestState{}, false
+	}
+	i, ok := s.byID[id]
+	if !ok {
+		return RequestState{}, false
+	}
+	return s.Requests[i], true
+}
+
+// Snapshot freezes the manager's current state. Like every other method it
+// must be called from the manager's single writer; the returned value is
+// then safe to hand to any number of concurrent readers.
+func (m *Manager) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Epoch:        m.epoch,
+		Availability: m.w,
+		Plan:         m.Plan(),
+		Requests:     make([]RequestState, 0, len(m.order)),
+		byID:         make(map[string]int, len(m.order)),
+	}
+	for _, id := range m.order {
+		e := m.entries[id]
+		rs := RequestState{
+			ID:        id,
+			Request:   e.Request,
+			Serving:   e.Serving,
+			Feasible:  e.Req.Feasible(),
+			Workforce: e.Req.Workforce,
+		}
+		if len(e.Req.Strategies) > 0 {
+			rs.Strategies = append([]int(nil), e.Req.Strategies...)
+		}
+		s.byID[id] = len(s.Requests)
+		s.Requests = append(s.Requests, rs)
+	}
+	return s
+}
+
 // Strategies returns the k recommended strategies of a served request, or
 // nil if the request is not currently served.
 func (m *Manager) Strategies(id string) []int {
@@ -216,14 +310,41 @@ func (m *Manager) Alternative(id string) (adpar.Solution, error) {
 	if e.Serving {
 		return adpar.Solution{}, fmt.Errorf("%w: %s", ErrServed, id)
 	}
+	ix, err := m.Index()
+	if err != nil {
+		return adpar.Solution{}, err
+	}
+	return ix.Solve(e.Request)
+}
+
+// Index returns the manager's shared ADPaR serving index, compiling it on
+// first use. The returned index is immutable and safe for concurrent Solve
+// calls, so callers may serve alternatives from it without going through
+// the manager at all (the lock-free read path of a serving tenant).
+func (m *Manager) Index() (*adpar.Index, error) {
 	if m.adparIdx == nil {
 		ix, err := adpar.NewIndex(m.strategies)
 		if err != nil {
-			return adpar.Solution{}, err
+			return nil, err
 		}
 		m.adparIdx = ix
 	}
-	return m.adparIdx.Solve(e.Request)
+	return m.adparIdx, nil
+}
+
+// AttachIndex installs a pre-compiled ADPaR index, sharing one warm
+// compilation across managers (or between a manager and an HTTP serving
+// layer) over the same strategy set. The index must have been compiled for
+// a set of the same size; attaching replaces any lazily compiled index.
+func (m *Manager) AttachIndex(ix *adpar.Index) error {
+	if ix == nil {
+		return errors.New("stream: nil index")
+	}
+	if ix.Len() != len(m.strategies) {
+		return fmt.Errorf("stream: index compiled for %d strategies, manager has %d", ix.Len(), len(m.strategies))
+	}
+	m.adparIdx = ix
+	return nil
 }
 
 func (m *Manager) value(e *Entry) float64 {

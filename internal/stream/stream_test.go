@@ -107,6 +107,254 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+// TestResubmitAfterRevoke: a revoked ID is forgotten, so resubmitting it
+// is a fresh admission, not ErrDuplicateID — the documented Submit
+// contract.
+func TestResubmitAfterRevoke(t *testing.T) {
+	m := newManager(t, 0.5)
+	if _, err := m.Submit(request("a", 0.52, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(request("a", 0.52, 1)); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("open duplicate error = %v", err)
+	}
+	if err := m.Revoke("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Resubmission with different parameters succeeds and uses the new
+	// requirement, proving no stale state survived the revocation.
+	served, err := m.Submit(request("a", 0.36, 1)) // req (0.36-0.2)/0.8 = 0.2
+	if err != nil {
+		t.Fatalf("resubmit after revoke = %v", err)
+	}
+	if !served {
+		t.Fatal("resubmitted request not served")
+	}
+	if w := m.Plan().Workforce; math.Abs(w-0.2) > 1e-12 {
+		t.Errorf("resubmitted workforce = %v, want 0.2 (fresh requirement)", w)
+	}
+	if m.Open() != 1 {
+		t.Errorf("open = %d", m.Open())
+	}
+}
+
+// TestSubmitErrorPaths: every Submit error is a stable sentinel (or a
+// validation error) and leaves the manager untouched.
+func TestSubmitErrorPaths(t *testing.T) {
+	m := newManager(t, 0.5)
+	if _, err := m.Submit(request("keep", 0.52, 1)); err != nil {
+		t.Fatal(err)
+	}
+	epoch := m.Epoch()
+	cases := []struct {
+		name string
+		req  strategy.Request
+		want error // nil means "any non-nil error"
+	}{
+		{"empty id", request("", 0.5, 1), ErrEmptyID},
+		{"duplicate id", request("keep", 0.5, 1), ErrDuplicateID},
+		{"bad quality", request("x", 2.0, 1), strategy.ErrBadParam},
+		{"bad k", request("x", 0.5, 0), strategy.ErrBadCardinality},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := m.Submit(tc.req)
+			if err == nil {
+				t.Fatal("error expected")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Errorf("error = %v, want %v", err, tc.want)
+			}
+			if m.Open() != 1 || m.Epoch() != epoch {
+				t.Errorf("failed submit mutated manager: open=%d epoch=%d", m.Open(), m.Epoch())
+			}
+		})
+	}
+}
+
+// TestRevokeEdgeCases drives Revoke through its edge cases table-style.
+func TestRevokeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		setup  []string // IDs submitted beforehand
+		revoke string
+		want   error
+	}{
+		{"empty manager", nil, "a", ErrUnknownID},
+		{"unknown id", []string{"a"}, "b", ErrUnknownID},
+		{"empty id", []string{"a"}, "", ErrUnknownID},
+		{"known id", []string{"a", "b"}, "a", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newManager(t, 0.5)
+			for _, id := range tc.setup {
+				if _, err := m.Submit(request(id, 0.52, 1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			err := m.Revoke(tc.revoke)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("revoke = %v", err)
+				}
+				if err := m.Revoke(tc.revoke); !errors.Is(err, ErrUnknownID) {
+					t.Errorf("double revoke error = %v", err)
+				}
+				if m.Open() != len(tc.setup)-1 {
+					t.Errorf("open = %d", m.Open())
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("error = %v, want %v", err, tc.want)
+			}
+			if m.Open() != len(tc.setup) {
+				t.Errorf("failed revoke mutated pool: open = %d", m.Open())
+			}
+		})
+	}
+}
+
+// TestSetAvailabilityEdgeCases drives SetAvailability through boundary and
+// invalid values.
+func TestSetAvailabilityEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		w    float64
+		ok   bool
+	}{
+		{"zero", 0, true},
+		{"one", 1, true},
+		{"interior", 0.37, true},
+		{"negative", -0.01, false},
+		{"above one", 1.01, false},
+		{"NaN", math.NaN(), false},
+		{"+Inf", math.Inf(1), false},
+		{"-Inf", math.Inf(-1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newManager(t, 0.5)
+			err := m.SetAvailability(tc.w)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("SetAvailability(%v) = %v", tc.w, err)
+				}
+				if m.Availability() != tc.w {
+					t.Errorf("availability = %v", m.Availability())
+				}
+				return
+			}
+			if !errors.Is(err, ErrBadAvailability) {
+				t.Errorf("error = %v, want ErrBadAvailability", err)
+			}
+			if m.Availability() != 0.5 {
+				t.Errorf("failed update moved availability to %v", m.Availability())
+			}
+		})
+	}
+	// The constructor applies the same predicate.
+	if _, err := NewManager(fixedSet(2), fixedModels(2), workforce.MaxCase, batch.Throughput, math.NaN()); !errors.Is(err, ErrBadAvailability) {
+		t.Errorf("NewManager(NaN) error = %v", err)
+	}
+}
+
+// TestSnapshotIsImmutableCopy: a snapshot reflects the state at capture
+// time and survives later mutations untouched.
+func TestSnapshotIsImmutableCopy(t *testing.T) {
+	m := newManager(t, 0.5)
+	if _, err := m.Submit(request("a", 0.52, 2)); err != nil { // req 0.4: served
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(request("c", 0.60, 1)); err != nil { // req 0.5: displaced
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Epoch != m.Epoch() || snap.Availability != 0.5 {
+		t.Errorf("snapshot header = %+v", snap)
+	}
+	if len(snap.Requests) != 2 || snap.Requests[0].ID != "a" || snap.Requests[1].ID != "c" {
+		t.Fatalf("snapshot requests = %+v", snap.Requests)
+	}
+	a, ok := snap.Request("a")
+	if !ok || !a.Serving || !a.Feasible || len(a.Strategies) != 2 {
+		t.Errorf("request a = %+v ok=%v", a, ok)
+	}
+	c, ok := snap.Request("c")
+	if !ok || c.Serving {
+		t.Errorf("request c = %+v ok=%v", c, ok)
+	}
+	if _, ok := snap.Request("nope"); ok {
+		t.Error("unknown id found in snapshot")
+	}
+	if len(snap.Plan.Serving) != 1 || snap.Plan.Serving[0] != "a" {
+		t.Errorf("snapshot plan = %+v", snap.Plan)
+	}
+
+	// Mutate the manager; the old snapshot must not move.
+	if err := m.Revoke("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Request("a"); !ok {
+		t.Error("snapshot lost a revoked request")
+	}
+	if len(snap.Plan.Serving) != 1 {
+		t.Errorf("snapshot plan mutated: %+v", snap.Plan)
+	}
+	if snap2 := m.Snapshot(); len(snap2.Requests) != 1 || snap2.Requests[0].ID != "c" {
+		t.Errorf("fresh snapshot = %+v", snap2.Requests)
+	}
+	var nilSnap *Snapshot
+	if _, ok := nilSnap.Request("a"); ok {
+		t.Error("nil snapshot answered a lookup")
+	}
+}
+
+// TestAttachIndex: an externally compiled index is shared verbatim, and a
+// mismatched one is rejected.
+func TestAttachIndex(t *testing.T) {
+	m := newManager(t, 0.5)
+	ix, err := adpar.NewIndex(fixedSet(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ix {
+		t.Error("Index() did not return the attached index")
+	}
+	if err := m.AttachIndex(nil); err == nil {
+		t.Error("nil index accepted")
+	}
+	wrong, err := adpar.NewIndex(fixedSet(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachIndex(wrong); err == nil {
+		t.Error("size-mismatched index accepted")
+	}
+	// Lazy compilation still works on a fresh manager, and the compiled
+	// index is retained.
+	m2 := newManager(t, 0.5)
+	ix1, err := m2.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := m2.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix1 != ix2 {
+		t.Error("Index() recompiled on second call")
+	}
+}
+
 func TestDisplacementAndRevocation(t *testing.T) {
 	m := newManager(t, 0.5)
 	// Two cheap requests (0.25 each) fill W = 0.5 exactly.

@@ -1,0 +1,143 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stratrec/internal/stats"
+	"stratrec/internal/strategy"
+)
+
+// EventKind classifies one arrival in a dynamic deployment workload.
+type EventKind int
+
+const (
+	// SubmitArrival: a requester submits a new deployment request.
+	SubmitArrival EventKind = iota
+	// RevokeArrival: a requester withdraws a previously submitted, still
+	// open request.
+	RevokeArrival
+	// DriftArrival: the platform's expected worker availability moves.
+	DriftArrival
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case SubmitArrival:
+		return "submit"
+	case RevokeArrival:
+		return "revoke"
+	case DriftArrival:
+		return "drift"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// WorkloadEvent is one timed arrival of the online deployment setting: the
+// stream of submissions, revocations and availability drift the paper's
+// conclusion poses as the fully dynamic regime.
+type WorkloadEvent struct {
+	// At is the arrival offset from the workload start. Offsets are
+	// non-decreasing; consecutive gaps are exponential, so arrivals form
+	// a Poisson process of the configured rate.
+	At   time.Duration
+	Kind EventKind
+	// Request is the submitted request (SubmitArrival only).
+	Request strategy.Request
+	// RevokeID is the withdrawn request's ID (RevokeArrival only). It
+	// always names a request submitted by an earlier event of the same
+	// workload and not yet revoked.
+	RevokeID string
+	// Availability is the new expected workforce (DriftArrival only).
+	Availability float64
+}
+
+// WorkloadConfig parameterizes Workload.
+type WorkloadConfig struct {
+	// Events is the total number of arrivals to generate.
+	Events int
+	// K is the cardinality constraint of every generated request.
+	K int
+	// Rate is the Poisson arrival rate in events per second. Zero or
+	// negative collapses all arrivals to offset 0 (replay as fast as
+	// possible).
+	Rate float64
+	// RevokeFraction is the probability an arrival revokes an open
+	// request (skipped when nothing is open).
+	RevokeFraction float64
+	// DriftFraction is the probability an arrival moves availability.
+	DriftFraction float64
+	// TightFraction is the probability a submission draws its thresholds
+	// from the ADPaR band (too tight to satisfy), exercising the
+	// alternative-recommendation path. The rest draw from the regular
+	// request band.
+	TightFraction float64
+	// DriftLo/DriftHi bound drifted availability values; both zero
+	// defaults to [0.2, 1].
+	DriftLo, DriftHi float64
+	// IDPrefix namespaces request IDs ("w3-" gives w3-1, w3-2, ...), so
+	// several independently generated workloads can replay against the
+	// same tenant without colliding.
+	IDPrefix string
+}
+
+// Workload generates a timed Poisson event sequence for the dynamic
+// deployment setting. The sequence is self-consistent: every revocation
+// targets a request an earlier event submitted that no later event already
+// revoked, so replaying events in order against a stream.Manager never
+// trips ErrUnknownID. Generation is deterministic in rng.
+func (c Config) Workload(rng *rand.Rand, wc WorkloadConfig) []WorkloadEvent {
+	if wc.Events <= 0 {
+		return nil
+	}
+	k := wc.K
+	if k < 1 {
+		k = 1
+	}
+	driftLo, driftHi := wc.DriftLo, wc.DriftHi
+	if driftLo == 0 && driftHi == 0 {
+		driftLo, driftHi = 0.2, 1
+	}
+
+	events := make([]WorkloadEvent, 0, wc.Events)
+	var (
+		clock  time.Duration
+		nextID int
+		open   []string // IDs submitted and not yet revoked
+	)
+	for len(events) < wc.Events {
+		if wc.Rate > 0 {
+			clock += time.Duration(rng.ExpFloat64() / wc.Rate * float64(time.Second))
+		}
+		ev := WorkloadEvent{At: clock}
+		switch u := rng.Float64(); {
+		// An unusable revoke draw (empty pool) falls through to submit,
+		// not drift, so the drift rate stays DriftFraction regardless of
+		// pool occupancy.
+		case u < wc.RevokeFraction && len(open) > 0:
+			victim := rng.Intn(len(open))
+			ev.Kind = RevokeArrival
+			ev.RevokeID = open[victim]
+			open[victim] = open[len(open)-1]
+			open = open[:len(open)-1]
+		case u >= wc.RevokeFraction && u < wc.RevokeFraction+wc.DriftFraction:
+			ev.Kind = DriftArrival
+			ev.Availability = stats.Uniform(rng, driftLo, driftHi)
+		default:
+			nextID++
+			var d strategy.Request
+			if rng.Float64() < wc.TightFraction {
+				d = c.ADPaRRequest(rng, k)
+			} else {
+				d = c.Requests(rng, 1, k)[0]
+			}
+			d.ID = fmt.Sprintf("%s%d", wc.IDPrefix, nextID)
+			ev.Kind = SubmitArrival
+			ev.Request = d
+			open = append(open, d.ID)
+		}
+		events = append(events, ev)
+	}
+	return events
+}

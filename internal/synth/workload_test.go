@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestWorkloadSelfConsistent(t *testing.T) {
+	cfg := DefaultConfig(Uniform)
+	rng := rand.New(rand.NewSource(7))
+	wc := WorkloadConfig{
+		Events:         500,
+		K:              3,
+		Rate:           200,
+		RevokeFraction: 0.25,
+		DriftFraction:  0.1,
+		TightFraction:  0.3,
+		IDPrefix:       "w-",
+	}
+	events := cfg.Workload(rng, wc)
+	if len(events) != wc.Events {
+		t.Fatalf("generated %d events, want %d", len(events), wc.Events)
+	}
+
+	open := map[string]bool{}
+	counts := map[EventKind]int{}
+	var last time.Duration
+	for i, ev := range events {
+		if ev.At < last {
+			t.Fatalf("event %d: offset %v before %v", i, ev.At, last)
+		}
+		last = ev.At
+		counts[ev.Kind]++
+		switch ev.Kind {
+		case SubmitArrival:
+			if ev.Request.ID == "" || ev.Request.K != wc.K {
+				t.Fatalf("event %d: malformed request %+v", i, ev.Request)
+			}
+			if err := ev.Request.Validate(); err != nil {
+				t.Fatalf("event %d: %v", i, err)
+			}
+			if open[ev.Request.ID] {
+				t.Fatalf("event %d: duplicate open ID %s", i, ev.Request.ID)
+			}
+			open[ev.Request.ID] = true
+		case RevokeArrival:
+			if !open[ev.RevokeID] {
+				t.Fatalf("event %d: revoke of unknown/closed ID %q", i, ev.RevokeID)
+			}
+			delete(open, ev.RevokeID)
+		case DriftArrival:
+			if ev.Availability < 0.2 || ev.Availability > 1 {
+				t.Fatalf("event %d: drift availability %v outside default band", i, ev.Availability)
+			}
+		}
+	}
+	for _, kind := range []EventKind{SubmitArrival, RevokeArrival, DriftArrival} {
+		if counts[kind] == 0 {
+			t.Errorf("no %v events in 500 arrivals", kind)
+		}
+	}
+	// Fractions land in the right neighborhood (loose bounds; revokes can
+	// be skipped when nothing is open).
+	if f := float64(counts[RevokeArrival]) / 500; f < 0.1 || f > 0.4 {
+		t.Errorf("revoke fraction = %v", f)
+	}
+	if f := float64(counts[DriftArrival]) / 500; f < 0.03 || f > 0.25 {
+		t.Errorf("drift fraction = %v", f)
+	}
+}
+
+func TestWorkloadPoissonSpacing(t *testing.T) {
+	cfg := DefaultConfig(Uniform)
+	rng := rand.New(rand.NewSource(11))
+	rate := 100.0
+	events := cfg.Workload(rng, WorkloadConfig{Events: 4000, K: 1, Rate: rate})
+	// Mean inter-arrival of a Poisson(rate) process is 1/rate seconds.
+	mean := events[len(events)-1].At.Seconds() / float64(len(events)-1)
+	if math.Abs(mean-1/rate) > 0.2/rate {
+		t.Errorf("mean inter-arrival = %vs, want ~%vs", mean, 1/rate)
+	}
+}
+
+func TestWorkloadZeroRateAndDeterminism(t *testing.T) {
+	cfg := DefaultConfig(Uniform)
+	a := cfg.Workload(rand.New(rand.NewSource(3)), WorkloadConfig{Events: 50, K: 2, TightFraction: 1})
+	b := cfg.Workload(rand.New(rand.NewSource(3)), WorkloadConfig{Events: 50, K: 2, TightFraction: 1})
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != 0 {
+			t.Fatalf("event %d: zero-rate offset %v", i, a[i].At)
+		}
+		if a[i].Kind != b[i].Kind || a[i].Request != b[i].Request {
+			t.Fatalf("event %d differs across identical seeds", i)
+		}
+	}
+	if got := cfg.Workload(rand.New(rand.NewSource(1)), WorkloadConfig{}); got != nil {
+		t.Errorf("empty config produced %d events", len(got))
+	}
+}
+
+func TestWorkloadIDPrefixNamespaces(t *testing.T) {
+	cfg := DefaultConfig(Uniform)
+	a := cfg.Workload(rand.New(rand.NewSource(5)), WorkloadConfig{Events: 20, K: 1, IDPrefix: "a-"})
+	b := cfg.Workload(rand.New(rand.NewSource(5)), WorkloadConfig{Events: 20, K: 1, IDPrefix: "b-"})
+	seen := map[string]bool{}
+	for _, evs := range [][]WorkloadEvent{a, b} {
+		for _, ev := range evs {
+			if ev.Kind != SubmitArrival {
+				continue
+			}
+			if seen[ev.Request.ID] {
+				t.Fatalf("ID %s collides across prefixed workloads", ev.Request.ID)
+			}
+			seen[ev.Request.ID] = true
+		}
+	}
+}
