@@ -1,0 +1,131 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stratrec/internal/adpar"
+	"stratrec/internal/conformance"
+)
+
+// runConform implements `stratrec conform`: the end-to-end differential
+// conformance harness as a subcommand, so CI gates and humans chasing a
+// failure run exactly the same binary.
+//
+//	stratrec conform -seed 1 -events 5000            # generate + verify
+//	stratrec conform -replay failure.json            # replay an artifact
+//	stratrec conform -seed 7 -profile revoke-storm   # chaos schedule
+//
+// On divergence the failing trace is minimized with delta debugging and
+// written to -artifact as replayable JSON, and the exit status is nonzero.
+func runConform(args []string) error {
+	fs := flag.NewFlagSet("conform", flag.ContinueOnError)
+	var (
+		seed       = fs.Int64("seed", 1, "trace generation seed")
+		events     = fs.Int("events", 5000, "total trace events (mutations + oracle checks)")
+		tenants    = fs.Int("tenants", 2, "tenant count (objectives/modes cycle per tenant)")
+		strategies = fs.Int("strategies", 24, "strategies per tenant catalog (max 32: the brute-force oracle bound)")
+		k          = fs.Int("k", 3, "per-request cardinality constraint")
+		profile    = fs.String("profile", "steady", "chaos schedule: steady, revoke-storm or bursty")
+		market     = fs.Bool("market", false, "derive availability drift from simulated marketplace outcomes")
+		bbLimit    = fs.Int("branch-bound-limit", 48, "max open items for the exact optimality oracle (-1 disables)")
+		adparPar   = fs.Int("adpar-parallelism", 0, "server ADPaR sweep workers: 0 auto, 1 sequential")
+		replayPath = fs.String("replay", "", "replay a trace artifact instead of generating")
+		outPath    = fs.String("out", "", "also write the generated trace to this path")
+		artifact   = fs.String("artifact", "conformance-failure.json", "where to write the minimized failing trace")
+		maxProbes  = fs.Int("minimize-probes", 600, "delta-debugging probe budget")
+		quiet      = fs.Bool("quiet", false, "suppress the progress line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		tr  conformance.Trace
+		err error
+	)
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			return err
+		}
+		tr, err = conformance.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("conform: replaying %s (%d tenants, %d events)\n", *replayPath, len(tr.Tenants), len(tr.Events))
+	} else {
+		if *strategies > adpar.BruteForceLimit {
+			return fmt.Errorf("conform: -strategies %d exceeds the brute-force oracle bound %d", *strategies, adpar.BruteForceLimit)
+		}
+		tr, err = conformance.Generate(conformance.GenConfig{
+			Seed:           *seed,
+			Events:         *events,
+			Tenants:        *tenants,
+			Strategies:     *strategies,
+			K:              *k,
+			Profile:        conformance.Profile(*profile),
+			MarketFeedback: *market,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("conform: seed %d, %d tenants x %d strategies, %d events, profile %s\n",
+			*seed, len(tr.Tenants), *strategies, len(tr.Events), *profile)
+	}
+	if *outPath != "" {
+		if err := writeTraceFile(*outPath, tr); err != nil {
+			return err
+		}
+	}
+
+	cfg := conformance.RunConfig{
+		Parallelism:      *adparPar,
+		BranchBoundLimit: *bbLimit,
+	}
+	if !*quiet {
+		every := len(tr.Events) / 10
+		if every > 0 {
+			cfg.OnEvent = func(i int, _ conformance.Event) {
+				if i%every == 0 && i > 0 {
+					fmt.Printf("conform: %d/%d events\n", i, len(tr.Events))
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	res, err := conformance.Run(tr, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s  (%.1fs)\n", res, time.Since(start).Seconds())
+	if res.OK() {
+		return nil
+	}
+
+	fmt.Printf("conform: minimizing the failing trace (budget %d probes)...\n", *maxProbes)
+	minimized, stats := conformance.Minimize(tr, cfg, *maxProbes)
+	fmt.Printf("conform: minimized %d -> %d events in %d probes\n", stats.From, stats.To, stats.Probes)
+	if err := writeTraceFile(*artifact, minimized); err != nil {
+		return fmt.Errorf("writing artifact: %w", err)
+	}
+	fmt.Printf("conform: replayable artifact written to %s\n", *artifact)
+	fmt.Printf("conform: replay it with: stratrec conform -replay %s\n", *artifact)
+	return fmt.Errorf("conform: %d oracle divergences", len(res.Divergences))
+}
+
+func writeTraceFile(path string, tr conformance.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

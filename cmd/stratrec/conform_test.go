@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stratrec/internal/conformance"
+)
+
+// TestConformClean: a small seeded conformance run completes with zero
+// divergences through the CLI entry point.
+func TestConformClean(t *testing.T) {
+	out, err := capture(t, func() error {
+		return runConform([]string{"-seed", "1", "-events", "800", "-quiet"})
+	})
+	if err != nil {
+		t.Fatalf("conform: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 divergences") {
+		t.Errorf("output missing divergence summary:\n%s", out)
+	}
+}
+
+// TestConformProfilesAndReplay: generation writes a trace artifact with
+// -out, and -replay runs the identical scenario from it.
+func TestConformProfilesAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	out, err := capture(t, func() error {
+		return runConform([]string{
+			"-seed", "9", "-events", "300", "-profile", "bursty",
+			"-out", trace, "-quiet",
+		})
+	})
+	if err != nil {
+		t.Fatalf("conform bursty: %v\n%s", err, out)
+	}
+	out, err = capture(t, func() error {
+		return runConform([]string{"-replay", trace, "-quiet"})
+	})
+	if err != nil {
+		t.Fatalf("conform replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "replaying") || !strings.Contains(out, "0 divergences") {
+		t.Errorf("replay output unexpected:\n%s", out)
+	}
+}
+
+// TestConformRejectsBadFlags: oracle limits and unknown profiles fail fast
+// instead of running an uncheckable scenario.
+func TestConformRejectsBadFlags(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return runConform([]string{"-strategies", "40"})
+	}); err == nil {
+		t.Error("strategies above the brute-force bound accepted")
+	}
+	if _, err := capture(t, func() error {
+		return runConform([]string{"-replay", filepath.Join(t.TempDir(), "missing.json")})
+	}); err == nil {
+		t.Error("missing replay file accepted")
+	}
+	if _, err := capture(t, func() error {
+		return runConform([]string{"-events", "10", "-profile", "revokestorm"})
+	}); err == nil {
+		t.Error("typo'd profile accepted instead of failing fast")
+	}
+}
+
+// TestServeSelftestWorkloadExportReplay: the selftest exports its
+// generated workload as a synth trace, and a second selftest replays that
+// exact file deterministically — both with zero errors.
+func TestServeSelftestWorkloadExportReplay(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "workload.json")
+	out, err := capture(t, func() error {
+		return runServe([]string{
+			"-selftest",
+			"-selftest-requests", "200",
+			"-selftest-workers", "2",
+			"-demo-tenants", "1",
+			"-demo-strategies", "16",
+			"-selftest-export-workload", trace,
+		})
+	})
+	if err != nil {
+		t.Fatalf("selftest export: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "workload trace written") || !strings.Contains(out, "0 errors") {
+		t.Errorf("export output unexpected:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return runServe([]string{
+			"-selftest",
+			"-demo-tenants", "1",
+			"-demo-strategies", "16",
+			"-selftest-workload", trace,
+		})
+	})
+	if err != nil {
+		t.Fatalf("selftest replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "pre-built worker sequences") || !strings.Contains(out, "0 errors") {
+		t.Errorf("replay output unexpected:\n%s", out)
+	}
+}
+
+// TestConformArtifactRoundTrip: an artifact written by the trace writer is
+// readable by the replay path (the two halves of the failure workflow).
+func TestConformArtifactRoundTrip(t *testing.T) {
+	tr, err := conformance.Generate(conformance.GenConfig{Seed: 2, Events: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	if err := writeTraceFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := conformance.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("artifact changed length: %d -> %d", len(tr.Events), len(got.Events))
+	}
+}

@@ -10,6 +10,8 @@
 //	stratrec -input batch.json       # run a batch from a JSON file
 //	stratrec serve [flags]           # multi-tenant HTTP server
 //	stratrec serve -selftest         # serve + replay a synthetic load, print p50/p99
+//	stratrec conform [flags]         # end-to-end differential conformance harness
+//	stratrec conform -replay f.json  # replay a minimized failure trace
 //
 // The input file format:
 //
@@ -73,6 +75,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := runServe(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "stratrec serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "conform" {
+		if err := runConform(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "stratrec conform:", err)
 			os.Exit(1)
 		}
 		return

@@ -43,6 +43,8 @@ func runServe(args []string) error {
 		stEvents  = fs.Int("selftest-requests", 2000, "selftest: total workload events")
 		stWorkers = fs.Int("selftest-workers", 8, "selftest: concurrent load workers")
 		stRate    = fs.Float64("selftest-rate", 0, "selftest: per-worker Poisson arrival rate in events/s; 0 = closed loop")
+		stExport  = fs.String("selftest-export-workload", "", "selftest: also write the generated workload as a JSON trace to this path")
+		stReplay  = fs.String("selftest-workload", "", "selftest: replay a JSON workload trace (one worker) instead of generating")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,7 +111,15 @@ func runServe(args []string) error {
 	}
 
 	if *selftest {
-		return runSelftest(s, *stEvents, *stWorkers, *stRate, *seed, *drain)
+		return runSelftest(s, selftestConfig{
+			events:  *stEvents,
+			workers: *stWorkers,
+			rate:    *stRate,
+			seed:    *seed,
+			drain:   *drain,
+			export:  *stExport,
+			replay:  *stReplay,
+		})
 	}
 
 	fmt.Printf("stratrec serve: %d tenants on %s\n", len(s.TenantNames()), *addr)
@@ -124,9 +134,75 @@ func runServe(args []string) error {
 	return nil
 }
 
+// selftestConfig carries the selftest knobs, including workload trace
+// export (write the generated sequence as JSON) and replay (drive the
+// server from a previously saved trace instead of generating).
+type selftestConfig struct {
+	events  int
+	workers int
+	rate    float64
+	seed    int64
+	drain   time.Duration
+	export  string
+	replay  string
+}
+
 // runSelftest serves on an ephemeral loopback port, replays the workload,
 // prints the report, and shuts the server down.
-func runSelftest(s *server.Server, events, workers int, rate float64, seed int64, drain time.Duration) error {
+func runSelftest(s *server.Server, cfg selftestConfig) error {
+	loadCfg := server.LoadConfig{
+		Tenants:        s.TenantNames(),
+		Workers:        cfg.workers,
+		Events:         cfg.events,
+		Rate:           cfg.rate,
+		RevokeFraction: 0.3,
+		DriftFraction:  0.05,
+		TightFraction:  0.3,
+		PlanEvery:      20,
+		K:              3,
+		Seed:           cfg.seed,
+	}
+	if cfg.replay != "" && cfg.export != "" {
+		s.Close()
+		return fmt.Errorf("selftest: -selftest-workload and -selftest-export-workload are mutually exclusive")
+	}
+	if cfg.replay != "" {
+		f, err := os.Open(cfg.replay)
+		if err != nil {
+			s.Close()
+			return err
+		}
+		events, err := synth.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			s.Close()
+			return err
+		}
+		// One worker replays the saved sequence verbatim: revokes stay
+		// self-consistent and the run is deterministic in the file.
+		loadCfg.Workloads = [][]synth.WorkloadEvent{events}
+	}
+	if cfg.export != "" {
+		workloads, err := server.BuildWorkloads(loadCfg)
+		if err != nil {
+			s.Close()
+			return err
+		}
+		// Concatenate per-worker sequences: IDs are worker-prefixed (no
+		// collisions) and each worker's events stay in order, so the
+		// concatenation is itself a valid single-worker workload.
+		var all []synth.WorkloadEvent
+		for _, wl := range workloads {
+			all = append(all, wl...)
+		}
+		if err := writeWorkloadFile(cfg.export, all); err != nil {
+			s.Close()
+			return err
+		}
+		fmt.Printf("selftest: workload trace written to %s (%d events)\n", cfg.export, len(all))
+		loadCfg.Workloads = workloads
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		s.Close()
@@ -137,23 +213,17 @@ func runSelftest(s *server.Server, events, workers int, rate float64, seed int64
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("selftest: %d tenants at %s, %d events, %d workers\n",
-		len(s.TenantNames()), base, events, workers)
-	rep, loadErr := server.RunLoad(server.LoadConfig{
-		BaseURL:        base,
-		Tenants:        s.TenantNames(),
-		Workers:        workers,
-		Events:         events,
-		Rate:           rate,
-		RevokeFraction: 0.3,
-		DriftFraction:  0.05,
-		TightFraction:  0.3,
-		PlanEvery:      20,
-		K:              3,
-		Seed:           seed,
-	})
+	loadCfg.BaseURL = base
+	if loadCfg.Workloads != nil {
+		fmt.Printf("selftest: %d tenants at %s, %d pre-built worker sequences\n",
+			len(s.TenantNames()), base, len(loadCfg.Workloads))
+	} else {
+		fmt.Printf("selftest: %d tenants at %s, %d events, %d workers\n",
+			len(s.TenantNames()), base, cfg.events, cfg.workers)
+	}
+	rep, loadErr := server.RunLoad(loadCfg)
 
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	shutdownErr := hs.Shutdown(ctx)
 	s.Close()
@@ -170,6 +240,19 @@ func runSelftest(s *server.Server, events, workers int, rate float64, seed int64
 		return fmt.Errorf("selftest: %d of %d requests failed", rep.Errors, rep.Events)
 	}
 	return nil
+}
+
+// writeWorkloadFile saves a workload event sequence as a JSON trace.
+func writeWorkloadFile(path string, events []synth.WorkloadEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := synth.WriteTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // anchoredModels is the Section 3.1 default for catalog entries without

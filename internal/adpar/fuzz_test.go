@@ -1,0 +1,82 @@
+package adpar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stratrec/internal/strategy"
+)
+
+// FuzzADPaRIndex differentially fuzzes the warm serving index against the
+// brute-force reference ADPaRB on small instances: any (catalog seed,
+// size, k, request) where the two disagree on the optimal distance — or
+// where the index's alternative fails an independent coverage recount — is
+// a real solver bug.
+func FuzzADPaRIndex(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(2), 0.3, 0.4, 0.5)
+	f.Add(int64(7), uint8(16), uint8(5), 0.0, 0.0, 0.0)
+	f.Add(int64(42), uint8(3), uint8(3), 0.9, 0.1, 0.2)
+	f.Add(int64(-5), uint8(1), uint8(1), 1.0, 1.0, 1.0)
+
+	f.Fuzz(func(t *testing.T, seed int64, n, k uint8, q, c, l float64) {
+		// Normalize fuzz inputs into a solvable instance: catalog sizes
+		// within the brute-force bound, thresholds within [0,1].
+		size := int(n)%20 + 1
+		card := int(k)%size + 1
+		if !inUnit(q) || !inUnit(c) || !inUnit(l) {
+			t.Skip()
+		}
+
+		rng := rand.New(rand.NewSource(seed))
+		set := make(strategy.Set, size)
+		for i := range set {
+			set[i] = strategy.Strategy{
+				ID: i,
+				Params: strategy.Params{
+					Quality: float64(rng.Intn(101)) / 100,
+					Cost:    float64(rng.Intn(101)) / 100,
+					Latency: float64(rng.Intn(101)) / 100,
+				},
+			}
+		}
+		d := strategy.Request{
+			ID:     "fuzz",
+			Params: strategy.Params{Quality: q, Cost: c, Latency: l},
+			K:      card,
+		}
+
+		ix, err := NewIndex(set)
+		if err != nil {
+			t.Fatalf("index compile: %v", err)
+		}
+		got, gotErr := ix.Solve(d)
+		want, wantErr := BruteForceK(set, d)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("error disagreement: index %v, brute force %v", gotErr, wantErr)
+		}
+		if gotErr != nil {
+			return
+		}
+		if math.Abs(got.Distance-want.Distance) > 1e-9*math.Max(1, want.Distance) {
+			t.Fatalf("distance disagreement: index %v, brute force %v (n=%d k=%d d=%+v)",
+				got.Distance, want.Distance, size, card, d.Params)
+		}
+		// Independent recount with the public predicate: the alternative
+		// covers what it claims, and at least k strategies.
+		covered := 0
+		for _, s := range set {
+			if strategy.Satisfies(s.Params, got.Alternative) {
+				covered++
+			}
+		}
+		if covered != len(got.Covered) {
+			t.Fatalf("coverage recount %d != reported %d", covered, len(got.Covered))
+		}
+		if covered < card {
+			t.Fatalf("alternative covers %d < k=%d", covered, card)
+		}
+	})
+}
+
+func inUnit(v float64) bool { return v >= 0 && v <= 1 && !math.IsNaN(v) }

@@ -1,0 +1,180 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunSteadyNoDivergence is the core end-to-end differential check: a
+// seeded multi-tenant lifecycle through the real HTTP server agrees with
+// all three oracle layers on every observable.
+func TestRunSteadyNoDivergence(t *testing.T) {
+	tr, err := Generate(GenConfig{Seed: 1, Events: 600, Tenants: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("divergences:\n%s", res)
+	}
+	if res.Checks < res.Events {
+		t.Fatalf("only %d checks over %d events", res.Checks, res.Events)
+	}
+}
+
+// TestRunProfiles exercises the chaos schedules: revoke storms and
+// alternative-query bursts must also match the oracles, and market-driven
+// drift must stay in the valid availability range.
+func TestRunProfiles(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gc   GenConfig
+	}{
+		{"revoke-storm", GenConfig{Seed: 7, Events: 400, Profile: RevokeStorm, PoolCap: 12}},
+		{"bursty-alternatives", GenConfig{Seed: 9, Events: 400, Profile: Bursty}},
+		{"market-feedback", GenConfig{Seed: 11, Events: 300, MarketFeedback: true}},
+		{"four-tenants-all-semantics", GenConfig{Seed: 13, Events: 400, Tenants: 4}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tr, err := Generate(tc.gc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(tr, RunConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				t.Fatalf("divergences:\n%s", res)
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic: the same seed yields the same trace, and the
+// run outcome is a pure function of the trace.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenConfig{Seed: 5, Events: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{Seed: 5, Events: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	r1, err := Run(a, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(b, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Checks != r2.Checks || len(r1.Divergences) != len(r2.Divergences) {
+		t.Fatalf("runs differ: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestTraceJSONRoundTrip: a trace survives Write/ReadTrace bit-for-bit, so
+// a minimized artifact replays the exact failing scenario.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr, err := Generate(GenConfig{Seed: 3, Events: 150, MarketFeedback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != tr.Seed || len(got.Tenants) != len(tr.Tenants) || len(got.Events) != len(tr.Events) {
+		t.Fatalf("header changed: %+v vs %+v", got, tr)
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != got.Events[i] {
+			t.Fatalf("event %d changed in round trip", i)
+		}
+	}
+	res, err := Run(got, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("round-tripped trace diverges:\n%s", res)
+	}
+}
+
+func TestReadTraceRejectsBadInput(t *testing.T) {
+	for name, in := range map[string]string{
+		"garbage":     "not json",
+		"bad version": `{"version": 99, "tenants": [{"name":"x"}], "events": []}`,
+		"no tenants":  `{"version": 1, "tenants": [], "events": []}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadTrace(bytes.NewReader([]byte(in))); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{Seed: 1}); err == nil {
+		t.Fatal("zero events accepted")
+	}
+	if _, err := Generate(GenConfig{Seed: 1, Events: 10, Profile: "revokestorm"}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestRunHandlerRejectedSubmits: submits the HTTP layer rejects before
+// the event loop (dot-segment IDs, unaddressable as URLs) are expected
+// 400s, not divergences — including in the final applied-op cross-check,
+// which must not count mutations that never reached the loop.
+func TestRunHandlerRejectedSubmits(t *testing.T) {
+	tr, err := Generate(GenConfig{Seed: 6, Events: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenant := tr.Tenants[0].Name
+	hostile := []Event{
+		{Tenant: tenant, Kind: KindSubmit, ID: ".", Quality: 0.3, Cost: 0.8, Latency: 0.8, K: 1},
+		{Tenant: tenant, Kind: KindSubmit, ID: "..", Quality: 0.3, Cost: 0.8, Latency: 0.8, K: 1},
+		{Tenant: tenant, Kind: KindSubmit, ID: "", Quality: 0.3, Cost: 0.8, Latency: 0.8, K: 1},
+		{Tenant: tenant, Kind: KindPlan},
+	}
+	tr.Events = append(hostile, tr.Events...)
+	res, err := Run(tr, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("divergences on handler-rejected submits:\n%s", res)
+	}
+}
+
+func TestRunRejectsUnknownTenantSpec(t *testing.T) {
+	tr := Trace{
+		Version: FormatVersion,
+		Tenants: []TenantSpec{{Name: "t", Strategies: 8, Objective: "nope", Mode: "max"}},
+	}
+	if _, err := Run(tr, RunConfig{}); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}

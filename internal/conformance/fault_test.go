@@ -1,0 +1,117 @@
+package conformance
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// faultyDistance simulates an ADPaR solver bug: alternatives are served
+// with a distance scaled down by 10%, the classic "optimizer reports a
+// better-than-possible objective" defect class.
+func faultyDistance(ev Event, obs *Observed) {
+	if ev.Kind == KindAlternative && obs.Alternative != nil {
+		obs.Alternative.Distance *= 0.9
+	}
+}
+
+// faultyServed simulates a planner bug: displaced submissions whose ID
+// ends in "3" are reported as served. Keyed off the event (not call
+// order), so every minimizer probe sees the same deterministic defect.
+func faultyServed(ev Event, obs *Observed) {
+	if ev.Kind == KindSubmit && obs.Submit != nil && !obs.Submit.Served && strings.HasSuffix(ev.ID, "3") {
+		obs.Submit.Served = true
+	}
+}
+
+// TestInjectedSolverBugCaughtAndMinimized is the acceptance check for the
+// shrinking reporter: a deliberately injected solver bug must (a) be
+// caught as a divergence and (b) minimize to a replayable trace of at most
+// 25 events that still exhibits it.
+func TestInjectedSolverBugCaughtAndMinimized(t *testing.T) {
+	tr, err := Generate(GenConfig{Seed: 1, Events: 1000, Profile: Bursty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{Fault: faultyDistance}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("injected distance bug not caught")
+	}
+
+	minimized, stats := Minimize(tr, cfg, 0)
+	t.Logf("minimized %d -> %d events in %d probes", stats.From, stats.To, stats.Probes)
+	if len(minimized.Events) > 25 {
+		t.Fatalf("minimized trace has %d events, want <= 25", len(minimized.Events))
+	}
+
+	// The minimized trace must be a replayable artifact: it round-trips
+	// through JSON and still diverges, and without the fault it is clean.
+	var buf bytes.Buffer
+	if err := minimized.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Run(replayed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("minimized trace no longer diverges under the fault")
+	}
+	clean, err := Run(replayed, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.OK() {
+		t.Fatalf("minimized trace diverges even without the fault:\n%s", clean)
+	}
+}
+
+// TestInjectedPlannerBugCaughtAndMinimized: a second defect class (wrong
+// served flag) is caught and also shrinks to a tiny replayable trace.
+func TestInjectedPlannerBugCaughtAndMinimized(t *testing.T) {
+	tr, err := Generate(GenConfig{Seed: 4, Events: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{Fault: faultyServed}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("injected served-flag bug not caught")
+	}
+
+	minimized, stats := Minimize(tr, cfg, 0)
+	t.Logf("minimized %d -> %d events in %d probes", stats.From, stats.To, stats.Probes)
+	if len(minimized.Events) > 25 {
+		t.Fatalf("minimized trace has %d events, want <= 25", len(minimized.Events))
+	}
+	res, err = Run(minimized, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("minimized trace no longer diverges under the fault")
+	}
+}
+
+// TestMinimizeCleanTraceIsNoop: a passing trace comes back unchanged.
+func TestMinimizeCleanTraceIsNoop(t *testing.T) {
+	tr, err := Generate(GenConfig{Seed: 2, Events: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats := Minimize(tr, RunConfig{}, 0)
+	if stats.From != stats.To || len(out.Events) != len(tr.Events) {
+		t.Fatalf("clean trace changed: %+v", stats)
+	}
+}

@@ -1,0 +1,521 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"stratrec/internal/server"
+	"stratrec/internal/strategy"
+)
+
+// RunConfig tunes a conformance run.
+type RunConfig struct {
+	// Parallelism caps the server's ADPaR sweep workers (0 = GOMAXPROCS).
+	// The sweep result is bit-for-bit independent of it, which the run
+	// itself re-verifies against the brute-force oracle.
+	Parallelism int
+	// BranchBoundLimit caps the open-item count at which the exact
+	// branch-and-bound optimality layer runs on plan checks (default 48,
+	// negative disables).
+	BranchBoundLimit int
+	// MaxDivergences stops the replay after this many divergences
+	// (default 16; the minimizer runs with 1).
+	MaxDivergences int
+	// Fault, when non-nil, corrupts the observed response before the
+	// oracle comparison. It exists for testing the harness itself: a
+	// fault simulating a solver bug must be caught and must minimize to a
+	// short trace. Production runs leave it nil.
+	Fault func(ev Event, obs *Observed)
+	// OnEvent, when non-nil, is called before each event replays.
+	OnEvent func(i int, ev Event)
+}
+
+func (cfg RunConfig) withDefaults() RunConfig {
+	if cfg.BranchBoundLimit == 0 {
+		cfg.BranchBoundLimit = 48
+	}
+	if cfg.MaxDivergences <= 0 {
+		cfg.MaxDivergences = 16
+	}
+	return cfg
+}
+
+// Observed is the system-under-test's decoded answer to one event: the
+// HTTP status plus the kind-specific body. RunConfig.Fault mutates it to
+// simulate serving-stack bugs.
+type Observed struct {
+	Status      int
+	Submit      *server.SubmitResponse
+	Epoch       *server.EpochResponse
+	Plan        *server.PlanResponse
+	Alternative *server.AlternativeResponse
+}
+
+// Divergence is one oracle disagreement: the event it surfaced at, which
+// observable field diverged, and both sides.
+type Divergence struct {
+	Index int    `json:"index"`
+	Event Event  `json:"event"`
+	Field string `json:"field"`
+	Want  string `json:"want"`
+	Got   string `json:"got"`
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("event %d (%s %s %s): %s: want %s, got %s",
+		d.Index, d.Event.Tenant, d.Event.Kind, d.Event.ID, d.Field, d.Want, d.Got)
+}
+
+// Result summarizes a conformance run.
+type Result struct {
+	Events      int
+	Checks      int
+	Divergences []Divergence
+}
+
+// OK reports a divergence-free run.
+func (r Result) OK() bool { return len(r.Divergences) == 0 }
+
+// String renders the human-readable summary the conform subcommand prints.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conformance: %d events, %d oracle checks, %d divergences\n",
+		r.Events, r.Checks, len(r.Divergences))
+	for i, d := range r.Divergences {
+		if i == 8 {
+			fmt.Fprintf(&b, "  ... %d more\n", len(r.Divergences)-i)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// Run replays a trace through a real HTTP server hosting the trace's
+// tenants and differentially checks every response against the oracle
+// layer. The replay is strictly sequential — one in-flight request — so a
+// trace's outcome is a pure function of its contents: replies are sent
+// only after the tenant event loop has published the mutation's snapshot,
+// and the ADPaR sweep is deterministic at any parallelism.
+func Run(tr Trace, cfg RunConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	if tr.Version != FormatVersion {
+		return Result{}, fmt.Errorf("conformance: trace version %d, this build replays %d", tr.Version, FormatVersion)
+	}
+
+	// The oracle models, one per tenant.
+	models := make(map[string]*tenantModel, len(tr.Tenants))
+	// Applied-op counts observed through the deterministic step callback;
+	// the loop goroutine writes, and the reply delivered to the blocked
+	// caller orders that write before the harness's next read.
+	applied := make(map[string]*int, len(tr.Tenants))
+
+	srvCfg := server.Config{
+		Tenants: map[string]server.TenantConfig{},
+		// Fixed injectable clock: time-derived observables (uptime) stay
+		// constant across runs of the same trace.
+		Now: func() time.Time { return time.Unix(1700000000, 0) },
+	}
+	for _, spec := range tr.Tenants {
+		if _, dup := models[spec.Name]; dup {
+			return Result{}, fmt.Errorf("conformance: duplicate tenant %q", spec.Name)
+		}
+		m, err := newTenantModel(spec)
+		if err != nil {
+			return Result{}, err
+		}
+		models[spec.Name] = m
+		n := new(int)
+		applied[spec.Name] = n
+		srvCfg.Tenants[spec.Name] = server.TenantConfig{
+			Set:         m.set,
+			Models:      m.models,
+			Mode:        m.mode,
+			Objective:   m.objective,
+			InitialW:    spec.InitialW,
+			Parallelism: cfg.Parallelism,
+			OnApply:     func(server.AppliedOp) { *n++ },
+		}
+	}
+
+	s, err := server.New(srvCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer func() {
+		hs.Close()
+		s.Close()
+	}()
+	client := hs.Client()
+
+	res := Result{Events: len(tr.Events)}
+	wantApplied := map[string]int{}
+	diverge := func(i int, ev Event, field, want, got string) bool {
+		res.Divergences = append(res.Divergences, Divergence{
+			Index: i, Event: ev, Field: field, Want: want, Got: got,
+		})
+		return len(res.Divergences) >= cfg.MaxDivergences
+	}
+
+	for i, ev := range tr.Events {
+		if cfg.OnEvent != nil {
+			cfg.OnEvent(i, ev)
+		}
+		m, ok := models[ev.Tenant]
+		if !ok {
+			return res, fmt.Errorf("conformance: event %d targets unknown tenant %q", i, ev.Tenant)
+		}
+		obs, err := call(client, hs.URL, ev)
+		if err != nil {
+			return res, fmt.Errorf("conformance: event %d (%s %s): %w", i, ev.Kind, ev.ID, err)
+		}
+		if ev.Kind.Mutates() && !handlerRejects(ev) {
+			wantApplied[ev.Tenant]++
+		}
+		if cfg.Fault != nil {
+			cfg.Fault(ev, obs)
+		}
+
+		var exp expectation
+		switch ev.Kind {
+		case KindSubmit:
+			exp = m.applySubmit(ev)
+		case KindRevoke:
+			exp = m.applyRevoke(ev)
+		case KindDrift:
+			exp = m.applyDrift(ev)
+		case KindPlan:
+			exp = m.expectPlan()
+		case KindAlternative:
+			exp, err = m.expectAlternative(ev)
+			if err != nil {
+				return res, fmt.Errorf("conformance: event %d: oracle: %w", i, err)
+			}
+		default:
+			return res, fmt.Errorf("conformance: event %d has unknown kind %q", i, ev.Kind)
+		}
+
+		stop := compare(i, ev, m, cfg, exp, obs, &res, diverge)
+		if stop {
+			break
+		}
+	}
+
+	// Final cross-checks: the tenant listing agrees with every model, and
+	// the step callback saw exactly the mutations we issued.
+	if len(res.Divergences) < cfg.MaxDivergences {
+		checkListing(client, hs.URL, tr, models, &res, diverge)
+	}
+	for name, want := range wantApplied {
+		res.Checks++
+		if got := *applied[name]; got != want {
+			diverge(len(tr.Events), Event{Tenant: name, Kind: "on-apply"},
+				"applied-op count", strconv.Itoa(want), strconv.Itoa(got))
+		}
+	}
+	return res, nil
+}
+
+// handlerRejects reports whether the HTTP handler rejects the mutation
+// before it reaches the tenant event loop, so no OnApply callback fires
+// for it. Every other mutation — including loop-level errors like empty
+// or duplicate IDs — does reach the loop and is counted.
+func handlerRejects(ev Event) bool {
+	return ev.Kind == KindSubmit && (ev.ID == "." || ev.ID == "..")
+}
+
+// call issues one event's HTTP request and decodes the response.
+func call(client *http.Client, base string, ev Event) (*Observed, error) {
+	prefix := base + "/v1/tenants/" + ev.Tenant
+	var (
+		req *http.Request
+		err error
+	)
+	switch ev.Kind {
+	case KindSubmit:
+		body, merr := json.Marshal(server.SubmitRequest{
+			ID: ev.ID, Quality: ev.Quality, Cost: ev.Cost, Latency: ev.Latency, K: ev.K,
+		})
+		if merr != nil {
+			return nil, merr
+		}
+		req, err = http.NewRequest(http.MethodPost, prefix+"/requests", bytes.NewReader(body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	case KindRevoke:
+		req, err = http.NewRequest(http.MethodDelete, prefix+"/requests/"+ev.ID, nil)
+	case KindDrift:
+		body, merr := json.Marshal(server.AvailabilityRequest{Workforce: ev.Availability})
+		if merr != nil {
+			return nil, merr
+		}
+		req, err = http.NewRequest(http.MethodPut, prefix+"/availability", bytes.NewReader(body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	case KindPlan:
+		req, err = http.NewRequest(http.MethodGet, prefix+"/plan", nil)
+	case KindAlternative:
+		req, err = http.NewRequest(http.MethodGet, prefix+"/requests/"+ev.ID+"/alternative", nil)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", ev.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	obs := &Observed{Status: resp.StatusCode}
+	if resp.StatusCode >= 300 {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return obs, nil
+	}
+	switch ev.Kind {
+	case KindSubmit:
+		obs.Submit = new(server.SubmitResponse)
+		err = json.NewDecoder(resp.Body).Decode(obs.Submit)
+	case KindRevoke, KindDrift:
+		obs.Epoch = new(server.EpochResponse)
+		err = json.NewDecoder(resp.Body).Decode(obs.Epoch)
+	case KindPlan:
+		obs.Plan = new(server.PlanResponse)
+		err = json.NewDecoder(resp.Body).Decode(obs.Plan)
+	case KindAlternative:
+		obs.Alternative = new(server.AlternativeResponse)
+		err = json.NewDecoder(resp.Body).Decode(obs.Alternative)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("decoding %s response: %w", ev.Kind, err)
+	}
+	return obs, nil
+}
+
+// compare checks one observed response against the oracle expectation,
+// recording divergences. It returns true when the divergence budget is
+// exhausted.
+func compare(i int, ev Event, m *tenantModel, cfg RunConfig, exp expectation, obs *Observed, res *Result, diverge func(int, Event, string, string, string) bool) bool {
+	res.Checks++
+	if obs.Status != exp.status {
+		return diverge(i, ev, "status", strconv.Itoa(exp.status), strconv.Itoa(obs.Status))
+	}
+	if exp.status != http.StatusOK {
+		return false // expected-error path confirmed; no body to compare
+	}
+
+	switch ev.Kind {
+	case KindSubmit:
+		res.Checks++
+		if obs.Submit == nil {
+			return diverge(i, ev, "submit body", "present", "missing")
+		}
+		if obs.Submit.Served != exp.served {
+			if diverge(i, ev, "served", strconv.FormatBool(exp.served), strconv.FormatBool(obs.Submit.Served)) {
+				return true
+			}
+		}
+		if obs.Submit.Epoch != exp.epoch {
+			return diverge(i, ev, "epoch", strconv.FormatUint(exp.epoch, 10), strconv.FormatUint(obs.Submit.Epoch, 10))
+		}
+	case KindRevoke, KindDrift:
+		res.Checks++
+		if obs.Epoch == nil {
+			return diverge(i, ev, "epoch body", "present", "missing")
+		}
+		if obs.Epoch.Epoch != exp.epoch {
+			return diverge(i, ev, "epoch", strconv.FormatUint(exp.epoch, 10), strconv.FormatUint(obs.Epoch.Epoch, 10))
+		}
+	case KindPlan:
+		if obs.Plan == nil {
+			return diverge(i, ev, "plan body", "present", "missing")
+		}
+		if stop := comparePlan(i, ev, m, cfg, exp.plan, obs.Plan, res, diverge); stop {
+			return true
+		}
+	case KindAlternative:
+		if obs.Alternative == nil {
+			return diverge(i, ev, "alternative body", "present", "missing")
+		}
+		if stop := compareAlternative(i, ev, m, exp.alt, obs.Alternative, res, diverge); stop {
+			return true
+		}
+	}
+	return false
+}
+
+// comparePlan is the naive-replay layer: full structural equality of the
+// plan snapshot, then the branch-and-bound optimality layer on the
+// achieved objective.
+func comparePlan(i int, ev Event, m *tenantModel, cfg RunConfig, want *planExpect, got *server.PlanResponse, res *Result, diverge func(int, Event, string, string, string) bool) bool {
+	res.Checks++
+	if got.Epoch != want.epoch {
+		if diverge(i, ev, "plan epoch", strconv.FormatUint(want.epoch, 10), strconv.FormatUint(got.Epoch, 10)) {
+			return true
+		}
+	}
+	if !closeEnough(got.Availability, want.availability) {
+		if diverge(i, ev, "availability", formatFloat(want.availability), formatFloat(got.Availability)) {
+			return true
+		}
+	}
+	if !closeEnough(got.Objective, want.objective) {
+		if diverge(i, ev, "objective", formatFloat(want.objective), formatFloat(got.Objective)) {
+			return true
+		}
+	}
+	if !closeEnough(got.Workforce, want.workforce) {
+		if diverge(i, ev, "plan workforce", formatFloat(want.workforce), formatFloat(got.Workforce)) {
+			return true
+		}
+	}
+	if !slices.Equal(got.Serving, want.serving) {
+		if diverge(i, ev, "serving set", fmt.Sprint(want.serving), fmt.Sprint(got.Serving)) {
+			return true
+		}
+	}
+	if !slices.Equal(got.Displaced, want.displaced) {
+		if diverge(i, ev, "displaced set", fmt.Sprint(want.displaced), fmt.Sprint(got.Displaced)) {
+			return true
+		}
+	}
+	if len(got.Requests) != len(want.requests) {
+		return diverge(i, ev, "open request count", strconv.Itoa(len(want.requests)), strconv.Itoa(len(got.Requests)))
+	}
+	for j, wr := range want.requests {
+		gr := got.Requests[j]
+		field := "request " + wr.id + " "
+		switch {
+		case gr.ID != wr.id:
+			return diverge(i, ev, field+"id", wr.id, gr.ID)
+		case gr.Serving != wr.serving:
+			return diverge(i, ev, field+"serving", strconv.FormatBool(wr.serving), strconv.FormatBool(gr.Serving))
+		case gr.Feasible != wr.feasible:
+			return diverge(i, ev, field+"feasible", strconv.FormatBool(wr.feasible), strconv.FormatBool(gr.Feasible))
+		case gr.K != wr.request.K:
+			return diverge(i, ev, field+"k", strconv.Itoa(wr.request.K), strconv.Itoa(gr.K))
+		}
+		wantWF := wr.feasible && !math.IsInf(wr.workforce, 1)
+		if wantWF != (gr.Workforce != nil) {
+			return diverge(i, ev, field+"workforce presence", strconv.FormatBool(wantWF), strconv.FormatBool(gr.Workforce != nil))
+		}
+		if wantWF && !closeEnough(*gr.Workforce, wr.workforce) {
+			return diverge(i, ev, field+"workforce", formatFloat(wr.workforce), formatFloat(*gr.Workforce))
+		}
+		if wr.serving && !slices.Equal(gr.Strategies, wr.strategies) {
+			return diverge(i, ev, field+"strategies", fmt.Sprint(wr.strategies), fmt.Sprint(gr.Strategies))
+		}
+	}
+
+	// Branch-and-bound layer: the live plan's objective obeys the paper's
+	// guarantee relative to the exact composite optimum.
+	if cfg.BranchBoundLimit >= 0 && len(m.lastItems) <= cfg.BranchBoundLimit {
+		res.Checks++
+		if ok, want, got := m.optimality(got.Objective); !ok {
+			return diverge(i, ev, "objective vs branch-and-bound", want, got)
+		}
+	}
+	return false
+}
+
+// compareAlternative is the brute-force layer: the served distance matches
+// ADPaRB's, and the served alternative is independently verified with the
+// public satisfaction predicate.
+func compareAlternative(i int, ev Event, m *tenantModel, want *altExpect, got *server.AlternativeResponse, res *Result, diverge func(int, Event, string, string, string) bool) bool {
+	res.Checks++
+	if !closeEnough(got.Distance, want.distance) {
+		if diverge(i, ev, "alternative distance vs brute force", formatFloat(want.distance), formatFloat(got.Distance)) {
+			return true
+		}
+	}
+	alt := strategy.Params{Quality: got.Quality, Cost: got.Cost, Latency: got.Latency}
+	covered := m.coverCount(alt)
+	res.Checks++
+	if covered != got.Covered {
+		if diverge(i, ev, "covered count (recount)", strconv.Itoa(covered), strconv.Itoa(got.Covered)) {
+			return true
+		}
+	}
+	if covered < want.k {
+		if diverge(i, ev, "alternative covers k", ">= "+strconv.Itoa(want.k), strconv.Itoa(covered)) {
+			return true
+		}
+	}
+	if len(got.Strategies) != want.k {
+		if diverge(i, ev, "recommended strategy count", strconv.Itoa(want.k), strconv.Itoa(len(got.Strategies))) {
+			return true
+		}
+	}
+	for _, id := range got.Strategies {
+		if !m.satisfies(id, alt) {
+			if diverge(i, ev, "recommended strategy satisfies alternative",
+				"strategy "+strconv.Itoa(id)+" satisfies", "does not satisfy") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkListing cross-checks GET /v1/tenants against every model.
+func checkListing(client *http.Client, base string, tr Trace, models map[string]*tenantModel, res *Result, diverge func(int, Event, string, string, string) bool) {
+	resp, err := client.Get(base + "/v1/tenants")
+	if err != nil {
+		diverge(len(tr.Events), Event{Kind: "listing"}, "tenant listing", "reachable", err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	var infos []server.TenantInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		diverge(len(tr.Events), Event{Kind: "listing"}, "tenant listing", "decodable", err.Error())
+		return
+	}
+	res.Checks++
+	if len(infos) != len(models) {
+		diverge(len(tr.Events), Event{Kind: "listing"}, "tenant count",
+			strconv.Itoa(len(models)), strconv.Itoa(len(infos)))
+		return
+	}
+	for _, info := range infos {
+		m, ok := models[info.Name]
+		if !ok {
+			diverge(len(tr.Events), Event{Kind: "listing"}, "tenant name", "known", info.Name)
+			continue
+		}
+		ev := Event{Tenant: info.Name, Kind: "listing"}
+		res.Checks++
+		if info.Open != len(m.order) {
+			diverge(len(tr.Events), ev, "open count", strconv.Itoa(len(m.order)), strconv.Itoa(info.Open))
+		}
+		if info.Epoch != m.epoch {
+			diverge(len(tr.Events), ev, "epoch", strconv.FormatUint(m.epoch, 10), strconv.FormatUint(info.Epoch, 10))
+		}
+		if !closeEnough(info.Availability, m.w) {
+			diverge(len(tr.Events), ev, "availability", formatFloat(m.w), formatFloat(info.Availability))
+		}
+	}
+}
+
+// closeEnough compares observables that round-trip through JSON float64:
+// exact equality normally holds; the relative tolerance only absorbs
+// mathematically-tied optima reached through different arithmetic.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

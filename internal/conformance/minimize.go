@@ -1,0 +1,117 @@
+package conformance
+
+// The shrinking reporter: a failing conformance trace is rarely readable
+// at thousands of events. Minimize applies delta debugging (Zeller's
+// ddmin) to the event sequence, replaying candidate subsequences through a
+// fresh server until no single event can be removed without the
+// divergence disappearing. Because the harness derives every expectation
+// from the oracle model at replay time, *any* subsequence of a trace is
+// replayable — deleting a submit simply turns later events touching that
+// ID into expected-404 paths — so no repair step is needed between probes.
+
+// MinimizeStats reports what the minimizer did.
+type MinimizeStats struct {
+	// Probes is the number of candidate replays executed.
+	Probes int
+	// From and To are the event counts before and after shrinking.
+	From, To int
+}
+
+// Minimize shrinks a failing trace to a 1-minimal failing trace (removing
+// any single remaining event makes the divergence disappear), bounded by
+// maxProbes candidate replays (0 defaults to 600). The returned trace
+// fails the same way: replaying it yields at least one divergence.
+//
+// If tr does not fail under cfg, it is returned unchanged.
+func Minimize(tr Trace, cfg RunConfig, maxProbes int) (Trace, MinimizeStats) {
+	if maxProbes <= 0 {
+		maxProbes = 600
+	}
+	// Stop each probe at the first divergence: probes dominated by events
+	// after the failure point would waste the budget.
+	cfg.MaxDivergences = 1
+	cfg.OnEvent = nil
+
+	stats := MinimizeStats{From: len(tr.Events)}
+	fails := func(events []Event) bool {
+		if stats.Probes >= maxProbes {
+			return false
+		}
+		stats.Probes++
+		probe := tr
+		probe.Events = events
+		res, err := Run(probe, cfg)
+		return err == nil && !res.OK()
+	}
+
+	events := tr.Events
+	if !fails(events) {
+		stats.To = len(events)
+		return tr, stats
+	}
+
+	// ddmin: split into n chunks; try each chunk alone, then each
+	// complement; on success restart with the reduced sequence, otherwise
+	// double the granularity until chunks are single events.
+	n := 2
+	for len(events) >= 2 && stats.Probes < maxProbes {
+		chunks := split(events, n)
+		reduced := false
+
+		for _, c := range chunks {
+			if fails(c) {
+				events = c
+				n = 2
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			for i := range chunks {
+				complement := make([]Event, 0, len(events))
+				for j, c := range chunks {
+					if j != i {
+						complement = append(complement, c...)
+					}
+				}
+				if fails(complement) {
+					events = complement
+					n = max(n-1, 2)
+					reduced = true
+					break
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(events) {
+				break // 1-minimal
+			}
+			n = min(2*n, len(events))
+		}
+	}
+
+	out := tr
+	out.Events = events
+	stats.To = len(events)
+	return out, stats
+}
+
+// split partitions events into n non-empty contiguous chunks.
+func split(events []Event, n int) [][]Event {
+	if n > len(events) {
+		n = len(events)
+	}
+	chunks := make([][]Event, 0, n)
+	size := len(events) / n
+	rem := len(events) % n
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start + size
+		if i < rem {
+			end++
+		}
+		chunks = append(chunks, events[start:end])
+		start = end
+	}
+	return chunks
+}

@@ -1,0 +1,437 @@
+// Package conformance is the repo's end-to-end differential-testing
+// subsystem: it replays deterministic, seeded multi-tenant lifecycles —
+// Poisson submits and revokes, availability drift, bursty ADPaR
+// alternative queries, plan reads — through the real HTTP server
+// (internal/server, the same mux production traffic hits) and cross-checks
+// every observable response against an oracle layer that re-derives the
+// expected answer independently:
+//
+//   - alternatives against adpar.BruteForceK, the paper's Section 5.2.1
+//     exponential reference (ADPaRB);
+//   - plan snapshots against a naive single-threaded replay that
+//     recomputes every workforce requirement and the whole serving set
+//     from scratch on each event, with none of the caching, snapshotting
+//     or warm-index machinery of the serving path;
+//   - the achieved objective against batch.BranchAndBound, the exact
+//     composite-deployment solver, asserting the paper's guarantees
+//     (exact for throughput, >= 1/2 for pay-off) on the live plan.
+//
+// A failing run can be minimized (Minimize) to a short replayable JSON
+// trace, and `stratrec conform` exposes generation, replay and
+// minimization so CI and humans run the same binary.
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"stratrec/internal/batch"
+	"stratrec/internal/crowd"
+	"stratrec/internal/strategy"
+	"stratrec/internal/synth"
+	"stratrec/internal/workforce"
+)
+
+// FormatVersion guards the trace JSON layout; minimized artifacts embed it
+// so stale artifacts fail loudly on replay instead of decoding garbage.
+const FormatVersion = 1
+
+// Kind classifies one trace event. Mutation kinds (submit, revoke, drift)
+// drive the tenant lifecycle; observation kinds (plan, alternative) are
+// pure reads whose responses the oracles check.
+type Kind string
+
+const (
+	KindSubmit      Kind = "submit"
+	KindRevoke      Kind = "revoke"
+	KindDrift       Kind = "drift"
+	KindPlan        Kind = "plan"
+	KindAlternative Kind = "alternative"
+)
+
+// Mutates reports whether the kind changes tenant state.
+func (k Kind) Mutates() bool {
+	return k == KindSubmit || k == KindRevoke || k == KindDrift
+}
+
+// Event is one replayable step of a conformance trace. Any subsequence of
+// a valid trace is itself a valid trace: the harness derives the expected
+// outcome of every event (including expected errors such as revoking an
+// unknown ID) from the oracle model at replay time, which is what lets the
+// minimizer delete events freely.
+//
+// One constraint on hand-written traces: revoke and alternative events
+// carry their ID in the URL path, so the ID must survive as a path
+// segment — "." and ".." trigger HTTP path cleaning (redirects) before
+// the server's routing is even reached and are not meaningful to replay
+// there. Submit events carry the ID in the body and may use any string
+// (the server rejects unaddressable ones with 400, which the oracle
+// models). The generator only emits path-safe IDs.
+type Event struct {
+	Tenant string `json:"tenant"`
+	Kind   Kind   `json:"kind"`
+	// ID is the targeted request (submit, revoke, alternative).
+	ID string `json:"id,omitempty"`
+	// Quality, Cost, Latency, K describe the submitted request.
+	Quality float64 `json:"quality,omitempty"`
+	Cost    float64 `json:"cost,omitempty"`
+	Latency float64 `json:"latency,omitempty"`
+	K       int     `json:"k,omitempty"`
+	// Availability is the drifted expected workforce.
+	Availability float64 `json:"availability,omitempty"`
+}
+
+// TenantSpec describes one tenant by generator parameters rather than by
+// materialized catalog: a seed regenerates the exact strategy set and
+// models, keeping trace artifacts small and bit-reproducible.
+type TenantSpec struct {
+	Name       string  `json:"name"`
+	Strategies int     `json:"strategies"`
+	Seed       int64   `json:"seed"`
+	InitialW   float64 `json:"initial_w"`
+	// Objective is "throughput" or "payoff".
+	Objective string `json:"objective"`
+	// Mode is "max" or "sum".
+	Mode string `json:"mode"`
+}
+
+// materialize regenerates the tenant's catalog and planning semantics.
+func (ts TenantSpec) materialize() (strategy.Set, workforce.PerStrategyModels, batch.Objective, workforce.Mode, error) {
+	if ts.Strategies <= 0 {
+		return nil, nil, 0, 0, fmt.Errorf("conformance: tenant %s: %d strategies", ts.Name, ts.Strategies)
+	}
+	var obj batch.Objective
+	switch ts.Objective {
+	case "throughput":
+		obj = batch.Throughput
+	case "payoff":
+		obj = batch.Payoff
+	default:
+		return nil, nil, 0, 0, fmt.Errorf("conformance: tenant %s: unknown objective %q", ts.Name, ts.Objective)
+	}
+	var mode workforce.Mode
+	switch ts.Mode {
+	case "max":
+		mode = workforce.MaxCase
+	case "sum":
+		mode = workforce.SumCase
+	default:
+		return nil, nil, 0, 0, fmt.Errorf("conformance: tenant %s: unknown mode %q", ts.Name, ts.Mode)
+	}
+	gen := synth.DefaultConfig(synth.Uniform)
+	rng := rand.New(rand.NewSource(ts.Seed))
+	set := gen.Strategies(rng, ts.Strategies)
+	models := gen.Models(rng, set)
+	return set, models, obj, mode, nil
+}
+
+// Trace is a complete replayable conformance scenario: the tenant universe
+// plus the event sequence. It is the unit the minimizer shrinks and the
+// JSON artifact CI uploads on failure.
+type Trace struct {
+	Version int          `json:"version"`
+	Seed    int64        `json:"seed"`
+	Tenants []TenantSpec `json:"tenants"`
+	Events  []Event      `json:"events"`
+}
+
+// Write encodes the trace as indented JSON.
+func (tr Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// ReadTrace decodes a trace written by Write and validates its version.
+func ReadTrace(r io.Reader) (Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return Trace{}, fmt.Errorf("conformance: decoding trace: %w", err)
+	}
+	if tr.Version != FormatVersion {
+		return Trace{}, fmt.Errorf("conformance: trace version %d, this build reads %d", tr.Version, FormatVersion)
+	}
+	if len(tr.Tenants) == 0 {
+		return Trace{}, fmt.Errorf("conformance: trace has no tenants")
+	}
+	return tr, nil
+}
+
+// Profile selects a chaos schedule for the generator: the event mix the
+// trace stresses.
+type Profile string
+
+const (
+	// Steady is the balanced production-like mix.
+	Steady Profile = "steady"
+	// RevokeStorm drives heavy revocation churn with a small open pool,
+	// hammering the replan-on-shrink path.
+	RevokeStorm Profile = "revoke-storm"
+	// Bursty submits mostly too-tight requests and fires dense bursts of
+	// ADPaR alternative queries, hammering the warm-index read path.
+	Bursty Profile = "bursty"
+)
+
+// GenConfig parameterizes Generate. The zero value of every field defaults
+// sensibly; only Events is required.
+type GenConfig struct {
+	Seed int64
+	// Events is the total trace length (mutations + checks).
+	Events int
+	// Tenants is the tenant count (default 2). Tenants cycle through
+	// objective/mode combinations so one trace covers all semantics.
+	Tenants int
+	// Strategies is the per-tenant catalog size (default 24). It must not
+	// exceed adpar.BruteForceLimit, or the brute-force oracle cannot run.
+	Strategies int
+	// K is the per-request cardinality constraint (default 3).
+	K int
+	// PlanEvery inserts a plan check after every n-th event (default 7).
+	PlanEvery int
+	// PoolCap bounds the open-request pool per tenant (default 40):
+	// submits that would exceed it become revokes. Keeping the pool small
+	// keeps the exact branch-and-bound oracle affordable for the whole
+	// run, not just its start.
+	PoolCap int
+	// Profile selects the chaos schedule (default Steady).
+	Profile Profile
+	// MarketFeedback, when set, derives drift availabilities from
+	// simulated crowd.Marketplace deployments (the measured x'/x of a
+	// probe HIT) instead of uniform draws, closing the loop between the
+	// marketplace simulation and the serving stack.
+	MarketFeedback bool
+}
+
+func (gc GenConfig) withDefaults() GenConfig {
+	if gc.Tenants <= 0 {
+		gc.Tenants = 2
+	}
+	if gc.Strategies <= 0 {
+		gc.Strategies = 24
+	}
+	if gc.K <= 0 {
+		gc.K = 3
+	}
+	if gc.PlanEvery <= 0 {
+		gc.PlanEvery = 7
+	}
+	if gc.PoolCap <= 0 {
+		gc.PoolCap = 40
+	}
+	if gc.Profile == "" {
+		gc.Profile = Steady
+	}
+	return gc
+}
+
+// mix is the per-profile event mixture.
+type mix struct {
+	revoke, drift, tight float64
+	// altBurst is the probability of inserting a burst of alternative
+	// queries after an event; bursts have 1-3 queries.
+	altBurst float64
+}
+
+func (gc GenConfig) mix() mix {
+	switch gc.Profile {
+	case RevokeStorm:
+		return mix{revoke: 0.48, drift: 0.05, tight: 0.3, altBurst: 0.08}
+	case Bursty:
+		return mix{revoke: 0.3, drift: 0.05, tight: 0.8, altBurst: 0.35}
+	default:
+		return mix{revoke: 0.35, drift: 0.08, tight: 0.35, altBurst: 0.15}
+	}
+}
+
+var objectiveCycle = []struct{ objective, mode string }{
+	{"throughput", "max"},
+	{"payoff", "sum"},
+	{"throughput", "sum"},
+	{"payoff", "max"},
+}
+
+// Generate builds a deterministic trace: per-tenant Poisson lifecycles
+// from synth.Workload interleaved by arrival time, with plan checks,
+// bursty alternative queries, occasional probes of expected-error paths
+// (alternative for unknown IDs), and — under MarketFeedback — availability
+// drift taken from simulated marketplace outcomes.
+func Generate(gc GenConfig) (Trace, error) {
+	gc = gc.withDefaults()
+	if gc.Events <= 0 {
+		return Trace{}, fmt.Errorf("conformance: generate needs a positive event count")
+	}
+	switch gc.Profile {
+	case Steady, RevokeStorm, Bursty:
+	default:
+		// A typo'd profile must not silently degrade to the steady
+		// schedule: a CI gate would then pass without testing what it
+		// claims to.
+		return Trace{}, fmt.Errorf("conformance: unknown profile %q (want %s, %s or %s)",
+			gc.Profile, Steady, RevokeStorm, Bursty)
+	}
+	mx := gc.mix()
+	tr := Trace{Version: FormatVersion, Seed: gc.Seed}
+	for i := 0; i < gc.Tenants; i++ {
+		oc := objectiveCycle[i%len(objectiveCycle)]
+		tr.Tenants = append(tr.Tenants, TenantSpec{
+			Name:       fmt.Sprintf("tenant-%d", i+1),
+			Strategies: gc.Strategies,
+			Seed:       gc.Seed + int64(i)*1000003,
+			InitialW:   0.7,
+			Objective:  oc.objective,
+			Mode:       oc.mode,
+		})
+	}
+
+	// Base lifecycles: one synth workload per tenant, overprovisioned so
+	// the merged stream never runs dry before the event budget is spent.
+	gen := synth.DefaultConfig(synth.Uniform)
+	base := make([][]synth.WorkloadEvent, gc.Tenants)
+	for i := range base {
+		rng := rand.New(rand.NewSource(gc.Seed + int64(i)*7919 + 1))
+		wl, err := gen.Workload(rng, synth.WorkloadConfig{
+			Events:         gc.Events,
+			K:              gc.K,
+			Rate:           200,
+			RevokeFraction: mx.revoke,
+			DriftFraction:  mx.drift,
+			TightFraction:  mx.tight,
+			IDPrefix:       fmt.Sprintf("t%d-", i+1),
+		})
+		if err != nil {
+			return Trace{}, err
+		}
+		base[i] = wl
+	}
+
+	rng := rand.New(rand.NewSource(gc.Seed*31 + 17))
+	var market *marketDrift
+	if gc.MarketFeedback {
+		market = newMarketDrift(gc.Seed)
+	}
+
+	// Interleave by arrival time, tracking each tenant's open pool so the
+	// generator can cap it and can aim alternative queries at real IDs.
+	cursor := make([]int, gc.Tenants)
+	open := make([][]string, gc.Tenants)
+	ghost := 0
+	for len(tr.Events) < gc.Events {
+		// Next tenant by earliest pending arrival.
+		ti := -1
+		for i := range base {
+			if cursor[i] >= len(base[i]) {
+				continue
+			}
+			if ti < 0 || base[i][cursor[i]].At < base[ti][cursor[ti]].At {
+				ti = i
+			}
+		}
+		if ti < 0 {
+			break // all base streams exhausted (cannot happen with overprovisioning)
+		}
+		ev := base[ti][cursor[ti]]
+		cursor[ti]++
+		tenant := tr.Tenants[ti].Name
+
+		switch ev.Kind {
+		case synth.SubmitArrival:
+			if len(open[ti]) >= gc.PoolCap {
+				// Pool full: shed load by revoking instead, keeping the
+				// exact oracles affordable for the whole run.
+				victim := rng.Intn(len(open[ti]))
+				id := open[ti][victim]
+				open[ti][victim] = open[ti][len(open[ti])-1]
+				open[ti] = open[ti][:len(open[ti])-1]
+				tr.Events = append(tr.Events, Event{Tenant: tenant, Kind: KindRevoke, ID: id})
+				break
+			}
+			tr.Events = append(tr.Events, Event{
+				Tenant:  tenant,
+				Kind:    KindSubmit,
+				ID:      ev.Request.ID,
+				Quality: ev.Request.Quality,
+				Cost:    ev.Request.Cost,
+				Latency: ev.Request.Latency,
+				K:       ev.Request.K,
+			})
+			open[ti] = append(open[ti], ev.Request.ID)
+		case synth.RevokeArrival:
+			tr.Events = append(tr.Events, Event{Tenant: tenant, Kind: KindRevoke, ID: ev.RevokeID})
+			for i, id := range open[ti] {
+				if id == ev.RevokeID {
+					open[ti][i] = open[ti][len(open[ti])-1]
+					open[ti] = open[ti][:len(open[ti])-1]
+					break
+				}
+			}
+		case synth.DriftArrival:
+			w := ev.Availability
+			if market != nil {
+				w = market.next()
+			}
+			tr.Events = append(tr.Events, Event{Tenant: tenant, Kind: KindDrift, Availability: w})
+		}
+
+		// Bursty ADPaR alternative queries against open requests; the
+		// oracle decides per query whether a solution, a 409 (served) or
+		// a 404 (unknown, for ghost probes) is the right answer.
+		if rng.Float64() < mx.altBurst && len(tr.Events) < gc.Events {
+			burst := 1 + rng.Intn(3)
+			for b := 0; b < burst && len(tr.Events) < gc.Events; b++ {
+				if len(open[ti]) > 0 && rng.Float64() > 0.05 {
+					id := open[ti][rng.Intn(len(open[ti]))]
+					tr.Events = append(tr.Events, Event{Tenant: tenant, Kind: KindAlternative, ID: id})
+				} else {
+					ghost++
+					tr.Events = append(tr.Events, Event{
+						Tenant: tenant, Kind: KindAlternative,
+						ID: fmt.Sprintf("ghost-%d", ghost),
+					})
+				}
+			}
+		}
+		if len(tr.Events)%gc.PlanEvery == 0 && len(tr.Events) < gc.Events {
+			tr.Events = append(tr.Events, Event{Tenant: tenant, Kind: KindPlan})
+		}
+	}
+	return tr, nil
+}
+
+// marketDrift samples availability drift values from simulated marketplace
+// deployments: each drift event deploys one probe HIT and feeds the
+// measured availability (recruited/requested, the paper's Section 5.1.1
+// x'/x) back into the serving stack.
+type marketDrift struct {
+	m    *crowd.Marketplace
+	dims []strategy.Dimensions
+	wins []int
+	i    int
+}
+
+func newMarketDrift(seed int64) *marketDrift {
+	return &marketDrift{
+		m:    crowd.NewMarketplace(crowd.DefaultConfig(), seed),
+		dims: strategy.AllDimensions(),
+		wins: []int{0, 1, 2},
+	}
+}
+
+func (md *marketDrift) next() float64 {
+	windows := crowd.StandardWindows()
+	hit := crowd.HIT{
+		Task:         crowd.SentenceTranslation,
+		Dims:         md.dims[md.i%len(md.dims)],
+		Window:       windows[md.wins[md.i%len(md.wins)]],
+		MaxWorkers:   10,
+		PayPerWorker: 2,
+		Guided:       true,
+	}
+	md.i++
+	out, err := md.m.Deploy(hit)
+	if err != nil {
+		return 0.7 // cannot happen with the default pool; keep a safe fallback
+	}
+	return out.Availability
+}

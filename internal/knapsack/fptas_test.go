@@ -93,6 +93,90 @@ func TestPropertyFPTASGuarantee(t *testing.T) {
 	}
 }
 
+// TestPropertyFPTASEpsilonGrid sweeps fixed epsilons — including the tight
+// and loose extremes — across randomized instance families and asserts the
+// Ibarra-Kim guarantee value >= (1-eps) * exact on every one, with the
+// exact optimum from the dynamic program.
+func TestPropertyFPTASEpsilonGrid(t *testing.T) {
+	// Each family owns its own seeded rng (created in the subtest), so a
+	// failing (family, eps, trial) triple regenerates the exact same
+	// instance on re-run regardless of which subtests execute or in what
+	// order.
+	var rng *rand.Rand
+	families := []struct {
+		name string
+		gen  func() ([]Item, int)
+	}{
+		{"uniform", func() ([]Item, int) {
+			n := 1 + rng.Intn(25)
+			items := make([]Item, n)
+			total := 0
+			for i := range items {
+				items[i] = Item{Weight: 1 + rng.Intn(40), Value: rng.Float64() * 100}
+				total += items[i].Weight
+			}
+			return items, rng.Intn(total + 1)
+		}},
+		// Correlated values (v ~ w) make rounding errors bite hardest.
+		{"correlated", func() ([]Item, int) {
+			n := 1 + rng.Intn(25)
+			items := make([]Item, n)
+			total := 0
+			for i := range items {
+				w := 1 + rng.Intn(40)
+				items[i] = Item{Weight: w, Value: float64(w) + rng.Float64()}
+				total += w
+			}
+			return items, total / 2
+		}},
+		// A few huge-value outliers dominate Pmax and coarsen the scale.
+		{"outliers", func() ([]Item, int) {
+			n := 2 + rng.Intn(20)
+			items := make([]Item, n)
+			total := 0
+			for i := range items {
+				v := rng.Float64()
+				if i%5 == 0 {
+					v *= 1e6
+				}
+				items[i] = Item{Weight: 1 + rng.Intn(15), Value: v}
+				total += items[i].Weight
+			}
+			return items, total / 3
+		}},
+	}
+	for fi, family := range families {
+		gen := family.gen
+		seed := int64(1975 + fi)
+		t.Run(family.name, func(t *testing.T) {
+			rng = rand.New(rand.NewSource(seed))
+			for _, eps := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.9} {
+				for trial := 0; trial < 40; trial++ {
+					items, cap := gen()
+					opt, err := SolveDP(items, cap)
+					if err != nil {
+						t.Fatal(err)
+					}
+					approx, err := SolveFPTAS(items, cap, eps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if approx.Weight > cap {
+						t.Fatalf("eps=%v trial=%d: weight %d over capacity %d", eps, trial, approx.Weight, cap)
+					}
+					if approx.Value > opt.Value+1e-9 {
+						t.Fatalf("eps=%v trial=%d: value %v above optimum %v", eps, trial, approx.Value, opt.Value)
+					}
+					if approx.Value < (1-eps)*opt.Value-1e-9 {
+						t.Fatalf("eps=%v trial=%d: value %v below (1-eps)*opt = %v (opt %v)",
+							eps, trial, approx.Value, (1-eps)*opt.Value, opt.Value)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestFPTASBeatsGreedyTrap(t *testing.T) {
 	// The instance where the plain density greedy gets only half: FPTAS
 	// with small eps must find the full prize.

@@ -163,6 +163,13 @@ func handleSubmit(t *Tenant, w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("invalid JSON: %v", err))
 		return
 	}
+	// IDs "." and ".." would be admitted but could never be addressed:
+	// their revoke/alternative URLs are dot segments the HTTP layer
+	// cleans away (301) before routing. Found by FuzzSubmitRequest.
+	if body.ID == "." || body.ID == ".." {
+		writeError(w, badRequest("request ID %q cannot be addressed as a URL path segment", body.ID))
+		return
+	}
 	if body.K == 0 {
 		body.K = 1
 	}

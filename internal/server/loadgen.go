@@ -49,9 +49,60 @@ type LoadConfig struct {
 	// runs against the same live server avoid ID collisions with
 	// requests an earlier run left open.
 	IDPrefix string
+	// Workloads, when non-nil, are pre-built per-worker event sequences
+	// (e.g. loaded from a file with synth.ReadTrace) replayed verbatim —
+	// one worker per sequence — instead of generating from Seed and the
+	// mix fields above. This is the deterministic replay mode: the same
+	// file drives the same requests every run.
+	Workloads [][]synth.WorkloadEvent
 	// Client overrides the HTTP client (default: keep-alive transport
 	// sized to Workers).
 	Client *http.Client
+}
+
+// BuildWorkloads generates the per-worker event sequences RunLoad replays
+// when cfg.Workloads is nil. It is exported so callers can export a
+// workload (synth.WriteTrace) and replay the identical sequence later.
+func BuildWorkloads(cfg LoadConfig) ([][]synth.WorkloadEvent, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	events := cfg.Events
+	if events <= 0 {
+		events = 1000
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 3
+	}
+	gen := synth.DefaultConfig(synth.Uniform)
+	perWorker := (events + workers - 1) / workers
+	workloads := make([][]synth.WorkloadEvent, 0, workers)
+	for i := 0; i < workers; i++ {
+		n := perWorker
+		if rest := events - i*perWorker; rest < n {
+			n = rest
+		}
+		if n <= 0 {
+			break
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		wl, err := gen.Workload(rng, synth.WorkloadConfig{
+			Events:         n,
+			K:              k,
+			Rate:           cfg.Rate,
+			RevokeFraction: cfg.RevokeFraction,
+			DriftFraction:  cfg.DriftFraction,
+			TightFraction:  cfg.TightFraction,
+			IDPrefix:       fmt.Sprintf("%sw%d-", cfg.IDPrefix, i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: load harness workload: %w", err)
+		}
+		workloads = append(workloads, wl)
+	}
+	return workloads, nil
 }
 
 // OpStats summarizes latencies of one operation class.
@@ -104,10 +155,11 @@ type sample struct {
 }
 
 // RunLoad replays the configured workload and reports throughput and
-// latency percentiles. Every worker generates its own ID-prefixed event
+// latency percentiles. Every worker replays its own ID-prefixed event
 // sequence (so revokes always target the worker's own submissions in
 // order) and drives one tenant; workers spread round-robin across
-// cfg.Tenants.
+// cfg.Tenants. Sequences come from BuildWorkloads, or verbatim from
+// cfg.Workloads in replay mode.
 func RunLoad(cfg LoadConfig) (Report, error) {
 	if cfg.BaseURL == "" {
 		return Report{}, errors.New("server: load harness needs a BaseURL")
@@ -115,55 +167,35 @@ func RunLoad(cfg LoadConfig) (Report, error) {
 	if len(cfg.Tenants) == 0 {
 		return Report{}, errors.New("server: load harness needs at least one tenant")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = 4
-	}
-	events := cfg.Events
-	if events <= 0 {
-		events = 1000
-	}
-	k := cfg.K
-	if k <= 0 {
-		k = 3
+	// Resolve every worker's event sequence up front, before the clock
+	// starts: a bad workload config (negative rate, NaN fractions) fails
+	// the whole run with the synth sentinel instead of surfacing as
+	// per-worker error samples mid-replay.
+	workloads := cfg.Workloads
+	if workloads == nil {
+		var err error
+		if workloads, err = BuildWorkloads(cfg); err != nil {
+			return Report{}, err
+		}
 	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        workers * 2,
-			MaxIdleConnsPerHost: workers * 2,
+			MaxIdleConns:        len(workloads) * 2,
+			MaxIdleConnsPerHost: len(workloads) * 2,
 		}}
 	}
 
-	gen := synth.DefaultConfig(synth.Uniform)
-	perWorker := (events + workers - 1) / workers
-	sampleCh := make(chan []sample, workers)
+	sampleCh := make(chan []sample, len(workloads))
 	start := time.Now()
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		n := perWorker
-		if rest := events - i*perWorker; rest < n {
-			n = rest
-		}
-		if n <= 0 {
-			break
-		}
+	for i, wl := range workloads {
 		wg.Add(1)
-		go func(worker, n int) {
+		go func(worker int, wl []synth.WorkloadEvent) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
-			wl := gen.Workload(rng, synth.WorkloadConfig{
-				Events:         n,
-				K:              k,
-				Rate:           cfg.Rate,
-				RevokeFraction: cfg.RevokeFraction,
-				DriftFraction:  cfg.DriftFraction,
-				TightFraction:  cfg.TightFraction,
-				IDPrefix:       fmt.Sprintf("%sw%d-", cfg.IDPrefix, worker),
-			})
 			tenant := cfg.Tenants[worker%len(cfg.Tenants)]
 			sampleCh <- replay(client, cfg.BaseURL, tenant, wl, cfg.PlanEvery, start)
-		}(i, n)
+		}(i, wl)
 	}
 	wg.Wait()
 	close(sampleCh)

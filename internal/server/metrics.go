@@ -4,7 +4,6 @@ import (
 	"expvar"
 	"io"
 	"net/http"
-	"time"
 )
 
 // tenantMetrics is one tenant's expvar surface: operation counters plus
@@ -40,7 +39,7 @@ func newTenantMetrics(t *Tenant) *tenantMetrics {
 func newMetricsRoot(s *Server) *expvar.Map {
 	root := new(expvar.Map).Init()
 	root.Set("uptime_seconds", expvar.Func(func() any {
-		return time.Since(s.start).Seconds()
+		return s.now().Sub(s.start).Seconds()
 	}))
 	root.Set("tenant_count", expvar.Func(func() any { return len(s.tenants) }))
 	tenants := new(expvar.Map).Init()

@@ -30,6 +30,11 @@ import (
 // Config configures a Server: one TenantConfig per hosted tenant name.
 type Config struct {
 	Tenants map[string]TenantConfig
+	// Now is the server's clock, consulted for the start time and uptime
+	// metrics. Nil defaults to time.Now. Deterministic harnesses
+	// (internal/conformance) and tests inject a fixed or stepped clock so
+	// time-derived observables are reproducible.
+	Now func() time.Time
 }
 
 // ErrUnknownTenant reports a request for a tenant the server does not
@@ -44,6 +49,7 @@ type Server struct {
 	names   []string // sorted, for deterministic listings
 	mux     *http.ServeMux
 	vars    *expvar.Map
+	now     func() time.Time
 	start   time.Time
 
 	closeOnce sync.Once
@@ -54,9 +60,14 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Tenants) == 0 {
 		return nil, errors.New("server: no tenants configured")
 	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	s := &Server{
 		tenants: make(map[string]*Tenant, len(cfg.Tenants)),
-		start:   time.Now(),
+		now:     now,
+		start:   now(),
 	}
 	names := make([]string, 0, len(cfg.Tenants))
 	for name := range cfg.Tenants {

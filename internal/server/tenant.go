@@ -26,6 +26,30 @@ type TenantConfig struct {
 	Parallelism int
 	// OpBuffer sizes the event-loop inbox; 0 defaults to 64.
 	OpBuffer int
+	// OnApply, when non-nil, is invoked by the event loop after each
+	// mutation has been applied and (on success) the fresh snapshot
+	// published, before the reply is sent. It runs on the loop goroutine
+	// itself — the tenant's single writer — so invocations are strictly
+	// sequential and ordered with the mutations they report. Deterministic
+	// harnesses use it to step event-by-event and observe the exact apply
+	// order; it must not call back into the same tenant's mutation API
+	// (that would deadlock the loop).
+	OnApply func(AppliedOp)
+}
+
+// AppliedOp describes one mutation the tenant event loop applied, as seen
+// by the TenantConfig.OnApply step callback.
+type AppliedOp struct {
+	Tenant string
+	// Kind is "submit", "revoke" or "availability".
+	Kind string
+	// ID is the affected request ID (submit and revoke).
+	ID string
+	// Epoch is the plan epoch after the mutation.
+	Epoch uint64
+	// Err is the mutation's outcome; nil means it was applied and a new
+	// snapshot is published.
+	Err error
 }
 
 // ErrTenantClosed reports an operation against a tenant whose event loop
@@ -43,10 +67,11 @@ var ErrTenantClosed = errors.New("server: tenant closed")
 // touching the manager or blocking behind writers. Replies are sent after
 // the snapshot is stored, so a client observes its own writes.
 type Tenant struct {
-	name string
-	mgr  *stream.Manager
-	ix   *adpar.Index
-	met  *tenantMetrics
+	name    string
+	mgr     *stream.Manager
+	ix      *adpar.Index
+	met     *tenantMetrics
+	onApply func(AppliedOp)
 
 	ops  chan op
 	quit chan struct{}
@@ -61,6 +86,29 @@ const (
 	opRevoke
 	opAvailability
 )
+
+func (k opKind) String() string {
+	switch k {
+	case opSubmit:
+		return "submit"
+	case opRevoke:
+		return "revoke"
+	case opAvailability:
+		return "availability"
+	}
+	return fmt.Sprintf("opKind(%d)", int(k))
+}
+
+// appliedID extracts the request ID an op targets, if any.
+func appliedID(o op) string {
+	switch o.kind {
+	case opSubmit:
+		return o.req.ID
+	case opRevoke:
+		return o.id
+	}
+	return ""
+}
 
 type op struct {
 	kind  opKind
@@ -96,12 +144,13 @@ func newTenant(name string, cfg TenantConfig) (*Tenant, error) {
 		buf = 64
 	}
 	t := &Tenant{
-		name: name,
-		mgr:  mgr,
-		ix:   ix,
-		ops:  make(chan op, buf),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		name:    name,
+		mgr:     mgr,
+		ix:      ix,
+		onApply: cfg.OnApply,
+		ops:     make(chan op, buf),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	t.met = newTenantMetrics(t)
 	t.snap.Store(mgr.Snapshot())
@@ -129,6 +178,15 @@ func (t *Tenant) loop() {
 			res.epoch = t.mgr.Epoch()
 			if res.err == nil {
 				t.snap.Store(t.mgr.Snapshot())
+			}
+			if t.onApply != nil {
+				t.onApply(AppliedOp{
+					Tenant: t.name,
+					Kind:   o.kind.String(),
+					ID:     appliedID(o),
+					Epoch:  res.epoch,
+					Err:    res.err,
+				})
 			}
 			o.reply <- res
 		case <-t.quit:

@@ -1,0 +1,97 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file gives generated workloads a stable on-disk form, so a sequence
+// that provoked a failure (or one a conformance run minimized) can be
+// saved, attached to a bug report, and replayed bit-for-bit later without
+// regenerating it from a seed.
+
+// traceFormatVersion guards the JSON layout; bump it on incompatible
+// changes so old artifacts fail loudly instead of decoding garbage.
+const traceFormatVersion = 1
+
+// traceEnvelope is the on-disk form of an event sequence.
+type traceEnvelope struct {
+	Version int          `json:"version"`
+	Events  []traceEvent `json:"events"`
+}
+
+// traceEvent flattens a WorkloadEvent into explicit JSON fields: offsets in
+// nanoseconds, kinds as strings, request parameters inline.
+type traceEvent struct {
+	AtNS         int64   `json:"at_ns"`
+	Kind         string  `json:"kind"`
+	ID           string  `json:"id,omitempty"`
+	Quality      float64 `json:"quality,omitempty"`
+	Cost         float64 `json:"cost,omitempty"`
+	Latency      float64 `json:"latency,omitempty"`
+	K            int     `json:"k,omitempty"`
+	Availability float64 `json:"availability,omitempty"`
+}
+
+// WriteTrace encodes an event sequence as versioned JSON.
+func WriteTrace(w io.Writer, events []WorkloadEvent) error {
+	env := traceEnvelope{Version: traceFormatVersion, Events: make([]traceEvent, len(events))}
+	for i, ev := range events {
+		te := traceEvent{AtNS: int64(ev.At), Kind: ev.Kind.String()}
+		switch ev.Kind {
+		case SubmitArrival:
+			te.ID = ev.Request.ID
+			te.Quality = ev.Request.Quality
+			te.Cost = ev.Request.Cost
+			te.Latency = ev.Request.Latency
+			te.K = ev.Request.K
+		case RevokeArrival:
+			te.ID = ev.RevokeID
+		case DriftArrival:
+			te.Availability = ev.Availability
+		default:
+			return fmt.Errorf("synth: cannot encode event %d of kind %v", i, ev.Kind)
+		}
+		env.Events[i] = te
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// ReadTrace decodes a sequence written by WriteTrace. Offsets, kinds and
+// request parameters round-trip exactly (encoding/json preserves float64).
+func ReadTrace(r io.Reader) ([]WorkloadEvent, error) {
+	var env traceEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("synth: decoding trace: %w", err)
+	}
+	if env.Version != traceFormatVersion {
+		return nil, fmt.Errorf("synth: trace version %d, this build reads %d", env.Version, traceFormatVersion)
+	}
+	events := make([]WorkloadEvent, len(env.Events))
+	for i, te := range env.Events {
+		ev := WorkloadEvent{At: time.Duration(te.AtNS)}
+		switch te.Kind {
+		case SubmitArrival.String():
+			ev.Kind = SubmitArrival
+			ev.Request.ID = te.ID
+			ev.Request.Quality = te.Quality
+			ev.Request.Cost = te.Cost
+			ev.Request.Latency = te.Latency
+			ev.Request.K = te.K
+		case RevokeArrival.String():
+			ev.Kind = RevokeArrival
+			ev.RevokeID = te.ID
+		case DriftArrival.String():
+			ev.Kind = DriftArrival
+			ev.Availability = te.Availability
+		default:
+			return nil, fmt.Errorf("synth: trace event %d has unknown kind %q", i, te.Kind)
+		}
+		events[i] = ev
+	}
+	return events, nil
+}

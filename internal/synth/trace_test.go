@@ -1,0 +1,60 @@
+package synth
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(Uniform)
+	events, err := cfg.Workload(rand.New(rand.NewSource(42)), WorkloadConfig{
+		Events:         300,
+		K:              3,
+		Rate:           150,
+		RevokeFraction: 0.3,
+		DriftFraction:  0.1,
+		TightFraction:  0.4,
+		IDPrefix:       "rt-",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip changed length: %d -> %d", len(events), len(got))
+	}
+	for i := range events {
+		if events[i] != got[i] {
+			t.Fatalf("event %d changed in round trip:\n  wrote %+v\n  read  %+v", i, events[i], got[i])
+		}
+	}
+}
+
+func TestTraceRejectsUnknownVersion(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader(`{"version": 99, "events": []}`)); err == nil {
+		t.Fatal("version 99 accepted")
+	}
+}
+
+func TestTraceRejectsUnknownKind(t *testing.T) {
+	in := `{"version": 1, "events": [{"at_ns": 0, "kind": "explode"}]}`
+	if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,7 +1,9 @@
 package synth
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -82,14 +84,76 @@ type WorkloadConfig struct {
 	IDPrefix string
 }
 
+// Validation sentinels for WorkloadConfig. Each names one way a config
+// would previously have produced an empty or degenerate workload silently.
+var (
+	// ErrNoEvents rejects a non-positive event count (an empty workload).
+	ErrNoEvents = errors.New("synth: workload needs a positive event count")
+	// ErrBadRate rejects a negative or NaN arrival rate, which would walk
+	// the Poisson clock backwards. Zero stays the documented
+	// replay-as-fast-as-possible mode.
+	ErrBadRate = errors.New("synth: negative or NaN arrival rate")
+	// ErrBadFraction rejects event-mix fractions outside [0,1] (NaN
+	// included) or a revoke+drift mass above 1, which would starve
+	// submissions entirely.
+	ErrBadFraction = errors.New("synth: event fractions must lie in [0,1] and leave room for submissions")
+	// ErrBadDriftBounds rejects drift availability bounds outside [0,1] or
+	// inverted (lo > hi). Both zero keeps the documented [0.2, 1] default.
+	ErrBadDriftBounds = errors.New("synth: drift bounds must satisfy 0 <= lo <= hi <= 1")
+	// ErrBadK rejects a negative cardinality constraint. Zero keeps the
+	// documented default of 1.
+	ErrBadK = errors.New("synth: negative cardinality constraint")
+)
+
+// Validate checks the config without generating anything. Workload calls
+// it; callers that build configs from user input can call it early to fail
+// before spinning up workers.
+func (wc WorkloadConfig) Validate() error {
+	if wc.Events <= 0 {
+		return fmt.Errorf("%w: got %d", ErrNoEvents, wc.Events)
+	}
+	if wc.Rate < 0 || math.IsNaN(wc.Rate) {
+		return fmt.Errorf("%w: got %v", ErrBadRate, wc.Rate)
+	}
+	if wc.K < 0 {
+		return fmt.Errorf("%w: got %d", ErrBadK, wc.K)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"revoke", wc.RevokeFraction},
+		{"drift", wc.DriftFraction},
+		{"tight", wc.TightFraction},
+	} {
+		if f.v < 0 || f.v > 1 || math.IsNaN(f.v) {
+			return fmt.Errorf("%w: %s fraction %v", ErrBadFraction, f.name, f.v)
+		}
+	}
+	if wc.RevokeFraction+wc.DriftFraction > 1 {
+		return fmt.Errorf("%w: revoke %v + drift %v > 1",
+			ErrBadFraction, wc.RevokeFraction, wc.DriftFraction)
+	}
+	if wc.DriftLo != 0 || wc.DriftHi != 0 {
+		if wc.DriftLo < 0 || wc.DriftHi > 1 || wc.DriftLo > wc.DriftHi ||
+			math.IsNaN(wc.DriftLo) || math.IsNaN(wc.DriftHi) {
+			return fmt.Errorf("%w: [%v, %v]", ErrBadDriftBounds, wc.DriftLo, wc.DriftHi)
+		}
+	}
+	return nil
+}
+
 // Workload generates a timed Poisson event sequence for the dynamic
 // deployment setting. The sequence is self-consistent: every revocation
 // targets a request an earlier event submitted that no later event already
 // revoked, so replaying events in order against a stream.Manager never
 // trips ErrUnknownID. Generation is deterministic in rng.
-func (c Config) Workload(rng *rand.Rand, wc WorkloadConfig) []WorkloadEvent {
-	if wc.Events <= 0 {
-		return nil
+//
+// Invalid configs are rejected with the Validate sentinels rather than
+// silently producing empty or degenerate sequences.
+func (c Config) Workload(rng *rand.Rand, wc WorkloadConfig) ([]WorkloadEvent, error) {
+	if err := wc.Validate(); err != nil {
+		return nil, err
 	}
 	k := wc.K
 	if k < 1 {
@@ -139,5 +203,5 @@ func (c Config) Workload(rng *rand.Rand, wc WorkloadConfig) []WorkloadEvent {
 		}
 		events = append(events, ev)
 	}
-	return events
+	return events, nil
 }

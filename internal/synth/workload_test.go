@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -19,7 +20,10 @@ func TestWorkloadSelfConsistent(t *testing.T) {
 		TightFraction:  0.3,
 		IDPrefix:       "w-",
 	}
-	events := cfg.Workload(rng, wc)
+	events, err := cfg.Workload(rng, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(events) != wc.Events {
 		t.Fatalf("generated %d events, want %d", len(events), wc.Events)
 	}
@@ -75,7 +79,10 @@ func TestWorkloadPoissonSpacing(t *testing.T) {
 	cfg := DefaultConfig(Uniform)
 	rng := rand.New(rand.NewSource(11))
 	rate := 100.0
-	events := cfg.Workload(rng, WorkloadConfig{Events: 4000, K: 1, Rate: rate})
+	events, err := cfg.Workload(rng, WorkloadConfig{Events: 4000, K: 1, Rate: rate})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Mean inter-arrival of a Poisson(rate) process is 1/rate seconds.
 	mean := events[len(events)-1].At.Seconds() / float64(len(events)-1)
 	if math.Abs(mean-1/rate) > 0.2/rate {
@@ -85,8 +92,11 @@ func TestWorkloadPoissonSpacing(t *testing.T) {
 
 func TestWorkloadZeroRateAndDeterminism(t *testing.T) {
 	cfg := DefaultConfig(Uniform)
-	a := cfg.Workload(rand.New(rand.NewSource(3)), WorkloadConfig{Events: 50, K: 2, TightFraction: 1})
-	b := cfg.Workload(rand.New(rand.NewSource(3)), WorkloadConfig{Events: 50, K: 2, TightFraction: 1})
+	a, errA := cfg.Workload(rand.New(rand.NewSource(3)), WorkloadConfig{Events: 50, K: 2, TightFraction: 1})
+	b, errB := cfg.Workload(rand.New(rand.NewSource(3)), WorkloadConfig{Events: 50, K: 2, TightFraction: 1})
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	if len(a) != 50 || len(b) != 50 {
 		t.Fatalf("lengths %d, %d", len(a), len(b))
 	}
@@ -98,15 +108,67 @@ func TestWorkloadZeroRateAndDeterminism(t *testing.T) {
 			t.Fatalf("event %d differs across identical seeds", i)
 		}
 	}
-	if got := cfg.Workload(rand.New(rand.NewSource(1)), WorkloadConfig{}); got != nil {
-		t.Errorf("empty config produced %d events", len(got))
+	if got, err := cfg.Workload(rand.New(rand.NewSource(1)), WorkloadConfig{}); err == nil {
+		t.Errorf("empty config produced %d events and no error", len(got))
+	}
+}
+
+func TestWorkloadConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(Uniform)
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(1)) }
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		wc   WorkloadConfig
+		want error
+	}{
+		{"zero events", WorkloadConfig{}, ErrNoEvents},
+		{"negative events", WorkloadConfig{Events: -5}, ErrNoEvents},
+		{"negative rate", WorkloadConfig{Events: 10, Rate: -1}, ErrBadRate},
+		{"nan rate", WorkloadConfig{Events: 10, Rate: nan}, ErrBadRate},
+		{"negative k", WorkloadConfig{Events: 10, K: -1}, ErrBadK},
+		{"negative revoke fraction", WorkloadConfig{Events: 10, RevokeFraction: -0.1}, ErrBadFraction},
+		{"revoke fraction above one", WorkloadConfig{Events: 10, RevokeFraction: 1.5}, ErrBadFraction},
+		{"nan drift fraction", WorkloadConfig{Events: 10, DriftFraction: nan}, ErrBadFraction},
+		{"nan tight fraction", WorkloadConfig{Events: 10, TightFraction: nan}, ErrBadFraction},
+		{"revoke plus drift above one", WorkloadConfig{Events: 10, RevokeFraction: 0.7, DriftFraction: 0.7}, ErrBadFraction},
+		{"inverted drift bounds", WorkloadConfig{Events: 10, DriftLo: 0.9, DriftHi: 0.3}, ErrBadDriftBounds},
+		{"drift hi above one", WorkloadConfig{Events: 10, DriftLo: 0.5, DriftHi: 1.5}, ErrBadDriftBounds},
+		{"negative drift lo", WorkloadConfig{Events: 10, DriftLo: -0.2, DriftHi: 0.5}, ErrBadDriftBounds},
+		{"nan drift bound", WorkloadConfig{Events: 10, DriftLo: nan, DriftHi: 0.5}, ErrBadDriftBounds},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			events, err := cfg.Workload(rng(), tc.wc)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Workload error = %v, want %v", err, tc.want)
+			}
+			if events != nil {
+				t.Fatalf("invalid config still produced %d events", len(events))
+			}
+		})
+	}
+
+	// The documented zero-value modes stay valid: zero rate (replay as
+	// fast as possible), zero K (defaults to 1), zero drift bounds
+	// (default band).
+	ok := WorkloadConfig{Events: 10}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("minimal valid config rejected: %v", err)
+	}
+	events, err := cfg.Workload(rng(), ok)
+	if err != nil || len(events) != 10 {
+		t.Fatalf("minimal valid config: %d events, err %v", len(events), err)
 	}
 }
 
 func TestWorkloadIDPrefixNamespaces(t *testing.T) {
 	cfg := DefaultConfig(Uniform)
-	a := cfg.Workload(rand.New(rand.NewSource(5)), WorkloadConfig{Events: 20, K: 1, IDPrefix: "a-"})
-	b := cfg.Workload(rand.New(rand.NewSource(5)), WorkloadConfig{Events: 20, K: 1, IDPrefix: "b-"})
+	a, errA := cfg.Workload(rand.New(rand.NewSource(5)), WorkloadConfig{Events: 20, K: 1, IDPrefix: "a-"})
+	b, errB := cfg.Workload(rand.New(rand.NewSource(5)), WorkloadConfig{Events: 20, K: 1, IDPrefix: "b-"})
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	seen := map[string]bool{}
 	for _, evs := range [][]WorkloadEvent{a, b} {
 		for _, ev := range evs {
