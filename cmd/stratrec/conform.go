@@ -17,9 +17,19 @@ import (
 //	stratrec conform -seed 1 -events 5000            # generate + verify
 //	stratrec conform -replay failure.json            # replay an artifact
 //	stratrec conform -seed 7 -profile revoke-storm   # chaos schedule
+//	stratrec conform -profile crash-recovery         # kill/restart oracle
 //
 // On divergence the failing trace is minimized with delta debugging and
 // written to -artifact as replayable JSON, and the exit status is nonzero.
+//
+// The crash-recovery profile replays a steady trace through a durable
+// server, kills it at a seeded mid-trace point (after a mid-run
+// checkpoint), restarts it from disk, diffs the recovered snapshot
+// field-by-field against the naive full-replay oracle, and finishes the
+// trace with the full oracle layer. Its failure artifact is the trace
+// plus the data directory itself (kept in place, path printed), not a
+// minimized trace: the failure depends on the kill point, which ddmin
+// event deletion does not preserve.
 func runConform(args []string) error {
 	fs := flag.NewFlagSet("conform", flag.ContinueOnError)
 	var (
@@ -37,9 +47,20 @@ func runConform(args []string) error {
 		artifact   = fs.String("artifact", "conformance-failure.json", "where to write the minimized failing trace")
 		maxProbes  = fs.Int("minimize-probes", 600, "delta-debugging probe budget")
 		quiet      = fs.Bool("quiet", false, "suppress the progress line")
+
+		crashCut  = fs.Int("crash-cut", -1, "crash-recovery: event index to kill at (-1 = seeded mid-trace point)")
+		crashDir  = fs.String("crash-data-dir", "", "crash-recovery: durability dir (empty = temp dir; kept on failure either way)")
+		crashTorn = fs.Bool("crash-torn-tail", false, "crash-recovery: also inject a torn partial record at the kill point")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *profile == "crash-recovery" {
+		return runConformCrash(crashArgs{
+			seed: *seed, events: *events, tenants: *tenants, strategies: *strategies, k: *k,
+			bbLimit: *bbLimit, adparPar: *adparPar, outPath: *outPath,
+			cut: *crashCut, dataDir: *crashDir, tornTail: *crashTorn, quiet: *quiet,
+		})
 	}
 
 	var (
@@ -115,6 +136,77 @@ func runConform(args []string) error {
 	}
 	fmt.Printf("conform: replayable artifact written to %s\n", *artifact)
 	fmt.Printf("conform: replay it with: stratrec conform -replay %s\n", *artifact)
+	return fmt.Errorf("conform: %d oracle divergences", len(res.Divergences))
+}
+
+// crashArgs carries the crash-recovery profile's knobs.
+type crashArgs struct {
+	seed                        int64
+	events, tenants, strategies int
+	k, bbLimit, adparPar        int
+	cut                         int
+	dataDir, outPath            string
+	tornTail, quiet             bool
+}
+
+// runConformCrash runs the kill/restart differential oracle: generate a
+// steady trace, kill the durable server mid-trace, recover from disk,
+// diff, finish the trace.
+func runConformCrash(a crashArgs) error {
+	if a.strategies > adpar.BruteForceLimit {
+		return fmt.Errorf("conform: -strategies %d exceeds the brute-force oracle bound %d", a.strategies, adpar.BruteForceLimit)
+	}
+	tr, err := conformance.Generate(conformance.GenConfig{
+		Seed:       a.seed,
+		Events:     a.events,
+		Tenants:    a.tenants,
+		Strategies: a.strategies,
+		K:          a.k,
+		Profile:    conformance.Steady,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("conform: crash-recovery, seed %d, %d tenants x %d strategies, %d events\n",
+		a.seed, len(tr.Tenants), a.strategies, len(tr.Events))
+	if a.outPath != "" {
+		if err := writeTraceFile(a.outPath, tr); err != nil {
+			return err
+		}
+	}
+
+	cfg := conformance.CrashConfig{
+		Parallelism:      a.adparPar,
+		BranchBoundLimit: a.bbLimit,
+		Cut:              a.cut,
+		CheckpointAt:     -1,
+		TornTail:         a.tornTail,
+		DataDir:          a.dataDir,
+	}
+	if !a.quiet {
+		every := len(tr.Events) / 10
+		if every > 0 {
+			cfg.OnEvent = func(i int, _ conformance.Event) {
+				if i%every == 0 && i > 0 {
+					fmt.Printf("conform: %d/%d events\n", i, len(tr.Events))
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	res, err := conformance.RunCrash(tr, cfg)
+	if err != nil {
+		fmt.Printf("conform: data dir kept at %s\n", res.DataDir)
+		return err
+	}
+	fmt.Printf("conform: killed at event %d (checkpoint after %d), recovery %v\n",
+		res.Cut, res.CheckpointAt, res.RecoveryDuration)
+	fmt.Printf("%s  (%.1fs)\n", res.Result, time.Since(start).Seconds())
+	if res.OK() {
+		return nil
+	}
+	fmt.Printf("conform: data dir kept at %s for inspection (stratrec recover -data-dir ...)\n", res.DataDir)
 	return fmt.Errorf("conform: %d oracle divergences", len(res.Divergences))
 }
 

@@ -9,9 +9,12 @@
 //	stratrec [flags]                 # run the paper's running example
 //	stratrec -input batch.json       # run a batch from a JSON file
 //	stratrec serve [flags]           # multi-tenant HTTP server
+//	stratrec serve -data-dir d       # durable server: WAL + checkpoints, crash recovery
 //	stratrec serve -selftest         # serve + replay a synthetic load, print p50/p99
 //	stratrec conform [flags]         # end-to-end differential conformance harness
 //	stratrec conform -replay f.json  # replay a minimized failure trace
+//	stratrec conform -profile crash-recovery  # kill/restart differential oracle
+//	stratrec recover -data-dir d     # inspect a durability dir; -verify replays it
 //
 // The input file format:
 //
@@ -82,6 +85,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "conform" {
 		if err := runConform(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "stratrec conform:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "recover" {
+		if err := runRecover(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "stratrec recover:", err)
 			os.Exit(1)
 		}
 		return

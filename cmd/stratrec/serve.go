@@ -39,6 +39,10 @@ func runServe(args []string) error {
 		seed        = fs.Int64("seed", 2020, "synthetic tenant / selftest workload seed")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 
+		dataDir   = fs.String("data-dir", "", "durability root: per-tenant write-ahead log + checkpoints, recovered on startup; empty disables durability")
+		syncEvery = fs.Int("wal-sync-every", 1, "fsync the WAL after every n-th record (1 = every acknowledged mutation is durable)")
+		ckptEvery = fs.Int("checkpoint-every", 10000, "auto-checkpoint a tenant after n WAL records since the last checkpoint (0 = only via POST /admin/checkpoint)")
+
 		selftest  = fs.Bool("selftest", false, "serve on an ephemeral port, replay a synthetic workload, print the report, exit")
 		stEvents  = fs.Int("selftest-requests", 2000, "selftest: total workload events")
 		stWorkers = fs.Int("selftest-workers", 8, "selftest: concurrent load workers")
@@ -50,64 +54,29 @@ func runServe(args []string) error {
 		return err
 	}
 
-	var obj batch.Objective
-	switch *objective {
-	case "throughput":
-		obj = batch.Throughput
-	case "payoff":
-		obj = batch.Payoff
-	default:
-		return fmt.Errorf("unknown objective %q", *objective)
+	cfg, err := buildServerConfig(catalogFlags{
+		objective:   *objective,
+		mode:        *mode,
+		tenantsPath: *tenantsPath,
+		demoTenants: *demoTenants,
+		demoSize:    *demoSize,
+		seed:        *seed,
+		adparPar:    *adparPar,
+	})
+	if err != nil {
+		return err
 	}
-	var agg workforce.Mode
-	switch *mode {
-	case "sum":
-		agg = workforce.SumCase
-	case "max":
-		agg = workforce.MaxCase
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
-	}
-
-	cfg := server.Config{Tenants: map[string]server.TenantConfig{}}
-	if *tenantsPath != "" {
-		tenants, err := store.LoadTenants(*tenantsPath)
-		if err != nil {
-			return err
-		}
-		for _, name := range tenants.Names() {
-			cat := tenants.Tenants[name]
-			set, models, err := cat.Materialize(func(e store.Entry) linmodel.ParamModels {
-				return anchoredModels(e.Params, cat.Workforce)
-			})
-			if err != nil {
-				return fmt.Errorf("tenant %s: %w", name, err)
-			}
-			cfg.Tenants[name] = server.TenantConfig{
-				Set: set, Models: models,
-				Mode: agg, Objective: obj,
-				InitialW:    cat.Workforce,
-				Parallelism: *adparPar,
-			}
-		}
-	} else {
-		gen := synth.DefaultConfig(synth.Uniform)
-		for i := 0; i < *demoTenants; i++ {
-			rng := rand.New(rand.NewSource(*seed + int64(i)))
-			set := gen.Strategies(rng, *demoSize)
-			name := fmt.Sprintf("tenant-%d", i+1)
-			cfg.Tenants[name] = server.TenantConfig{
-				Set: set, Models: gen.Models(rng, set),
-				Mode: agg, Objective: obj,
-				InitialW:    0.7,
-				Parallelism: *adparPar,
-			}
-		}
-	}
+	cfg.DataDir = *dataDir
+	cfg.WALSyncEvery = *syncEvery
+	cfg.CheckpointEvery = *ckptEvery
 
 	s, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		fmt.Printf("stratrec serve: durability on under %s (sync every %d, checkpoint every %d)\n",
+			*dataDir, *syncEvery, *ckptEvery)
 	}
 
 	if *selftest {
@@ -132,6 +101,79 @@ func runServe(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// catalogFlags is the tenant-universe selection shared by `serve` and
+// `recover -verify`: either a tenants file or seeded synthetic demo
+// catalogs. Recovery can only replay a WAL against the same catalogs the
+// writing server ran with, so both subcommands accept identical flags.
+type catalogFlags struct {
+	objective   string
+	mode        string
+	tenantsPath string
+	demoTenants int
+	demoSize    int
+	seed        int64
+	adparPar    int
+}
+
+// buildServerConfig materializes the tenant universe of the given flags.
+func buildServerConfig(cf catalogFlags) (server.Config, error) {
+	var obj batch.Objective
+	switch cf.objective {
+	case "throughput":
+		obj = batch.Throughput
+	case "payoff":
+		obj = batch.Payoff
+	default:
+		return server.Config{}, fmt.Errorf("unknown objective %q", cf.objective)
+	}
+	var agg workforce.Mode
+	switch cf.mode {
+	case "sum":
+		agg = workforce.SumCase
+	case "max":
+		agg = workforce.MaxCase
+	default:
+		return server.Config{}, fmt.Errorf("unknown mode %q", cf.mode)
+	}
+
+	cfg := server.Config{Tenants: map[string]server.TenantConfig{}}
+	if cf.tenantsPath != "" {
+		tenants, err := store.LoadTenants(cf.tenantsPath)
+		if err != nil {
+			return server.Config{}, err
+		}
+		for _, name := range tenants.Names() {
+			cat := tenants.Tenants[name]
+			set, models, err := cat.Materialize(func(e store.Entry) linmodel.ParamModels {
+				return anchoredModels(e.Params, cat.Workforce)
+			})
+			if err != nil {
+				return server.Config{}, fmt.Errorf("tenant %s: %w", name, err)
+			}
+			cfg.Tenants[name] = server.TenantConfig{
+				Set: set, Models: models,
+				Mode: agg, Objective: obj,
+				InitialW:    cat.Workforce,
+				Parallelism: cf.adparPar,
+			}
+		}
+	} else {
+		gen := synth.DefaultConfig(synth.Uniform)
+		for i := 0; i < cf.demoTenants; i++ {
+			rng := rand.New(rand.NewSource(cf.seed + int64(i)))
+			set := gen.Strategies(rng, cf.demoSize)
+			name := fmt.Sprintf("tenant-%d", i+1)
+			cfg.Tenants[name] = server.TenantConfig{
+				Set: set, Models: gen.Models(rng, set),
+				Mode: agg, Objective: obj,
+				InitialW:    0.7,
+				Parallelism: cf.adparPar,
+			}
+		}
+	}
+	return cfg, nil
 }
 
 // selftestConfig carries the selftest knobs, including workload trace

@@ -1,0 +1,129 @@
+package conformance
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func genTrace(t *testing.T, seed int64, events int) Trace {
+	t.Helper()
+	tr, err := Generate(GenConfig{Seed: seed, Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestCrashRecoveryConformance is the acceptance gate in miniature: for
+// three seeds, kill at a seeded mid-trace point (with a mid-run
+// checkpoint), restart from disk, and require zero divergences across the
+// recovered-state diff and the continued full-oracle replay.
+func TestCrashRecoveryConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-recovery conformance skipped in -short")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		tr := genTrace(t, seed, 600)
+		res, err := RunCrash(tr, CrashConfig{Cut: -1, CheckpointAt: -1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK() {
+			t.Fatalf("seed %d: %d divergences (cut %d):\n%s", seed, len(res.Divergences), res.Cut, res.Result)
+		}
+		if res.Cut <= 0 || res.Cut >= len(tr.Events) {
+			t.Fatalf("seed %d: degenerate cut %d of %d", seed, res.Cut, len(tr.Events))
+		}
+		if res.CheckpointAt < 0 {
+			t.Fatalf("seed %d: run skipped its checkpoint", seed)
+		}
+		if _, err := os.Stat(res.DataDir); !os.IsNotExist(err) {
+			t.Fatalf("seed %d: clean run left data dir %s behind", seed, res.DataDir)
+		}
+		t.Logf("seed %d: cut %d, checkpoint after %d, %d checks, recovery %v",
+			seed, res.Cut, res.CheckpointAt, res.Checks, res.RecoveryDuration)
+	}
+}
+
+// TestCrashRecoveryTornTail: a garbage partial record appended at the
+// kill point (the torn write of an interrupted append) must be truncated
+// by recovery without disturbing any acknowledged state.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	tr := genTrace(t, 4, 400)
+	res, err := RunCrash(tr, CrashConfig{Cut: -1, CheckpointAt: -1, TornTail: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("torn-tail run diverged:\n%s", res.Result)
+	}
+}
+
+// TestCrashRecoveryPureTail: no checkpoint at all — recovery replays the
+// whole WAL from sequence 1.
+func TestCrashRecoveryPureTail(t *testing.T) {
+	tr := genTrace(t, 5, 400)
+	res, err := RunCrash(tr, CrashConfig{Cut: -1, CheckpointAt: len(tr.Events) + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointAt != -1 {
+		t.Fatalf("expected checkpoint disabled, got index %d", res.CheckpointAt)
+	}
+	if !res.OK() {
+		t.Fatalf("pure-tail run diverged:\n%s", res.Result)
+	}
+}
+
+// TestCrashOracleCatchesLostState injects the bug the oracle exists for:
+// durable state silently lost at the kill point. Deleting one tenant's
+// data directory between kill and restart must surface as plan
+// divergences (or a failed recovery), never as a clean run.
+func TestCrashOracleCatchesLostState(t *testing.T) {
+	tr := genTrace(t, 6, 400)
+
+	// First, a normal run to learn the seeded cut (and prove the trace is
+	// divergence-free without sabotage).
+	res, err := RunCrash(tr, CrashConfig{Cut: -1, CheckpointAt: -1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("baseline run diverged:\n%s", res.Result)
+	}
+
+	// Now rerun with sabotage: unlink tenant-1's log and checkpoint files
+	// during the last pre-cut event. The running server keeps its open
+	// file descriptor (phase 1 finishes normally), but the restart finds
+	// an empty directory — exactly what "durable state silently lost"
+	// looks like — and the recovered-plan diff must call it out.
+	sabotaged := false
+	cut := res.Cut
+	dir := t.TempDir()
+	res2, err := RunCrash(tr, CrashConfig{Cut: cut, CheckpointAt: -1, DataDir: dir, OnEvent: func(i int, _ Event) {
+		if i == cut-1 && !sabotaged {
+			sabotaged = true
+			entries, err := os.ReadDir(filepath.Join(dir, "tenant-1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ".log") || strings.HasSuffix(e.Name(), ".ckpt") {
+					os.Remove(filepath.Join(dir, "tenant-1", e.Name()))
+				}
+			}
+		}
+	}})
+	if err != nil {
+		t.Logf("sabotage surfaced as recovery error: %v", err)
+		return // a loud failure is an acceptable catch
+	}
+	if !sabotaged {
+		t.Fatal("sabotage hook never fired")
+	}
+	if res2.OK() {
+		t.Fatal("oracle passed a run whose durable state was wiped")
+	}
+}

@@ -38,6 +38,13 @@ type tenantModel struct {
 	reqs    map[string]strategy.Request
 	serving map[string]bool
 	epoch   uint64
+	// subSeq mirrors stream.Manager's monotonic submission counter: the
+	// reqIdx handed to workforce.RequirementFor is the request's
+	// submission number, never a reused pool position, so the oracle and
+	// the serving stack compute requirements under the identical
+	// ModelProvider contract.
+	subSeq  map[string]uint64
+	nextSub uint64
 
 	// last replan products, consumed by plan expectations and the
 	// branch-and-bound optimality layer.
@@ -59,6 +66,7 @@ func newTenantModel(spec TenantSpec) (*tenantModel, error) {
 		w:         spec.InitialW,
 		reqs:      map[string]strategy.Request{},
 		serving:   map[string]bool{},
+		subSeq:    map[string]uint64{},
 		lastReqs:  map[string]workforce.Requirement{},
 	}
 	m.replan()
@@ -83,7 +91,7 @@ func (m *tenantModel) replan() {
 	m.lastItems = m.lastItems[:0]
 	for i, id := range ids {
 		d := m.reqs[id]
-		req := workforce.RequirementFor(d, i, m.set, m.models, m.mode)
+		req := workforce.RequirementFor(d, int(m.subSeq[id]), m.set, m.models, m.mode)
 		m.lastReqs[id] = req
 		if !req.Feasible() {
 			continue
@@ -179,6 +187,8 @@ func (m *tenantModel) applySubmit(ev Event) expectation {
 	}
 	m.reqs[d.ID] = d
 	m.order = append(m.order, d.ID)
+	m.subSeq[d.ID] = m.nextSub
+	m.nextSub++
 	m.replan()
 	return expectation{status: http.StatusOK, served: m.serving[d.ID], epoch: m.epoch}
 }
@@ -189,6 +199,7 @@ func (m *tenantModel) applyRevoke(ev Event) expectation {
 	}
 	delete(m.reqs, ev.ID)
 	delete(m.serving, ev.ID)
+	delete(m.subSeq, ev.ID)
 	for i, id := range m.order {
 		if id == ev.ID {
 			m.order = append(m.order[:i], m.order[i+1:]...)

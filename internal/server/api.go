@@ -22,6 +22,7 @@ import (
 //	GET    /v1/tenants/{tenant}/plan                      current plan snapshot
 //	GET    /v1/tenants/{tenant}/requests/{id}/alternative ADPaR alternative
 //	PUT    /v1/tenants/{tenant}/availability              move expected workforce
+//	POST   /admin/checkpoint                              checkpoint + truncate every tenant WAL
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -32,6 +33,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/tenants/{tenant}/plan", s.tenantHandler(handlePlan))
 	mux.HandleFunc("GET /v1/tenants/{tenant}/requests/{id}/alternative", s.tenantHandler(handleAlternative))
 	mux.HandleFunc("PUT /v1/tenants/{tenant}/availability", s.tenantHandler(handleAvailability))
+	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	return mux
 }
 
@@ -114,6 +116,12 @@ type TenantInfo struct {
 	Serving      int     `json:"serving"`
 	Epoch        uint64  `json:"epoch"`
 	Availability float64 `json:"availability"`
+}
+
+// CheckpointResponse reports the per-tenant outcomes of POST
+// /admin/checkpoint.
+type CheckpointResponse struct {
+	Tenants map[string]CheckpointInfo `json:"tenants"`
 }
 
 // ErrorResponse carries every non-2xx body.
@@ -266,6 +274,27 @@ func handleAlternative(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleCheckpoint checkpoints every tenant (durable snapshot + WAL
+// truncation). All-or-nothing per tenant: the first failure aborts with
+// its error, already-checkpointed tenants keep their new checkpoints
+// (checkpointing is idempotent, so a retry converges).
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.dataDir == "" {
+		writeError(w, ErrNoDurability)
+		return
+	}
+	resp := CheckpointResponse{Tenants: make(map[string]CheckpointInfo, len(s.names))}
+	for _, name := range s.names {
+		info, err := s.tenants[name].Checkpoint()
+		if err != nil {
+			writeError(w, fmt.Errorf("tenant %s: %w", name, err))
+			return
+		}
+		resp.Tenants[name] = info
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // --- plumbing ---
 
 type statusError struct {
@@ -296,7 +325,9 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, strategy.ErrBadParam), errors.Is(err, strategy.ErrBadCardinality),
 		errors.Is(err, adpar.ErrBadK), errors.Is(err, adpar.ErrNotEnoughStrategies):
 		code = http.StatusBadRequest
-	case errors.Is(err, ErrTenantClosed):
+	case errors.Is(err, ErrNoDurability):
+		code = http.StatusConflict
+	case errors.Is(err, ErrTenantClosed), errors.Is(err, ErrWALBroken):
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})

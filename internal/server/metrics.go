@@ -4,6 +4,9 @@ import (
 	"expvar"
 	"io"
 	"net/http"
+	"time"
+
+	"stratrec/internal/wal"
 )
 
 // tenantMetrics is one tenant's expvar surface: operation counters plus
@@ -14,7 +17,12 @@ type tenantMetrics struct {
 	submits, revokes, drifts expvar.Int
 	planReads, alternatives  expvar.Int
 	errors                   expvar.Int
-	vars                     *expvar.Map
+	// Durability counters (present only when the tenant has a WAL).
+	walErrors, checkpoints, checkpointErrors expvar.Int
+	recoveredRequests, recoveredTail         expvar.Int
+	recoveredCheckpointSeq, recoveryMillis   expvar.Int
+	tornBytes                                expvar.Int
+	vars                                     *expvar.Map
 }
 
 func newTenantMetrics(t *Tenant) *tenantMetrics {
@@ -32,7 +40,36 @@ func newTenantMetrics(t *Tenant) *tenantMetrics {
 	m.vars.Set("serving", expvar.Func(func() any { return len(t.snap.Load().Plan.Serving) }))
 	m.vars.Set("availability", expvar.Func(func() any { return t.snap.Load().Availability }))
 	m.vars.Set("strategies", expvar.Func(func() any { return t.ix.Len() }))
+	if t.wal != nil {
+		w := new(expvar.Map).Init()
+		// The wal.Log counters are atomics, safe to read from the metrics
+		// handler while the loop goroutine appends.
+		w.Set("appends", expvar.Func(func() any { return t.wal.Appends() }))
+		w.Set("syncs", expvar.Func(func() any { return t.wal.Syncs() }))
+		w.Set("last_seq", expvar.Func(func() any { return t.wal.LastSeq() }))
+		w.Set("errors", &m.walErrors)
+		w.Set("checkpoints", &m.checkpoints)
+		w.Set("checkpoint_errors", &m.checkpointErrors)
+		w.Set("recovered_checkpoint_requests", &m.recoveredRequests)
+		w.Set("recovered_tail_records", &m.recoveredTail)
+		w.Set("recovered_checkpoint_seq", &m.recoveredCheckpointSeq)
+		w.Set("recovery_ms", &m.recoveryMillis)
+		w.Set("torn_bytes_truncated", &m.tornBytes)
+		m.vars.Set("wal", w)
+	}
 	return m
+}
+
+// noteRecovery records what startup recovery replayed and how long it
+// took.
+func (m *tenantMetrics) noteRecovery(rec wal.Recovered, d time.Duration) {
+	if rec.Checkpoint != nil {
+		m.recoveredRequests.Set(int64(len(rec.Checkpoint.Requests)))
+		m.recoveredCheckpointSeq.Set(int64(rec.Checkpoint.Seq))
+	}
+	m.recoveredTail.Set(int64(len(rec.Tail)))
+	m.recoveryMillis.Set(d.Milliseconds())
+	m.tornBytes.Set(int64(rec.TornBytes))
 }
 
 // newMetricsRoot assembles the server-wide expvar tree.

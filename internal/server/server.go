@@ -21,8 +21,10 @@ import (
 	"context"
 	"errors"
 	"expvar"
+	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -35,11 +37,32 @@ type Config struct {
 	// (internal/conformance) and tests inject a fixed or stepped clock so
 	// time-derived observables are reproducible.
 	Now func() time.Time
+
+	// DataDir enables durability when non-empty: each tenant keeps a
+	// write-ahead log and snapshot checkpoints under DataDir/<tenant>
+	// (internal/wal), recovered through the tenant's own event loop on
+	// New. Tenant names must then be usable as directory names.
+	DataDir string
+	// WALSyncEvery batches WAL fsyncs: the segment is fsynced after every
+	// n-th appended record. At the default (≤1) every acknowledged
+	// mutation is durable before its HTTP response is written; larger
+	// values trade the last <n acknowledged mutations on a hard crash for
+	// append throughput.
+	WALSyncEvery int
+	// CheckpointEvery auto-checkpoints a tenant (snapshot + WAL
+	// truncation) after this many records appended since the last
+	// checkpoint. 0 means checkpoints happen only via POST
+	// /admin/checkpoint.
+	CheckpointEvery int
 }
 
 // ErrUnknownTenant reports a request for a tenant the server does not
 // host.
 var ErrUnknownTenant = errors.New("server: unknown tenant")
+
+// ErrNoDurability reports a checkpoint request against a server running
+// without a data directory.
+var ErrNoDurability = errors.New("server: durability disabled (no data dir)")
 
 // Server is a multi-tenant StratRec recommendation service. Create one
 // with New, expose Handler over any net/http server, and Close it to stop
@@ -51,6 +74,7 @@ type Server struct {
 	vars    *expvar.Map
 	now     func() time.Time
 	start   time.Time
+	dataDir string
 
 	closeOnce sync.Once
 }
@@ -68,14 +92,25 @@ func New(cfg Config) (*Server, error) {
 		tenants: make(map[string]*Tenant, len(cfg.Tenants)),
 		now:     now,
 		start:   now(),
+		dataDir: cfg.DataDir,
+	}
+	dur := durability{
+		dataDir:         cfg.DataDir,
+		syncEvery:       cfg.WALSyncEvery,
+		checkpointEvery: cfg.CheckpointEvery,
 	}
 	names := make([]string, 0, len(cfg.Tenants))
 	for name := range cfg.Tenants {
+		if cfg.DataDir != "" {
+			if err := validateTenantDirName(name); err != nil {
+				return nil, err
+			}
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		t, err := newTenant(name, cfg.Tenants[name])
+		t, err := newTenant(name, cfg.Tenants[name], dur)
 		if err != nil {
 			s.Close()
 			return nil, err
@@ -88,8 +123,20 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// validateTenantDirName rejects tenant names that cannot double as a
+// directory name under DataDir.
+func validateTenantDirName(name string) error {
+	if name == "" || name == "." || name == ".." || strings.ContainsAny(name, `/\`) {
+		return fmt.Errorf("server: tenant name %q is not usable as a data directory name", name)
+	}
+	return nil
+}
+
 // Handler returns the server's HTTP handler. See api.go for the routes.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// DataDir returns the durability root ("" when durability is disabled).
+func (s *Server) DataDir() string { return s.dataDir }
 
 // Tenant returns a hosted tenant by name.
 func (s *Server) Tenant(name string) (*Tenant, error) {

@@ -423,7 +423,7 @@ func TestServeReadYourWrites(t *testing.T) {
 // equals the manager's own Alternative on the shared warm index.
 func TestTenantSharedIndexMatchesManager(t *testing.T) {
 	cfg := fixedTenant(5, 0.5)
-	tn, err := newTenant("x", cfg)
+	tn, err := newTenant("x", cfg, durability{})
 	if err != nil {
 		t.Fatal(err)
 	}

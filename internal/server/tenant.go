@@ -3,12 +3,15 @@ package server
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"stratrec/internal/adpar"
 	"stratrec/internal/batch"
 	"stratrec/internal/strategy"
 	"stratrec/internal/stream"
+	"stratrec/internal/wal"
 	"stratrec/internal/workforce"
 )
 
@@ -56,6 +59,23 @@ type AppliedOp struct {
 // has shut down.
 var ErrTenantClosed = errors.New("server: tenant closed")
 
+// ErrWALBroken reports a mutation rejected because an earlier WAL append
+// failed. Once the log cannot be trusted to record what the manager
+// applies, accepting further mutations would let memory and disk drift
+// arbitrarily far apart — and the divergent log would poison the next
+// recovery (sequence holes, epoch-trail mismatches). The tenant instead
+// goes read-only: reads keep serving the last published snapshot, writes
+// fail with 503 until the operator restarts the server (recovery then
+// rebuilds exactly the logged state).
+var ErrWALBroken = errors.New("server: write-ahead log failed; tenant is read-only until restart")
+
+// durability carries the server-level WAL settings down to each tenant.
+type durability struct {
+	dataDir         string
+	syncEvery       int
+	checkpointEvery int
+}
+
 // Tenant hosts one strategy catalog behind a single-writer event loop.
 //
 // stream.Manager is not goroutine-safe, so every mutation (submit, revoke,
@@ -73,6 +93,20 @@ type Tenant struct {
 	met     *tenantMetrics
 	onApply func(AppliedOp)
 
+	// wal, when non-nil, is the tenant's write-ahead log: the loop
+	// appends every successful live mutation (after applying it, before
+	// publishing the snapshot and replying), so an acknowledged mutation
+	// is on disk — and, at the default sync policy, fsynced — before the
+	// client sees the acknowledgement. On the first append failure the
+	// failing mutation's snapshot is withheld (readers never observe the
+	// unlogged write), walBroken trips, and the tenant goes read-only
+	// (ErrWALBroken) so memory can never advance past what the log
+	// recorded — which keeps the on-disk log recoverable.
+	wal       *wal.Log
+	walBroken bool // loop goroutine only
+	ckptEvery int
+	sinceCkpt int
+
 	ops  chan op
 	quit chan struct{}
 	done chan struct{}
@@ -85,6 +119,11 @@ const (
 	opSubmit opKind = iota
 	opRevoke
 	opAvailability
+	// opRestoreCounters force-sets epoch and submission counter after the
+	// checkpointed pool has been re-admitted (recovery only).
+	opRestoreCounters
+	// opCheckpoint snapshots the tenant and truncates its WAL.
+	opCheckpoint
 )
 
 func (k opKind) String() string {
@@ -95,6 +134,10 @@ func (k opKind) String() string {
 		return "revoke"
 	case opAvailability:
 		return "availability"
+	case opRestoreCounters:
+		return "restore-counters"
+	case opCheckpoint:
+		return "checkpoint"
 	}
 	return fmt.Sprintf("opKind(%d)", int(k))
 }
@@ -111,10 +154,19 @@ func appliedID(o op) string {
 }
 
 type op struct {
-	kind  opKind
-	req   strategy.Request // opSubmit
-	id    string           // opRevoke
-	w     float64          // opAvailability
+	kind opKind
+	req  strategy.Request // opSubmit
+	id   string           // opRevoke
+	w    float64          // opAvailability
+	// replay marks recovery ops: they re-apply already-logged mutations,
+	// so the loop must not append them to the WAL again, and they are
+	// invisible to OnApply (which observes live traffic only).
+	replay bool
+	// sub is the restored submission sequence number (replay submits) or
+	// the restored submission counter (opRestoreCounters).
+	sub uint64
+	// epoch is the restored plan epoch (opRestoreCounters).
+	epoch uint64
 	reply chan opResult
 }
 
@@ -122,11 +174,17 @@ type opResult struct {
 	served bool
 	epoch  uint64
 	err    error
+	// ckpt reports checkpoint outcomes (opCheckpoint).
+	ckpt CheckpointInfo
 }
 
-// newTenant builds the tenant, compiles its warm ADPaR index, and starts
-// the event loop.
-func newTenant(name string, cfg TenantConfig) (*Tenant, error) {
+// newTenant builds the tenant, compiles its warm ADPaR index, opens its
+// WAL (when durability is on) and starts the event loop. Recovery —
+// re-admitting the checkpointed pool and replaying the log tail — runs
+// through the event loop itself before newTenant returns, so by the time
+// the server exposes its handler the tenant's published snapshot is the
+// recovered state.
+func newTenant(name string, cfg TenantConfig, dur durability) (*Tenant, error) {
 	mgr, err := stream.NewManager(cfg.Set, cfg.Models, cfg.Mode, cfg.Objective, cfg.InitialW)
 	if err != nil {
 		return nil, fmt.Errorf("server: tenant %s: %w", name, err)
@@ -152,34 +210,140 @@ func newTenant(name string, cfg TenantConfig) (*Tenant, error) {
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	var recovered wal.Recovered
+	if dur.dataDir != "" {
+		l, rec, err := wal.Open(filepath.Join(dur.dataDir, name), wal.Options{SyncEvery: dur.syncEvery})
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %s: opening WAL: %w", name, err)
+		}
+		t.wal = l
+		t.ckptEvery = dur.checkpointEvery
+		recovered = rec
+	}
 	t.met = newTenantMetrics(t)
 	t.snap.Store(mgr.Snapshot())
 	go t.loop()
+	if t.wal != nil {
+		start := time.Now()
+		if err := t.restore(recovered); err != nil {
+			t.close()
+			return nil, fmt.Errorf("server: tenant %s: recovery: %w", name, err)
+		}
+		t.met.noteRecovery(recovered, time.Since(start))
+	}
 	return t, nil
+}
+
+// restore replays recovered durable state through the live event loop:
+// availability and pool from the checkpoint (under the original
+// submission sequence numbers), counter and epoch restoration, then the
+// WAL tail record by record. Each tail record carries the plan epoch its
+// original application reached; the replayed application must land on
+// exactly that epoch, turning the epoch trail into an end-to-end
+// integrity check of recovery.
+func (t *Tenant) restore(rec wal.Recovered) error {
+	if cp := rec.Checkpoint; cp != nil {
+		if res := t.do(op{kind: opAvailability, w: cp.Availability, replay: true}); res.err != nil {
+			return fmt.Errorf("restoring availability %v: %w", cp.Availability, res.err)
+		}
+		for _, r := range cp.Requests {
+			res := t.do(op{kind: opSubmit, replay: true, sub: r.Sub, req: strategy.Request{
+				ID:     r.ID,
+				Params: strategy.Params{Quality: r.Quality, Cost: r.Cost, Latency: r.Latency},
+				K:      r.K,
+			}})
+			if res.err != nil {
+				return fmt.Errorf("re-admitting %s (sub %d): %w", r.ID, r.Sub, res.err)
+			}
+		}
+		if res := t.do(op{kind: opRestoreCounters, replay: true, epoch: cp.Epoch, sub: cp.NextSub}); res.err != nil {
+			return res.err
+		}
+	}
+	for _, r := range rec.Tail {
+		var res opResult
+		switch r.Kind {
+		case wal.KindSubmit:
+			res = t.do(op{kind: opSubmit, replay: true, sub: r.Sub, req: strategy.Request{
+				ID:     r.ID,
+				Params: strategy.Params{Quality: r.Quality, Cost: r.Cost, Latency: r.Latency},
+				K:      r.K,
+			}})
+		case wal.KindRevoke:
+			res = t.do(op{kind: opRevoke, replay: true, id: r.ID})
+		case wal.KindAvailability:
+			res = t.do(op{kind: opAvailability, replay: true, w: r.W})
+		default:
+			return fmt.Errorf("seq %d: unknown record kind %q", r.Seq, r.Kind)
+		}
+		if res.err != nil {
+			return fmt.Errorf("replaying seq %d (%s %s): %w", r.Seq, r.Kind, r.ID, res.err)
+		}
+		if res.epoch != r.Epoch {
+			return fmt.Errorf("epoch divergence at seq %d (%s %s): log recorded %d, replay reached %d",
+				r.Seq, r.Kind, r.ID, r.Epoch, res.epoch)
+		}
+	}
+	return nil
 }
 
 // loop is the tenant's single writer: it owns the stream.Manager
 // exclusively and publishes a fresh snapshot after every successful
-// mutation, before replying.
+// mutation, before replying. With durability on, the WAL append happens
+// between applying the mutation and publishing its snapshot, so the
+// acknowledgement a client sees implies the mutation is logged.
 func (t *Tenant) loop() {
 	defer close(t.done)
 	for {
 		select {
 		case o := <-t.ops:
 			var res opResult
+			if t.walBroken && !o.replay && o.kind.mutates() {
+				res.err = ErrWALBroken
+				res.epoch = t.mgr.Epoch()
+				if t.onApply != nil {
+					t.onApply(AppliedOp{Tenant: t.name, Kind: o.kind.String(), ID: appliedID(o), Epoch: res.epoch, Err: res.err})
+				}
+				o.reply <- res
+				continue
+			}
 			switch o.kind {
 			case opSubmit:
-				res.served, res.err = t.mgr.Submit(o.req)
+				if o.replay {
+					res.served, res.err = t.mgr.Resubmit(o.req, o.sub)
+				} else {
+					res.served, res.err = t.mgr.Submit(o.req)
+				}
 			case opRevoke:
 				res.err = t.mgr.Revoke(o.id)
 			case opAvailability:
 				res.err = t.mgr.SetAvailability(o.w)
+			case opRestoreCounters:
+				t.mgr.RestoreCounters(o.epoch, o.sub)
+			case opCheckpoint:
+				res.ckpt, res.err = t.checkpointNow()
 			}
 			res.epoch = t.mgr.Epoch()
 			if res.err == nil {
-				t.snap.Store(t.mgr.Snapshot())
+				snap := t.mgr.Snapshot()
+				publish := true
+				if t.wal != nil && !o.replay && o.kind.mutates() {
+					if werr := t.logMutation(o, snap); werr != nil {
+						res.err = fmt.Errorf("server: tenant %s: wal: %w", t.name, werr)
+						t.met.walErrors.Add(1)
+						// The manager applied a mutation the log did not
+						// record: withhold its snapshot so no reader ever
+						// observes it, and stop accepting writes so the
+						// divergence stays frozen at this one unacked op.
+						t.walBroken = true
+						publish = false
+					}
+				}
+				if publish {
+					t.snap.Store(snap)
+				}
 			}
-			if t.onApply != nil {
+			if t.onApply != nil && !o.replay && o.kind.mutates() {
 				t.onApply(AppliedOp{
 					Tenant: t.name,
 					Kind:   o.kind.String(),
@@ -193,6 +357,89 @@ func (t *Tenant) loop() {
 			return
 		}
 	}
+}
+
+// mutates reports whether the op kind changes tenant state that the WAL
+// must capture.
+func (k opKind) mutates() bool {
+	return k == opSubmit || k == opRevoke || k == opAvailability
+}
+
+// logMutation appends one applied mutation to the WAL, then
+// auto-checkpoints when the configured append budget since the last
+// checkpoint is spent.
+func (t *Tenant) logMutation(o op, snap *stream.Snapshot) error {
+	rec := wal.Record{Epoch: snap.Epoch}
+	switch o.kind {
+	case opSubmit:
+		rs, ok := snap.Request(o.req.ID)
+		if !ok {
+			return fmt.Errorf("submitted request %s missing from its own snapshot", o.req.ID)
+		}
+		rec.Kind = wal.KindSubmit
+		rec.ID = o.req.ID
+		rec.Quality = o.req.Quality
+		rec.Cost = o.req.Cost
+		rec.Latency = o.req.Latency
+		rec.K = o.req.K
+		rec.Sub = rs.Seq
+	case opRevoke:
+		rec.Kind = wal.KindRevoke
+		rec.ID = o.id
+	case opAvailability:
+		rec.Kind = wal.KindAvailability
+		rec.W = o.w
+	}
+	if _, err := t.wal.Append(rec); err != nil {
+		return err
+	}
+	t.sinceCkpt++
+	if t.ckptEvery > 0 && t.sinceCkpt >= t.ckptEvery {
+		// An auto-checkpoint failure is not the triggering mutation's
+		// problem: that mutation is applied and durably logged. Count it
+		// and retry at the next append (sinceCkpt keeps growing); the log
+		// just stays longer than intended until a checkpoint lands.
+		if _, err := t.checkpointNow(); err != nil {
+			t.met.checkpointErrors.Add(1)
+		}
+	}
+	return nil
+}
+
+// checkpointNow (loop goroutine only) freezes the manager state into a
+// durable checkpoint and truncates the WAL behind it.
+func (t *Tenant) checkpointNow() (CheckpointInfo, error) {
+	if t.wal == nil {
+		return CheckpointInfo{}, ErrNoDurability
+	}
+	snap := t.mgr.Snapshot()
+	cp := wal.Checkpoint{
+		Epoch:        snap.Epoch,
+		Availability: snap.Availability,
+		NextSub:      t.mgr.SubmissionCounter(),
+		Requests:     make([]wal.CheckpointRequest, 0, len(snap.Requests)),
+	}
+	for _, rs := range snap.Requests {
+		cp.Requests = append(cp.Requests, wal.CheckpointRequest{
+			ID:      rs.ID,
+			Quality: rs.Request.Quality,
+			Cost:    rs.Request.Cost,
+			Latency: rs.Request.Latency,
+			K:       rs.Request.K,
+			Sub:     rs.Seq,
+		})
+	}
+	removed, err := t.wal.Checkpoint(cp)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	t.sinceCkpt = 0
+	t.met.checkpoints.Add(1)
+	return CheckpointInfo{
+		LastSeq:         t.wal.LastSeq(),
+		Requests:        len(cp.Requests),
+		RemovedSegments: removed,
+	}, nil
 }
 
 // do routes one mutation through the event loop. Once the loop accepts an
@@ -261,6 +508,31 @@ func (t *Tenant) SetAvailability(w float64) (uint64, error) {
 	return res.epoch, nil
 }
 
+// CheckpointInfo reports one tenant checkpoint's outcome.
+type CheckpointInfo struct {
+	// LastSeq is the WAL sequence number the checkpoint covers.
+	LastSeq uint64 `json:"last_seq"`
+	// Requests is the number of open requests frozen into the checkpoint.
+	Requests int `json:"requests"`
+	// RemovedSegments counts log segments deleted by the truncation.
+	RemovedSegments int `json:"removed_segments"`
+}
+
+// Checkpoint snapshots the tenant's durable state and truncates its WAL,
+// through the event loop (so the checkpoint is consistent: no mutation is
+// half-applied in it). Fails with ErrNoDurability when the server runs
+// without a data directory.
+func (t *Tenant) Checkpoint() (CheckpointInfo, error) {
+	res := t.do(op{kind: opCheckpoint})
+	if res.err != nil {
+		if !errors.Is(res.err, ErrNoDurability) {
+			t.met.errors.Add(1)
+		}
+		return CheckpointInfo{}, res.err
+	}
+	return res.ckpt, nil
+}
+
 // Snapshot returns the latest published plan snapshot — a lock-free read.
 func (t *Tenant) Snapshot() *stream.Snapshot {
 	t.met.planReads.Add(1)
@@ -294,9 +566,13 @@ func (t *Tenant) Alternative(id string) (adpar.Solution, stream.RequestState, er
 	return sol, rs, nil
 }
 
-// close stops the event loop. Pending ops that the loop never accepted
-// (and callers racing the shutdown) get ErrTenantClosed.
+// close stops the event loop, then flushes and closes the WAL. Pending
+// ops that the loop never accepted (and callers racing the shutdown) get
+// ErrTenantClosed.
 func (t *Tenant) close() {
 	close(t.quit)
 	<-t.done
+	if t.wal != nil {
+		t.wal.Close()
+	}
 }

@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"stratrec/internal/batch"
+	"stratrec/internal/synth"
+	"stratrec/internal/workforce"
+)
+
+// BenchmarkRevokeStorm measures the revoke path under churn: a large open
+// pool drained in random order. Before the ID→position order index this
+// was a linear scan + slice splice per revoke (quadratic over the storm);
+// with tombstones + amortized compaction each revoke's pool bookkeeping is
+// O(1) amortized, leaving the replan itself as the dominant cost.
+func BenchmarkRevokeStorm(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		b.Run(fmt.Sprintf("pool=%d", n), func(b *testing.B) {
+			gen := synth.DefaultConfig(synth.Uniform)
+			rng := rand.New(rand.NewSource(7))
+			set := gen.Strategies(rng, 32)
+			models := gen.Models(rng, set)
+			reqs := gen.Requests(rng, n, 3)
+			perm := rand.New(rand.NewSource(11)).Perm(n)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m, err := NewManager(set, models, workforce.MaxCase, batch.Throughput, 0.7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range reqs {
+					reqs[j].ID = fmt.Sprintf("d%d", j)
+					if _, err := m.Submit(reqs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				for _, j := range perm {
+					if err := m.Revoke(fmt.Sprintf("d%d", j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRevokeOnly isolates the pool bookkeeping from the replan: the
+// manager uses a one-strategy catalog so replanning is trivially cheap and
+// the order-index cost dominates.
+func BenchmarkRevokeOnly(b *testing.B) {
+	const n = 5000
+	gen := synth.DefaultConfig(synth.Uniform)
+	rng := rand.New(rand.NewSource(7))
+	set := gen.Strategies(rng, 1)
+	models := gen.Models(rng, set)
+	reqs := gen.Requests(rng, n, 1)
+	perm := rand.New(rand.NewSource(11)).Perm(n)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := NewManager(set, models, workforce.MaxCase, batch.Throughput, 0.7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range reqs {
+			reqs[j].ID = fmt.Sprintf("d%d", j)
+			if _, err := m.Submit(reqs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		for _, j := range perm {
+			if err := m.Revoke(fmt.Sprintf("d%d", j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"stratrec/internal/batch"
+	"stratrec/internal/linmodel"
+	"stratrec/internal/strategy"
+	"stratrec/internal/workforce"
+)
+
+// qualityRow builds one FullModels row over a single-strategy catalog
+// whose requirement is exactly (quality threshold - beta): the quality
+// model is w + beta with cost/latency unconstrained, so the row's beta
+// fingerprints which row a requirement was computed from.
+func qualityRow(beta float64) []linmodel.ParamModels {
+	return []linmodel.ParamModels{{
+		Quality: linmodel.Model{Alpha: 1, Beta: beta},
+		Cost:    linmodel.Model{Alpha: 0, Beta: 0},
+		Latency: linmodel.Model{Alpha: 0, Beta: 0},
+	}}
+}
+
+func oneStrategySet() strategy.Set {
+	return strategy.Set{{ID: 0, Name: "s1", Params: strategy.Params{Quality: 0.9, Cost: 0.1, Latency: 0.1}}}
+}
+
+// TestSubmitRevokeSubmitFullModels is the regression test for the
+// submission-index bug: Submit used to pass len(order) — the pool
+// position, which is reused after any revoke — as reqIdx to the
+// ModelProvider, so a FullModels provider aliased model rows between
+// distinct live requests and a resubmitted ID could silently change
+// requirement. With the monotonic submission counter, every admission
+// consumes a fresh row, and a submit→revoke→submit cycle whose rows match
+// yields bit-identical requirements.
+func TestSubmitRevokeSubmitFullModels(t *testing.T) {
+	set := oneStrategySet()
+	fm := workforce.FullModels{
+		qualityRow(0),     // seq 0: first admission of "a"
+		qualityRow(-0.1),  // seq 1: "b"
+		qualityRow(0),     // seq 2: re-admission of "a", same models as seq 0
+		qualityRow(-0.25), // seq 3: "c"
+	}
+	m, err := NewManager(set, fm, workforce.MaxCase, batch.Throughput, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := strategy.Request{Params: strategy.Params{Quality: 0.5, Cost: 0.9, Latency: 0.9}, K: 1}
+
+	submit := func(id string) {
+		t.Helper()
+		d.ID = id
+		if _, err := m.Submit(d); err != nil {
+			t.Fatalf("submit %s: %v", id, err)
+		}
+	}
+	wf := func(id string) float64 {
+		t.Helper()
+		rs, ok := m.Snapshot().Request(id)
+		if !ok {
+			t.Fatalf("request %s not in snapshot", id)
+		}
+		return rs.Workforce
+	}
+
+	submit("a")
+	original := wf("a")
+	if original != 0.5 {
+		t.Fatalf("first admission of a: workforce %v, want 0.5 (row 0)", original)
+	}
+	submit("b")
+	if got := wf("b"); got != 0.6 {
+		t.Fatalf("b: workforce %v, want 0.6 (row 1)", got)
+	}
+	if err := m.Revoke("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The buggy len(order) index would be 1 here — b's row — giving the
+	// re-admitted "a" workforce 0.6 (aliased with the live "b") instead of
+	// its own row 2.
+	submit("a")
+	if got := wf("a"); got != original {
+		t.Fatalf("re-admitted a: workforce %v, want bit-identical %v (row 2 == row 0)", got, original)
+	}
+	if got := wf("b"); got != 0.6 {
+		t.Fatalf("b aliased after a's resubmission: workforce %v, want 0.6", got)
+	}
+
+	// A further fresh submission consumes row 3, not any live request's row.
+	submit("c")
+	if got := wf("c"); got != 0.75 {
+		t.Fatalf("c: workforce %v, want 0.75 (row 3)", got)
+	}
+	snap := m.Snapshot()
+	if rs, _ := snap.Request("a"); rs.Seq != 2 {
+		t.Fatalf("re-admitted a: seq %d, want 2", rs.Seq)
+	}
+	if rs, _ := snap.Request("c"); rs.Seq != 3 {
+		t.Fatalf("c: seq %d, want 3", rs.Seq)
+	}
+}
+
+// TestResubmitRestoresSeq pins the recovery contract: Resubmit re-admits
+// under the original submission number (same FullModels row, bit-identical
+// requirement) and advances the counter past it.
+func TestResubmitRestoresSeq(t *testing.T) {
+	set := oneStrategySet()
+	fm := workforce.FullModels{qualityRow(0), qualityRow(-0.1), qualityRow(-0.2), qualityRow(-0.3)}
+	m, err := NewManager(set, fm, workforce.MaxCase, batch.Throughput, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := strategy.Request{ID: "a", Params: strategy.Params{Quality: 0.5, Cost: 0.9, Latency: 0.9}, K: 1}
+	if _, err := m.Resubmit(d, 2); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := m.Snapshot().Request("a")
+	if rs.Seq != 2 || rs.Workforce != 0.7 {
+		t.Fatalf("resubmit at seq 2: seq %d workforce %v, want 2 / 0.7 (row 2)", rs.Seq, rs.Workforce)
+	}
+	if got := m.SubmissionCounter(); got != 3 {
+		t.Fatalf("submission counter after Resubmit(2): %d, want 3", got)
+	}
+	d.ID = "b"
+	if _, err := m.Submit(d); err != nil {
+		t.Fatal(err)
+	}
+	if rs, _ := m.Snapshot().Request("b"); rs.Seq != 3 || rs.Workforce != 0.8 {
+		t.Fatalf("fresh submit after Resubmit: seq %d workforce %v, want 3 / 0.8 (row 3)", rs.Seq, rs.Workforce)
+	}
+
+	m.RestoreCounters(41, 10)
+	if m.Epoch() != 41 || m.SubmissionCounter() != 10 {
+		t.Fatalf("RestoreCounters: epoch %d counter %d, want 41 / 10", m.Epoch(), m.SubmissionCounter())
+	}
+	// RestoreCounters never rolls the submission counter back.
+	m.RestoreCounters(41, 4)
+	if m.SubmissionCounter() != 10 {
+		t.Fatalf("RestoreCounters rolled the counter back to %d", m.SubmissionCounter())
+	}
+}
+
+// TestRevokeStormOrderIndex drives a deterministic submit/revoke storm
+// hard enough to force several order-slice compactions and asserts the
+// manager's observable invariants after every event: admission order is
+// preserved exactly, serving+displaced = open, the position index stays
+// consistent, and epochs never move backwards.
+func TestRevokeStormOrderIndex(t *testing.T) {
+	set := oneStrategySet()
+	m, err := NewManager(set, workforce.PerStrategyModels{qualityRow(0)[0]}, workforce.MaxCase, batch.Throughput, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var want []string // expected admission order of open requests
+	lastEpoch := uint64(0)
+	next := 0
+
+	check := func() {
+		t.Helper()
+		snap := m.Snapshot()
+		gotOrder := make([]string, 0, len(snap.Requests))
+		for _, rs := range snap.Requests {
+			gotOrder = append(gotOrder, rs.ID)
+		}
+		if !slices.Equal(gotOrder, want) {
+			t.Fatalf("admission order diverged:\n got %v\nwant %v", gotOrder, want)
+		}
+		if snap.Epoch < lastEpoch {
+			t.Fatalf("epoch moved backwards: %d -> %d", lastEpoch, snap.Epoch)
+		}
+		lastEpoch = snap.Epoch
+		if got := len(snap.Plan.Serving) + len(snap.Plan.Displaced); got != len(want) {
+			t.Fatalf("serving(%d)+displaced(%d) != open(%d)", len(snap.Plan.Serving), len(snap.Plan.Displaced), len(want))
+		}
+		if m.Open() != len(want) {
+			t.Fatalf("Open() = %d, want %d", m.Open(), len(want))
+		}
+	}
+
+	for i := 0; i < 3000; i++ {
+		if len(want) > 0 && (rng.Float64() < 0.55 || len(want) > 60) {
+			victim := rng.Intn(len(want))
+			id := want[victim]
+			want = append(want[:victim], want[victim+1:]...)
+			if err := m.Revoke(id); err != nil {
+				t.Fatalf("revoke %s: %v", id, err)
+			}
+		} else {
+			id := fmt.Sprintf("d%04d", next)
+			next++
+			d := strategy.Request{ID: id, Params: strategy.Params{Quality: 0.3 + 0.4*rng.Float64(), Cost: 0.9, Latency: 0.9}, K: 1}
+			if _, err := m.Submit(d); err != nil {
+				t.Fatalf("submit %s: %v", id, err)
+			}
+			want = append(want, id)
+		}
+		check()
+	}
+
+	// Drain completely: the pool, the index, and the tombstoned order
+	// slice must all agree on emptiness.
+	for len(want) > 0 {
+		id := want[0]
+		want = want[1:]
+		if err := m.Revoke(id); err != nil {
+			t.Fatalf("drain revoke %s: %v", id, err)
+		}
+		check()
+	}
+	if err := m.Revoke("d0000"); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("revoking from an empty pool: %v, want ErrUnknownID", err)
+	}
+}

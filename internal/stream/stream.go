@@ -52,6 +52,13 @@ type Entry struct {
 	ID      string
 	Request strategy.Request
 	Req     workforce.Requirement
+	// Seq is the manager's monotonic submission counter value assigned at
+	// admission — the reqIdx handed to the workforce.ModelProvider. It is
+	// unique across the manager's lifetime (never reused after a
+	// revocation, unlike a pool position) and preserved across crash
+	// recovery, so a provider with per-request rows never aliases two
+	// distinct live requests.
+	Seq uint64
 	// Serving reports whether the current plan serves this request.
 	Serving bool
 }
@@ -69,8 +76,21 @@ type Manager struct {
 
 	w       float64
 	entries map[string]*Entry
-	order   []string // admission order, for deterministic iteration
+	// order is the admission order, for deterministic iteration. Revoked
+	// slots become "" tombstones (compacted once they dominate) so a
+	// revoke never splices the slice; pos maps an open ID to its slot.
+	order   []string
+	pos     map[string]int
+	dead    int    // tombstone count in order
+	nextSeq uint64 // monotonic submission counter (Entry.Seq source)
 	epoch   uint64
+
+	// sorted holds the live IDs in lexicographic order, maintained
+	// incrementally on submit/revoke so replan does not re-sort the whole
+	// pool on every event; items is replan's reusable scratch (BatchStrat
+	// copies what it keeps).
+	sorted []string
+	items  []batch.Item
 }
 
 // ErrEmptyID rejects a submission without a request ID.
@@ -109,11 +129,30 @@ func NewManager(set strategy.Set, models workforce.ModelProvider, mode workforce
 		objective:  objective,
 		w:          initialW,
 		entries:    map[string]*Entry{},
+		pos:        map[string]int{},
 	}, nil
 }
 
 // Epoch increments on every plan change; callers can poll it cheaply.
 func (m *Manager) Epoch() uint64 { return m.epoch }
+
+// SubmissionCounter returns the sequence number the next fresh submission
+// will receive. Checkpoints persist it so that recovery restores the
+// counter even when the highest-numbered submissions have been revoked.
+func (m *Manager) SubmissionCounter() uint64 { return m.nextSeq }
+
+// RestoreCounters force-sets the plan epoch and advances the submission
+// counter to at least nextSub. It exists solely for crash recovery: after
+// the checkpointed pool has been re-admitted (Resubmit), the recovered
+// manager's epoch is aligned with the pre-crash value so that epoch-based
+// observables survive a restart; replaying the WAL tail then advances it
+// exactly as the original run did.
+func (m *Manager) RestoreCounters(epoch, nextSub uint64) {
+	m.epoch = epoch
+	if nextSub > m.nextSeq {
+		m.nextSeq = nextSub
+	}
+}
 
 // Availability returns the current expected workforce W.
 func (m *Manager) Availability() float64 { return m.w }
@@ -130,6 +169,22 @@ func (m *Manager) Open() int { return len(m.entries) }
 // longer open and may be resubmitted freely; the manager keeps no memory
 // of revoked requests.
 func (m *Manager) Submit(d strategy.Request) (bool, error) {
+	return m.admit(d, m.nextSeq)
+}
+
+// Resubmit admits a request under a previously assigned submission
+// sequence number. It exists for crash recovery (internal/wal replay):
+// re-admitting a request with its original Seq reproduces the original
+// workforce requirement bit-for-bit even under a per-request
+// ModelProvider. The manager's submission counter advances past seq, so
+// later fresh submissions never collide with restored ones.
+func (m *Manager) Resubmit(d strategy.Request, seq uint64) (bool, error) {
+	return m.admit(d, seq)
+}
+
+// admit is the shared submission path: validate, compute and cache the
+// requirement under the given submission sequence number, replan.
+func (m *Manager) admit(d strategy.Request, seq uint64) (bool, error) {
 	if d.ID == "" {
 		return false, ErrEmptyID
 	}
@@ -139,30 +194,62 @@ func (m *Manager) Submit(d strategy.Request) (bool, error) {
 	if _, exists := m.entries[d.ID]; exists {
 		return false, fmt.Errorf("%w: %s", ErrDuplicateID, d.ID)
 	}
-	idx := len(m.order)
-	req := workforce.RequirementFor(d, idx, m.strategies, m.models, m.mode)
-	entry := &Entry{ID: d.ID, Request: d, Req: req}
+	// The submission counter — not the pool position — is the reqIdx of
+	// the ModelProvider contract: pool positions are reused after revokes,
+	// which would alias per-request model rows between distinct live
+	// requests (and could index out of a FullModels matrix).
+	req := workforce.RequirementFor(d, int(seq), m.strategies, m.models, m.mode)
+	entry := &Entry{ID: d.ID, Request: d, Req: req, Seq: seq}
 	m.entries[d.ID] = entry
+	m.pos[d.ID] = len(m.order)
 	m.order = append(m.order, d.ID)
+	i := sort.SearchStrings(m.sorted, d.ID)
+	m.sorted = append(m.sorted, "")
+	copy(m.sorted[i+1:], m.sorted[i:])
+	m.sorted[i] = d.ID
+	if seq >= m.nextSeq {
+		m.nextSeq = seq + 1
+	}
 	m.replan()
 	return entry.Serving, nil
 }
 
 // Revoke withdraws an open request and replans; freed workforce may admit
-// previously displaced requests.
+// previously displaced requests. The pool bookkeeping is O(1) amortized:
+// the request's admission slot (found through the ID→position index)
+// becomes a tombstone, and the order slice compacts only once tombstones
+// outnumber live slots.
 func (m *Manager) Revoke(id string) error {
-	if _, ok := m.entries[id]; !ok {
+	i, ok := m.pos[id]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownID, id)
 	}
 	delete(m.entries, id)
-	for i, oid := range m.order {
-		if oid == id {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
-		}
+	delete(m.pos, id)
+	m.order[i] = ""
+	m.dead++
+	j := sort.SearchStrings(m.sorted, id)
+	m.sorted = append(m.sorted[:j], m.sorted[j+1:]...)
+	if m.dead > 32 && m.dead*2 > len(m.order) {
+		m.compact()
 	}
 	m.replan()
 	return nil
+}
+
+// compact rebuilds the order slice without tombstones, preserving
+// admission order, and refreshes the position index.
+func (m *Manager) compact() {
+	live := m.order[:0]
+	for _, id := range m.order {
+		if id == "" {
+			continue
+		}
+		m.pos[id] = len(live)
+		live = append(live, id)
+	}
+	m.order = live
+	m.dead = 0
 }
 
 // SetAvailability moves the expected workforce and replans. Values outside
@@ -193,6 +280,9 @@ type Plan struct {
 func (m *Manager) Plan() Plan {
 	var p Plan
 	for _, id := range m.order {
+		if id == "" {
+			continue
+		}
 		e := m.entries[id]
 		if e.Serving {
 			p.Serving = append(p.Serving, id)
@@ -209,6 +299,10 @@ func (m *Manager) Plan() Plan {
 type RequestState struct {
 	ID      string
 	Request strategy.Request
+	// Seq is the request's submission sequence number (Entry.Seq):
+	// checkpoints persist it so recovery can re-admit the request under
+	// its original model row.
+	Seq uint64
 	// Serving reports whether the snapshot's plan serves the request.
 	Serving bool
 	// Feasible reports whether the request can be served at any
@@ -263,10 +357,14 @@ func (m *Manager) Snapshot() *Snapshot {
 		byID:         make(map[string]int, len(m.order)),
 	}
 	for _, id := range m.order {
+		if id == "" {
+			continue
+		}
 		e := m.entries[id]
 		rs := RequestState{
 			ID:        id,
 			Request:   e.Request,
+			Seq:       e.Seq,
 			Serving:   e.Serving,
 			Feasible:  e.Req.Feasible(),
 			Workforce: e.Req.Workforce,
@@ -354,27 +452,27 @@ func (m *Manager) value(e *Entry) float64 {
 	return 1
 }
 
-// replan recomputes the serving set with BatchStrat over all open requests.
+// replan recomputes the serving set with BatchStrat over all open
+// requests. Item order is the incrementally maintained lexicographic ID
+// order — stable and independent of admission history, exactly as if the
+// pool were re-sorted per event, without the per-event sort.
 func (m *Manager) replan() {
-	ids := make([]string, len(m.order))
-	copy(ids, m.order)
-	sort.Strings(ids) // stable item order independent of admission history
-
-	var items []batch.Item
+	ids := m.sorted
+	m.items = m.items[:0]
 	for i, id := range ids {
 		e := m.entries[id]
 		if !e.Req.Feasible() {
 			e.Serving = false
 			continue
 		}
-		items = append(items, batch.Item{
+		m.items = append(m.items, batch.Item{
 			Index:      i,
 			Value:      m.value(e),
 			Workforce:  e.Req.Workforce,
 			Strategies: e.Req.Strategies,
 		})
 	}
-	res := batch.BatchStrat(items, m.w)
+	res := batch.BatchStrat(m.items, m.w)
 	changed := false
 	for i, id := range ids {
 		e := m.entries[id]

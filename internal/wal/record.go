@@ -1,0 +1,176 @@
+// Package wal is the durability subsystem behind stratrec serve: a
+// per-tenant append-only write-ahead log of stream events plus periodic
+// snapshot checkpoints, so a tenant's open requests, availability, plan
+// epoch and submission counter survive a crash or restart.
+//
+// # On-disk layout
+//
+// One directory per tenant:
+//
+//	<data-dir>/<tenant>/
+//	    wal-00000000000000000001.log    log segment (first seq it holds)
+//	    wal-00000000000000000421.log    current segment, open for append
+//	    checkpoint-00000000000000000420.ckpt
+//
+// A log segment is a sequence of framed records, one per line:
+//
+//	<crc32c hex, 8 chars> <space> <JSON payload> <newline>
+//
+// The CRC covers exactly the JSON payload bytes, so any torn or corrupted
+// line is detected before it is trusted. Payloads are versioned
+// (Record.V) and carry a log-wide monotonically increasing sequence
+// number assigned at append time; recovery rejects gaps and regressions,
+// and tolerates exactly one torn record at the very tail of the last
+// segment (the unacknowledged write a crash can leave behind), which is
+// truncated away before the log reopens for append.
+//
+// A checkpoint file is a single framed line whose payload is a Checkpoint:
+// the full tenant state (open requests in admission order with their
+// submission sequence numbers, availability, plan epoch, submission
+// counter) as of WAL sequence number Seq. Writing a checkpoint rotates the
+// log onto a fresh segment and deletes every segment and checkpoint made
+// obsolete by it, which is how the log is truncated.
+//
+// # Fault model
+//
+// Append durability is governed by Options.SyncEvery: with the default of
+// 1 every record is fsynced before Append returns, so an acknowledged
+// mutation is never lost; larger batches trade the tail of the batch for
+// throughput. Checkpoint writes go through a temp file, fsync, and
+// atomic rename, and segment deletion happens only after the checkpoint
+// is durable — a crash at any point leaves either the old
+// checkpoint+segments or the new ones, never neither.
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// FormatVersion is the record/checkpoint payload version. Decoders reject
+// other versions loudly instead of guessing.
+const FormatVersion = 1
+
+// Record kinds mirror the three mutations of a stream.Manager.
+const (
+	KindSubmit       = "submit"
+	KindRevoke       = "revoke"
+	KindAvailability = "availability"
+)
+
+// Record is one logged mutation. Only successful mutations are logged —
+// rejected ones (validation errors, duplicate IDs, unknown IDs) never
+// change state, so replaying the log can never hit an expected error.
+type Record struct {
+	// V is the payload format version (FormatVersion).
+	V int `json:"v"`
+	// Seq is the log-wide monotonic sequence number, assigned by Append.
+	Seq uint64 `json:"seq"`
+	// Kind is KindSubmit, KindRevoke or KindAvailability.
+	Kind string `json:"kind"`
+	// ID is the affected request (submit, revoke).
+	ID string `json:"id,omitempty"`
+	// Quality, Cost, Latency, K describe the submitted request.
+	Quality float64 `json:"quality,omitempty"`
+	Cost    float64 `json:"cost,omitempty"`
+	Latency float64 `json:"latency,omitempty"`
+	K       int     `json:"k,omitempty"`
+	// Sub is the manager's submission sequence number assigned to a
+	// submit — the reqIdx of the workforce.ModelProvider contract —
+	// persisted so recovery re-admits the request under its original
+	// model row.
+	Sub uint64 `json:"sub,omitempty"`
+	// W is the new expected workforce (availability).
+	W float64 `json:"w,omitempty"`
+	// Epoch is the plan epoch after the mutation was applied. Recovery
+	// replays the record and verifies it reaches exactly this epoch,
+	// turning the epoch trail into an end-to-end integrity check of the
+	// replayed state.
+	Epoch uint64 `json:"epoch"`
+}
+
+// Decode errors. ErrTorn marks frames that end mid-record (the one fault
+// a crash legitimately produces); the others mark corruption.
+var (
+	ErrTorn    = errors.New("wal: torn record")
+	ErrCRC     = errors.New("wal: CRC mismatch")
+	ErrVersion = errors.New("wal: unsupported record version")
+	ErrKind    = errors.New("wal: unknown record kind")
+)
+
+// castagnoli is the CRC32-C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameOverhead is the framed-line size beyond the payload: 8 hex CRC
+// chars, one space, one newline.
+const frameOverhead = 10
+
+// appendFrame appends the framed encoding of payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = fmt.Appendf(dst, "%08x ", crc32.Checksum(payload, castagnoli))
+	dst = append(dst, payload...)
+	return append(dst, '\n')
+}
+
+// EncodeRecord renders one framed log line for the record.
+func EncodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return appendFrame(make([]byte, 0, len(payload)+frameOverhead), payload), nil
+}
+
+// decodeFrame verifies one framed line (without its trailing newline) and
+// returns the JSON payload. The caller decides what the payload is.
+func decodeFrame(line []byte) ([]byte, error) {
+	if len(line) < frameOverhead-1 { // shorter than CRC + space + "{}" can't be whole
+		return nil, fmt.Errorf("%w: %d-byte frame", ErrTorn, len(line))
+	}
+	if line[8] != ' ' {
+		return nil, fmt.Errorf("%w: malformed frame header", ErrCRC)
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, fmt.Errorf("%w: unparsable CRC: %v", ErrCRC, err)
+	}
+	payload := line[9:]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: want %08x, got %08x", ErrCRC, want, got)
+	}
+	return payload, nil
+}
+
+// DecodeRecord parses and verifies one framed log line (with or without
+// its trailing newline). It is the single entry point recovery uses per
+// line, and the surface FuzzWALDecode hammers: any input must either
+// yield a valid record or a typed error, never a panic or a silently
+// wrong record.
+func DecodeRecord(line []byte) (Record, error) {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	payload, err := decodeFrame(line)
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		// The CRC matched, so this is not corruption in transit but a
+		// frame written by something else entirely.
+		return Record{}, fmt.Errorf("%w: CRC-valid frame with bad payload: %v", ErrKind, err)
+	}
+	if rec.V != FormatVersion {
+		return Record{}, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, rec.V, FormatVersion)
+	}
+	switch rec.Kind {
+	case KindSubmit, KindRevoke, KindAvailability:
+	default:
+		return Record{}, fmt.Errorf("%w: %q", ErrKind, rec.Kind)
+	}
+	return rec, nil
+}

@@ -1,0 +1,480 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func submitRec(id string, sub uint64, epoch uint64) Record {
+	return Record{Kind: KindSubmit, ID: id, Quality: 0.4, Cost: 0.3, Latency: 0.2, K: 3, Sub: sub, Epoch: epoch}
+}
+
+func appendN(t *testing.T, l *Log, n int, from uint64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		seq, err := l.Append(submitRec(fmt.Sprintf("d%d", from+uint64(i)), from+uint64(i), from+uint64(i)))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != from+uint64(i)+1 {
+			t.Fatalf("append assigned seq %d, want %d", seq, from+uint64(i)+1)
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		submitRec("a", 0, 1),
+		{Kind: KindRevoke, ID: "a", Epoch: 2},
+		{Kind: KindAvailability, W: 0.35, Epoch: 3},
+	}
+	for _, rec := range recs {
+		rec.V = FormatVersion
+		rec.Seq = 7
+		line, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRecord(line)
+		if err != nil {
+			t.Fatalf("decode %q: %v", line, err)
+		}
+		if got != rec {
+			t.Fatalf("round trip: got %+v, want %+v", got, rec)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	line, err := EncodeRecord(Record{V: FormatVersion, Seq: 1, Kind: KindSubmit, ID: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrTorn},
+		{"short", []byte("00aa"), ErrTorn},
+		{"flipped payload bit", append([]byte{}, flip(line, 12)...), ErrCRC},
+		{"flipped crc bit", append([]byte{}, flip(line, 0)...), ErrCRC},
+		{"no space", []byte(strings.Replace(string(line), " ", "_", 1)), ErrCRC},
+		{"crc-valid garbage", frame([]byte("not json")), ErrKind},
+		{"wrong version", frame([]byte(`{"v":99,"seq":1,"kind":"submit","epoch":0}`)), ErrVersion},
+		{"unknown kind", frame([]byte(`{"v":1,"seq":1,"kind":"explode","epoch":0}`)), ErrKind},
+		{"unknown field", frame([]byte(`{"v":1,"seq":1,"kind":"submit","zzz":4,"epoch":0}`)), ErrKind},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRecord(tc.in); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func flip(line []byte, i int) []byte {
+	out := append([]byte{}, line...)
+	// Flip within the hex/json alphabet so framing still parses.
+	if out[i] == '0' {
+		out[i] = '1'
+	} else {
+		out[i] = '0'
+	}
+	return out
+}
+
+func frame(payload []byte) []byte { return appendFrame(nil, payload) }
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LastSeq != 0 || rec.Checkpoint != nil || len(rec.Tail) != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	appendN(t, l, 5, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastSeq != 5 || len(got.Tail) != 5 || got.TornBytes != 0 {
+		t.Fatalf("scan: %+v", got)
+	}
+	for i, r := range got.Tail {
+		if r.Seq != uint64(i+1) || r.ID != fmt.Sprintf("d%d", i) {
+			t.Fatalf("tail[%d] = %+v", i, r)
+		}
+	}
+
+	// Reopen and keep appending: sequence continues.
+	l, rec, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LastSeq != 5 {
+		t.Fatalf("reopen LastSeq = %d", rec.LastSeq)
+	}
+	appendN(t, l, 3, 5)
+	if l.LastSeq() != 8 {
+		t.Fatalf("LastSeq after continued appends = %d", l.LastSeq())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10, 0)
+	removed, err := l.Checkpoint(Checkpoint{
+		Epoch:        4,
+		Availability: 0.6,
+		NextSub:      10,
+		Requests:     []CheckpointRequest{{ID: "d9", Quality: 0.4, Cost: 0.3, Latency: 0.2, K: 3, Sub: 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("checkpoint removed %d segments, want 1", removed)
+	}
+	appendN(t, l, 2, 10) // tail after the checkpoint
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checkpoint == nil || got.Checkpoint.Seq != 10 || got.Checkpoint.Epoch != 4 || got.Checkpoint.NextSub != 10 {
+		t.Fatalf("checkpoint: %+v", got.Checkpoint)
+	}
+	if len(got.Checkpoint.Requests) != 1 || got.Checkpoint.Requests[0].Sub != 9 {
+		t.Fatalf("checkpoint requests: %+v", got.Checkpoint.Requests)
+	}
+	if len(got.Tail) != 2 || got.Tail[0].Seq != 11 || got.LastSeq != 12 {
+		t.Fatalf("tail after checkpoint: %+v", got)
+	}
+
+	// The pre-checkpoint segment is gone; only the post-rotation one left.
+	segs, ckpts, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != 11 || len(ckpts) != 1 || ckpts[0] != 10 {
+		t.Fatalf("dir after checkpoint: segments %v checkpoints %v", segs, ckpts)
+	}
+}
+
+// TestCheckpointIdleLog: checkpointing a log with no appends since the
+// last rotation (a fresh/idle tenant, or POST /admin/checkpoint twice in
+// a row) must not try to recreate the current segment. Regression: found
+// by driving /admin/checkpoint against a traffic-less tenant — the
+// rotation hit O_EXCL on its own segment.
+func TestCheckpointIdleLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh log, zero records: checkpoint at seq 0.
+	if _, err := l.Checkpoint(Checkpoint{NextSub: 0}); err != nil {
+		t.Fatalf("checkpoint on fresh log: %v", err)
+	}
+	appendN(t, l, 3, 0)
+	if _, err := l.Checkpoint(Checkpoint{NextSub: 3}); err != nil {
+		t.Fatalf("checkpoint after appends: %v", err)
+	}
+	// Immediately again, no appends in between.
+	if _, err := l.Checkpoint(Checkpoint{NextSub: 3}); err != nil {
+		t.Fatalf("repeated checkpoint: %v", err)
+	}
+	// The log still appends and recovers cleanly after all that.
+	appendN(t, l, 2, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checkpoint == nil || got.Checkpoint.Seq != 3 || len(got.Tail) != 2 || got.LastSeq != 5 {
+		t.Fatalf("scan after idle checkpoints: %+v", got)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 4, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := listDir(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	path := filepath.Join(dir, segmentName(segs[0]))
+
+	// Simulate a torn append: garbage partial record at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := `deadbeef {"v":1,"seq":5,"kind":"sub`
+	if _, err := f.WriteString(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastSeq != 4 || got.TornBytes != len(torn) {
+		t.Fatalf("scan with torn tail: %+v", got)
+	}
+
+	// Open truncates the torn bytes and appends cleanly after them.
+	l, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LastSeq != 4 || rec.TornBytes != len(torn) {
+		t.Fatalf("open with torn tail: %+v", rec)
+	}
+	appendN(t, l, 1, 4)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastSeq != 5 || got.TornBytes != 0 || len(got.Tail) != 5 {
+		t.Fatalf("scan after repair: %+v", got)
+	}
+}
+
+func TestMissingTrailingNewlineKept(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, _ := listDir(dir)
+	path := filepath.Join(dir, segmentName(segs[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop only the final newline: the record itself is CRC-complete and
+	// must survive recovery.
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LastSeq != 3 || len(rec.Tail) != 3 {
+		t.Fatalf("newline-less tail: %+v", rec)
+	}
+	appendN(t, l, 1, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastSeq != 4 || len(got.Tail) != 4 {
+		t.Fatalf("after newline repair: %+v", got)
+	}
+}
+
+func TestCorruptionMidLogRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 0)
+	if _, err := l.Checkpoint(Checkpoint{NextSub: 3}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a record in the middle of the (single remaining) segment by
+	// flipping one payload byte of the first line.
+	segs, _, _ := listDir(dir)
+	path := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[12] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The corrupt record is NOT the tail: two intact (acknowledged)
+	// records follow it. That is disk corruption, not a crash artifact,
+	// and recovery must refuse rather than silently drop acked records.
+	if _, err := Scan(dir); err == nil || !errors.Is(err, ErrCRC) {
+		t.Fatalf("mid-log corruption scanned without CRC error: %v", err)
+	}
+}
+
+func TestSequenceGapRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, _ := listDir(dir)
+	path := filepath.Join(dir, segmentName(segs[0]))
+
+	// Hand-append a CRC-valid record with a gapped sequence number,
+	// followed by another valid record so the gap is not a tail fault.
+	var extra []byte
+	for _, seq := range []uint64{9, 10} {
+		line, err := EncodeRecord(Record{V: FormatVersion, Seq: seq, Kind: KindRevoke, ID: "x", Epoch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// EncodeRecord assigns nothing; frame manually to keep seq 9.
+		extra = append(extra, line...)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(extra); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := Scan(dir); !errors.Is(err, ErrSequence) {
+		t.Fatalf("gapped log scanned without error: %v", err)
+	}
+}
+
+func TestSyncBatching(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10, 0)
+	// 10 appends at batch 4 → syncs after records 4 and 8 only.
+	if got := l.Syncs(); got != 2 {
+		t.Fatalf("syncs = %d, want 2", got)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Syncs(); got != 3 {
+		t.Fatalf("syncs after explicit Sync = %d, want 3", got)
+	}
+	if err := l.Sync(); err != nil { // nothing pending: no extra fsync
+		t.Fatal(err)
+	}
+	if got := l.Syncs(); got != 3 {
+		t.Fatalf("idle Sync fsynced anyway: %d", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastSeq != 10 {
+		t.Fatalf("batched log lost records: %+v", got)
+	}
+}
+
+// TestOpenExclusiveLock: two live appenders on one directory would
+// truncate and interleave each other's log; the second Open must fail
+// with ErrLocked, and the lock must die with the holder (Close).
+func TestOpenExclusiveLock(t *testing.T) {
+	dir := t.TempDir()
+	l1, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open on a live dir: %v, want ErrLocked", err)
+	}
+	// Scan stays read-only and lock-free.
+	if _, err := Scan(dir); err != nil {
+		t.Fatalf("scan under lock: %v", err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestCheckpointFallbackOnCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2, 0)
+	if _, err := l.Checkpoint(Checkpoint{NextSub: 2, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a corrupt "newer" checkpoint; recovery must fall back to the
+	// valid one and still replay the tail after it.
+	if err := os.WriteFile(filepath.Join(dir, checkpointName(99)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checkpoint == nil || got.Checkpoint.Seq != 2 || len(got.Tail) != 2 || got.LastSeq != 4 {
+		t.Fatalf("fallback scan: %+v", got)
+	}
+}

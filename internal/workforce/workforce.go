@@ -15,8 +15,24 @@ import (
 )
 
 // ModelProvider supplies the linear models of one (request, strategy)
-// combination. Indices refer to positions in the request slice and strategy
-// set handed to Compute.
+// combination.
+//
+// The contract on reqIdx: stratIdx always refers to a position in the
+// strategy set, but what reqIdx identifies depends on the caller.
+//
+//   - Batch callers (Compute, RequirementFor over a fixed request slice)
+//     pass the request's position in that slice.
+//   - Streaming callers (stream.Manager) pass the request's monotonic
+//     submission sequence number: unique across the manager's lifetime,
+//     never reused after a revocation, and preserved across crash
+//     recovery. A provider with per-request rows (FullModels) must
+//     therefore be provisioned for the total number of submissions, not
+//     the size of the live pool — in exchange, two distinct live requests
+//     can never observe the same row, and a request re-admitted during
+//     recovery sees exactly the row of its original admission.
+//
+// Providers that ignore reqIdx (PerStrategyModels, the common case) are
+// unaffected by the distinction.
 type ModelProvider interface {
 	Models(reqIdx, stratIdx int) linmodel.ParamModels
 }
@@ -29,7 +45,10 @@ type PerStrategyModels []linmodel.ParamModels
 // Models returns the models of strategy stratIdx regardless of the request.
 func (p PerStrategyModels) Models(_, stratIdx int) linmodel.ParamModels { return p[stratIdx] }
 
-// FullModels is a complete per-(request, strategy) model matrix.
+// FullModels is a complete per-(request, strategy) model matrix. Rows are
+// indexed by reqIdx, so under a stream.Manager the matrix must have one
+// row per submission (see the ModelProvider contract), not per live
+// request.
 type FullModels [][]linmodel.ParamModels
 
 // Models returns the models at [reqIdx][stratIdx].
