@@ -34,6 +34,7 @@ func runServe(args []string) error {
 		objective   = fs.String("objective", "throughput", "platform goal: throughput or payoff")
 		mode        = fs.String("mode", "max", "workforce aggregation: sum or max")
 		adparPar    = fs.Int("adpar-parallelism", 0, "ADPaR sweep workers: 0 auto (GOMAXPROCS), 1 sequential")
+		coalesce    = fs.Int("coalesce", 0, "max queued mutations a tenant loop applies per replan cycle (0 = default 32, 1 = no coalescing)")
 		demoTenants = fs.Int("demo-tenants", 2, "synthetic tenant count when -tenants is empty")
 		demoSize    = fs.Int("demo-strategies", 64, "strategies per synthetic tenant")
 		seed        = fs.Int64("seed", 2020, "synthetic tenant / selftest workload seed")
@@ -69,6 +70,10 @@ func runServe(args []string) error {
 	cfg.DataDir = *dataDir
 	cfg.WALSyncEvery = *syncEvery
 	cfg.CheckpointEvery = *ckptEvery
+	for name, tc := range cfg.Tenants {
+		tc.Coalesce = *coalesce
+		cfg.Tenants[name] = tc
+	}
 
 	s, err := server.New(cfg)
 	if err != nil {

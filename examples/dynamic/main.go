@@ -88,7 +88,7 @@ func main() {
 	requests := gen.Requests(rng, 12, 3)
 	reqs := make([]workforce.Requirement, len(requests))
 	for i, d := range requests {
-		reqs[i] = workforce.RequirementFor(d, i, catalog, models, workforce.MaxCase)
+		reqs[i] = workforce.RequirementFor(d, uint64(i), catalog, models, workforce.MaxCase)
 	}
 	for _, blend := range []struct {
 		name    string

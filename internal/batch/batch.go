@@ -15,7 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"stratrec/internal/strategy"
 	"stratrec/internal/workforce"
@@ -137,7 +138,10 @@ func BuildItems(requests []strategy.Request, reqs []workforce.Requirement, obj O
 // are 1, so density order is ascending workforce order and the greedy
 // solution is exact; for pay-off the best-of step yields the 1/2 guarantee.
 func BatchStrat(items []Item, W float64) Result {
-	feasible := filterFeasible(items, W)
+	scratch := getScratch(len(items))
+	defer putScratch(scratch)
+	feasible := filterFeasible(*scratch, items, W)
+	*scratch = feasible
 	sortByDensity(feasible)
 
 	greedy := greedyPack(feasible, W)
@@ -161,7 +165,10 @@ func BatchStrat(items []Item, W float64) Result {
 // non-increasing f_i/w_i and add requests until one no longer fits, without
 // the best-of comparison.
 func BaselineG(items []Item, W float64) Result {
-	feasible := filterFeasible(items, W)
+	scratch := getScratch(len(items))
+	defer putScratch(scratch)
+	feasible := filterFeasible(*scratch, items, W)
+	*scratch = feasible
 	sortByDensity(feasible)
 	res := Result{Recommendations: map[int][]int{}}
 	for _, it := range feasible {
@@ -236,31 +243,73 @@ func ApproximationFactor(achieved, optimal float64) float64 {
 	return achieved / optimal
 }
 
-func filterFeasible(items []Item, W float64) []Item {
-	out := make([]Item, 0, len(items))
+// scratchPool recycles the feasibility-filter slices of the fresh solver
+// entry points (BatchStrat, BaselineG, BranchAndBound). The filtered slice
+// never escapes a solver call — Results copy Items by value and reference
+// only the caller-owned Strategies backing arrays — so the per-call
+// allocation that used to dominate replan-heavy event streams is gone.
+var scratchPool = sync.Pool{New: func() any { s := make([]Item, 0, 64); return &s }}
+
+func getScratch(n int) *[]Item {
+	p := scratchPool.Get().(*[]Item)
+	if cap(*p) < n {
+		*p = make([]Item, 0, n)
+	}
+	return p
+}
+
+func putScratch(p *[]Item) {
+	*p = (*p)[:0]
+	scratchPool.Put(p)
+}
+
+// filterFeasible appends the feasible-alone items to dst (a reusable
+// scratch, truncated first) and returns it.
+func filterFeasible(dst, items []Item, W float64) []Item {
+	dst = dst[:0]
 	for _, it := range items {
 		if it.feasibleAlone(W) {
-			out = append(out, it)
+			dst = append(dst, it)
 		}
 	}
-	return out
+	return dst
+}
+
+// compareItems is the density order of Algorithm 1: non-increasing f_i/w_i,
+// ties broken on smaller workforce, then on smaller index. For items with
+// distinct indices (every solver input built by BuildItems/CompositeItems,
+// and every Planner pool) this is a strict total order, which is what lets
+// the incremental Planner keep an ordered pool whose iteration order is
+// identical to a fresh sort.
+func compareItems(a, b Item) int {
+	da, db := density(a), density(b)
+	if da != db {
+		if da > db {
+			return -1
+		}
+		return 1
+	}
+	if a.Workforce != b.Workforce {
+		if a.Workforce < b.Workforce {
+			return -1
+		}
+		return 1
+	}
+	if a.Index != b.Index {
+		if a.Index < b.Index {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // sortByDensity orders by non-increasing f_i/w_i. Zero-workforce items have
 // infinite density and come first; ties break on smaller workforce, then on
-// input order for determinism.
+// input order for determinism. SortStableFunc avoids the interface boxing
+// and closure indirection of sort.SliceStable on this per-replan hot path.
 func sortByDensity(items []Item) {
-	sort.SliceStable(items, func(a, b int) bool {
-		da := density(items[a])
-		db := density(items[b])
-		if da != db {
-			return da > db
-		}
-		if items[a].Workforce != items[b].Workforce {
-			return items[a].Workforce < items[b].Workforce
-		}
-		return items[a].Index < items[b].Index
-	})
+	slices.SortStableFunc(items, compareItems)
 }
 
 func density(it Item) float64 {

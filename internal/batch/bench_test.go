@@ -60,3 +60,93 @@ func BenchmarkBranchAndBound(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkIncrementalReplan is the tentpole measurement: steady-state
+// replanning at a 10k-request open pool under a mixed event stream (one
+// revoke + one submit per event, availability drift every 50th event).
+// "full" is the pre-planner serving path — rebuild the item slice and run
+// BatchStrat from scratch per event; "incremental" is the Planner
+// repairing from the first affected position. Both produce identical
+// plans (TestPlannerMatchesBatchStratRandom); only the work differs.
+func BenchmarkIncrementalReplan(b *testing.B) {
+	const n = 10000
+	rng := rand.New(rand.NewSource(2020))
+	newItem := func(idx int) Item {
+		return Item{Index: idx, Value: 0.625 + 0.375*rng.Float64(), Workforce: rng.Float64() * 0.1}
+	}
+	pool := make([]Item, n)
+	for i := range pool {
+		pool[i] = newItem(i)
+	}
+	// Pre-generate the replacement stream so both modes replay identical
+	// events: event i revokes the oldest live request and admits a fresh
+	// one, holding the pool at n.
+	const events = 4096
+	fresh := make([]Item, events)
+	for i := range fresh {
+		fresh[i] = newItem(n + i)
+	}
+	drift := func(i int) (float64, bool) {
+		switch i % 50 {
+		case 25:
+			return 0.65, true
+		case 26:
+			return 0.7, true
+		}
+		return 0, false
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		p := NewPlanner(0.7)
+		ring := make([]Item, n)
+		copy(ring, pool)
+		for _, it := range ring {
+			if err := p.Insert(it); err != nil {
+				b.Fatal(err)
+			}
+		}
+		p.Changed()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slot := i % n
+			nu := fresh[i%events]
+			nu.Index = n + i // unique for the run's lifetime
+			if !p.Remove(ring[slot].Index) {
+				b.Fatal("lost a live item")
+			}
+			if err := p.Insert(nu); err != nil {
+				b.Fatal(err)
+			}
+			ring[slot] = nu
+			if w, ok := drift(i); ok {
+				p.SetBudget(w)
+			}
+			benchSink += len(p.Changed())
+		}
+	})
+
+	b.Run("full", func(b *testing.B) {
+		ring := make([]Item, n)
+		copy(ring, pool)
+		scratch := make([]Item, n)
+		w := 0.7
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slot := i % n
+			nu := fresh[i%events]
+			nu.Index = n + i
+			ring[slot] = nu
+			if nw, ok := drift(i); ok {
+				w = nw
+			}
+			copy(scratch, ring)
+			res := BatchStrat(scratch, w)
+			benchSink += len(res.Selected)
+		}
+	})
+}
+
+// benchSink defeats dead-code elimination in the replan benchmarks.
+var benchSink int

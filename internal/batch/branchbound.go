@@ -10,7 +10,10 @@ import "sort"
 // in the Figure 15/16 quality experiments at batch sizes where exhaustive
 // enumeration is hopeless.
 func BranchAndBound(items []Item, W float64) Result {
-	feasible := filterFeasible(items, W)
+	scratch := getScratch(len(items))
+	defer putScratch(scratch)
+	feasible := filterFeasible(*scratch, items, W)
+	*scratch = feasible
 	sortByDensity(feasible)
 	n := len(feasible)
 

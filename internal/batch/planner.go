@@ -1,0 +1,372 @@
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Planner maintains BatchStrat's answer incrementally over a mutating item
+// pool: the fully dynamic setting the paper's conclusion poses as an open
+// problem, made tractable by the greedy structure of Algorithm 1. Instead
+// of re-filtering, re-sorting and re-packing the whole pool on every
+// submit/revoke/drift event — O(n log n) per event — the planner keeps the
+// items in density order (the strict total order of compareItems, keyed by
+// (density, workforce, index)) and repairs the greedy prefix-with-skips
+// packing and the best-single answer from the first affected position
+// only.
+//
+// The contract is exact equivalence: after any sequence of
+// Insert/Remove/Update/SetBudget events, Result() is bit-identical —
+// selection order, objective and workforce sums included — to a fresh
+// BatchStrat call over the same items and budget. That holds because the
+// repair resumes from the stored cumulative sums of the untouched prefix,
+// so every float is produced by the same additions in the same order a
+// fresh run would perform.
+//
+// Item indices must be unique across the live pool (they are the planner's
+// identity key); Insert rejects duplicates with ErrDuplicateIndex.
+// Repair work is deferred: mutations cost an ordered-pool edit (binary
+// search + contiguous move), and the O(n - first affected position) greedy
+// walk runs at most once per batch of mutations, when Changed, IsSelected,
+// Result or one of the aggregate accessors is next called. A Planner is
+// not safe for concurrent use.
+type Planner struct {
+	w float64
+
+	items   []Item       // live pool in compareItems order
+	byIndex map[int]Item // identity key -> the stored item
+
+	// Per-position greedy state, aligned with items. cumV/cumW are the
+	// objective and workforce accumulated by the greedy walk after
+	// deciding position q; bestV/bestIdx track the best single feasible
+	// item (strict-max, earliest wins) over positions [0, q].
+	taken   []bool
+	cumV    []float64
+	cumW    []float64
+	bestV   []float64
+	bestIdx []int
+
+	// Current answer (valid when dirty < 0): the greedy selection as a
+	// membership set plus totals, and the best-single candidate.
+	greedySel        map[int]bool
+	greedyV, greedyW float64
+	singleV          float64
+	singleIdx        int // -1 when no feasible item
+
+	// dirty is the first position whose greedy decision may be stale
+	// (-1 when clean). flipped toggles per greedy-membership change since
+	// the last Changed call; lastSingleWins/lastSingleIdx freeze the
+	// winning branch as of that call, so Changed can report the exact
+	// final-selection delta even across greedy/best-single flips.
+	dirty          int
+	flipped        map[int]bool
+	lastSingleWins bool
+	lastSingleIdx  int
+
+	changed []int // reusable Changed() result buffer
+}
+
+// ErrDuplicateIndex rejects inserting an item whose index is already live
+// in the pool.
+var ErrDuplicateIndex = errors.New("batch: duplicate item index")
+
+// NewPlanner builds an empty planner with the given workforce budget W.
+func NewPlanner(w float64) *Planner {
+	return &Planner{
+		w:             w,
+		byIndex:       map[int]Item{},
+		greedySel:     map[int]bool{},
+		singleIdx:     -1,
+		dirty:         -1,
+		flipped:       map[int]bool{},
+		lastSingleIdx: -1,
+	}
+}
+
+// Len returns the number of live items.
+func (p *Planner) Len() int { return len(p.items) }
+
+// Budget returns the current workforce budget W.
+func (p *Planner) Budget() float64 { return p.w }
+
+// markDirty records that greedy decisions from position pos on may be
+// stale.
+func (p *Planner) markDirty(pos int) {
+	if p.dirty < 0 || pos < p.dirty {
+		p.dirty = pos
+	}
+}
+
+// insertAt finds the ordered position of it (its lower bound under
+// compareItems).
+func (p *Planner) insertAt(it Item) int {
+	return sort.Search(len(p.items), func(i int) bool { return compareItems(it, p.items[i]) < 0 })
+}
+
+// position locates a stored item exactly; the strict total order over
+// unique indices makes the lower bound land on it.
+func (p *Planner) position(it Item) int {
+	pos := sort.Search(len(p.items), func(i int) bool { return compareItems(it, p.items[i]) <= 0 })
+	if pos >= len(p.items) || p.items[pos].Index != it.Index {
+		panic(fmt.Sprintf("batch: planner order index lost item %d", it.Index))
+	}
+	return pos
+}
+
+// Insert adds an item to the pool. The repair is deferred; the cost paid
+// here is the ordered-pool edit alone.
+func (p *Planner) Insert(it Item) error {
+	if _, dup := p.byIndex[it.Index]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateIndex, it.Index)
+	}
+	pos := p.insertAt(it)
+	p.items = insertSlice(p.items, pos, it)
+	p.taken = insertSlice(p.taken, pos, false)
+	p.cumV = insertSlice(p.cumV, pos, 0)
+	p.cumW = insertSlice(p.cumW, pos, 0)
+	p.bestV = insertSlice(p.bestV, pos, 0)
+	p.bestIdx = insertSlice(p.bestIdx, pos, -1)
+	p.byIndex[it.Index] = it
+	p.markDirty(pos)
+	return nil
+}
+
+// Remove deletes the item with the given index from the pool, reporting
+// whether it was present.
+func (p *Planner) Remove(index int) bool {
+	it, ok := p.byIndex[index]
+	if !ok {
+		return false
+	}
+	pos := p.position(it)
+	delete(p.byIndex, index)
+	if p.taken[pos] {
+		// The item leaves the greedy selection by leaving the pool; the
+		// toggle keeps Changed's before/after reconstruction exact.
+		p.toggle(index)
+		delete(p.greedySel, index)
+	}
+	p.items = deleteSlice(p.items, pos)
+	p.taken = deleteSlice(p.taken, pos)
+	p.cumV = deleteSlice(p.cumV, pos)
+	p.cumW = deleteSlice(p.cumW, pos)
+	p.bestV = deleteSlice(p.bestV, pos)
+	p.bestIdx = deleteSlice(p.bestIdx, pos)
+	p.markDirty(pos)
+	return true
+}
+
+// Update reweights a live item (same index, new value/workforce/
+// strategies): a remove + insert that dirties from the earlier of the two
+// affected positions.
+func (p *Planner) Update(it Item) error {
+	if !p.Remove(it.Index) {
+		return fmt.Errorf("batch: update of unknown item index %d", it.Index)
+	}
+	return p.Insert(it)
+}
+
+// SetBudget moves the workforce budget W. Feasibility and every greedy
+// decision may change, so the whole pool is marked for repair (still
+// without re-sorting: the density order is independent of W).
+func (p *Planner) SetBudget(w float64) {
+	if w == p.w {
+		return
+	}
+	p.w = w
+	if len(p.items) > 0 {
+		p.markDirty(0)
+	}
+}
+
+func (p *Planner) toggle(index int) {
+	if p.flipped[index] {
+		delete(p.flipped, index)
+	} else {
+		p.flipped[index] = true
+	}
+}
+
+// repair re-walks the greedy packing and best-single scan from the first
+// stale position, resuming from the stored cumulative state of the
+// untouched prefix — the incremental core. Positions before dirty keep
+// decisions and sums bit-identical to a fresh run by induction; positions
+// from dirty on are recomputed exactly as a fresh run would.
+func (p *Planner) repair() {
+	if p.dirty < 0 {
+		return
+	}
+	start := p.dirty
+	p.dirty = -1
+	var cv, cw float64
+	bv, bi := 0.0, -1
+	if start > 0 {
+		cv, cw = p.cumV[start-1], p.cumW[start-1]
+		bv, bi = p.bestV[start-1], p.bestIdx[start-1]
+	}
+	for q := range p.items[start:] {
+		q += start
+		it := p.items[q]
+		// Same arithmetic as greedyPack: skip when the item no longer
+		// fits. An item with Workforce > W (or +Inf) can never fit, so
+		// the single comparison is also the feasibility filter.
+		take := !(cw+it.Workforce > p.w)
+		if take {
+			cv += it.Value
+			cw += it.Workforce
+		}
+		if take != p.taken[q] {
+			p.taken[q] = take
+			if take {
+				p.greedySel[it.Index] = true
+			} else {
+				delete(p.greedySel, it.Index)
+			}
+			p.toggle(it.Index)
+		}
+		p.cumV[q] = cv
+		p.cumW[q] = cw
+		// Best single feasible item, strict-max so the earliest (densest)
+		// of tied values wins — exactly BatchStrat's scan.
+		if it.Workforce <= p.w && !math.IsInf(it.Workforce, 1) && it.Value > bv {
+			bv, bi = it.Value, it.Index
+		}
+		p.bestV[q] = bv
+		p.bestIdx[q] = bi
+	}
+	p.greedyV, p.greedyW = cv, cw
+	p.singleV, p.singleIdx = bv, bi
+}
+
+// singleWins mirrors BatchStrat's final comparison: the best single item
+// beats the greedy packing only strictly.
+func (p *Planner) singleWins() bool { return p.singleV > p.greedyV }
+
+// IsSelected reports whether the item with the given index is in the
+// current plan (the same answer Result().IsSelected would give).
+func (p *Planner) IsSelected(index int) bool {
+	p.repair()
+	if p.singleWins() {
+		return index == p.singleIdx
+	}
+	return p.greedySel[index]
+}
+
+// Changed repairs the plan and returns the indices whose final selection
+// status changed since the previous Changed call (including items that
+// left the pool while selected). The returned slice is reused by the next
+// call. A deferred-replan caller applies a batch of Insert/Remove/
+// SetBudget events and then syncs its own serving state from one Changed
+// sweep.
+func (p *Planner) Changed() []int {
+	p.repair()
+	p.changed = p.changed[:0]
+	preWins, preIdx := p.lastSingleWins, p.lastSingleIdx
+	postWins, postIdx := p.singleWins(), p.singleIdx
+	if !preWins && !postWins {
+		// Both plans are the greedy packing: the delta is exactly the
+		// toggled memberships.
+		for idx := range p.flipped {
+			p.changed = append(p.changed, idx)
+		}
+	} else {
+		// A best-single plan is involved on at least one side. Final
+		// membership before/after:
+		//   before(idx) = preWins  ? idx == preIdx  : greedyBefore(idx)
+		//   after(idx)  = postWins ? idx == postIdx : greedySel(idx)
+		// where greedyBefore(idx) = greedySel(idx) XOR flipped(idx).
+		// Every index whose status can differ is in greedySel, flipped,
+		// or one of the two single candidates.
+		appendIfChanged := func(idx int) {
+			before := p.greedySel[idx] != p.flipped[idx]
+			if preWins {
+				before = idx == preIdx
+			}
+			after := p.greedySel[idx]
+			if postWins {
+				after = idx == postIdx
+			}
+			if before != after {
+				p.changed = append(p.changed, idx)
+			}
+		}
+		seen := func(idx int) bool {
+			for _, c := range p.changed {
+				if c == idx {
+					return true
+				}
+			}
+			return false
+		}
+		for idx := range p.greedySel {
+			appendIfChanged(idx)
+		}
+		for idx := range p.flipped {
+			if !p.greedySel[idx] && !seen(idx) {
+				appendIfChanged(idx)
+			}
+		}
+		for _, idx := range []int{preIdx, postIdx} {
+			if idx >= 0 && !p.greedySel[idx] && !p.flipped[idx] && !seen(idx) {
+				appendIfChanged(idx)
+			}
+		}
+	}
+	clear(p.flipped)
+	p.lastSingleWins, p.lastSingleIdx = postWins, postIdx
+	return p.changed
+}
+
+// Objective returns the current plan's objective value F.
+func (p *Planner) Objective() float64 {
+	p.repair()
+	if p.singleWins() {
+		return p.singleV
+	}
+	return p.greedyV
+}
+
+// Workforce returns the current plan's total workforce consumption.
+func (p *Planner) Workforce() float64 {
+	p.repair()
+	if p.singleWins() {
+		return p.byIndex[p.singleIdx].Workforce
+	}
+	return p.greedyW
+}
+
+// Result materializes the current plan as a solver Result, bit-identical
+// to BatchStrat over the live items and budget: same selection order, same
+// float sums, same recommendations. O(n); intended for snapshotting and
+// equivalence checking, not for the per-event hot path (use Changed /
+// IsSelected there).
+func (p *Planner) Result() Result {
+	p.repair()
+	if p.singleWins() {
+		return singleItemResult(p.byIndex[p.singleIdx])
+	}
+	res := Result{Recommendations: map[int][]int{}}
+	for q, it := range p.items {
+		if p.taken[q] {
+			addItem(&res, it)
+		}
+	}
+	return res
+}
+
+// insertSlice and deleteSlice are the ordered-pool edits: a binary search
+// has already fixed the position, so each is one contiguous move.
+func insertSlice[T any](s []T, pos int, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[pos+1:], s[pos:])
+	s[pos] = v
+	return s
+}
+
+func deleteSlice[T any](s []T, pos int) []T {
+	copy(s[pos:], s[pos+1:])
+	return s[:len(s)-1]
+}

@@ -1,0 +1,354 @@
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// comparePlannerToFresh asserts full, bit-level equivalence between the
+// planner's maintained answer and a fresh BatchStrat run over the same
+// items and budget: selection order, float sums, recommendations, and
+// per-index membership.
+func comparePlannerToFresh(t *testing.T, p *Planner, live map[int]Item, event string) {
+	t.Helper()
+	idxs := make([]int, 0, len(live))
+	for idx := range live {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	items := make([]Item, 0, len(live))
+	for _, idx := range idxs {
+		items = append(items, live[idx])
+	}
+	fresh := BatchStrat(items, p.Budget())
+	got := p.Result()
+
+	if !slices.Equal(got.Selected, fresh.Selected) {
+		t.Fatalf("%s: selected diverged:\n got %v\nwant %v", event, got.Selected, fresh.Selected)
+	}
+	if got.Objective != fresh.Objective {
+		t.Fatalf("%s: objective diverged: got %v, want %v (bit-identity required)", event, got.Objective, fresh.Objective)
+	}
+	if got.Workforce != fresh.Workforce {
+		t.Fatalf("%s: workforce diverged: got %v, want %v (bit-identity required)", event, got.Workforce, fresh.Workforce)
+	}
+	if p.Objective() != fresh.Objective || p.Workforce() != fresh.Workforce {
+		t.Fatalf("%s: aggregate accessors diverged from Result", event)
+	}
+	if len(got.Recommendations) != len(fresh.Recommendations) {
+		t.Fatalf("%s: recommendation count: got %d, want %d", event, len(got.Recommendations), len(fresh.Recommendations))
+	}
+	for idx, want := range fresh.Recommendations {
+		if !slices.Equal(got.Recommendations[idx], want) {
+			t.Fatalf("%s: recommendations[%d]: got %v, want %v", event, got.Recommendations[idx], idx, want)
+		}
+	}
+	for _, idx := range idxs {
+		if p.IsSelected(idx) != fresh.IsSelected(idx) {
+			t.Fatalf("%s: IsSelected(%d): got %v, want %v", event, idx, p.IsSelected(idx), fresh.IsSelected(idx))
+		}
+	}
+}
+
+// plannerEvent is one step of a randomized profile.
+type plannerEvent int
+
+const (
+	evInsert plannerEvent = iota
+	evRemove
+	evDrift
+	evUpdate
+)
+
+// profileStep picks the next event kind for the named churn profile.
+func profileStep(profile string, rng *rand.Rand, step, liveCount int) plannerEvent {
+	switch profile {
+	case "revoke-storm":
+		// Build a pool, then drain it with occasional refills and drifts.
+		if step < 200 || (liveCount < 20 && rng.Float64() < 0.6) {
+			return evInsert
+		}
+		if rng.Float64() < 0.05 {
+			return evDrift
+		}
+		return evRemove
+	case "bursty":
+		// Alternating insert and remove bursts of 25.
+		if rng.Float64() < 0.04 {
+			return evDrift
+		}
+		if (step/25)%2 == 0 || liveCount == 0 {
+			return evInsert
+		}
+		return evRemove
+	default: // steady
+		r := rng.Float64()
+		switch {
+		case liveCount > 0 && r < 0.35:
+			return evRemove
+		case r < 0.42:
+			return evDrift
+		case liveCount > 0 && r < 0.50:
+			return evUpdate
+		default:
+			return evInsert
+		}
+	}
+}
+
+// randomItem generates an item with deliberate degeneracies: quantized
+// workforces (density ties), zero workforces (infinite density), items
+// larger than any budget, and infeasible (+Inf) items.
+func randomItem(rng *rand.Rand, idx int, payoff bool) Item {
+	wf := float64(rng.Intn(40)) / 100 // quantized: plenty of exact ties
+	switch r := rng.Float64(); {
+	case r < 0.05:
+		wf = 0
+	case r < 0.10:
+		wf = 1.5 + rng.Float64() // can never fit a [0,1] budget
+	case r < 0.13:
+		wf = math.Inf(1)
+	case r < 0.5:
+		wf = rng.Float64() * 0.4 // continuous: no ties
+	}
+	v := 1.0
+	if payoff {
+		v = float64(rng.Intn(8)) / 2 // quantized values: density ties, zero values
+	}
+	return Item{Index: idx, Value: v, Workforce: wf, Strategies: []int{idx % 7, idx % 3}}
+}
+
+// TestPlannerMatchesBatchStratRandom is the randomized equivalence
+// property: across steady / revoke-storm / bursty churn profiles and both
+// objective shapes (unit values = throughput, varied values = payoff),
+// the incremental planner's answer is bit-identical to a fresh BatchStrat
+// run after EVERY event, and the Changed() delta stream reconstructs the
+// same selection.
+func TestPlannerMatchesBatchStratRandom(t *testing.T) {
+	for _, profile := range []string{"steady", "revoke-storm", "bursty"} {
+		for _, objective := range []string{"throughput", "payoff"} {
+			t.Run(profile+"/"+objective, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(len(profile)*100 + len(objective))))
+				p := NewPlanner(0.7)
+				live := map[int]Item{}
+				serving := map[int]bool{} // maintained via Changed() deltas
+				nextIdx := 0
+
+				syncServing := func() {
+					for _, idx := range p.Changed() {
+						if _, ok := live[idx]; !ok {
+							delete(serving, idx)
+							continue
+						}
+						serving[idx] = p.IsSelected(idx)
+					}
+				}
+
+				for step := 0; step < 600; step++ {
+					ev := profileStep(profile, rng, step, len(live))
+					var desc string
+					switch ev {
+					case evInsert:
+						it := randomItem(rng, nextIdx, objective == "payoff")
+						nextIdx++
+						if err := p.Insert(it); err != nil {
+							t.Fatal(err)
+						}
+						live[it.Index] = it
+						desc = fmt.Sprintf("step %d insert %d", step, it.Index)
+					case evRemove:
+						if len(live) == 0 {
+							continue
+						}
+						idx := randomLiveIndex(rng, live)
+						if !p.Remove(idx) {
+							t.Fatalf("step %d: Remove(%d) reported missing", step, idx)
+						}
+						delete(live, idx)
+						desc = fmt.Sprintf("step %d remove %d", step, idx)
+					case evUpdate:
+						idx := randomLiveIndex(rng, live)
+						it := randomItem(rng, idx, objective == "payoff")
+						if err := p.Update(it); err != nil {
+							t.Fatal(err)
+						}
+						live[idx] = it
+						desc = fmt.Sprintf("step %d update %d", step, idx)
+					case evDrift:
+						w := float64(rng.Intn(101)) / 100
+						p.SetBudget(w)
+						desc = fmt.Sprintf("step %d drift %v", step, w)
+					}
+					syncServing()
+					comparePlannerToFresh(t, p, live, desc)
+					for idx := range live {
+						if serving[idx] != p.IsSelected(idx) {
+							t.Fatalf("%s: Changed() delta stream diverged at %d: have %v, planner %v",
+								desc, idx, serving[idx], p.IsSelected(idx))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func randomLiveIndex(rng *rand.Rand, live map[int]Item) int {
+	n := rng.Intn(len(live))
+	for idx := range live {
+		if n == 0 {
+			return idx
+		}
+		n--
+	}
+	panic("unreachable")
+}
+
+// TestPlannerDeferredBatchEquivalence pins the deferred-replan contract:
+// a burst of mutations with no interleaved reads costs one repair and
+// still lands on the fresh answer, with Changed reporting the net delta
+// exactly once.
+func TestPlannerDeferredBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := NewPlanner(0.6)
+	live := map[int]Item{}
+	for i := 0; i < 300; i++ {
+		it := randomItem(rng, i, true)
+		if err := p.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+		live[i] = it
+	}
+	// Consume the initial delta so the batch below starts clean.
+	p.Changed()
+	before := map[int]bool{}
+	for idx := range live {
+		before[idx] = p.IsSelected(idx)
+	}
+
+	// One "batch": 60 mixed mutations, no reads in between.
+	for i := 0; i < 60; i++ {
+		switch {
+		case i%3 == 0:
+			idx := randomLiveIndex(rng, live)
+			p.Remove(idx)
+			delete(live, idx)
+		default:
+			it := randomItem(rng, 1000+i, true)
+			if err := p.Insert(it); err != nil {
+				t.Fatal(err)
+			}
+			live[it.Index] = it
+		}
+	}
+	p.SetBudget(0.45)
+
+	changed := map[int]bool{}
+	for _, idx := range p.Changed() {
+		if changed[idx] {
+			t.Fatalf("Changed() reported %d twice", idx)
+		}
+		changed[idx] = true
+	}
+	comparePlannerToFresh(t, p, live, "after deferred batch")
+	for idx := range live {
+		if (before[idx] != p.IsSelected(idx)) != changed[idx] {
+			t.Fatalf("Changed() wrong for %d: before=%v now=%v reported=%v",
+				idx, before[idx], p.IsSelected(idx), changed[idx])
+		}
+	}
+}
+
+// TestPlannerBestSingleTransitions forces the greedy/best-single winner to
+// flip in both directions and checks the Changed deltas across the branch
+// switch — the subtlest path of the incremental bookkeeping.
+func TestPlannerBestSingleTransitions(t *testing.T) {
+	p := NewPlanner(1.0)
+	// Two small dense items (greedy picks both, objective 2) and one huge
+	// item that cannot coexist with them.
+	small1 := Item{Index: 1, Value: 1, Workforce: 0.3}
+	small2 := Item{Index: 2, Value: 1, Workforce: 0.3}
+	for _, it := range []Item{small1, small2} {
+		if err := p.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Changed()
+	if !p.IsSelected(1) || !p.IsSelected(2) {
+		t.Fatal("greedy should take both small items")
+	}
+
+	// A single item worth more than the whole greedy packing: best-single
+	// wins, so 1 and 2 drop out and 3 takes over.
+	big := Item{Index: 3, Value: 5, Workforce: 0.9}
+	if err := p.Insert(big); err != nil {
+		t.Fatal(err)
+	}
+	changed := append([]int(nil), p.Changed()...)
+	sort.Ints(changed)
+	if !slices.Equal(changed, []int{1, 2, 3}) {
+		t.Fatalf("greedy->single delta = %v, want [1 2 3]", changed)
+	}
+	if p.IsSelected(1) || p.IsSelected(2) || !p.IsSelected(3) {
+		t.Fatal("best single item should be the whole plan")
+	}
+	comparePlannerToFresh(t, p, map[int]Item{1: small1, 2: small2, 3: big}, "single wins")
+
+	// Removing the big item flips the winner back to the greedy packing.
+	p.Remove(3)
+	changed = append(changed[:0], p.Changed()...)
+	sort.Ints(changed)
+	if !slices.Equal(changed, []int{1, 2, 3}) {
+		t.Fatalf("single->greedy delta = %v, want [1 2 3]", changed)
+	}
+	if !p.IsSelected(1) || !p.IsSelected(2) || p.IsSelected(3) {
+		t.Fatal("greedy packing should be restored")
+	}
+	comparePlannerToFresh(t, p, map[int]Item{1: small1, 2: small2}, "greedy restored")
+}
+
+// TestPlannerEdgeCases covers the planner API contract around the random
+// property: empty pools, duplicate indices, unknown removals/updates.
+func TestPlannerEdgeCases(t *testing.T) {
+	p := NewPlanner(0.5)
+	comparePlannerToFresh(t, p, map[int]Item{}, "empty")
+	if p.Len() != 0 || p.Budget() != 0.5 {
+		t.Fatalf("empty planner: len %d budget %v", p.Len(), p.Budget())
+	}
+	if got := p.Changed(); len(got) != 0 {
+		t.Fatalf("empty planner changed: %v", got)
+	}
+	if p.Remove(7) {
+		t.Fatal("Remove on empty pool reported success")
+	}
+	if err := p.Update(Item{Index: 7}); err == nil {
+		t.Fatal("Update of unknown index accepted")
+	}
+	if err := p.Insert(Item{Index: 1, Value: 1, Workforce: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert(Item{Index: 1, Value: 2, Workforce: 0.1}); !errors.Is(err, ErrDuplicateIndex) {
+		t.Fatalf("duplicate insert error = %v", err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("failed insert mutated pool: len %d", p.Len())
+	}
+	// Zero-budget pool: only zero-workforce items can serve.
+	p.SetBudget(0)
+	if err := p.Insert(Item{Index: 2, Value: 1, Workforce: 0}); err != nil {
+		t.Fatal(err)
+	}
+	p.Changed()
+	if p.IsSelected(1) || !p.IsSelected(2) {
+		t.Fatal("zero-budget selection wrong")
+	}
+	comparePlannerToFresh(t, p, map[int]Item{
+		1: {Index: 1, Value: 1, Workforce: 0.2},
+		2: {Index: 2, Value: 1, Workforce: 0},
+	}, "zero budget")
+}

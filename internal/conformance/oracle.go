@@ -16,10 +16,25 @@ import (
 // stream.Manager behind internal/server, re-derived the slow, obvious way.
 // Every event recomputes every open request's workforce requirement from
 // scratch and replans over the whole pool; there is no cached requirement,
-// no epoch-published snapshot, no warm ADPaR index, no event loop. If the
-// serving stack's caching, snapshot publication or request routing is
+// no incremental planner, no epoch-published snapshot, no warm ADPaR
+// index, no event loop, no op coalescing. If the serving stack's caching,
+// incremental plan repair, snapshot publication or request routing is
 // wrong in any way that reaches an observable, this model disagrees with
 // the HTTP response.
+//
+// Coalescing-awareness: the serving stack may apply any number of queued
+// mutations per replan cycle. Pool state, plan snapshots and epochs are
+// batch-independent — the plan is a pure function of the live pool and
+// availability, and the epoch is a pool-generation counter (one step per
+// applied mutation) — so those expectations hold at every coalescing
+// level. A submit's served flag is NOT batch-independent: the server
+// reads it from the plan published with the acknowledgement, so a denser
+// submit coalesced into the same batch can displace an earlier one
+// before its ack. The harness replay is strictly sequential (one
+// in-flight request, reply sent only after the publish), which pins
+// every batch at one op, making this model's one-event-at-a-time served
+// expectation exact for everything the harness can drive; a concurrent
+// driver would have to treat served as batch-dependent.
 //
 // The model deliberately reuses the leaf algorithms (workforce
 // .RequirementFor, batch.BatchStrat) — they are deterministic functions,
@@ -81,39 +96,33 @@ func (m *tenantModel) value(d strategy.Request) float64 {
 }
 
 // replan recomputes the serving set from scratch: every requirement
-// re-derived, item order and tie-breaks identical to stream.Manager's
-// replan (IDs sorted lexicographically), epoch bumped iff the serving set
-// changed.
+// re-derived, item identity and tie-breaks identical to stream.Manager's
+// incremental planner (items keyed by submission sequence number, so
+// density ties break by admission order). The epoch is NOT touched here —
+// it is a pool-generation counter the apply* methods advance on every
+// applied mutation, serving-set change or not, mirroring the manager.
 func (m *tenantModel) replan() {
 	ids := append([]string(nil), m.order...)
 	sort.Strings(ids)
 	m.lastReqs = make(map[string]workforce.Requirement, len(ids))
 	m.lastItems = m.lastItems[:0]
-	for i, id := range ids {
+	for _, id := range ids {
 		d := m.reqs[id]
-		req := workforce.RequirementFor(d, int(m.subSeq[id]), m.set, m.models, m.mode)
+		req := workforce.RequirementFor(d, m.subSeq[id], m.set, m.models, m.mode)
 		m.lastReqs[id] = req
 		if !req.Feasible() {
 			continue
 		}
 		m.lastItems = append(m.lastItems, batch.Item{
-			Index:      i,
+			Index:      int(m.subSeq[id]),
 			Value:      m.value(d),
 			Workforce:  req.Workforce,
 			Strategies: req.Strategies,
 		})
 	}
 	res := batch.BatchStrat(m.lastItems, m.w)
-	changed := false
-	for i, id := range ids {
-		now := res.IsSelected(i)
-		if m.serving[id] != now {
-			changed = true
-		}
-		m.serving[id] = now
-	}
-	if changed {
-		m.epoch++
+	for _, id := range ids {
+		m.serving[id] = res.IsSelected(int(m.subSeq[id]))
 	}
 }
 
@@ -189,6 +198,7 @@ func (m *tenantModel) applySubmit(ev Event) expectation {
 	m.order = append(m.order, d.ID)
 	m.subSeq[d.ID] = m.nextSub
 	m.nextSub++
+	m.epoch++
 	m.replan()
 	return expectation{status: http.StatusOK, served: m.serving[d.ID], epoch: m.epoch}
 }
@@ -206,6 +216,7 @@ func (m *tenantModel) applyRevoke(ev Event) expectation {
 			break
 		}
 	}
+	m.epoch++
 	m.replan()
 	return expectation{status: http.StatusOK, epoch: m.epoch}
 }
@@ -216,6 +227,7 @@ func (m *tenantModel) applyDrift(ev Event) expectation {
 		return expectation{status: http.StatusBadRequest}
 	}
 	m.w = w
+	m.epoch++
 	m.replan()
 	return expectation{status: http.StatusOK, epoch: m.epoch}
 }

@@ -203,5 +203,5 @@ func (s *StratRec) Recommend(requests []strategy.Request, W float64) (Report, er
 // request reqIdx at availability w (the Deployment Strategy Modeling step a
 // requester-facing UI would display).
 func (s *StratRec) EstimateParams(reqIdx, stratIdx int, w float64) strategy.Params {
-	return s.models.Models(reqIdx, stratIdx).ParamsAt(w)
+	return s.models.Models(uint64(reqIdx), stratIdx).ParamsAt(w)
 }

@@ -227,7 +227,7 @@ func TestEndToEndSynthetic(t *testing.T) {
 		for _, id := range rec.Strategies {
 			// Every recommended strategy must meet the thresholds at some
 			// availability within the consumed workforce.
-			req := inst.Models.Models(rec.Request, id).Requirement(d.Params)
+			req := inst.Models.Models(uint64(rec.Request), id).Requirement(d.Params)
 			if math.IsInf(req, 1) {
 				t.Errorf("request %d recommended infeasible strategy %d", rec.Request, id)
 			}

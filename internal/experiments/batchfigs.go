@@ -25,7 +25,7 @@ func satisfiedFraction(rng *rand.Rand, dist synth.Distribution, n, m, k int, W f
 	requests := cfg.Requests(rng, m, k)
 	reqs := make([]workforce.Requirement, m)
 	for i, d := range requests {
-		reqs[i] = workforce.RequirementFor(d, i, set, models, workforce.MaxCase)
+		reqs[i] = workforce.RequirementFor(d, uint64(i), set, models, workforce.MaxCase)
 	}
 	items := batch.BuildItems(requests, reqs, batch.Throughput)
 	res := batch.BatchStrat(items, W)
@@ -113,7 +113,7 @@ func batchInstanceItems(rng *rand.Rand, dist synth.Distribution, n, m, k int, ob
 	inst := cfg.Instance(rng, n, m, k)
 	reqs := make([]workforce.Requirement, m)
 	for i, d := range inst.Requests {
-		reqs[i] = workforce.RequirementFor(d, i, inst.Strategies, inst.Models, workforce.MaxCase)
+		reqs[i] = workforce.RequirementFor(d, uint64(i), inst.Strategies, inst.Models, workforce.MaxCase)
 	}
 	return batch.BuildItems(inst.Requests, reqs, obj)
 }

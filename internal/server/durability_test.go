@@ -381,6 +381,12 @@ func TestWALFailureGoesReadOnly(t *testing.T) {
 	if _, err := tn.Revoke("whatever"); !errors.Is(err, ErrWALBroken) {
 		t.Fatalf("revoke after WAL failure: %v, want ErrWALBroken", err)
 	}
+	// A checkpoint must also be refused: it would durably persist (and
+	// truncate the good log behind) the unlogged mutation the circuit
+	// breaker withheld from readers.
+	if _, err := tn.Checkpoint(); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("checkpoint after WAL failure: %v, want ErrWALBroken", err)
+	}
 	// Reads still serve the pre-failure state.
 	snapshotsEqual(t, want, tn.Snapshot())
 	s1.Close()

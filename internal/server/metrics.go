@@ -17,6 +17,10 @@ type tenantMetrics struct {
 	submits, revokes, drifts expvar.Int
 	planReads, alternatives  expvar.Int
 	errors                   expvar.Int
+	// batches counts event-loop replan cycles over live mutations;
+	// batchedOps counts the mutations they applied, so
+	// batchedOps/batches is the achieved coalescing factor.
+	batches, batchedOps expvar.Int
 	// Durability counters (present only when the tenant has a WAL).
 	walErrors, checkpoints, checkpointErrors expvar.Int
 	recoveredRequests, recoveredTail         expvar.Int
@@ -33,6 +37,8 @@ func newTenantMetrics(t *Tenant) *tenantMetrics {
 	m.vars.Set("plan_reads", &m.planReads)
 	m.vars.Set("alternatives", &m.alternatives)
 	m.vars.Set("errors", &m.errors)
+	m.vars.Set("coalesced_batches", &m.batches)
+	m.vars.Set("coalesced_ops", &m.batchedOps)
 	// Gauges read the atomically published snapshot, so they are safe
 	// from any goroutine and always consistent with what /plan serves.
 	m.vars.Set("epoch", expvar.Func(func() any { return t.snap.Load().Epoch }))

@@ -29,6 +29,14 @@ type TenantConfig struct {
 	Parallelism int
 	// OpBuffer sizes the event-loop inbox; 0 defaults to 64.
 	OpBuffer int
+	// Coalesce caps how many pending mutations the event loop drains from
+	// the inbox and applies per replan cycle: the drained batch is applied
+	// through the manager's deferred-replan mode (one WAL append per op,
+	// preserving the per-record epoch trail and acked ⇒ logged ordering),
+	// then repaired once, published once, and only then replied to. Under
+	// a queue of n waiting ops that is one plan repair instead of n.
+	// 0 defaults to 32; 1 disables coalescing (one op per cycle).
+	Coalesce int
 	// OnApply, when non-nil, is invoked by the event loop after each
 	// mutation has been applied and (on success) the fresh snapshot
 	// published, before the reply is sent. It runs on the loop goroutine
@@ -107,6 +115,12 @@ type Tenant struct {
 	ckptEvery int
 	sinceCkpt int
 
+	// coalesce is the max ops applied per replan cycle; batch and results
+	// are the loop's reusable drain scratch (loop goroutine only).
+	coalesce int
+	batch    []op
+	results  []opResult
+
 	ops  chan op
 	quit chan struct{}
 	done chan struct{}
@@ -176,6 +190,11 @@ type opResult struct {
 	err    error
 	// ckpt reports checkpoint outcomes (opCheckpoint).
 	ckpt CheckpointInfo
+	// reqWF/reqFeasible echo the replayed submission's recomputed
+	// workforce requirement so restore can verify it against the logged
+	// fingerprint (replay submits only).
+	reqWF       float64
+	reqFeasible bool
 }
 
 // newTenant builds the tenant, compiles its warm ADPaR index, opens its
@@ -201,14 +220,21 @@ func newTenant(name string, cfg TenantConfig, dur durability) (*Tenant, error) {
 	if buf <= 0 {
 		buf = 64
 	}
+	coalesce := cfg.Coalesce
+	if coalesce <= 0 {
+		coalesce = 32
+	}
 	t := &Tenant{
-		name:    name,
-		mgr:     mgr,
-		ix:      ix,
-		onApply: cfg.OnApply,
-		ops:     make(chan op, buf),
-		quit:    make(chan struct{}),
-		done:    make(chan struct{}),
+		name:     name,
+		mgr:      mgr,
+		ix:       ix,
+		onApply:  cfg.OnApply,
+		coalesce: coalesce,
+		batch:    make([]op, 0, coalesce),
+		results:  make([]opResult, 0, coalesce),
+		ops:      make(chan op, buf),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	var recovered wal.Recovered
 	if dur.dataDir != "" {
@@ -255,6 +281,9 @@ func (t *Tenant) restore(rec wal.Recovered) error {
 			if res.err != nil {
 				return fmt.Errorf("re-admitting %s (sub %d): %w", r.ID, r.Sub, res.err)
 			}
+			if err := verifyFingerprint(r.Req, r.Infeasible, res); err != nil {
+				return fmt.Errorf("re-admitting %s (sub %d): %w", r.ID, r.Sub, err)
+			}
 		}
 		if res := t.do(op{kind: opRestoreCounters, replay: true, epoch: cp.Epoch, sub: cp.NextSub}); res.err != nil {
 			return res.err
@@ -269,6 +298,11 @@ func (t *Tenant) restore(rec wal.Recovered) error {
 				Params: strategy.Params{Quality: r.Quality, Cost: r.Cost, Latency: r.Latency},
 				K:      r.K,
 			}})
+			if res.err == nil {
+				if err := verifyFingerprint(r.Req, r.Infeasible, res); err != nil {
+					return fmt.Errorf("seq %d (submit %s): %w", r.Seq, r.ID, err)
+				}
+			}
 		case wal.KindRevoke:
 			res = t.do(op{kind: opRevoke, replay: true, id: r.ID})
 		case wal.KindAvailability:
@@ -287,76 +321,171 @@ func (t *Tenant) restore(rec wal.Recovered) error {
 	return nil
 }
 
+// verifyFingerprint compares a replayed submission's recomputed workforce
+// requirement against the fingerprint its original admission logged. The
+// requirement is a pure function of (request, submission seq, catalog,
+// models, aggregation mode), so any difference — bit-level included —
+// means the log is being replayed against the wrong tenant universe, and
+// recovery must fail loudly rather than rebuild a silently different
+// plan. The epoch trail cannot catch this: the pool-generation counter is
+// deliberately independent of planning outcomes.
+func verifyFingerprint(wantReq float64, wantInfeasible bool, res opResult) error {
+	if res.reqFeasible == wantInfeasible {
+		return fmt.Errorf("requirement fingerprint divergence: log recorded infeasible=%v, replay computed infeasible=%v (wrong catalogs?)",
+			wantInfeasible, !res.reqFeasible)
+	}
+	if !wantInfeasible && res.reqWF != wantReq {
+		return fmt.Errorf("requirement fingerprint divergence: log recorded %v, replay computed %v (wrong catalogs?)",
+			wantReq, res.reqWF)
+	}
+	return nil
+}
+
 // loop is the tenant's single writer: it owns the stream.Manager
-// exclusively and publishes a fresh snapshot after every successful
-// mutation, before replying. With durability on, the WAL append happens
-// between applying the mutation and publishing its snapshot, so the
-// acknowledgement a client sees implies the mutation is logged.
+// exclusively. Each cycle drains up to Coalesce pending mutations from
+// the inbox and applies them as one deferred-replan batch: per op, the
+// manager mutation and its WAL append (apply order, acked ⇒ logged
+// preserved); per batch, one plan repair, one snapshot publish, and only
+// then the replies — so a client still observes its own write. Admin ops
+// (checkpoint, counter restore) never share a cycle with mutations.
 func (t *Tenant) loop() {
 	defer close(t.done)
+	var next *op // a non-coalescable op the drain ran into
 	for {
-		select {
-		case o := <-t.ops:
-			var res opResult
-			if t.walBroken && !o.replay && o.kind.mutates() {
-				res.err = ErrWALBroken
-				res.epoch = t.mgr.Epoch()
-				if t.onApply != nil {
-					t.onApply(AppliedOp{Tenant: t.name, Kind: o.kind.String(), ID: appliedID(o), Epoch: res.epoch, Err: res.err})
-				}
-				o.reply <- res
-				continue
+		var o op
+		if next != nil {
+			o, next = *next, nil
+		} else {
+			select {
+			case o = <-t.ops:
+			case <-t.quit:
+				return
 			}
-			switch o.kind {
-			case opSubmit:
-				if o.replay {
-					res.served, res.err = t.mgr.Resubmit(o.req, o.sub)
-				} else {
-					res.served, res.err = t.mgr.Submit(o.req)
-				}
-			case opRevoke:
-				res.err = t.mgr.Revoke(o.id)
-			case opAvailability:
-				res.err = t.mgr.SetAvailability(o.w)
-			case opRestoreCounters:
-				t.mgr.RestoreCounters(o.epoch, o.sub)
-			case opCheckpoint:
-				res.ckpt, res.err = t.checkpointNow()
-			}
-			res.epoch = t.mgr.Epoch()
-			if res.err == nil {
-				snap := t.mgr.Snapshot()
-				publish := true
-				if t.wal != nil && !o.replay && o.kind.mutates() {
-					if werr := t.logMutation(o, snap); werr != nil {
-						res.err = fmt.Errorf("server: tenant %s: wal: %w", t.name, werr)
-						t.met.walErrors.Add(1)
-						// The manager applied a mutation the log did not
-						// record: withhold its snapshot so no reader ever
-						// observes it, and stop accepting writes so the
-						// divergence stays frozen at this one unacked op.
-						t.walBroken = true
-						publish = false
-					}
-				}
-				if publish {
-					t.snap.Store(snap)
-				}
-			}
-			if t.onApply != nil && !o.replay && o.kind.mutates() {
-				t.onApply(AppliedOp{
-					Tenant: t.name,
-					Kind:   o.kind.String(),
-					ID:     appliedID(o),
-					Epoch:  res.epoch,
-					Err:    res.err,
-				})
-			}
-			o.reply <- res
-		case <-t.quit:
-			return
 		}
+		if !o.kind.mutates() {
+			t.applyAdmin(o)
+			continue
+		}
+		batch := append(t.batch[:0], o)
+	drain:
+		for len(batch) < t.coalesce && next == nil {
+			select {
+			case o2 := <-t.ops:
+				if o2.kind.mutates() {
+					batch = append(batch, o2)
+				} else {
+					next = &o2
+				}
+			default:
+				break drain
+			}
+		}
+		t.applyBatch(batch)
+		t.batch = batch[:0]
 	}
+}
+
+// applyAdmin serves the non-mutating ops (checkpoint, counter restore)
+// outside any coalesced batch.
+func (t *Tenant) applyAdmin(o op) {
+	var res opResult
+	switch o.kind {
+	case opRestoreCounters:
+		t.mgr.RestoreCounters(o.epoch, o.sub)
+	case opCheckpoint:
+		res.ckpt, res.err = t.checkpointNow()
+	}
+	res.epoch = t.mgr.Epoch()
+	if res.err == nil {
+		t.snap.Store(t.mgr.Snapshot())
+	}
+	o.reply <- res
+}
+
+// applyBatch applies a drained batch of mutations through the manager's
+// deferred-replan mode. The WAL append for each op happens immediately
+// after its apply — in apply order, before the batch's snapshot publish
+// and before any reply — so the acked ⇒ logged invariant and the
+// per-record epoch trail are exactly what a one-op-per-cycle loop would
+// have produced. On a WAL append failure the failing mutation is applied
+// but unlogged: the whole batch's snapshot is withheld so no reader ever
+// observes it, the remaining ops are rejected unapplied, and the tenant
+// goes read-only (ErrWALBroken) — ops earlier in the batch are durably
+// logged and acknowledged, but stay invisible until the restart rebuilds
+// exactly the logged state.
+func (t *Tenant) applyBatch(ops []op) {
+	results := t.results[:0]
+	walFailed := false
+	anyApplied := false
+	t.mgr.Begin()
+	for _, o := range ops {
+		var res opResult
+		if t.walBroken && !o.replay {
+			res.err = ErrWALBroken
+			res.epoch = t.mgr.Epoch()
+			results = append(results, res)
+			continue
+		}
+		switch o.kind {
+		case opSubmit:
+			if o.replay {
+				_, res.err = t.mgr.Resubmit(o.req, o.sub)
+			} else {
+				_, res.err = t.mgr.Submit(o.req)
+			}
+		case opRevoke:
+			res.err = t.mgr.Revoke(o.id)
+		case opAvailability:
+			res.err = t.mgr.SetAvailability(o.w)
+		}
+		res.epoch = t.mgr.Epoch()
+		if res.err == nil {
+			if o.kind == opSubmit {
+				if req, ok := t.mgr.Requirement(o.req.ID); ok {
+					res.reqWF, res.reqFeasible = req.Workforce, req.Feasible()
+				}
+			}
+			if t.wal != nil && !o.replay {
+				if werr := t.logMutation(o, res); werr != nil {
+					res.err = fmt.Errorf("server: tenant %s: wal: %w", t.name, werr)
+					t.met.walErrors.Add(1)
+					// The manager applied a mutation the log did not
+					// record: freeze the divergence at this one unacked op.
+					t.walBroken = true
+					walFailed = true
+				}
+			}
+			if res.err == nil {
+				anyApplied = true
+			}
+		}
+		results = append(results, res)
+	}
+	t.mgr.Commit()
+	if anyApplied && !walFailed {
+		t.snap.Store(t.mgr.Snapshot())
+	}
+	if !ops[0].replay {
+		t.met.batches.Add(1)
+		t.met.batchedOps.Add(int64(len(ops)))
+	}
+	for i, o := range ops {
+		res := results[i]
+		if o.kind == opSubmit && res.err == nil {
+			res.served, _ = t.mgr.Served(o.req.ID)
+		}
+		if t.onApply != nil && !o.replay {
+			t.onApply(AppliedOp{
+				Tenant: t.name,
+				Kind:   o.kind.String(),
+				ID:     appliedID(o),
+				Epoch:  res.epoch,
+				Err:    res.err,
+			})
+		}
+		o.reply <- res
+	}
+	t.results = results[:0]
 }
 
 // mutates reports whether the op kind changes tenant state that the WAL
@@ -367,14 +496,17 @@ func (k opKind) mutates() bool {
 
 // logMutation appends one applied mutation to the WAL, then
 // auto-checkpoints when the configured append budget since the last
-// checkpoint is spent.
-func (t *Tenant) logMutation(o op, snap *stream.Snapshot) error {
-	rec := wal.Record{Epoch: snap.Epoch}
+// checkpoint is spent. It runs immediately after the mutation applied —
+// possibly mid-batch, before the deferred replan — so the record carries
+// only replan-independent fields: the pool-generation epoch and, for
+// submits, the admission-time requirement fingerprint.
+func (t *Tenant) logMutation(o op, res opResult) error {
+	rec := wal.Record{Epoch: res.epoch}
 	switch o.kind {
 	case opSubmit:
-		rs, ok := snap.Request(o.req.ID)
+		seq, ok := t.mgr.SubmissionSeq(o.req.ID)
 		if !ok {
-			return fmt.Errorf("submitted request %s missing from its own snapshot", o.req.ID)
+			return fmt.Errorf("submitted request %s missing from its own pool", o.req.ID)
 		}
 		rec.Kind = wal.KindSubmit
 		rec.ID = o.req.ID
@@ -382,7 +514,13 @@ func (t *Tenant) logMutation(o op, snap *stream.Snapshot) error {
 		rec.Cost = o.req.Cost
 		rec.Latency = o.req.Latency
 		rec.K = o.req.K
-		rec.Sub = rs.Seq
+		rec.Sub = seq
+		rec.Infeasible = !res.reqFeasible
+		if res.reqFeasible {
+			// +Inf (the infeasible sentinel) does not survive JSON; the
+			// flag alone carries that case.
+			rec.Req = res.reqWF
+		}
 	case opRevoke:
 		rec.Kind = wal.KindRevoke
 		rec.ID = o.id
@@ -407,10 +545,23 @@ func (t *Tenant) logMutation(o op, snap *stream.Snapshot) error {
 }
 
 // checkpointNow (loop goroutine only) freezes the manager state into a
-// durable checkpoint and truncates the WAL behind it.
+// durable checkpoint and truncates the WAL behind it. It is safe to run
+// mid-batch (an auto-checkpoint triggered between a batch's appends):
+// everything the checkpoint stores — pool membership, admission-cached
+// requirements, epoch, availability, submission counter — is independent
+// of the deferred plan repair, and the serving flags a mid-batch snapshot
+// might show stale are not persisted (recovery recomputes the plan).
 func (t *Tenant) checkpointNow() (CheckpointInfo, error) {
 	if t.wal == nil {
 		return CheckpointInfo{}, ErrNoDurability
+	}
+	if t.walBroken {
+		// The manager holds exactly one mutation the log never recorded.
+		// A checkpoint here would make that unacknowledged divergence
+		// durable (and truncate the good log behind it), destroying the
+		// restart-rebuilds-the-logged-state guarantee the read-only
+		// circuit breaker exists to protect.
+		return CheckpointInfo{}, fmt.Errorf("%w: checkpoint refused, memory holds an unlogged mutation", ErrWALBroken)
 	}
 	snap := t.mgr.Snapshot()
 	cp := wal.Checkpoint{
@@ -420,14 +571,19 @@ func (t *Tenant) checkpointNow() (CheckpointInfo, error) {
 		Requests:     make([]wal.CheckpointRequest, 0, len(snap.Requests)),
 	}
 	for _, rs := range snap.Requests {
-		cp.Requests = append(cp.Requests, wal.CheckpointRequest{
-			ID:      rs.ID,
-			Quality: rs.Request.Quality,
-			Cost:    rs.Request.Cost,
-			Latency: rs.Request.Latency,
-			K:       rs.Request.K,
-			Sub:     rs.Seq,
-		})
+		cr := wal.CheckpointRequest{
+			ID:         rs.ID,
+			Quality:    rs.Request.Quality,
+			Cost:       rs.Request.Cost,
+			Latency:    rs.Request.Latency,
+			K:          rs.Request.K,
+			Sub:        rs.Seq,
+			Infeasible: !rs.Feasible,
+		}
+		if rs.Feasible {
+			cr.Req = rs.Workforce
+		}
+		cp.Requests = append(cp.Requests, cr)
 	}
 	removed, err := t.wal.Checkpoint(cp)
 	if err != nil {
@@ -469,7 +625,12 @@ func (t *Tenant) do(o op) opResult {
 // Name returns the tenant's name.
 func (t *Tenant) Name() string { return t.name }
 
-// SubmitResult reports the outcome of a submission.
+// SubmitResult reports the outcome of a submission. Served reflects the
+// plan published with the acknowledgement: under coalescing that plan
+// already includes every mutation applied in the same replan cycle, so a
+// denser submit drained into the same batch can displace this one before
+// its ack (and a same-batch revoke reports Served=false). Epoch is the
+// pool-generation counter after this mutation alone, batch-independent.
 type SubmitResult struct {
 	Served bool
 	Epoch  uint64

@@ -1,21 +1,25 @@
 // Package stream implements the fully dynamic deployment setting the
 // paper's conclusion poses as an open problem: deployment requests arrive
 // one by one, may be revoked, and worker availability drifts over time. A
-// Manager maintains a running plan under these events, replanning with
-// BatchStrat so every intermediate plan keeps the static guarantees (exact
-// throughput, 1/2-approximate pay-off) over the currently open requests.
+// Manager maintains a running plan under these events through an
+// incremental batch.Planner, so every intermediate plan keeps the static
+// guarantees (exact throughput, 1/2-approximate pay-off) over the
+// currently open requests while each event costs a plan repair, not a
+// from-scratch BatchStrat run. The expensive part, the workforce
+// requirement of a request, is computed once at admission and cached.
 //
-// The manager is deliberately simple — a replan per event batch — because
-// BatchStrat itself is O(m log m) on prepared items and the expensive part,
-// the workforce requirement of a request, is computed once at admission and
-// cached. An epoch counter lets callers cheaply detect plan changes.
+// The epoch counter is a pool-generation counter: it advances on every
+// applied mutation (submit, revoke, availability change), whether or not
+// the serving set moved, so pollers and If-None-Match-style clients never
+// miss a pool change. Callers that queue events can wrap them in
+// Begin/Commit so the planner repairs once per batch instead of per
+// event.
 package stream
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"stratrec/internal/adpar"
 	"stratrec/internal/batch"
@@ -85,12 +89,17 @@ type Manager struct {
 	nextSeq uint64 // monotonic submission counter (Entry.Seq source)
 	epoch   uint64
 
-	// sorted holds the live IDs in lexicographic order, maintained
-	// incrementally on submit/revoke so replan does not re-sort the whole
-	// pool on every event; items is replan's reusable scratch (BatchStrat
-	// copies what it keeps).
-	sorted []string
-	items  []batch.Item
+	// planner maintains the density-ordered feasible pool and repairs the
+	// greedy plan incrementally; items are keyed by the entry's submission
+	// sequence number (unique for the manager's lifetime, so ties in the
+	// density order break deterministically by admission). bySeq maps a
+	// planner item index back to its entry for serving-flag sync.
+	planner *batch.Planner
+	bySeq   map[int]*Entry
+	// batching defers the serving-flag sync (and the planner repair
+	// behind it) between Begin and Commit, so a drained batch of n events
+	// costs one repair.
+	batching bool
 }
 
 // ErrEmptyID rejects a submission without a request ID.
@@ -108,6 +117,14 @@ var ErrUnknownID = errors.New("stream: unknown request ID")
 // ErrBadAvailability rejects an expected workforce outside [0,1] (NaN
 // included).
 var ErrBadAvailability = errors.New("stream: availability outside [0,1]")
+
+// ErrSeqOverflow rejects a submission whose sequence number no longer fits
+// the planner's int item index. The workforce.ModelProvider contract is
+// full-width uint64, so requirements never alias; this guard covers the
+// one remaining narrowing (batch.Item.Index) explicitly instead of
+// silently wrapping — reachable only on 32-bit platforms after 2^31
+// lifetime submissions, or via a Resubmit of a corrupt recovered sequence.
+var ErrSeqOverflow = errors.New("stream: submission sequence exceeds the planner index range")
 
 // NewManager builds a dynamic deployment manager. The shared ADPaR index
 // is compiled lazily on the first Alternative call, so managers that never
@@ -130,10 +147,15 @@ func NewManager(set strategy.Set, models workforce.ModelProvider, mode workforce
 		w:          initialW,
 		entries:    map[string]*Entry{},
 		pos:        map[string]int{},
+		planner:    batch.NewPlanner(initialW),
+		bySeq:      map[int]*Entry{},
 	}, nil
 }
 
-// Epoch increments on every plan change; callers can poll it cheaply.
+// Epoch is the pool-generation counter: it increments on every applied
+// mutation — submit, revoke, availability change — even when the serving
+// set is unchanged, so callers can poll it cheaply and never miss a pool
+// mutation. Failed mutations leave it untouched.
 func (m *Manager) Epoch() uint64 { return m.epoch }
 
 // SubmissionCounter returns the sequence number the next fresh submission
@@ -161,7 +183,9 @@ func (m *Manager) Availability() float64 { return m.w }
 func (m *Manager) Open() int { return len(m.entries) }
 
 // Submit admits a request, computes and caches its workforce requirement,
-// and replans. It returns whether the new plan serves the request.
+// and replans. It returns whether the new plan serves the request (inside
+// a Begin/Commit batch the replan is deferred, so the return value is the
+// pre-batch decision; consult Served after Commit instead).
 //
 // Error paths are consistent and leave the manager unchanged: an empty ID
 // is ErrEmptyID, invalid parameters surface the strategy validation error,
@@ -183,7 +207,8 @@ func (m *Manager) Resubmit(d strategy.Request, seq uint64) (bool, error) {
 }
 
 // admit is the shared submission path: validate, compute and cache the
-// requirement under the given submission sequence number, replan.
+// requirement under the given submission sequence number, insert into the
+// planner and (outside a batch) sync the repaired plan.
 func (m *Manager) admit(d strategy.Request, seq uint64) (bool, error) {
 	if d.ID == "" {
 		return false, ErrEmptyID
@@ -194,23 +219,40 @@ func (m *Manager) admit(d strategy.Request, seq uint64) (bool, error) {
 	if _, exists := m.entries[d.ID]; exists {
 		return false, fmt.Errorf("%w: %s", ErrDuplicateID, d.ID)
 	}
+	if seq > uint64(math.MaxInt) {
+		return false, fmt.Errorf("%w: %d", ErrSeqOverflow, seq)
+	}
 	// The submission counter — not the pool position — is the reqIdx of
 	// the ModelProvider contract: pool positions are reused after revokes,
 	// which would alias per-request model rows between distinct live
 	// requests (and could index out of a FullModels matrix).
-	req := workforce.RequirementFor(d, int(seq), m.strategies, m.models, m.mode)
+	req := workforce.RequirementFor(d, seq, m.strategies, m.models, m.mode)
 	entry := &Entry{ID: d.ID, Request: d, Req: req, Seq: seq}
+	if req.Feasible() {
+		// Infeasible requests can never be served at any availability and
+		// stay out of the planner pool entirely.
+		if err := m.planner.Insert(batch.Item{
+			Index:      int(seq),
+			Value:      m.value(entry),
+			Workforce:  req.Workforce,
+			Strategies: req.Strategies,
+		}); err != nil {
+			// Only reachable by a Resubmit reusing a live entry's sequence
+			// number (a corrupt recovery input); the pool is unchanged.
+			return false, err
+		}
+		m.bySeq[int(seq)] = entry
+	}
 	m.entries[d.ID] = entry
 	m.pos[d.ID] = len(m.order)
 	m.order = append(m.order, d.ID)
-	i := sort.SearchStrings(m.sorted, d.ID)
-	m.sorted = append(m.sorted, "")
-	copy(m.sorted[i+1:], m.sorted[i:])
-	m.sorted[i] = d.ID
 	if seq >= m.nextSeq {
 		m.nextSeq = seq + 1
 	}
-	m.replan()
+	m.epoch++
+	if !m.batching {
+		m.sync()
+	}
 	return entry.Serving, nil
 }
 
@@ -224,16 +266,22 @@ func (m *Manager) Revoke(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownID, id)
 	}
+	e := m.entries[id]
 	delete(m.entries, id)
 	delete(m.pos, id)
 	m.order[i] = ""
 	m.dead++
-	j := sort.SearchStrings(m.sorted, id)
-	m.sorted = append(m.sorted[:j], m.sorted[j+1:]...)
+	if e.Req.Feasible() {
+		m.planner.Remove(int(e.Seq))
+		delete(m.bySeq, int(e.Seq))
+	}
 	if m.dead > 32 && m.dead*2 > len(m.order) {
 		m.compact()
 	}
-	m.replan()
+	m.epoch++
+	if !m.batching {
+		m.sync()
+	}
 	return nil
 }
 
@@ -260,8 +308,72 @@ func (m *Manager) SetAvailability(w float64) error {
 		return fmt.Errorf("%w: %v", ErrBadAvailability, w)
 	}
 	m.w = w
-	m.replan()
+	m.planner.SetBudget(w)
+	m.epoch++
+	if !m.batching {
+		m.sync()
+	}
 	return nil
+}
+
+// Begin enters deferred-replan mode: subsequent Submit/Resubmit/Revoke/
+// SetAvailability calls update the pool and advance the epoch but postpone
+// the planner repair and serving-flag sync until Commit, so a queued batch
+// of n events costs one plan repair instead of n. While a batch is open,
+// Submit's served return value and per-entry Serving flags reflect the
+// last committed plan; read them after Commit. Begin/Commit do not nest.
+func (m *Manager) Begin() { m.batching = true }
+
+// Commit leaves deferred-replan mode, repairs the plan once, and syncs
+// every serving flag the batch changed.
+func (m *Manager) Commit() {
+	m.batching = false
+	m.sync()
+}
+
+// sync repairs the planner and folds the changed selection statuses back
+// into the entries' Serving flags. Only entries whose status actually
+// changed are touched.
+func (m *Manager) sync() {
+	for _, idx := range m.planner.Changed() {
+		if e, ok := m.bySeq[idx]; ok {
+			e.Serving = m.planner.IsSelected(idx)
+		}
+	}
+}
+
+// Served reports the current plan's decision for an open request:
+// served=false, open=false for IDs not in the pool. Inside a Begin/Commit
+// batch the answer reflects the last committed plan.
+func (m *Manager) Served(id string) (served, open bool) {
+	e, ok := m.entries[id]
+	if !ok {
+		return false, false
+	}
+	return e.Serving, true
+}
+
+// SubmissionSeq returns the submission sequence number of an open request
+// (the reqIdx its requirement was computed under).
+func (m *Manager) SubmissionSeq(id string) (uint64, bool) {
+	e, ok := m.entries[id]
+	if !ok {
+		return 0, false
+	}
+	return e.Seq, true
+}
+
+// Requirement returns the cached aggregated workforce requirement of an
+// open request. The serving layer logs it as a per-submit recovery
+// fingerprint: it is a pure function of (request, submission seq, catalog,
+// models, mode), so a recovered replay that computes anything different
+// was run against the wrong tenant universe.
+func (m *Manager) Requirement(id string) (workforce.Requirement, bool) {
+	e, ok := m.entries[id]
+	if !ok {
+		return workforce.Requirement{}, false
+	}
+	return e.Req, true
 }
 
 // Plan is the current serving decision.
@@ -450,39 +562,4 @@ func (m *Manager) value(e *Entry) float64 {
 		return e.Request.Cost
 	}
 	return 1
-}
-
-// replan recomputes the serving set with BatchStrat over all open
-// requests. Item order is the incrementally maintained lexicographic ID
-// order — stable and independent of admission history, exactly as if the
-// pool were re-sorted per event, without the per-event sort.
-func (m *Manager) replan() {
-	ids := m.sorted
-	m.items = m.items[:0]
-	for i, id := range ids {
-		e := m.entries[id]
-		if !e.Req.Feasible() {
-			e.Serving = false
-			continue
-		}
-		m.items = append(m.items, batch.Item{
-			Index:      i,
-			Value:      m.value(e),
-			Workforce:  e.Req.Workforce,
-			Strategies: e.Req.Strategies,
-		})
-	}
-	res := batch.BatchStrat(m.items, m.w)
-	changed := false
-	for i, id := range ids {
-		e := m.entries[id]
-		now := res.IsSelected(i)
-		if e.Serving != now {
-			changed = true
-		}
-		e.Serving = now
-	}
-	if changed {
-		m.epoch++
-	}
 }

@@ -423,22 +423,59 @@ func TestAvailabilityDrift(t *testing.T) {
 	}
 }
 
-func TestEpochAdvancesOnChange(t *testing.T) {
+// TestEpochAdvancesOnEveryMutation pins the pool-generation semantics of
+// the epoch: every applied mutation advances it by exactly one — submits
+// that land displaced and revokes that flip no serving flag included — so
+// epoch pollers and If-None-Match-style clients never miss a pool change.
+// (The old behavior, bumping only when a Serving flag flipped, silently
+// swallowed exactly those mutations.)
+func TestEpochAdvancesOnEveryMutation(t *testing.T) {
 	m := newManager(t, 0.5)
-	e0 := m.Epoch()
-	if _, err := m.Submit(request("a", 0.52, 1)); err != nil {
+	if _, err := m.Submit(request("a", 0.52, 1)); err != nil { // req 0.4: served
 		t.Fatal(err)
 	}
-	if m.Epoch() == e0 {
-		t.Error("epoch unchanged after serving a request")
+	if m.Epoch() != 1 {
+		t.Fatalf("epoch after first submit = %d, want 1", m.Epoch())
 	}
-	e1 := m.Epoch()
-	// A no-op availability change keeps the plan and the epoch.
+	// This submit lands displaced (0.4+0.4 > 0.5): no serving flag flips,
+	// but the pool changed, so the epoch must advance.
+	served, err := m.Submit(request("b", 0.52, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served {
+		t.Fatal("oversubscribed request served")
+	}
+	if m.Epoch() != 2 {
+		t.Fatalf("epoch after displaced submit = %d, want 2", m.Epoch())
+	}
+	// Revoking the displaced request flips no serving flag either; still a
+	// pool mutation, still an epoch step.
+	if err := m.Revoke("b"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 3 {
+		t.Fatalf("epoch after no-flip revoke = %d, want 3", m.Epoch())
+	}
+	// A plan-preserving availability change is an applied mutation too.
 	if err := m.SetAvailability(0.55); err != nil {
 		t.Fatal(err)
 	}
-	if m.Epoch() != e1 {
-		t.Error("epoch advanced without a plan change")
+	if m.Epoch() != 4 {
+		t.Fatalf("epoch after availability move = %d, want 4", m.Epoch())
+	}
+	// Rejected mutations leave the epoch untouched.
+	if err := m.SetAvailability(1.5); err == nil {
+		t.Fatal("bad availability accepted")
+	}
+	if err := m.Revoke("nope"); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("revoke unknown = %v", err)
+	}
+	if _, err := m.Submit(request("a", 0.5, 1)); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate submit = %v", err)
+	}
+	if m.Epoch() != 4 {
+		t.Fatalf("epoch after rejected mutations = %d, want 4", m.Epoch())
 	}
 }
 
@@ -553,7 +590,7 @@ func TestPropertyMatchesStaticBatchStrat(t *testing.T) {
 		// Static reference over the open pool.
 		reqs := make([]workforce.Requirement, len(open))
 		for i, d := range open {
-			reqs[i] = workforce.RequirementFor(d, i, set, models, workforce.MaxCase)
+			reqs[i] = workforce.RequirementFor(d, uint64(i), set, models, workforce.MaxCase)
 		}
 		items := batch.BuildItems(open, reqs, batch.Throughput)
 		want := batch.BatchStrat(items, W).Objective
@@ -576,4 +613,128 @@ func mkID(prefix string, n int) string {
 		n /= 10
 	}
 	return prefix + out
+}
+
+// TestBeginCommitBatchEquivalence: a Begin/Commit batch of events lands
+// on exactly the state that applying them one-by-one produces — same
+// serving flags, same epoch, same plan sums — while deferring the replan.
+func TestBeginCommitBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := synth.DefaultConfig(synth.Uniform)
+	set := gen.Strategies(rng, 24)
+	models := gen.Models(rng, set)
+	reqs := gen.Requests(rng, 120, 2)
+	for i := range reqs {
+		reqs[i].ID = mkID("d", i)
+	}
+
+	seqMgr, err := NewManager(set, models, workforce.MaxCase, batch.Throughput, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batMgr, err := NewManager(set, models, workforce.MaxCase, batch.Throughput, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-generate one deterministic event list (self-consistent revokes)
+	// so both managers replay the identical stream.
+	type event struct {
+		kind int // 0 submit, 1 revoke, 2 drift
+		id   string
+		req  strategy.Request
+		w    float64
+	}
+	var events []event
+	var open []string
+	for i := 0; i < 120; i++ {
+		switch {
+		case len(open) > 5 && i%7 == 3:
+			j := rng.Intn(len(open))
+			events = append(events, event{kind: 1, id: open[j]})
+			open = append(open[:j], open[j+1:]...)
+		case i%13 == 5:
+			events = append(events, event{kind: 2, w: 0.3 + 0.005*float64(i%60)})
+		default:
+			events = append(events, event{kind: 0, req: reqs[i]})
+			open = append(open, reqs[i].ID)
+		}
+	}
+	apply := func(m *Manager, from, to int) {
+		t.Helper()
+		for _, ev := range events[from:to] {
+			switch ev.kind {
+			case 0:
+				if _, err := m.Submit(ev.req); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if err := m.Revoke(ev.id); err != nil {
+					t.Fatal(err)
+				}
+			case 2:
+				if err := m.SetAvailability(ev.w); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Sequential: every event replans. Batched: chunks of 15 events per
+	// Begin/Commit window.
+	apply(seqMgr, 0, 120)
+	for from := 0; from < 120; from += 15 {
+		batMgr.Begin()
+		apply(batMgr, from, from+15)
+		batMgr.Commit()
+	}
+
+	if seqMgr.Epoch() != batMgr.Epoch() {
+		t.Fatalf("epoch diverged: sequential %d, batched %d", seqMgr.Epoch(), batMgr.Epoch())
+	}
+	want, got := seqMgr.Snapshot(), batMgr.Snapshot()
+	if len(want.Requests) != len(got.Requests) {
+		t.Fatalf("open diverged: %d vs %d", len(want.Requests), len(got.Requests))
+	}
+	for i, w := range want.Requests {
+		g := got.Requests[i]
+		if w.ID != g.ID || w.Serving != g.Serving || w.Seq != g.Seq || w.Workforce != g.Workforce {
+			t.Fatalf("request %d diverged:\nseq %+v\nbat %+v", i, w, g)
+		}
+	}
+	if want.Plan.Objective != got.Plan.Objective || want.Plan.Workforce != got.Plan.Workforce {
+		t.Fatalf("plan sums diverged: (%v,%v) vs (%v,%v)",
+			want.Plan.Objective, want.Plan.Workforce, got.Plan.Objective, got.Plan.Workforce)
+	}
+
+	// Served answers from the committed plan and distinguishes unknown IDs.
+	for _, rs := range got.Requests {
+		served, open := batMgr.Served(rs.ID)
+		if !open || served != rs.Serving {
+			t.Fatalf("Served(%s) = %v,%v, want %v,true", rs.ID, served, open, rs.Serving)
+		}
+	}
+	if _, open := batMgr.Served("nope"); open {
+		t.Fatal("Served reported an unknown ID as open")
+	}
+}
+
+// TestSubmitSeqOverflowGuard: the submission counter narrows into
+// batch.Item.Index exactly once, behind an explicit guard — a sequence
+// beyond the int range is rejected, not silently aliased.
+func TestSubmitSeqOverflowGuard(t *testing.T) {
+	m := newManager(t, 0.5)
+	if _, err := m.Resubmit(request("big", 0.4, 1), math.MaxUint64); !errors.Is(err, ErrSeqOverflow) {
+		t.Fatalf("Resubmit(MaxUint64) = %v, want ErrSeqOverflow", err)
+	}
+	if m.Open() != 0 || m.Epoch() != 0 {
+		t.Fatalf("rejected overflow mutated manager: open=%d epoch=%d", m.Open(), m.Epoch())
+	}
+	// The largest representable sequence still admits cleanly.
+	if _, err := m.Resubmit(request("edge", 0.4, 1), math.MaxInt); err != nil {
+		t.Fatalf("Resubmit(MaxInt) = %v", err)
+	}
+	if seq, ok := m.SubmissionSeq("edge"); !ok || seq != math.MaxInt {
+		t.Fatalf("SubmissionSeq(edge) = %d,%v", seq, ok)
+	}
 }

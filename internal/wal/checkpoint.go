@@ -21,8 +21,8 @@ type Checkpoint struct {
 	// Seq is the last WAL sequence number the checkpoint covers; records
 	// with larger sequence numbers form the replay tail.
 	Seq uint64 `json:"seq"`
-	// Epoch is the plan epoch at Seq, force-restored after the pool is
-	// re-admitted so epoch observables survive the restart.
+	// Epoch is the pool-generation counter at Seq, force-restored after
+	// the pool is re-admitted so epoch observables survive the restart.
 	Epoch uint64 `json:"epoch"`
 	// Availability is the expected workforce W at Seq.
 	Availability float64 `json:"availability"`
@@ -44,6 +44,12 @@ type CheckpointRequest struct {
 	// Sub is the request's submission sequence number; recovery re-admits
 	// with stream.Manager.Resubmit under exactly this number.
 	Sub uint64 `json:"sub"`
+	// Req/Infeasible carry the request's aggregated workforce requirement
+	// as computed at its original admission, the same recovery fingerprint
+	// submit Records carry: re-admission must recompute it bit-for-bit or
+	// the checkpoint is being restored against the wrong tenant universe.
+	Req        float64 `json:"req,omitempty"`
+	Infeasible bool    `json:"infeasible,omitempty"`
 }
 
 // ErrCheckpoint marks unreadable or version-mismatched checkpoint files.

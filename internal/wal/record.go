@@ -40,6 +40,19 @@
 // atomic rename, and segment deletion happens only after the checkpoint
 // is durable — a crash at any point leaves either the old
 // checkpoint+segments or the new ones, never neither.
+//
+// # Ordering under coalesced replans
+//
+// The serving tenant loop drains up to a batch of pending mutations,
+// applies them through the stream manager and appends one record per
+// mutation, in apply order, before the batch's single snapshot publish
+// and before any reply is sent: acknowledged ⇒ logged (⇒ fsynced at the
+// default sync policy) holds per mutation regardless of batch size. Two
+// per-record integrity anchors survive coalescing because neither
+// depends on when the plan was repaired: Record.Epoch is the
+// pool-generation counter (exactly one step per applied mutation), and
+// submit records carry the requirement fingerprint computed at
+// admission. Replay applies records one at a time and verifies both.
 package wal
 
 import (
@@ -52,7 +65,18 @@ import (
 
 // FormatVersion is the record/checkpoint payload version. Decoders reject
 // other versions loudly instead of guessing.
-const FormatVersion = 1
+//
+// Version history:
+//
+//	1 — PR 4: epoch bumped only on serving-set changes; no requirement
+//	    fingerprint. A v1 log's epoch trail is meaningless under the v2
+//	    semantics, so v2 readers reject v1 records outright rather than
+//	    reporting a spurious (or, worse, missing) epoch divergence.
+//	2 — epoch is a pool-generation counter (one step per applied
+//	    mutation, serving-set change or not), and submit records carry
+//	    the admitted request's computed workforce requirement as a
+//	    recovery fingerprint.
+const FormatVersion = 2
 
 // Record kinds mirror the three mutations of a stream.Manager.
 const (
@@ -85,11 +109,23 @@ type Record struct {
 	Sub uint64 `json:"sub,omitempty"`
 	// W is the new expected workforce (availability).
 	W float64 `json:"w,omitempty"`
-	// Epoch is the plan epoch after the mutation was applied. Recovery
-	// replays the record and verifies it reaches exactly this epoch,
-	// turning the epoch trail into an end-to-end integrity check of the
-	// replayed state.
+	// Epoch is the pool-generation counter after the mutation was
+	// applied: one step per applied mutation, whether or not the serving
+	// set moved, which makes it independent of how mutations were
+	// coalesced into replan batches. Recovery replays the record and
+	// verifies it reaches exactly this epoch, checking that no logged
+	// mutation was lost, duplicated or reordered.
 	Epoch uint64 `json:"epoch"`
+	// Req is the admitted request's aggregated workforce requirement as
+	// computed at the original admission (submit records of feasible
+	// requests; Infeasible marks the rest, since JSON cannot carry +Inf).
+	// It fingerprints the catalog, the models, the aggregation mode and
+	// the submission sequence: recovery recomputes the requirement and
+	// demands bit-identity, so replaying a log against the wrong tenant
+	// universe fails loudly at the first submit instead of rebuilding a
+	// silently different plan.
+	Req        float64 `json:"req,omitempty"`
+	Infeasible bool    `json:"infeasible,omitempty"`
 }
 
 // Decode errors. ErrTorn marks frames that end mid-record (the one fault

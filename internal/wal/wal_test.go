@@ -66,8 +66,8 @@ func TestDecodeRejects(t *testing.T) {
 		{"no space", []byte(strings.Replace(string(line), " ", "_", 1)), ErrCRC},
 		{"crc-valid garbage", frame([]byte("not json")), ErrKind},
 		{"wrong version", frame([]byte(`{"v":99,"seq":1,"kind":"submit","epoch":0}`)), ErrVersion},
-		{"unknown kind", frame([]byte(`{"v":1,"seq":1,"kind":"explode","epoch":0}`)), ErrKind},
-		{"unknown field", frame([]byte(`{"v":1,"seq":1,"kind":"submit","zzz":4,"epoch":0}`)), ErrKind},
+		{"unknown kind", frame([]byte(`{"v":2,"seq":1,"kind":"explode","epoch":0}`)), ErrKind},
+		{"unknown field", frame([]byte(`{"v":2,"seq":1,"kind":"submit","zzz":4,"epoch":0}`)), ErrKind},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeRecord(tc.in); !errors.Is(err, tc.want) {

@@ -31,10 +31,17 @@ import (
 //     can never observe the same row, and a request re-admitted during
 //     recovery sees exactly the row of its original admission.
 //
+// reqIdx is uint64 precisely because of the streaming caller: the
+// submission counter is monotonic over the manager's whole lifetime
+// (recovered logs included), so narrowing it to int would alias rows on
+// 32-bit platforms once the counter passes MaxInt32. Providers indexing a
+// slice by reqIdx (FullModels) are expected to be provisioned densely from
+// 0 and may convert internally.
+//
 // Providers that ignore reqIdx (PerStrategyModels, the common case) are
 // unaffected by the distinction.
 type ModelProvider interface {
-	Models(reqIdx, stratIdx int) linmodel.ParamModels
+	Models(reqIdx uint64, stratIdx int) linmodel.ParamModels
 }
 
 // PerStrategyModels is the common case where models depend only on the
@@ -43,7 +50,7 @@ type ModelProvider interface {
 type PerStrategyModels []linmodel.ParamModels
 
 // Models returns the models of strategy stratIdx regardless of the request.
-func (p PerStrategyModels) Models(_, stratIdx int) linmodel.ParamModels { return p[stratIdx] }
+func (p PerStrategyModels) Models(_ uint64, stratIdx int) linmodel.ParamModels { return p[stratIdx] }
 
 // FullModels is a complete per-(request, strategy) model matrix. Rows are
 // indexed by reqIdx, so under a stream.Manager the matrix must have one
@@ -52,7 +59,9 @@ func (p PerStrategyModels) Models(_, stratIdx int) linmodel.ParamModels { return
 type FullModels [][]linmodel.ParamModels
 
 // Models returns the models at [reqIdx][stratIdx].
-func (f FullModels) Models(reqIdx, stratIdx int) linmodel.ParamModels { return f[reqIdx][stratIdx] }
+func (f FullModels) Models(reqIdx uint64, stratIdx int) linmodel.ParamModels {
+	return f[reqIdx][stratIdx]
+}
 
 // Matrix is the workforce requirement matrix W: Entry(i, j) is the minimum
 // workforce needed to deploy request i with strategy j, or
@@ -77,7 +86,7 @@ func Compute(requests []strategy.Request, set strategy.Set, models ModelProvider
 			return nil, fmt.Errorf("workforce: request %d: %w", i, err)
 		}
 		for j := range set {
-			mat.entries[i*mat.s+j] = models.Models(i, j).Requirement(d.Params)
+			mat.entries[i*mat.s+j] = models.Models(uint64(i), j).Requirement(d.Params)
 		}
 	}
 	return mat, nil
@@ -201,8 +210,10 @@ func (mat *Matrix) Vector(requests []strategy.Request, mode Mode) []Requirement 
 // RequirementFor computes one request's aggregated requirement directly,
 // without materializing a matrix row. It is the streaming variant used by
 // the large-scale experiments (a 10^4 x 10^4 batch would otherwise need an
-// 800 MB matrix).
-func RequirementFor(d strategy.Request, reqIdx int, set strategy.Set, models ModelProvider, mode Mode) Requirement {
+// 800 MB matrix). reqIdx follows the ModelProvider contract: a slice
+// position for batch callers, the full-width submission sequence number
+// for streaming callers.
+func RequirementFor(d strategy.Request, reqIdx uint64, set strategy.Set, models ModelProvider, mode Mode) Requirement {
 	if d.K < 1 {
 		return Requirement{Workforce: linmodel.Infeasible}
 	}
