@@ -18,6 +18,7 @@ import (
 //	stratrec conform -replay failure.json            # replay an artifact
 //	stratrec conform -seed 7 -profile revoke-storm   # chaos schedule
 //	stratrec conform -profile crash-recovery         # kill/restart oracle
+//	stratrec conform -profile thundering-herd        # overload shed oracle
 //
 // On divergence the failing trace is minimized with delta debugging and
 // written to -artifact as replayable JSON, and the exit status is nonzero.
@@ -30,6 +31,13 @@ import (
 // plus the data directory itself (kept in place, path printed), not a
 // minimized trace: the failure depends on the kill point, which ddmin
 // event deletion does not preserve.
+//
+// The overload profiles (thundering-herd, revoke-storm-shed, avail-flap)
+// run the chaos shed-accounting oracle instead: concurrent writers
+// through the real HTTP stack with fault injection forcing admission
+// control to shed, then kill + restart, then exactly-once verification
+// (every 2xx ack recovered, every 429/503 shed absent). Their failure
+// artifact is the accounting ledger JSON plus the kept data directory.
 func runConform(args []string) error {
 	fs := flag.NewFlagSet("conform", flag.ContinueOnError)
 	var (
@@ -38,7 +46,7 @@ func runConform(args []string) error {
 		tenants    = fs.Int("tenants", 2, "tenant count (objectives/modes cycle per tenant)")
 		strategies = fs.Int("strategies", 24, "strategies per tenant catalog (max 32: the brute-force oracle bound)")
 		k          = fs.Int("k", 3, "per-request cardinality constraint")
-		profile    = fs.String("profile", "steady", "chaos schedule: steady, revoke-storm or bursty")
+		profile    = fs.String("profile", "steady", "chaos schedule: steady, revoke-storm, bursty, crash-recovery, thundering-herd, revoke-storm-shed or avail-flap")
 		market     = fs.Bool("market", false, "derive availability drift from simulated marketplace outcomes")
 		bbLimit    = fs.Int("branch-bound-limit", 48, "max open items for the exact optimality oracle (-1 disables)")
 		adparPar   = fs.Int("adpar-parallelism", 0, "server ADPaR sweep workers: 0 auto, 1 sequential")
@@ -51,9 +59,24 @@ func runConform(args []string) error {
 		crashCut  = fs.Int("crash-cut", -1, "crash-recovery: event index to kill at (-1 = seeded mid-trace point)")
 		crashDir  = fs.String("crash-data-dir", "", "crash-recovery: durability dir (empty = temp dir; kept on failure either way)")
 		crashTorn = fs.Bool("crash-torn-tail", false, "crash-recovery: also inject a torn partial record at the kill point")
+
+		ovWorkers  = fs.Int("overload-workers", 0, "overload profiles: concurrent writer goroutines (0 = 8)")
+		ovOps      = fs.Int("overload-ops", 0, "overload profiles: mutations per writer (0 = 60)")
+		ovBuffer   = fs.Int("overload-op-buffer", 0, "overload profiles: tenant inbox capacity (0 = 4, deliberately smaller than the writer count)")
+		ovDeadline = fs.Int("overload-deadline-ms", 10, "overload profiles: X-Request-Deadline-Ms attached to every third mutation (0 disables)")
+		ovDir      = fs.String("overload-data-dir", "", "overload profiles: durability dir (empty = temp dir; kept on violation either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	for _, p := range conformance.OverloadProfiles {
+		if *profile == string(p) {
+			return runConformOverload(p, overloadArgs{
+				seed: *seed, strategies: *strategies,
+				workers: *ovWorkers, ops: *ovOps, opBuffer: *ovBuffer,
+				deadlineMs: *ovDeadline, dataDir: *ovDir, artifact: *artifact,
+			})
+		}
 	}
 	if *profile == "crash-recovery" {
 		return runConformCrash(crashArgs{
@@ -208,6 +231,48 @@ func runConformCrash(a crashArgs) error {
 	}
 	fmt.Printf("conform: data dir kept at %s for inspection (stratrec recover -data-dir ...)\n", res.DataDir)
 	return fmt.Errorf("conform: %d oracle divergences", len(res.Divergences))
+}
+
+// overloadArgs carries the overload-profile knobs.
+type overloadArgs struct {
+	seed                     int64
+	strategies, workers, ops int
+	opBuffer, deadlineMs     int
+	dataDir, artifact        string
+}
+
+// runConformOverload runs the chaos shed-accounting oracle for one
+// overload profile and writes the accounting ledger as the failure
+// artifact.
+func runConformOverload(profile conformance.OverloadProfile, a overloadArgs) error {
+	fmt.Printf("conform: overload profile %s, seed %d\n", profile, a.seed)
+	start := time.Now()
+	res, err := conformance.RunOverload(conformance.OverloadConfig{
+		Profile:      profile,
+		Seed:         a.seed,
+		Strategies:   a.strategies,
+		Workers:      a.workers,
+		OpsPerWorker: a.ops,
+		OpBuffer:     a.opBuffer,
+		DeadlineMs:   a.deadlineMs,
+		DataDir:      a.dataDir,
+	})
+	if err != nil {
+		if res.DataDir != "" {
+			fmt.Printf("conform: data dir kept at %s\n", res.DataDir)
+		}
+		return err
+	}
+	fmt.Printf("%s  (%.1fs)\n", res, time.Since(start).Seconds())
+	if res.OK() {
+		return nil
+	}
+	if err := res.WriteArtifact(a.artifact); err != nil {
+		return fmt.Errorf("writing shed-accounting artifact: %w", err)
+	}
+	fmt.Printf("conform: shed-accounting ledger written to %s\n", a.artifact)
+	fmt.Printf("conform: data dir kept at %s for inspection\n", res.DataDir)
+	return fmt.Errorf("conform: %d shed-accounting violations", len(res.Violations))
 }
 
 func writeTraceFile(path string, tr conformance.Trace) error {

@@ -35,6 +35,10 @@ func runServe(args []string) error {
 		mode        = fs.String("mode", "max", "workforce aggregation: sum or max")
 		adparPar    = fs.Int("adpar-parallelism", 0, "ADPaR sweep workers: 0 auto (GOMAXPROCS), 1 sequential")
 		coalesce    = fs.Int("coalesce", 0, "max queued mutations a tenant loop applies per replan cycle (0 = default 32, 1 = no coalescing)")
+		opBuffer    = fs.Int("op-buffer", 0, "per-tenant mutation inbox capacity; beyond it new mutations are shed with 429 (0 = default 64)")
+		adparWork   = fs.Int("adpar-workers", 0, "server-wide ADPaR alternative-query pool workers (0 = GOMAXPROCS)")
+		adparQueue  = fs.Int("adpar-queue", 0, "alternative queries that may wait for a pool worker before shedding 429 (0 = 2x workers)")
+		mutDeadline = fs.Duration("mutation-deadline", 0, "default mutation deadline when no X-Request-Deadline-Ms header is sent; 0 disables projected-wait shedding for headerless mutations")
 		demoTenants = fs.Int("demo-tenants", 2, "synthetic tenant count when -tenants is empty")
 		demoSize    = fs.Int("demo-strategies", 64, "strategies per synthetic tenant")
 		seed        = fs.Int64("seed", 2020, "synthetic tenant / selftest workload seed")
@@ -70,8 +74,12 @@ func runServe(args []string) error {
 	cfg.DataDir = *dataDir
 	cfg.WALSyncEvery = *syncEvery
 	cfg.CheckpointEvery = *ckptEvery
+	cfg.ADPaRWorkers = *adparWork
+	cfg.ADPaRQueue = *adparQueue
+	cfg.MutationDeadline = *mutDeadline
 	for name, tc := range cfg.Tenants {
 		tc.Coalesce = *coalesce
+		tc.OpBuffer = *opBuffer
 		cfg.Tenants[name] = tc
 	}
 

@@ -1,16 +1,27 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
+	"time"
 
 	"stratrec/internal/adpar"
 	"stratrec/internal/strategy"
 	"stratrec/internal/stream"
 )
+
+// DeadlineHeader lets a client attach a per-request deadline to a
+// mutation: admission control sheds up front when the projected queue
+// wait exceeds it, and the event loop sheds immediately before apply when
+// it expired while queued. The value is milliseconds, e.g.
+// "X-Request-Deadline-Ms: 50". Without the header the server default
+// (Config.MutationDeadline) applies, if any.
+const DeadlineHeader = "X-Request-Deadline-Ms"
 
 // routes wires the HTTP surface:
 //
@@ -28,11 +39,11 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.metricsHandler)
 	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
-	mux.HandleFunc("POST /v1/tenants/{tenant}/requests", s.tenantHandler(handleSubmit))
-	mux.HandleFunc("DELETE /v1/tenants/{tenant}/requests/{id}", s.tenantHandler(handleRevoke))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/requests", s.tenantHandler(s.handleSubmit))
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}/requests/{id}", s.tenantHandler(s.handleRevoke))
 	mux.HandleFunc("GET /v1/tenants/{tenant}/plan", s.tenantHandler(handlePlan))
 	mux.HandleFunc("GET /v1/tenants/{tenant}/requests/{id}/alternative", s.tenantHandler(handleAlternative))
-	mux.HandleFunc("PUT /v1/tenants/{tenant}/availability", s.tenantHandler(handleAvailability))
+	mux.HandleFunc("PUT /v1/tenants/{tenant}/availability", s.tenantHandler(s.handleAvailability))
 	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	return mux
 }
@@ -131,8 +142,36 @@ type ErrorResponse struct {
 
 // --- handlers ---
 
+// handleHealthz reports per-tenant health plus the aggregate. The
+// endpoint stays 200 while any tenant can still make progress — a single
+// WAL-broken tenant makes the aggregate "degraded", not the whole server
+// unhealthy — and goes 503 ("unavailable") only when every tenant is
+// read-only, so orchestrators don't restart a fleet member that is still
+// serving N-1 tenants.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := HealthResponse{Tenants: make(map[string]TenantHealth, len(s.names))}
+	allOK, allDown := true, true
+	for _, name := range s.names {
+		h := s.tenants[name].health()
+		resp.Tenants[name] = h
+		if h.Status != HealthOK {
+			allOK = false
+		}
+		if h.Status != HealthReadOnly {
+			allDown = false
+		}
+	}
+	code := http.StatusOK
+	switch {
+	case allDown:
+		resp.Status = "unavailable"
+		code = http.StatusServiceUnavailable
+	case allOK:
+		resp.Status = HealthOK
+	default:
+		resp.Status = HealthDegraded
+	}
+	writeJSON(w, code, resp)
 }
 
 func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
@@ -165,7 +204,29 @@ func (s *Server) tenantHandler(h func(*Tenant, http.ResponseWriter, *http.Reques
 	}
 }
 
-func handleSubmit(t *Tenant, w http.ResponseWriter, r *http.Request) {
+// mutationContext derives the admission-control context for one mutation
+// from the DeadlineHeader, falling back to the server-wide default. The
+// context deliberately does NOT inherit r.Context(): a client hanging up
+// mid-flight must not turn an already-enqueued (and possibly applied +
+// logged) mutation into a shed — the handler always waits for the loop's
+// definitive answer, and only the loop sheds, only before apply.
+func (s *Server) mutationContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.mutDeadline
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, badRequest("invalid %s header %q (want positive integer milliseconds)", DeadlineHeader, h)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d <= 0 {
+		return context.Background(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	return ctx, cancel, nil
+}
+
+func (s *Server) handleSubmit(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	var body SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeError(w, badRequest("invalid JSON: %v", err))
@@ -181,7 +242,13 @@ func handleSubmit(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	if body.K == 0 {
 		body.K = 1
 	}
-	res, err := t.Submit(strategy.Request{
+	ctx, cancel, err := s.mutationContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	res, err := t.Submit(ctx, strategy.Request{
 		ID:     body.ID,
 		Params: strategy.Params{Quality: body.Quality, Cost: body.Cost, Latency: body.Latency},
 		K:      body.K,
@@ -193,8 +260,14 @@ func handleSubmit(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SubmitResponse{ID: body.ID, Served: res.Served, Epoch: res.Epoch})
 }
 
-func handleRevoke(t *Tenant, w http.ResponseWriter, r *http.Request) {
-	epoch, err := t.Revoke(r.PathValue("id"))
+func (s *Server) handleRevoke(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := s.mutationContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	epoch, err := t.Revoke(ctx, r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -202,13 +275,19 @@ func handleRevoke(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, EpochResponse{Epoch: epoch})
 }
 
-func handleAvailability(t *Tenant, w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAvailability(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	var body AvailabilityRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeError(w, badRequest("invalid JSON: %v", err))
 		return
 	}
-	epoch, err := t.SetAvailability(body.Workforce)
+	ctx, cancel, err := s.mutationContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	epoch, err := t.SetAvailability(ctx, body.Workforce)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -258,7 +337,10 @@ func handlePlan(t *Tenant, w http.ResponseWriter, _ *http.Request) {
 
 func handleAlternative(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	sol, rs, err := t.Alternative(id)
+	// Unlike mutations, the query inherits the request context: aborting
+	// a read that never ran (client gone while queued for a pool slot)
+	// has no accounting consequences.
+	sol, rs, err := t.Alternative(r.Context(), id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -310,13 +392,26 @@ func badRequest(format string, args ...any) error {
 
 // writeError maps domain errors onto HTTP status codes: unknown
 // tenant/request → 404, duplicate or already-served → 409, validation →
-// 400, closed tenant → 503, anything else → 500.
+// 400, shed under overload → 429 with Retry-After, closed or read-only
+// tenant → 503 with Retry-After, anything else → 500.
+//
+// The 429/503 split is semantic, not cosmetic: 429 means the server chose
+// not to take the work (queue full, deadline unmeetable, pool saturated)
+// and a backoff of Retry-After seconds should succeed; 503 means the
+// tenant cannot take writes at all — shutting down (retry shortly against
+// the replacement) or WAL-broken (no retry helps until an operator
+// restarts, hence the longer hint). Both guarantee the mutation left no
+// trace.
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	var se statusError
+	var oe *OverloadError
 	switch {
 	case errors.As(err, &se):
 		code = se.code
+	case errors.As(err, &oe):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(oe.RetryAfter)))
+		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrUnknownTenant), errors.Is(err, stream.ErrUnknownID):
 		code = http.StatusNotFound
 	case errors.Is(err, stream.ErrDuplicateID), errors.Is(err, stream.ErrServed):
@@ -327,7 +422,11 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrNoDurability):
 		code = http.StatusConflict
-	case errors.Is(err, ErrTenantClosed), errors.Is(err, ErrWALBroken):
+	case errors.Is(err, ErrTenantClosed):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrWALBroken):
+		w.Header().Set("Retry-After", "30")
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -55,7 +56,7 @@ func stallFirst(t *testing.T, tn *Tenant, stalled chan struct{}) chan error {
 	t.Helper()
 	firstErr := make(chan error, 1)
 	go func() {
-		_, err := tn.Submit(submitReq("first", 0.52))
+		_, err := tn.Submit(context.Background(), submitReq("first", 0.52))
 		firstErr <- err
 	}()
 	select {
@@ -101,7 +102,7 @@ func TestCoalescedBatchDrainsQueue(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			id := fmt.Sprintf("q%02d", i)
-			res, err := tn.Submit(submitReq(id, 0.52))
+			res, err := tn.Submit(context.Background(), submitReq(id, 0.52))
 			// The reply is sent after the batch's snapshot publish: the
 			// published snapshot must already contain this submission.
 			if err == nil {
@@ -161,12 +162,12 @@ func TestCoalescedAckImpliesLogged(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			if i == k-1 {
-				if _, err := tn.SetAvailability(0.6); err != nil {
+				if _, err := tn.SetAvailability(context.Background(), 0.6); err != nil {
 					t.Errorf("drift: %v", err)
 				}
 				return
 			}
-			if _, err := tn.Submit(submitReq(fmt.Sprintf("q%02d", i), 0.52)); err != nil {
+			if _, err := tn.Submit(context.Background(), submitReq(fmt.Sprintf("q%02d", i), 0.52)); err != nil {
 				t.Errorf("submit: %v", err)
 			}
 		}(i)
@@ -239,7 +240,7 @@ func TestCoalescedLoopUnderRace(t *testing.T) {
 			var last uint64
 			for i := 0; i < rounds; i++ {
 				id := fmt.Sprintf("w%d-%03d", w, i)
-				res, err := tn.Submit(submitReq(id, 0.3+0.01*float64(w)))
+				res, err := tn.Submit(context.Background(), submitReq(id, 0.3+0.01*float64(w)))
 				if err != nil {
 					t.Errorf("submit %s: %v", id, err)
 					return
@@ -256,7 +257,7 @@ func TestCoalescedLoopUnderRace(t *testing.T) {
 				}
 				last = res.Epoch
 				if i%2 == 1 {
-					epoch, err := tn.Revoke(id)
+					epoch, err := tn.Revoke(context.Background(), id)
 					if err != nil {
 						t.Errorf("revoke %s: %v", id, err)
 						return

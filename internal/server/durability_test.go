@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -67,11 +68,11 @@ func driveMutations(t *testing.T, tn *Tenant, n int, seed int64) []string {
 			j := rng.Intn(len(open))
 			id := open[j]
 			open = append(open[:j], open[j+1:]...)
-			if _, err := tn.Revoke(id); err != nil {
+			if _, err := tn.Revoke(context.Background(), id); err != nil {
 				t.Fatalf("revoke %s: %v", id, err)
 			}
 		case rng.Float64() < 0.06:
-			if _, err := tn.SetAvailability(0.3 + 0.6*rng.Float64()); err != nil {
+			if _, err := tn.SetAvailability(context.Background(), 0.3+0.6*rng.Float64()); err != nil {
 				t.Fatal(err)
 			}
 		default:
@@ -82,7 +83,7 @@ func driveMutations(t *testing.T, tn *Tenant, n int, seed int64) []string {
 				Params: strategy.Params{Quality: 0.25 + 0.6*rng.Float64(), Cost: 0.9, Latency: 0.9},
 				K:      1,
 			}
-			if _, err := tn.Submit(d); err != nil {
+			if _, err := tn.Submit(context.Background(), d); err != nil {
 				t.Fatalf("submit %s: %v", id, err)
 			}
 			open = append(open, id)
@@ -127,7 +128,7 @@ func TestDurableRestartRestoresState(t *testing.T) {
 	// The recovered server keeps serving: a fresh submission gets a fresh
 	// submission number, above everything restored.
 	tn, _ := s2.Tenant("alpha")
-	if _, err := tn.Submit(strategy.Request{ID: "fresh", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1}); err != nil {
+	if _, err := tn.Submit(context.Background(), strategy.Request{ID: "fresh", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1}); err != nil {
 		t.Fatal(err)
 	}
 	rs, ok := tn.Snapshot().Request("fresh")
@@ -305,7 +306,7 @@ func TestDurableRevokeStormUnderRace(t *testing.T) {
 			var last uint64
 			for i := 0; i < 60; i++ {
 				id := fmt.Sprintf("w%d-%d", w, i)
-				res, err := tn.Submit(strategy.Request{ID: id, Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1})
+				res, err := tn.Submit(context.Background(), strategy.Request{ID: id, Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1})
 				if err != nil {
 					t.Errorf("submit %s: %v", id, err)
 					return
@@ -315,7 +316,7 @@ func TestDurableRevokeStormUnderRace(t *testing.T) {
 				}
 				last = res.Epoch
 				if i%3 != 0 { // keep every third request open
-					epoch, err := tn.Revoke(id)
+					epoch, err := tn.Revoke(context.Background(), id)
 					if err != nil {
 						t.Errorf("revoke %s: %v", id, err)
 						return
@@ -368,17 +369,17 @@ func TestWALFailureGoesReadOnly(t *testing.T) {
 	// observes it after receiving the op.)
 	tn.wal.Close()
 
-	_, err = tn.Submit(strategy.Request{ID: "unlogged", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1})
+	_, err = tn.Submit(context.Background(), strategy.Request{ID: "unlogged", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1})
 	if err == nil {
 		t.Fatal("submit with a dead WAL was acknowledged")
 	}
 	if _, ok := tn.Snapshot().Request("unlogged"); ok {
 		t.Fatal("unlogged mutation is visible in the published snapshot")
 	}
-	if _, err := tn.Submit(strategy.Request{ID: "after", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1}); !errors.Is(err, ErrWALBroken) {
+	if _, err := tn.Submit(context.Background(), strategy.Request{ID: "after", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1}); !errors.Is(err, ErrWALBroken) {
 		t.Fatalf("write after WAL failure: %v, want ErrWALBroken", err)
 	}
-	if _, err := tn.Revoke("whatever"); !errors.Is(err, ErrWALBroken) {
+	if _, err := tn.Revoke(context.Background(), "whatever"); !errors.Is(err, ErrWALBroken) {
 		t.Fatalf("revoke after WAL failure: %v, want ErrWALBroken", err)
 	}
 	// A checkpoint must also be refused: it would durably persist (and

@@ -21,6 +21,9 @@ type tenantMetrics struct {
 	// batchedOps counts the mutations they applied, so
 	// batchedOps/batches is the achieved coalescing factor.
 	batches, batchedOps expvar.Int
+	// Overload sheds: mutations turned away by a full inbox vs. by a
+	// deadline the projected (or actual) queue wait overshot.
+	shedsQueueFull, shedsDeadline expvar.Int
 	// Durability counters (present only when the tenant has a WAL).
 	walErrors, checkpoints, checkpointErrors expvar.Int
 	recoveredRequests, recoveredTail         expvar.Int
@@ -39,6 +42,16 @@ func newTenantMetrics(t *Tenant) *tenantMetrics {
 	m.vars.Set("errors", &m.errors)
 	m.vars.Set("coalesced_batches", &m.batches)
 	m.vars.Set("coalesced_ops", &m.batchedOps)
+	m.vars.Set("sheds_queue_full", &m.shedsQueueFull)
+	m.vars.Set("sheds_deadline", &m.shedsDeadline)
+	// Overload gauges: live inbox pressure and the batch-latency EWMA
+	// behind wait projections and Retry-After estimates.
+	m.vars.Set("queue_depth", expvar.Func(func() any { return len(t.ops) }))
+	m.vars.Set("queue_capacity", expvar.Func(func() any { return cap(t.ops) }))
+	m.vars.Set("batch_latency_us", expvar.Func(func() any {
+		return t.batchLatency.get(0).Microseconds()
+	}))
+	m.vars.Set("read_only", expvar.Func(func() any { return t.readOnly.Load() }))
 	// Gauges read the atomically published snapshot, so they are safe
 	// from any goroutine and always consistent with what /plan serves.
 	m.vars.Set("epoch", expvar.Func(func() any { return t.snap.Load().Epoch }))
@@ -90,6 +103,16 @@ func newMetricsRoot(s *Server) *expvar.Map {
 		tenants.Set(name, t.met.vars)
 	}
 	root.Set("tenants", tenants)
+	if p := s.pool; p != nil {
+		pool := new(expvar.Map).Init()
+		pool.Set("workers", expvar.Func(func() any { return cap(p.slots) }))
+		pool.Set("busy", expvar.Func(func() any { return len(p.slots) }))
+		pool.Set("queue_capacity", expvar.Func(func() any { return p.queueCap }))
+		pool.Set("waiting", expvar.Func(func() any { return p.waiting.Load() }))
+		pool.Set("sheds", expvar.Func(func() any { return p.sheds.Load() }))
+		pool.Set("wait_us", expvar.Func(func() any { return p.waitEWMA.get(0).Microseconds() }))
+		root.Set("adpar_pool", pool)
+	}
 	return root
 }
 

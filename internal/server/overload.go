@@ -1,0 +1,214 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is wrapped by every load-shedding rejection: a mutation
+// the tenant's bounded inbox could not absorb, a mutation whose projected
+// queue wait already exceeds the caller's deadline, or an ADPaR
+// alternative query the worker pool's bounded queue turned away. Shed
+// responses map to 429 with a Retry-After header; crucially, a shed op
+// was NEVER applied and NEVER logged, so a 429 is a hard promise that the
+// mutation left no trace — the chaos oracle (internal/conformance)
+// verifies exactly that across kill/restart cycles.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// OverloadError is the concrete shed error: it carries the Retry-After
+// the HTTP layer advertises, computed from the live queue depth and an
+// EWMA of recent coalesced-batch latency (mutations) or pool wait
+// (alternative queries). It unwraps to ErrOverloaded.
+type OverloadError struct {
+	// RetryAfter is the server's estimate of when retrying could succeed.
+	RetryAfter time.Duration
+	// Reason says which admission check shed the request.
+	Reason string
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: overloaded: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// retryAfterSeconds rounds a wait estimate up to the whole seconds the
+// Retry-After header speaks, with a floor of 1.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ewma is a concurrency-safe exponentially-weighted moving average over
+// duration samples, alpha = 1/4. The single writer is the measuring
+// goroutine; readers are admission checks and metrics gauges.
+type ewma struct {
+	nanos atomic.Int64
+}
+
+func (e *ewma) observe(d time.Duration) {
+	cur := e.nanos.Load()
+	if cur == 0 {
+		e.nanos.Store(int64(d))
+		return
+	}
+	e.nanos.Store(cur + (int64(d)-cur)/4)
+}
+
+// get returns the current average, or fallback before the first sample.
+func (e *ewma) get(fallback time.Duration) time.Duration {
+	if v := e.nanos.Load(); v > 0 {
+		return time.Duration(v)
+	}
+	return fallback
+}
+
+// fallbackBatchLatency seeds wait projections before the loop has
+// measured a single coalesced batch.
+const fallbackBatchLatency = 500 * time.Microsecond
+
+// projectedWait estimates how long a mutation enqueued behind depth
+// waiting ops will sit before its batch applies: the number of coalesced
+// batches ahead of it times the recent batch latency.
+func (t *Tenant) projectedWait(depth int) time.Duration {
+	batches := depth/t.coalesce + 1
+	return time.Duration(batches) * t.batchLatency.get(fallbackBatchLatency)
+}
+
+// shedQueueFull builds the 429 for a full inbox: the retry estimate is
+// the time to drain the whole queue.
+func (t *Tenant) shedQueueFull() error {
+	t.met.shedsQueueFull.Add(1)
+	wait := t.projectedWait(cap(t.ops))
+	return &OverloadError{
+		RetryAfter: time.Duration(retryAfterSeconds(wait)) * time.Second,
+		Reason:     fmt.Sprintf("tenant %s inbox full (%d ops)", t.name, cap(t.ops)),
+	}
+}
+
+// shedDeadline builds the 429 for a mutation whose deadline cannot be met
+// — either projected at admission or observed expired by the loop before
+// apply. The op was not applied and not logged.
+func (t *Tenant) shedDeadline(reason string, wait time.Duration) error {
+	t.met.shedsDeadline.Add(1)
+	return &OverloadError{
+		RetryAfter: time.Duration(retryAfterSeconds(wait)) * time.Second,
+		Reason:     reason,
+	}
+}
+
+// --- ADPaR alternative-query worker pool ---
+
+// queryPool is the concurrency limiter for ADPaR alternative queries: a
+// fixed worker count (slots) plus a bounded wait queue. Alternative
+// solves are the one CPU-heavy read in the system (tens of ms at large
+// catalogs), and a thundering herd of displaced requests re-polling
+// alternatives must not starve plan reads (lock-free, never pooled) or
+// mutation acks (event loop, independent goroutine). Beyond the queue
+// bound the query is shed with 429 + Retry-After so clients back off
+// instead of piling onto the handler goroutine count.
+type queryPool struct {
+	slots    chan struct{}
+	queueCap int
+
+	waiting  atomic.Int64
+	sheds    atomic.Int64
+	waitEWMA ewma
+}
+
+func newQueryPool(workers, queue int) *queryPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	return &queryPool{slots: make(chan struct{}, workers), queueCap: queue}
+}
+
+// acquire takes a worker slot, waiting in the bounded queue when all
+// slots are busy. It sheds (ErrOverloaded) when the queue is full, and
+// aborts with ctx.Err() when the caller's context ends first (client
+// gone, deadline passed) — the query never ran, so aborting is free.
+func (p *queryPool) acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if p.waiting.Add(1) > int64(p.queueCap) {
+		p.waiting.Add(-1)
+		p.sheds.Add(1)
+		wait := time.Duration(p.queueCap) * p.waitEWMA.get(time.Millisecond)
+		return &OverloadError{
+			RetryAfter: time.Duration(retryAfterSeconds(wait)) * time.Second,
+			Reason:     fmt.Sprintf("alternative-query pool saturated (%d workers, %d queued)", cap(p.slots), p.queueCap),
+		}
+	}
+	defer p.waiting.Add(-1)
+	start := time.Now()
+	select {
+	case p.slots <- struct{}{}:
+		p.waitEWMA.observe(time.Since(start))
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *queryPool) release() { <-p.slots }
+
+// --- health ---
+
+// Tenant health statuses reported by GET /healthz.
+const (
+	// HealthOK: accepting reads and writes, inbox has headroom.
+	HealthOK = "ok"
+	// HealthDegraded: still accepting writes but the inbox is at least
+	// half full — new mutations are at risk of being shed.
+	HealthDegraded = "degraded"
+	// HealthReadOnly: the WAL circuit breaker has tripped; reads serve
+	// the last published snapshot, writes fail until an operator
+	// restarts the server (recovery rebuilds the logged state).
+	HealthReadOnly = "read-only"
+)
+
+// TenantHealth is one tenant's row in the /healthz response.
+type TenantHealth struct {
+	Status        string `json:"status"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
+// HealthResponse is the GET /healthz body: per-tenant status plus the
+// aggregate. The aggregate is "ok" only when every tenant is ok,
+// "unavailable" (the only non-200 case) only when every tenant is
+// read-only, and "degraded" otherwise.
+type HealthResponse struct {
+	Status  string                  `json:"status"`
+	Tenants map[string]TenantHealth `json:"tenants"`
+}
+
+// health samples the tenant's live state. Channel len/cap are safe from
+// any goroutine, and the read-only flag is atomic, so this never touches
+// the event loop.
+func (t *Tenant) health() TenantHealth {
+	h := TenantHealth{QueueDepth: len(t.ops), QueueCapacity: cap(t.ops)}
+	switch {
+	case t.readOnly.Load():
+		h.Status = HealthReadOnly
+	case 2*h.QueueDepth >= h.QueueCapacity:
+		h.Status = HealthDegraded
+	default:
+		h.Status = HealthOK
+	}
+	return h
+}

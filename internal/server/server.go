@@ -54,6 +54,19 @@ type Config struct {
 	// checkpoint. 0 means checkpoints happen only via POST
 	// /admin/checkpoint.
 	CheckpointEvery int
+
+	// ADPaRWorkers caps concurrently running ADPaR alternative solves
+	// across all tenants (0 = GOMAXPROCS). The pool is server-wide
+	// because the solves contend for the same CPUs regardless of tenant.
+	ADPaRWorkers int
+	// ADPaRQueue bounds how many alternative queries may wait for a pool
+	// worker before new ones are shed with 429 (0 = 2×workers).
+	ADPaRQueue int
+	// MutationDeadline is the default deadline applied to every mutation
+	// that arrives without an explicit X-Request-Deadline-Ms header. 0
+	// means no default: such mutations only shed on a full inbox, never
+	// on projected wait.
+	MutationDeadline time.Duration
 }
 
 // ErrUnknownTenant reports a request for a tenant the server does not
@@ -75,6 +88,9 @@ type Server struct {
 	now     func() time.Time
 	start   time.Time
 	dataDir string
+	pool    *queryPool
+	// mutDeadline is Config.MutationDeadline (0 = none).
+	mutDeadline time.Duration
 
 	closeOnce sync.Once
 }
@@ -89,10 +105,12 @@ func New(cfg Config) (*Server, error) {
 		now = time.Now
 	}
 	s := &Server{
-		tenants: make(map[string]*Tenant, len(cfg.Tenants)),
-		now:     now,
-		start:   now(),
-		dataDir: cfg.DataDir,
+		tenants:     make(map[string]*Tenant, len(cfg.Tenants)),
+		now:         now,
+		start:       now(),
+		dataDir:     cfg.DataDir,
+		pool:        newQueryPool(cfg.ADPaRWorkers, cfg.ADPaRQueue),
+		mutDeadline: cfg.MutationDeadline,
 	}
 	dur := durability{
 		dataDir:         cfg.DataDir,
@@ -110,7 +128,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		t, err := newTenant(name, cfg.Tenants[name], dur)
+		t, err := newTenant(name, cfg.Tenants[name], dur, s.pool)
 		if err != nil {
 			s.Close()
 			return nil, err

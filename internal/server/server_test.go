@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -109,9 +110,12 @@ func TestServeTwoTenantsEndToEnd(t *testing.T) {
 	c := hs.Client()
 
 	// healthz and tenant listing.
-	var health map[string]string
-	if code := call(t, c, "GET", hs.URL+"/healthz", nil, &health); code != 200 || health["status"] != "ok" {
-		t.Fatalf("healthz = %d %v", code, health)
+	var health HealthResponse
+	if code := call(t, c, "GET", hs.URL+"/healthz", nil, &health); code != 200 || health.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", code, health)
+	}
+	if len(health.Tenants) != 2 || health.Tenants["alpha"].Status != HealthOK {
+		t.Fatalf("healthz tenants = %+v", health.Tenants)
 	}
 	var infos []TenantInfo
 	if code := call(t, c, "GET", hs.URL+"/v1/tenants", nil, &infos); code != 200 {
@@ -372,7 +376,7 @@ func TestServeShutdownDrains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tn.Submit(strategy.Request{ID: "c", Params: strategy.Params{Quality: 0.5, Cost: 0.5, Latency: 0.5}, K: 1}); !errors.Is(err, ErrTenantClosed) {
+	if _, err := tn.Submit(context.Background(), strategy.Request{ID: "c", Params: strategy.Params{Quality: 0.5, Cost: 0.5, Latency: 0.5}, K: 1}); !errors.Is(err, ErrTenantClosed) {
 		t.Errorf("submit after close = %v", err)
 	}
 }
@@ -423,7 +427,7 @@ func TestServeReadYourWrites(t *testing.T) {
 // equals the manager's own Alternative on the shared warm index.
 func TestTenantSharedIndexMatchesManager(t *testing.T) {
 	cfg := fixedTenant(5, 0.5)
-	tn, err := newTenant("x", cfg, durability{})
+	tn, err := newTenant("x", cfg, durability{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,11 +438,11 @@ func TestTenantSharedIndexMatchesManager(t *testing.T) {
 		{ID: "c", Params: strategy.Params{Quality: 0.60, Cost: 0.5, Latency: 0.5}, K: 2},
 	}
 	for _, d := range reqs {
-		if _, err := tn.Submit(d); err != nil {
+		if _, err := tn.Submit(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, rs, err := tn.Alternative("c")
+	got, rs, err := tn.Alternative(context.Background(), "c")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -46,6 +47,10 @@ type TenantConfig struct {
 	// order; it must not call back into the same tenant's mutation API
 	// (that would deadlock the loop).
 	OnApply func(AppliedOp)
+	// Faults, when non-nil, injects latency and failures into this
+	// tenant's write path (see Faults). Chaos profiles and overload tests
+	// only; leave nil in production.
+	Faults *Faults
 }
 
 // AppliedOp describes one mutation the tenant event loop applied, as seen
@@ -107,11 +112,13 @@ type Tenant struct {
 	// is on disk — and, at the default sync policy, fsynced — before the
 	// client sees the acknowledgement. On the first append failure the
 	// failing mutation's snapshot is withheld (readers never observe the
-	// unlogged write), walBroken trips, and the tenant goes read-only
+	// unlogged write), readOnly trips, and the tenant rejects writes
 	// (ErrWALBroken) so memory can never advance past what the log
 	// recorded — which keeps the on-disk log recoverable.
-	wal       *wal.Log
-	walBroken bool // loop goroutine only
+	wal *wal.Log
+	// readOnly is the WAL circuit breaker: written only by the loop
+	// goroutine, read by the loop, admission control and /healthz.
+	readOnly  atomic.Bool
 	ckptEvery int
 	sinceCkpt int
 
@@ -120,6 +127,16 @@ type Tenant struct {
 	coalesce int
 	batch    []op
 	results  []opResult
+
+	// batchLatency tracks recent live coalesced-batch apply latency; the
+	// admission check multiplies it by queue depth to project a new
+	// mutation's wait and by cap to compute Retry-After on a shed.
+	batchLatency ewma
+	// faults injects chaos-test latency/failures (nil in production).
+	faults *Faults
+	// pool throttles ADPaR alternative queries; nil means uncapped
+	// (direct tenant embedding without a Server).
+	pool *queryPool
 
 	ops  chan op
 	quit chan struct{}
@@ -181,6 +198,11 @@ type op struct {
 	sub uint64
 	// epoch is the restored plan epoch (opRestoreCounters).
 	epoch uint64
+	// ctx carries the caller's deadline for live mutations. The loop
+	// checks it immediately before apply: an expired op is shed there —
+	// before apply, therefore before its WAL append — never after, so an
+	// acknowledgement always refers to a logged mutation.
+	ctx   context.Context
 	reply chan opResult
 }
 
@@ -203,7 +225,7 @@ type opResult struct {
 // through the event loop itself before newTenant returns, so by the time
 // the server exposes its handler the tenant's published snapshot is the
 // recovered state.
-func newTenant(name string, cfg TenantConfig, dur durability) (*Tenant, error) {
+func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool) (*Tenant, error) {
 	mgr, err := stream.NewManager(cfg.Set, cfg.Models, cfg.Mode, cfg.Objective, cfg.InitialW)
 	if err != nil {
 		return nil, fmt.Errorf("server: tenant %s: %w", name, err)
@@ -229,6 +251,8 @@ func newTenant(name string, cfg TenantConfig, dur durability) (*Tenant, error) {
 		mgr:      mgr,
 		ix:       ix,
 		onApply:  cfg.OnApply,
+		faults:   cfg.Faults,
+		pool:     pool,
 		coalesce: coalesce,
 		batch:    make([]op, 0, coalesce),
 		results:  make([]opResult, 0, coalesce),
@@ -238,7 +262,11 @@ func newTenant(name string, cfg TenantConfig, dur durability) (*Tenant, error) {
 	}
 	var recovered wal.Recovered
 	if dur.dataDir != "" {
-		l, rec, err := wal.Open(filepath.Join(dur.dataDir, name), wal.Options{SyncEvery: dur.syncEvery})
+		opts := wal.Options{SyncEvery: dur.syncEvery}
+		if cfg.Faults != nil && cfg.Faults.WALSync != nil {
+			opts.TestSyncHook = cfg.Faults.WALSync
+		}
+		l, rec, err := wal.Open(filepath.Join(dur.dataDir, name), opts)
 		if err != nil {
 			return nil, fmt.Errorf("server: tenant %s: opening WAL: %w", name, err)
 		}
@@ -269,11 +297,11 @@ func newTenant(name string, cfg TenantConfig, dur durability) (*Tenant, error) {
 // integrity check of recovery.
 func (t *Tenant) restore(rec wal.Recovered) error {
 	if cp := rec.Checkpoint; cp != nil {
-		if res := t.do(op{kind: opAvailability, w: cp.Availability, replay: true}); res.err != nil {
+		if res := t.do(context.Background(), op{kind: opAvailability, w: cp.Availability, replay: true}); res.err != nil {
 			return fmt.Errorf("restoring availability %v: %w", cp.Availability, res.err)
 		}
 		for _, r := range cp.Requests {
-			res := t.do(op{kind: opSubmit, replay: true, sub: r.Sub, req: strategy.Request{
+			res := t.do(context.Background(), op{kind: opSubmit, replay: true, sub: r.Sub, req: strategy.Request{
 				ID:     r.ID,
 				Params: strategy.Params{Quality: r.Quality, Cost: r.Cost, Latency: r.Latency},
 				K:      r.K,
@@ -285,7 +313,7 @@ func (t *Tenant) restore(rec wal.Recovered) error {
 				return fmt.Errorf("re-admitting %s (sub %d): %w", r.ID, r.Sub, err)
 			}
 		}
-		if res := t.do(op{kind: opRestoreCounters, replay: true, epoch: cp.Epoch, sub: cp.NextSub}); res.err != nil {
+		if res := t.do(context.Background(), op{kind: opRestoreCounters, replay: true, epoch: cp.Epoch, sub: cp.NextSub}); res.err != nil {
 			return res.err
 		}
 	}
@@ -293,7 +321,7 @@ func (t *Tenant) restore(rec wal.Recovered) error {
 		var res opResult
 		switch r.Kind {
 		case wal.KindSubmit:
-			res = t.do(op{kind: opSubmit, replay: true, sub: r.Sub, req: strategy.Request{
+			res = t.do(context.Background(), op{kind: opSubmit, replay: true, sub: r.Sub, req: strategy.Request{
 				ID:     r.ID,
 				Params: strategy.Params{Quality: r.Quality, Cost: r.Cost, Latency: r.Latency},
 				K:      r.K,
@@ -304,9 +332,9 @@ func (t *Tenant) restore(rec wal.Recovered) error {
 				}
 			}
 		case wal.KindRevoke:
-			res = t.do(op{kind: opRevoke, replay: true, id: r.ID})
+			res = t.do(context.Background(), op{kind: opRevoke, replay: true, id: r.ID})
 		case wal.KindAvailability:
-			res = t.do(op{kind: opAvailability, replay: true, w: r.W})
+			res = t.do(context.Background(), op{kind: opAvailability, replay: true, w: r.W})
 		default:
 			return fmt.Errorf("seq %d: unknown record kind %q", r.Seq, r.Kind)
 		}
@@ -359,6 +387,7 @@ func (t *Tenant) loop() {
 			select {
 			case o = <-t.ops:
 			case <-t.quit:
+				t.drainOnClose()
 				return
 			}
 		}
@@ -382,6 +411,23 @@ func (t *Tenant) loop() {
 		}
 		t.applyBatch(batch)
 		t.batch = batch[:0]
+	}
+}
+
+// drainOnClose answers every op still sitting in the inbox when the loop
+// shuts down. Each waiter gets a definitive ErrTenantClosed (a shed:
+// never applied, never logged) instead of racing the done channel, so a
+// graceful shutdown acks-or-sheds every accepted op deterministically.
+// Senders racing the quit close may still slip an op in after this drain;
+// they resolve through do's done-recheck to the same ErrTenantClosed.
+func (t *Tenant) drainOnClose() {
+	for {
+		select {
+		case o := <-t.ops:
+			o.reply <- opResult{err: ErrTenantClosed}
+		default:
+			return
+		}
 	}
 }
 
@@ -414,18 +460,32 @@ func (t *Tenant) applyAdmin(o op) {
 // logged and acknowledged, but stay invisible until the restart rebuilds
 // exactly the logged state.
 func (t *Tenant) applyBatch(ops []op) {
+	start := time.Now()
 	results := t.results[:0]
 	walFailed := false
 	anyApplied := false
 	t.mgr.Begin()
 	for _, o := range ops {
 		var res opResult
-		if t.walBroken && !o.replay {
+		if t.readOnly.Load() && !o.replay {
 			res.err = ErrWALBroken
 			res.epoch = t.mgr.Epoch()
 			results = append(results, res)
 			continue
 		}
+		// Deadline check at the last possible pre-apply moment: an op
+		// whose caller deadline already expired while it queued is shed
+		// here — before apply, therefore before any WAL append — so a
+		// 429 is as absolute a promise as a never-enqueued shed.
+		if o.ctx != nil && o.ctx.Err() != nil {
+			res.err = t.shedDeadline(
+				fmt.Sprintf("deadline expired while queued (%s %s)", o.kind, appliedID(o)),
+				t.projectedWait(len(t.ops)))
+			res.epoch = t.mgr.Epoch()
+			results = append(results, res)
+			continue
+		}
+		t.applyDelay(o)
 		switch o.kind {
 		case opSubmit:
 			if o.replay {
@@ -447,11 +507,15 @@ func (t *Tenant) applyBatch(ops []op) {
 			}
 			if t.wal != nil && !o.replay {
 				if werr := t.logMutation(o, res); werr != nil {
-					res.err = fmt.Errorf("server: tenant %s: wal: %w", t.name, werr)
+					// The triggering op reports ErrWALBroken like every
+					// write after it: its apply will not survive the
+					// restart, so the client must read the 503 as "not
+					// acknowledged, will be absent" — same contract.
+					res.err = fmt.Errorf("%w (append failed: %v)", ErrWALBroken, werr)
 					t.met.walErrors.Add(1)
 					// The manager applied a mutation the log did not
 					// record: freeze the divergence at this one unacked op.
-					t.walBroken = true
+					t.readOnly.Store(true)
 					walFailed = true
 				}
 			}
@@ -468,6 +532,7 @@ func (t *Tenant) applyBatch(ops []op) {
 	if !ops[0].replay {
 		t.met.batches.Add(1)
 		t.met.batchedOps.Add(int64(len(ops)))
+		t.batchLatency.observe(time.Since(start))
 	}
 	for i, o := range ops {
 		res := results[i]
@@ -555,7 +620,7 @@ func (t *Tenant) checkpointNow() (CheckpointInfo, error) {
 	if t.wal == nil {
 		return CheckpointInfo{}, ErrNoDurability
 	}
-	if t.walBroken {
+	if t.readOnly.Load() {
 		// The manager holds exactly one mutation the log never recorded.
 		// A checkpoint here would make that unacknowledged divergence
 		// durable (and truncate the good log behind it), destroying the
@@ -598,15 +663,55 @@ func (t *Tenant) checkpointNow() (CheckpointInfo, error) {
 	}, nil
 }
 
-// do routes one mutation through the event loop. Once the loop accepts an
-// op it always replies (the reply channel is buffered), so the only
-// abandonment point is a closed tenant.
-func (t *Tenant) do(o op) opResult {
+// do routes one op through the event loop. Live mutations pass admission
+// control first: a read-only tenant rejects immediately; a deadline the
+// projected queue wait already overshoots sheds immediately (the op would
+// only expire in line); a full inbox sheds instead of blocking — the
+// pre-overload behaviour of parking the caller goroutine forever is
+// exactly the unbounded queue this layer removes. Replay and admin ops
+// keep the blocking enqueue: recovery owns the loop, and a checkpoint is
+// allowed to wait out a burst.
+//
+// Once enqueued, do always waits for the loop's definitive reply — it
+// never abandons on a context deadline, because the loop may be mid-apply
+// and "applied + logged but caller gave up" would break exactly-once
+// accounting: the loop itself sheds expired ops before apply and replies
+// so. The reply channel is buffered, so the loop's send cannot block (or
+// leak) even when the waiter has resolved through the closed done channel.
+func (t *Tenant) do(ctx context.Context, o op) opResult {
 	o.reply = make(chan opResult, 1)
-	select {
-	case t.ops <- o:
-	case <-t.quit:
-		return opResult{err: ErrTenantClosed}
+	if o.kind.mutates() && !o.replay {
+		o.ctx = ctx
+		if t.readOnly.Load() {
+			return opResult{err: ErrWALBroken}
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			wait := t.projectedWait(len(t.ops))
+			if time.Now().Add(wait).After(dl) {
+				return opResult{err: t.shedDeadline(
+					fmt.Sprintf("projected queue wait %v exceeds request deadline", wait), wait)}
+			}
+		}
+		select {
+		case t.ops <- o:
+		case <-t.quit:
+			return opResult{err: ErrTenantClosed}
+		default:
+			select {
+			// The inbox is full, but distinguish shutdown from overload:
+			// a closing tenant is 503, not 429.
+			case <-t.quit:
+				return opResult{err: ErrTenantClosed}
+			default:
+				return opResult{err: t.shedQueueFull()}
+			}
+		}
+	} else {
+		select {
+		case t.ops <- o:
+		case <-t.quit:
+			return opResult{err: ErrTenantClosed}
+		}
 	}
 	select {
 	case res := <-o.reply:
@@ -636,11 +741,14 @@ type SubmitResult struct {
 	Epoch  uint64
 }
 
-// Submit admits a request through the event loop.
-func (t *Tenant) Submit(d strategy.Request) (SubmitResult, error) {
-	res := t.do(op{kind: opSubmit, req: d})
+// Submit admits a request through the event loop. ctx carries the
+// caller's deadline into admission control and the loop's pre-apply shed
+// check; Submit itself still waits for the loop's definitive answer (see
+// do).
+func (t *Tenant) Submit(ctx context.Context, d strategy.Request) (SubmitResult, error) {
+	res := t.do(ctx, op{kind: opSubmit, req: d})
 	if res.err != nil {
-		t.met.errors.Add(1)
+		t.noteMutationErr(res.err)
 		return SubmitResult{}, res.err
 	}
 	t.met.submits.Add(1)
@@ -648,10 +756,10 @@ func (t *Tenant) Submit(d strategy.Request) (SubmitResult, error) {
 }
 
 // Revoke withdraws an open request through the event loop.
-func (t *Tenant) Revoke(id string) (uint64, error) {
-	res := t.do(op{kind: opRevoke, id: id})
+func (t *Tenant) Revoke(ctx context.Context, id string) (uint64, error) {
+	res := t.do(ctx, op{kind: opRevoke, id: id})
 	if res.err != nil {
-		t.met.errors.Add(1)
+		t.noteMutationErr(res.err)
 		return 0, res.err
 	}
 	t.met.revokes.Add(1)
@@ -659,14 +767,23 @@ func (t *Tenant) Revoke(id string) (uint64, error) {
 }
 
 // SetAvailability moves the expected workforce through the event loop.
-func (t *Tenant) SetAvailability(w float64) (uint64, error) {
-	res := t.do(op{kind: opAvailability, w: w})
+func (t *Tenant) SetAvailability(ctx context.Context, w float64) (uint64, error) {
+	res := t.do(ctx, op{kind: opAvailability, w: w})
 	if res.err != nil {
-		t.met.errors.Add(1)
+		t.noteMutationErr(res.err)
 		return 0, res.err
 	}
 	t.met.drifts.Add(1)
 	return res.epoch, nil
+}
+
+// noteMutationErr counts a failed mutation, keeping sheds out of the
+// generic error counter — they have dedicated counters and are expected
+// under overload, not a fault.
+func (t *Tenant) noteMutationErr(err error) {
+	if !errors.Is(err, ErrOverloaded) {
+		t.met.errors.Add(1)
+	}
 }
 
 // CheckpointInfo reports one tenant checkpoint's outcome.
@@ -684,7 +801,7 @@ type CheckpointInfo struct {
 // half-applied in it). Fails with ErrNoDurability when the server runs
 // without a data directory.
 func (t *Tenant) Checkpoint() (CheckpointInfo, error) {
-	res := t.do(op{kind: opCheckpoint})
+	res := t.do(context.Background(), op{kind: opCheckpoint})
 	if res.err != nil {
 		if !errors.Is(res.err, ErrNoDurability) {
 			t.met.errors.Add(1)
@@ -701,14 +818,25 @@ func (t *Tenant) Snapshot() *stream.Snapshot {
 }
 
 // Alternative recommends ADPaR alternative parameters for an open request
-// the current plan does not serve. The whole call is lock-free: the
-// request is resolved against the latest snapshot and solved on the
-// tenant's immutable warm index, so any number of alternative queries run
-// concurrently with each other and with mutations. The returned
-// RequestState is the one the solution was computed for, so callers read
-// K (and anything else) from it rather than re-resolving the ID against a
-// possibly newer snapshot.
-func (t *Tenant) Alternative(id string) (adpar.Solution, stream.RequestState, error) {
+// the current plan does not serve. The call takes no locks — the request
+// is resolved against the latest snapshot and solved on the tenant's
+// immutable warm index — but the CPU-heavy solve is throttled through the
+// server's query pool (when one is attached): a bounded number run
+// concurrently, a bounded number wait, and beyond that the query is shed
+// with ErrOverloaded. Plan reads and mutation acks are never behind the
+// pool. The returned RequestState is the one the solution was computed
+// for, so callers read K (and anything else) from it rather than
+// re-resolving the ID against a possibly newer snapshot.
+func (t *Tenant) Alternative(ctx context.Context, id string) (adpar.Solution, stream.RequestState, error) {
+	if t.pool != nil {
+		if err := t.pool.acquire(ctx); err != nil {
+			return adpar.Solution{}, stream.RequestState{}, err
+		}
+		defer t.pool.release()
+	}
+	if t.faults != nil && t.faults.SolveDelay > 0 {
+		time.Sleep(t.faults.SolveDelay)
+	}
 	rs, ok := t.snap.Load().Request(id)
 	if !ok {
 		t.met.errors.Add(1)

@@ -28,6 +28,15 @@ type Options struct {
 	// is durable before the caller replies. Larger values batch fsyncs,
 	// trading the last <n records on a crash for append throughput.
 	SyncEvery int
+	// TestSyncHook, when non-nil, runs at the start of every fsync batch,
+	// before the buffered records are flushed to the file. Sleeping inside
+	// models fsync latency; returning an error fails the sync (and the
+	// append that triggered it) with the buffered record still unflushed —
+	// the log marks itself broken and Close discards the buffer, so the
+	// failed record can never resurface at recovery. Fault-injection
+	// schedules for chaos/conformance testing hang off this hook;
+	// production configs leave it nil.
+	TestSyncHook func() error
 }
 
 func (o Options) withDefaults() Options {
@@ -197,6 +206,12 @@ type Log struct {
 	lock     *os.File // flock-held .lock file: one live appender per dir
 	pending  int      // records appended since the last fsync
 	segFirst uint64   // first seq of the current segment (its name)
+	// broken is set on the first append/sync failure. The buffered bytes
+	// then belong to the one record whose append failed — a mutation the
+	// caller was never acknowledged for — so Close discards them instead
+	// of flushing: flushing would make the unacknowledged record durable
+	// and recovery would resurrect a write the client was told was shed.
+	broken bool
 
 	seq     atomic.Uint64 // last assigned sequence number
 	appends atomic.Uint64
@@ -302,11 +317,15 @@ func (l *Log) startSegment(firstSeq uint64) error {
 func (l *Log) Append(rec Record) (uint64, error) {
 	rec.V = FormatVersion
 	rec.Seq = l.seq.Load() + 1
+	if l.broken {
+		return 0, errors.New("wal: log is broken after an earlier append failure")
+	}
 	line, err := EncodeRecord(rec)
 	if err != nil {
 		return 0, err
 	}
 	if _, err := l.w.Write(line); err != nil {
+		l.broken = true
 		return 0, err
 	}
 	l.seq.Store(rec.Seq)
@@ -329,10 +348,20 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) sync() error {
+	if l.opts.TestSyncHook != nil {
+		if err := l.opts.TestSyncHook(); err != nil {
+			// Injected sync failure: the triggering record is still in the
+			// buffer, unflushed. Mark the log broken so Close discards it.
+			l.broken = true
+			return err
+		}
+	}
 	if err := l.w.Flush(); err != nil {
+		l.broken = true
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
+		l.broken = true
 		return err
 	}
 	l.pending = 0
@@ -345,6 +374,11 @@ func (l *Log) sync() error {
 // checkpoint file is deleted. cp's V and Seq are filled in. It returns
 // the number of segment files removed.
 func (l *Log) Checkpoint(cp Checkpoint) (int, error) {
+	if l.broken {
+		// Flushing here would durably persist the unacknowledged record a
+		// failed append left in the buffer.
+		return 0, errors.New("wal: checkpoint refused on a broken log")
+	}
 	cp.V = FormatVersion
 	cp.Seq = l.seq.Load()
 	// Everything the checkpoint claims to cover must be durable first.
@@ -421,14 +455,24 @@ func (l *Log) Syncs() uint64 { return l.syncs.Load() }
 // Dir returns the log's directory.
 func (l *Log) Dir() string { return l.dir }
 
+// Broken reports whether an append or sync has failed since Open. A
+// broken log rejects further appends and Close will discard (not flush)
+// whatever the failed append left buffered.
+func (l *Log) Broken() bool { return l.broken }
+
 // Close flushes, fsyncs and closes the segment, then releases the
-// directory lock.
+// directory lock. A broken log is closed without flushing: the buffer
+// holds the one record whose append failed — an unacknowledged mutation
+// that must not become durable behind the client's back.
 func (l *Log) Close() error {
 	if l.f == nil {
 		return nil
 	}
-	flushErr := l.w.Flush()
-	syncErr := l.f.Sync()
+	var flushErr, syncErr error
+	if !l.broken {
+		flushErr = l.w.Flush()
+		syncErr = l.f.Sync()
+	}
 	closeErr := l.f.Close()
 	l.f = nil
 	if l.lock != nil {
