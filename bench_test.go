@@ -23,6 +23,7 @@ import (
 	"stratrec/internal/adpar"
 	"stratrec/internal/batch"
 	"stratrec/internal/experiments"
+	"stratrec/internal/loadgen"
 	"stratrec/internal/server"
 	"stratrec/internal/strategy"
 	"stratrec/internal/synth"
@@ -316,7 +317,7 @@ func BenchmarkServeLoadHarness(b *testing.B) {
 		b.StopTimer()
 		s, hs := benchLoadServer(b, 100)
 		b.StartTimer()
-		rep, err := server.RunLoad(server.LoadConfig{
+		rep, err := loadgen.Run(loadgen.Config{
 			BaseURL:        hs.URL,
 			Tenants:        []string{"alpha", "beta"},
 			Workers:        4,
@@ -338,6 +339,57 @@ func BenchmarkServeLoadHarness(b *testing.B) {
 		if rep.Errors > 0 {
 			b.Fatalf("%d load errors", rep.Errors)
 		}
+	}
+}
+
+// BenchmarkIngestThroughput measures end-to-end ingest in ops/s through
+// the full HTTP stack — per-op endpoints vs. the batched /ops endpoint —
+// and reports ops/s as a custom metric. Each iteration gets a fresh
+// server so pool growth never pollutes the steady state. This is the
+// benchmark behind benchmarks/BENCH_ingest_throughput.json.
+func BenchmarkIngestThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		batchSize int
+	}{
+		{"per-op", 0},
+		{"batched-32", 32},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var ops, seconds float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, hs := benchLoadServer(b, 100)
+				b.StartTimer()
+				rep, err := loadgen.Run(loadgen.Config{
+					BaseURL:        hs.URL,
+					Tenants:        []string{"alpha", "beta"},
+					Workers:        4,
+					Events:         800,
+					RevokeFraction: 0.3,
+					DriftFraction:  0.05,
+					K:              3,
+					Seed:           42,
+					BatchSize:      mode.batchSize,
+					Client:         hs.Client(),
+				})
+				b.StopTimer()
+				hs.Close()
+				s.Close()
+				b.StartTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Errors > 0 {
+					b.Fatalf("%d ingest errors", rep.Errors)
+				}
+				ops += float64(rep.Ops)
+				seconds += rep.Duration.Seconds()
+			}
+			if seconds > 0 {
+				b.ReportMetric(ops/seconds, "ops/s")
+			}
+		})
 	}
 }
 

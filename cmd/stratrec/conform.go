@@ -55,6 +55,8 @@ func runConform(args []string) error {
 		artifact   = fs.String("artifact", "conformance-failure.json", "where to write the minimized failing trace")
 		maxProbes  = fs.Int("minimize-probes", 600, "delta-debugging probe budget")
 		quiet      = fs.Bool("quiet", false, "suppress the progress line")
+		viaBatch   = fs.Bool("via-batch", false, "route every mutation through POST /v1/tenants/{tenant}/ops as a one-op batch (steady/chaos and crash-recovery profiles)")
+		gcWindow   = fs.Duration("wal-group-commit-window", 0, "crash-recovery and overload profiles: run the server with cross-tenant group commit at this window (0 = per-append fsyncs)")
 
 		crashCut  = fs.Int("crash-cut", -1, "crash-recovery: event index to kill at (-1 = seeded mid-trace point)")
 		crashDir  = fs.String("crash-data-dir", "", "crash-recovery: durability dir (empty = temp dir; kept on failure either way)")
@@ -75,6 +77,7 @@ func runConform(args []string) error {
 				seed: *seed, strategies: *strategies,
 				workers: *ovWorkers, ops: *ovOps, opBuffer: *ovBuffer,
 				deadlineMs: *ovDeadline, dataDir: *ovDir, artifact: *artifact,
+				gcWindow: *gcWindow,
 			})
 		}
 	}
@@ -83,6 +86,7 @@ func runConform(args []string) error {
 			seed: *seed, events: *events, tenants: *tenants, strategies: *strategies, k: *k,
 			bbLimit: *bbLimit, adparPar: *adparPar, outPath: *outPath,
 			cut: *crashCut, dataDir: *crashDir, tornTail: *crashTorn, quiet: *quiet,
+			viaBatch: *viaBatch, gcWindow: *gcWindow,
 		})
 	}
 
@@ -129,6 +133,7 @@ func runConform(args []string) error {
 	cfg := conformance.RunConfig{
 		Parallelism:      *adparPar,
 		BranchBoundLimit: *bbLimit,
+		ViaBatch:         *viaBatch,
 	}
 	if !*quiet {
 		every := len(tr.Events) / 10
@@ -169,7 +174,8 @@ type crashArgs struct {
 	k, bbLimit, adparPar        int
 	cut                         int
 	dataDir, outPath            string
-	tornTail, quiet             bool
+	tornTail, quiet, viaBatch   bool
+	gcWindow                    time.Duration
 }
 
 // runConformCrash runs the kill/restart differential oracle: generate a
@@ -199,12 +205,14 @@ func runConformCrash(a crashArgs) error {
 	}
 
 	cfg := conformance.CrashConfig{
-		Parallelism:      a.adparPar,
-		BranchBoundLimit: a.bbLimit,
-		Cut:              a.cut,
-		CheckpointAt:     -1,
-		TornTail:         a.tornTail,
-		DataDir:          a.dataDir,
+		Parallelism:       a.adparPar,
+		BranchBoundLimit:  a.bbLimit,
+		Cut:               a.cut,
+		CheckpointAt:      -1,
+		TornTail:          a.tornTail,
+		ViaBatch:          a.viaBatch,
+		GroupCommitWindow: a.gcWindow,
+		DataDir:           a.dataDir,
 	}
 	if !a.quiet {
 		every := len(tr.Events) / 10
@@ -239,6 +247,7 @@ type overloadArgs struct {
 	strategies, workers, ops int
 	opBuffer, deadlineMs     int
 	dataDir, artifact        string
+	gcWindow                 time.Duration
 }
 
 // runConformOverload runs the chaos shed-accounting oracle for one
@@ -248,14 +257,15 @@ func runConformOverload(profile conformance.OverloadProfile, a overloadArgs) err
 	fmt.Printf("conform: overload profile %s, seed %d\n", profile, a.seed)
 	start := time.Now()
 	res, err := conformance.RunOverload(conformance.OverloadConfig{
-		Profile:      profile,
-		Seed:         a.seed,
-		Strategies:   a.strategies,
-		Workers:      a.workers,
-		OpsPerWorker: a.ops,
-		OpBuffer:     a.opBuffer,
-		DeadlineMs:   a.deadlineMs,
-		DataDir:      a.dataDir,
+		Profile:           profile,
+		Seed:              a.seed,
+		Strategies:        a.strategies,
+		Workers:           a.workers,
+		OpsPerWorker:      a.ops,
+		OpBuffer:          a.opBuffer,
+		DeadlineMs:        a.deadlineMs,
+		GroupCommitWindow: a.gcWindow,
+		DataDir:           a.dataDir,
 	})
 	if err != nil {
 		if res.DataDir != "" {

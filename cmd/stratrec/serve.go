@@ -15,6 +15,7 @@ import (
 
 	"stratrec/internal/batch"
 	"stratrec/internal/linmodel"
+	"stratrec/internal/loadgen"
 	"stratrec/internal/server"
 	"stratrec/internal/store"
 	"stratrec/internal/strategy"
@@ -46,12 +47,14 @@ func runServe(args []string) error {
 
 		dataDir   = fs.String("data-dir", "", "durability root: per-tenant write-ahead log + checkpoints, recovered on startup; empty disables durability")
 		syncEvery = fs.Int("wal-sync-every", 1, "fsync the WAL after every n-th record (1 = every acknowledged mutation is durable)")
+		gcWindow  = fs.Duration("wal-group-commit-window", 0, "cross-tenant group commit: tenant loops share fsyncs within this window (e.g. 500us); 0 disables, >0 overrides -wal-sync-every")
 		ckptEvery = fs.Int("checkpoint-every", 10000, "auto-checkpoint a tenant after n WAL records since the last checkpoint (0 = only via POST /admin/checkpoint)")
 
 		selftest  = fs.Bool("selftest", false, "serve on an ephemeral port, replay a synthetic workload, print the report, exit")
 		stEvents  = fs.Int("selftest-requests", 2000, "selftest: total workload events")
 		stWorkers = fs.Int("selftest-workers", 8, "selftest: concurrent load workers")
 		stRate    = fs.Float64("selftest-rate", 0, "selftest: per-worker Poisson arrival rate in events/s; 0 = closed loop")
+		stBatch   = fs.Int("selftest-batch", 0, "selftest: batched ingest mode — group mutations into POST /ops bodies of up to this many ops (0 = per-op endpoints)")
 		stExport  = fs.String("selftest-export-workload", "", "selftest: also write the generated workload as a JSON trace to this path")
 		stReplay  = fs.String("selftest-workload", "", "selftest: replay a JSON workload trace (one worker) instead of generating")
 	)
@@ -73,6 +76,7 @@ func runServe(args []string) error {
 	}
 	cfg.DataDir = *dataDir
 	cfg.WALSyncEvery = *syncEvery
+	cfg.WALGroupCommitWindow = *gcWindow
 	cfg.CheckpointEvery = *ckptEvery
 	cfg.ADPaRWorkers = *adparWork
 	cfg.ADPaRQueue = *adparQueue
@@ -88,8 +92,13 @@ func runServe(args []string) error {
 		return err
 	}
 	if *dataDir != "" {
-		fmt.Printf("stratrec serve: durability on under %s (sync every %d, checkpoint every %d)\n",
-			*dataDir, *syncEvery, *ckptEvery)
+		if *gcWindow > 0 {
+			fmt.Printf("stratrec serve: durability on under %s (group commit window %v, checkpoint every %d)\n",
+				*dataDir, *gcWindow, *ckptEvery)
+		} else {
+			fmt.Printf("stratrec serve: durability on under %s (sync every %d, checkpoint every %d)\n",
+				*dataDir, *syncEvery, *ckptEvery)
+		}
 	}
 
 	if *selftest {
@@ -97,6 +106,7 @@ func runServe(args []string) error {
 			events:  *stEvents,
 			workers: *stWorkers,
 			rate:    *stRate,
+			batch:   *stBatch,
 			seed:    *seed,
 			drain:   *drain,
 			export:  *stExport,
@@ -196,6 +206,7 @@ type selftestConfig struct {
 	events  int
 	workers int
 	rate    float64
+	batch   int
 	seed    int64
 	drain   time.Duration
 	export  string
@@ -205,7 +216,7 @@ type selftestConfig struct {
 // runSelftest serves on an ephemeral loopback port, replays the workload,
 // prints the report, and shuts the server down.
 func runSelftest(s *server.Server, cfg selftestConfig) error {
-	loadCfg := server.LoadConfig{
+	loadCfg := loadgen.Config{
 		Tenants:        s.TenantNames(),
 		Workers:        cfg.workers,
 		Events:         cfg.events,
@@ -216,6 +227,7 @@ func runSelftest(s *server.Server, cfg selftestConfig) error {
 		PlanEvery:      20,
 		K:              3,
 		Seed:           cfg.seed,
+		BatchSize:      cfg.batch,
 	}
 	if cfg.replay != "" && cfg.export != "" {
 		s.Close()
@@ -238,7 +250,7 @@ func runSelftest(s *server.Server, cfg selftestConfig) error {
 		loadCfg.Workloads = [][]synth.WorkloadEvent{events}
 	}
 	if cfg.export != "" {
-		workloads, err := server.BuildWorkloads(loadCfg)
+		workloads, err := loadgen.BuildWorkloads(loadCfg)
 		if err != nil {
 			s.Close()
 			return err
@@ -276,7 +288,7 @@ func runSelftest(s *server.Server, cfg selftestConfig) error {
 		fmt.Printf("selftest: %d tenants at %s, %d events, %d workers\n",
 			len(s.TenantNames()), base, cfg.events, cfg.workers)
 	}
-	rep, loadErr := server.RunLoad(loadCfg)
+	rep, loadErr := loadgen.Run(loadCfg)
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
@@ -292,7 +304,7 @@ func runSelftest(s *server.Server, cfg selftestConfig) error {
 		return shutdownErr
 	}
 	if rep.Errors > 0 {
-		return fmt.Errorf("selftest: %d of %d requests failed", rep.Errors, rep.Events)
+		return fmt.Errorf("selftest: %d of %d ops failed", rep.Errors, rep.Ops)
 	}
 	return nil
 }

@@ -1,0 +1,369 @@
+// Package client is the Go client for the stratrec serving API: typed
+// wrappers over the /v1 HTTP surface with connection reuse, uniform
+// error decoding, and optional Retry-After-aware retry.
+//
+// The wire types are aliases of the server's own JSON shapes, so the
+// client and server can never drift apart structurally, and callers that
+// already hold a server.SubmitRequest can pass it straight through.
+//
+// Every non-2xx response decodes into an *APIError carrying the HTTP
+// status, the stable machine-matchable error code, the human-readable
+// message, and the server's backoff hint. Retry (opt-in via WithRetry)
+// re-issues mutations only on Temporary errors — overload sheds and
+// tenant shutdown, both of which the server guarantees left no trace —
+// honoring the hint up to a 2s cap, so a retried submit can never
+// double-apply.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"stratrec/internal/server"
+)
+
+// Wire-type aliases: the client speaks exactly the server's JSON shapes.
+type (
+	SubmitRequest       = server.SubmitRequest
+	SubmitResponse      = server.SubmitResponse
+	EpochResponse       = server.EpochResponse
+	AvailabilityRequest = server.AvailabilityRequest
+	PlanResponse        = server.PlanResponse
+	PlanSummaryResponse = server.PlanSummaryResponse
+	AlternativeResponse = server.AlternativeResponse
+	TenantInfo          = server.TenantInfo
+	HealthResponse      = server.HealthResponse
+	CheckpointResponse  = server.CheckpointResponse
+	BatchOp             = server.BatchOp
+	BatchRequest        = server.BatchRequest
+	BatchOpResult       = server.BatchOpResult
+	BatchResponse       = server.BatchResponse
+	ErrorDetail         = server.ErrorDetail
+)
+
+// APIError is a decoded non-2xx response.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable error code from the envelope (server.Code*);
+	// empty when the body was not the uniform envelope.
+	Code string
+	// Message is the human-readable error message.
+	Message string
+	// RetryAfter is the server's backoff hint: the envelope's
+	// retry_after_ms when present, else the Retry-After header, else 0.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: %d %s: %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("client: %d: %s", e.Status, e.Message)
+}
+
+// Temporary reports whether backing off and retrying the identical call
+// can succeed: overload sheds (429) and tenant shutdown (503), which the
+// server promises left no trace. A wal_broken 503 is excluded — the
+// tenant is read-only until an operator restart, so no in-process retry
+// helps.
+func (e *APIError) Temporary() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests:
+		return true
+	case http.StatusServiceUnavailable:
+		return e.Code != server.CodeWALBroken
+	}
+	return false
+}
+
+// maxRetryWait caps how long one retry backoff sleeps, whatever the
+// server hints (wal_broken hints 30s; even if it were retried, no client
+// call should park that long).
+const maxRetryWait = 2 * time.Second
+
+// Client talks to one stratrec server. The zero value is not usable;
+// construct with New. Methods are safe for concurrent use.
+type Client struct {
+	base     string
+	hc       *http.Client
+	retries  int
+	deadline time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the default keep-alive HTTP client.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetry allows up to n additional attempts after a Temporary error,
+// sleeping the server's Retry-After hint (capped at 2s) between them.
+func WithRetry(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithDeadline attaches X-Request-Deadline-Ms to every mutation, opting
+// into the server's projected-wait admission control.
+func WithDeadline(d time.Duration) Option { return func(c *Client) { c.deadline = d } }
+
+// New builds a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). The default transport keeps connections
+// alive across calls — the point of a long-lived client.
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/")}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 64,
+		}}
+	}
+	return c
+}
+
+// tenantPath builds "/v1/tenants/<tenant>" with the name path-escaped.
+func tenantPath(tenant string) string { return "/v1/tenants/" + url.PathEscape(tenant) }
+
+// Submit submits one collaborative-task request. K defaults to 1
+// server-side when zero.
+func (c *Client) Submit(ctx context.Context, tenant string, req SubmitRequest) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.do(ctx, http.MethodPost, tenantPath(tenant)+"/requests", req, &out, true)
+	return out, err
+}
+
+// Revoke withdraws an open request.
+func (c *Client) Revoke(ctx context.Context, tenant, id string) (EpochResponse, error) {
+	var out EpochResponse
+	err := c.do(ctx, http.MethodDelete, tenantPath(tenant)+"/requests/"+url.PathEscape(id), nil, &out, true)
+	return out, err
+}
+
+// SetAvailability moves the tenant's expected workforce.
+func (c *Client) SetAvailability(ctx context.Context, tenant string, workforce float64) (EpochResponse, error) {
+	var out EpochResponse
+	err := c.do(ctx, http.MethodPut, tenantPath(tenant)+"/availability", AvailabilityRequest{Workforce: workforce}, &out, true)
+	return out, err
+}
+
+// SendOps posts one batched-ingest body: an ordered op list applied
+// through the tenant's event loop, answered with one result per op. The
+// call errors only when the batch as a whole was rejected (malformed
+// body, overload, read-only tenant); per-op failures live in the results.
+func (c *Client) SendOps(ctx context.Context, tenant string, ops []BatchOp) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(ctx, http.MethodPost, tenantPath(tenant)+"/ops", BatchRequest{Ops: ops}, &out, true)
+	return out, err
+}
+
+// Send posts a built Batch via SendOps.
+func (c *Client) Send(ctx context.Context, tenant string, b *Batch) (BatchResponse, error) {
+	return c.SendOps(ctx, tenant, b.Ops())
+}
+
+// Plan reads the tenant's current deployment plan snapshot.
+func (c *Client) Plan(ctx context.Context, tenant string) (PlanResponse, error) {
+	var out PlanResponse
+	err := c.do(ctx, http.MethodGet, tenantPath(tenant)+"/plan", nil, &out, false)
+	return out, err
+}
+
+// PlanSummary reads the O(1) ?view=summary projection of the plan:
+// scalars plus counts, without the per-request detail. Pollers that only
+// watch the epoch or objective should use this — the full PlanResponse
+// serializes every open request on every read.
+func (c *Client) PlanSummary(ctx context.Context, tenant string) (PlanSummaryResponse, error) {
+	var out PlanSummaryResponse
+	err := c.do(ctx, http.MethodGet, tenantPath(tenant)+"/plan?view=summary", nil, &out, false)
+	return out, err
+}
+
+// Alternative asks for the ADPaR recommendation of a displaced request.
+func (c *Client) Alternative(ctx context.Context, tenant, id string) (AlternativeResponse, error) {
+	var out AlternativeResponse
+	err := c.do(ctx, http.MethodGet, tenantPath(tenant)+"/requests/"+url.PathEscape(id)+"/alternative", nil, &out, false)
+	return out, err
+}
+
+// Tenants lists the hosted tenants.
+func (c *Client) Tenants(ctx context.Context) ([]TenantInfo, error) {
+	var out []TenantInfo
+	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out, false)
+	return out, err
+}
+
+// Checkpoint checkpoints every tenant WAL.
+func (c *Client) Checkpoint(ctx context.Context) (CheckpointResponse, error) {
+	var out CheckpointResponse
+	err := c.do(ctx, http.MethodPost, "/v1/admin/checkpoint", nil, &out, false)
+	return out, err
+}
+
+// Healthz reads the health report. Unlike every other endpoint, a 503
+// here carries a HealthResponse body (status "unavailable"), not the
+// error envelope, so it decodes the report for 200 and 503 alike and
+// errors only on transport failures or unexpected statuses.
+func (c *Client) Healthz(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return out, decodeAPIError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("client: decoding health report: %w", err)
+	}
+	return out, nil
+}
+
+// do performs one call, decoding 2xx bodies into out and everything else
+// into an *APIError, retrying Temporary errors when configured.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, mutation bool) error {
+	var body []byte
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = b
+	}
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if mutation && c.deadline > 0 {
+			req.Header.Set(server.DeadlineHeader, strconv.FormatInt(c.deadline.Milliseconds(), 10))
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			// Transport errors are never retried: unlike a decoded 429/503,
+			// there is no guarantee the mutation left no trace.
+			return err
+		}
+		if resp.StatusCode < 300 {
+			var decodeErr error
+			if out != nil {
+				decodeErr = json.NewDecoder(resp.Body).Decode(out)
+			}
+			drain(resp)
+			if decodeErr != nil {
+				return fmt.Errorf("client: decoding %s %s response: %w", method, path, decodeErr)
+			}
+			return nil
+		}
+		apiErr := decodeAPIError(resp)
+		drain(resp)
+		if attempt >= c.retries || !apiErr.Temporary() {
+			return apiErr
+		}
+		wait := apiErr.RetryAfter
+		if wait <= 0 {
+			wait = 25 * time.Millisecond
+		}
+		if wait > maxRetryWait {
+			wait = maxRetryWait
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return apiErr
+		case <-timer.C:
+		}
+	}
+}
+
+// decodeAPIError reads a non-2xx body into an APIError, falling back to
+// the raw body text when it is not the uniform envelope (a proxy's error
+// page, say), and to the Retry-After header when the envelope carried no
+// hint.
+func decodeAPIError(resp *http.Response) *APIError {
+	e := &APIError{Status: resp.StatusCode}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var env server.ErrorResponse
+	if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+		e.Code = env.Error.Code
+		e.Message = env.Error.Message
+		e.RetryAfter = time.Duration(env.Error.RetryAfterMs) * time.Millisecond
+	} else {
+		e.Message = strings.TrimSpace(string(data))
+	}
+	if e.RetryAfter <= 0 {
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			e.RetryAfter = time.Duration(s) * time.Second
+		}
+	}
+	return e
+}
+
+// drain discards any remaining body and closes it, keeping the
+// connection reusable.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// Batch accumulates ops for one SendOps call. The zero value is ready to
+// use; methods chain:
+//
+//	resp, err := c.Send(ctx, "alpha", new(client.Batch).
+//		Submit("r1", 0.5, 0.8, 0.8, 2).
+//		Revoke("r0").
+//		SetAvailability(0.6))
+type Batch struct {
+	ops []BatchOp
+}
+
+// Submit appends a submit op. Pass k = 0 for the server default of 1.
+func (b *Batch) Submit(id string, quality, cost, latency float64, k int) *Batch {
+	b.ops = append(b.ops, BatchOp{
+		Op: server.OpSubmit, ID: id,
+		Quality: quality, Cost: cost, Latency: latency, K: k,
+	})
+	return b
+}
+
+// Revoke appends a revoke op.
+func (b *Batch) Revoke(id string) *Batch {
+	b.ops = append(b.ops, BatchOp{Op: server.OpRevoke, ID: id})
+	return b
+}
+
+// SetAvailability appends an availability op.
+func (b *Batch) SetAvailability(workforce float64) *Batch {
+	b.ops = append(b.ops, BatchOp{Op: server.OpAvailability, Workforce: workforce})
+	return b
+}
+
+// Len reports how many ops the batch holds.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Ops returns the accumulated ops in append order.
+func (b *Batch) Ops() []BatchOp { return b.ops }
+
+// Reset empties the batch for reuse, keeping its capacity.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }

@@ -1,0 +1,255 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stratrec/internal/batch"
+	"stratrec/internal/server"
+	"stratrec/internal/synth"
+	"stratrec/internal/workforce"
+)
+
+// newBackend hosts one synthetic tenant "alpha" for the test's lifetime.
+func newBackend(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Tenants == nil {
+		gen := synth.DefaultConfig(synth.Uniform)
+		rng := rand.New(rand.NewSource(7))
+		set := gen.Strategies(rng, 16)
+		cfg.Tenants = map[string]server.TenantConfig{"alpha": {
+			Set: set, Models: gen.Models(rng, set),
+			Mode: workforce.MaxCase, Objective: batch.Throughput,
+			InitialW: 0.7,
+		}}
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+// TestClientEndToEnd exercises every method against a real server: typed
+// happy paths, the batch builder, and envelope decoding into APIError.
+func TestClientEndToEnd(t *testing.T) {
+	_, hs := newBackend(t, server.Config{})
+	c := New(hs.URL, WithHTTPClient(hs.Client()))
+	ctx := context.Background()
+
+	sub, err := c.Submit(ctx, "alpha", SubmitRequest{ID: "r1", Quality: 0.4, Cost: 0.9, Latency: 0.9, K: 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if sub.ID != "r1" || sub.Epoch == 0 {
+		t.Fatalf("submit response: %+v", sub)
+	}
+
+	plan, err := c.Plan(ctx, "alpha")
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if plan.Tenant != "alpha" || len(plan.Requests) != 1 || plan.Epoch != sub.Epoch {
+		t.Fatalf("plan: %+v", plan)
+	}
+
+	sum, err := c.PlanSummary(ctx, "alpha")
+	if err != nil {
+		t.Fatalf("plan summary: %v", err)
+	}
+	if sum.Epoch != plan.Epoch || sum.Open != len(plan.Requests) ||
+		sum.Serving != len(plan.Serving) || sum.Objective != plan.Objective {
+		t.Fatalf("plan summary %+v diverges from plan %+v", sum, plan)
+	}
+
+	av, err := c.SetAvailability(ctx, "alpha", 0.6)
+	if err != nil {
+		t.Fatalf("availability: %v", err)
+	}
+	if av.Epoch <= sub.Epoch {
+		t.Fatalf("availability epoch %d did not advance past %d", av.Epoch, sub.Epoch)
+	}
+
+	// Batched ingest via the builder: the revoke targets the same batch's
+	// neighbour from the previous single-op submit.
+	resp, err := c.Send(ctx, "alpha", new(Batch).
+		Submit("r2", 0.45, 0.9, 0.9, 0).
+		Revoke("r1").
+		SetAvailability(0.65))
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("batch results: %+v", resp.Results)
+	}
+	for i, r := range resp.Results {
+		if r.Status != http.StatusOK {
+			t.Fatalf("batch op %d: %+v", i, r)
+		}
+	}
+	if resp.Results[0].Served == nil || resp.Results[1].Served != nil {
+		t.Fatalf("served pointers: %+v", resp.Results)
+	}
+
+	infos, err := c.Tenants(ctx)
+	if err != nil || len(infos) != 1 || infos[0].Name != "alpha" {
+		t.Fatalf("tenants: %v %+v", err, infos)
+	}
+	if infos[0].Open != 1 || infos[0].Availability != 0.65 {
+		t.Fatalf("tenant info after batch: %+v", infos[0])
+	}
+
+	health, err := c.Healthz(ctx)
+	if err != nil || health.Status != server.HealthOK {
+		t.Fatalf("healthz: %v %+v", err, health)
+	}
+
+	// Typed errors: a revoke of an unknown ID decodes the envelope.
+	var apiErr *APIError
+	if _, err := c.Revoke(ctx, "alpha", "ghost"); !errors.As(err, &apiErr) {
+		t.Fatalf("revoke ghost: %v", err)
+	}
+	if apiErr.Status != http.StatusNotFound || apiErr.Code != server.CodeUnknownRequest || apiErr.Temporary() {
+		t.Fatalf("revoke ghost error: %+v", apiErr)
+	}
+	if _, err := c.Alternative(ctx, "alpha", "ghost"); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("alternative ghost: %v", err)
+	}
+	// Checkpoint without durability: 409 no_durability.
+	if _, err := c.Checkpoint(ctx); !errors.As(err, &apiErr) {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if apiErr.Status != http.StatusConflict || apiErr.Code != server.CodeNoDurability {
+		t.Fatalf("checkpoint error: %+v", apiErr)
+	}
+}
+
+// TestClientRetry: Temporary errors are retried honoring the hint, and a
+// wal_broken 503 — whose hint means "operator restart", not "back off" —
+// is not.
+func TestClientRetry(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: server.ErrorDetail{
+				Code: server.CodeOverloaded, Message: "queue full", RetryAfterMs: 1,
+			}})
+			return
+		}
+		json.NewEncoder(w).Encode(SubmitResponse{ID: "r1", Served: true, Epoch: 1})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(3))
+	sub, err := c.Submit(context.Background(), "alpha", SubmitRequest{ID: "r1", K: 1})
+	if err != nil {
+		t.Fatalf("submit with retry: %v", err)
+	}
+	if sub.Epoch != 1 || calls.Load() != 3 {
+		t.Fatalf("submit = %+v after %d calls", sub, calls.Load())
+	}
+
+	// Without retries the first shed surfaces, envelope decoded.
+	calls.Store(0)
+	var apiErr *APIError
+	if _, err := New(ts.URL).Submit(context.Background(), "alpha", SubmitRequest{ID: "r1"}); !errors.As(err, &apiErr) {
+		t.Fatalf("unretried submit: %v", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests || apiErr.Code != server.CodeOverloaded ||
+		apiErr.RetryAfter != time.Millisecond || !apiErr.Temporary() {
+		t.Fatalf("shed error: %+v", apiErr)
+	}
+
+	var broken atomic.Int32
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		broken.Add(1)
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: server.ErrorDetail{
+			Code: server.CodeWALBroken, Message: "read-only", RetryAfterMs: 30000,
+		}})
+	}))
+	defer down.Close()
+	if _, err := New(down.URL, WithRetry(5)).Submit(context.Background(), "alpha", SubmitRequest{ID: "x"}); !errors.As(err, &apiErr) {
+		t.Fatalf("wal_broken submit: %v", err)
+	}
+	if apiErr.Temporary() || broken.Load() != 1 {
+		t.Fatalf("wal_broken retried: %+v after %d calls", apiErr, broken.Load())
+	}
+}
+
+// TestAPIErrorFallback: a non-envelope body (a proxy error page) still
+// yields a usable APIError, with the hint read from the header.
+func TestAPIErrorFallback(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusBadGateway)
+		w.Write([]byte("bad gateway\n"))
+	}))
+	defer ts.Close()
+	var apiErr *APIError
+	if _, err := New(ts.URL).Plan(context.Background(), "alpha"); !errors.As(err, &apiErr) {
+		t.Fatalf("plan: %v", err)
+	}
+	if apiErr.Status != http.StatusBadGateway || apiErr.Code != "" ||
+		apiErr.Message != "bad gateway" || apiErr.RetryAfter != 3*time.Second {
+		t.Fatalf("fallback error: %+v", apiErr)
+	}
+}
+
+// TestClientDeadline: WithDeadline stamps the admission-control header on
+// mutations and leaves reads alone.
+func TestClientDeadline(t *testing.T) {
+	headers := make(chan string, 2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		headers <- r.Header.Get(server.DeadlineHeader)
+		json.NewEncoder(w).Encode(PlanResponse{})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithDeadline(50*time.Millisecond))
+	if _, err := c.SetAvailability(context.Background(), "alpha", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-headers; got != "50" {
+		t.Fatalf("mutation deadline header = %q, want 50", got)
+	}
+	if _, err := c.Plan(context.Background(), "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-headers; got != "" {
+		t.Fatalf("read carried deadline header %q", got)
+	}
+}
+
+// TestBatchBuilder: append order, zero-value usability, Reset.
+func TestBatchBuilder(t *testing.T) {
+	var b Batch
+	b.Submit("a", 0.1, 0.2, 0.3, 2).Revoke("b").SetAvailability(0.4)
+	if b.Len() != 3 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	ops := b.Ops()
+	if ops[0].Op != server.OpSubmit || ops[0].ID != "a" || ops[0].K != 2 ||
+		ops[1].Op != server.OpRevoke || ops[1].ID != "b" ||
+		ops[2].Op != server.OpAvailability || ops[2].Workforce != 0.4 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("len after reset = %d", b.Len())
+	}
+}

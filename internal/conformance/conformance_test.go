@@ -56,6 +56,48 @@ func TestRunProfiles(t *testing.T) {
 	}
 }
 
+// TestRunViaBatch: the batched ingest endpoint is observationally
+// identical to the single-op endpoints — the same traces, replayed with
+// every mutation travelling as a one-op batch, must produce the same
+// zero-divergence outcome, including handler-level rejections (dot-IDs
+// fail in place with a 400-shaped result, before the event loop).
+func TestRunViaBatch(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gc   GenConfig
+	}{
+		{"steady", GenConfig{Seed: 1, Events: 500, Tenants: 2}},
+		{"revoke-storm", GenConfig{Seed: 7, Events: 300, Profile: RevokeStorm, PoolCap: 12}},
+		{"market-feedback", GenConfig{Seed: 11, Events: 250, MarketFeedback: true}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tr, err := Generate(tc.gc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tenant := tr.Tenants[0].Name
+			hostile := []Event{
+				{Tenant: tenant, Kind: KindSubmit, ID: ".", Quality: 0.3, Cost: 0.8, Latency: 0.8, K: 1},
+				{Tenant: tenant, Kind: KindSubmit, ID: "..", Quality: 0.3, Cost: 0.8, Latency: 0.8, K: 1},
+				{Tenant: tenant, Kind: KindPlan},
+			}
+			tr.Events = append(hostile, tr.Events...)
+			res, err := Run(tr, RunConfig{ViaBatch: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				t.Fatalf("batched replay diverges from the oracle:\n%s", res)
+			}
+			if res.Checks < res.Events {
+				t.Fatalf("only %d checks over %d events", res.Checks, res.Events)
+			}
+		})
+	}
+}
+
 // TestGenerateDeterministic: the same seed yields the same trace, and the
 // run outcome is a pure function of the trace.
 func TestGenerateDeterministic(t *testing.T) {

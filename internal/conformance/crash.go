@@ -1,9 +1,9 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -31,6 +31,15 @@ type CrashConfig struct {
 	// tenant's live segment between kill and restart — the torn write an
 	// interrupted append leaves — which recovery must truncate away.
 	TornTail bool
+	// ViaBatch routes every mutation through the batched ingest endpoint
+	// as a one-op batch (see RunConfig.ViaBatch), proving batch-ingested
+	// mutations leave the same durable trace.
+	ViaBatch bool
+	// GroupCommitWindow, when positive, runs both server incarnations
+	// with cross-tenant group commit at that window instead of per-append
+	// fsyncs. The durability contract the oracle assumes — every
+	// acknowledged mutation fsynced before its reply — holds either way.
+	GroupCommitWindow time.Duration
 	// DataDir is the durability root; empty uses a fresh temp dir that is
 	// removed after a divergence-free run and kept when divergences were
 	// found. An explicit DataDir must be empty beforehand and is always
@@ -77,6 +86,7 @@ func RunCrash(tr Trace, cfg CrashConfig) (CrashResult, error) {
 	rcfg := RunConfig{
 		Parallelism:      cfg.Parallelism,
 		BranchBoundLimit: cfg.BranchBoundLimit,
+		ViaBatch:         cfg.ViaBatch,
 	}.withDefaults()
 
 	cut := cfg.Cut
@@ -133,7 +143,10 @@ func RunCrash(tr Trace, cfg CrashConfig) (CrashResult, error) {
 		DataDir: dataDir,
 		// Every acknowledged mutation fsynced before the reply: the
 		// durability contract under which an abrupt close equals a kill.
-		WALSyncEvery: 1,
+		// With a group-commit window the scheduler upholds the same
+		// contract (WALSyncEvery is then ignored).
+		WALSyncEvery:         1,
+		WALGroupCommitWindow: cfg.GroupCommitWindow,
 	}
 	for _, spec := range tr.Tenants {
 		if _, dup := models[spec.Name]; dup {
@@ -169,18 +182,19 @@ func RunCrash(tr Trace, cfg CrashConfig) (CrashResult, error) {
 		return res, err
 	}
 	hs1 := httptest.NewServer(s1.Handler())
+	drv1 := newDriver(hs1, cfg.ViaBatch)
 	phase1 := func() (bool, error) {
 		if ckptAt < 0 {
-			return replayRange(hs1.Client(), hs1.URL, tr, 0, cut, models, rcfg, cfg.OnEvent, &res.Result, diverge)
+			return replayRange(drv1, tr, 0, cut, models, rcfg, cfg.OnEvent, &res.Result, diverge)
 		}
-		stopped, err := replayRange(hs1.Client(), hs1.URL, tr, 0, ckptAt+1, models, rcfg, cfg.OnEvent, &res.Result, diverge)
+		stopped, err := replayRange(drv1, tr, 0, ckptAt+1, models, rcfg, cfg.OnEvent, &res.Result, diverge)
 		if stopped || err != nil {
 			return stopped, err
 		}
-		if err := postCheckpoint(hs1.Client(), hs1.URL); err != nil {
+		if err := postCheckpoint(drv1); err != nil {
 			return false, err
 		}
-		return replayRange(hs1.Client(), hs1.URL, tr, ckptAt+1, cut, models, rcfg, cfg.OnEvent, &res.Result, diverge)
+		return replayRange(drv1, tr, ckptAt+1, cut, models, rcfg, cfg.OnEvent, &res.Result, diverge)
 	}
 	stopped, err := phase1()
 	hs1.Close()
@@ -211,6 +225,7 @@ func RunCrash(tr Trace, cfg CrashConfig) (CrashResult, error) {
 		return res, fmt.Errorf("conformance: recovery failed: %w", err)
 	}
 	hs2 := httptest.NewServer(s2.Handler())
+	drv2 := newDriver(hs2, cfg.ViaBatch)
 	defer func() {
 		hs2.Close()
 		s2.Close()
@@ -227,7 +242,7 @@ func RunCrash(tr Trace, cfg CrashConfig) (CrashResult, error) {
 	for _, name := range names {
 		m := models[name]
 		ev := Event{Tenant: name, Kind: KindPlan}
-		obs, err := call(hs2.Client(), hs2.URL, ev)
+		obs, err := drv2.call(ev)
 		if err != nil {
 			keep = true
 			return res, fmt.Errorf("conformance: reading recovered plan of %s: %w", name, err)
@@ -241,13 +256,13 @@ func RunCrash(tr Trace, cfg CrashConfig) (CrashResult, error) {
 
 	// --- Phase 2: the rest of the trace against the recovered server,
 	// full oracle layer ---
-	stopped, err = replayRange(hs2.Client(), hs2.URL, tr, cut, len(tr.Events), models, rcfg, cfg.OnEvent, &res.Result, diverge)
+	stopped, err = replayRange(drv2, tr, cut, len(tr.Events), models, rcfg, cfg.OnEvent, &res.Result, diverge)
 	if err != nil {
 		keep = true
 		return res, err
 	}
 	if !stopped && len(res.Divergences) < rcfg.MaxDivergences {
-		checkListing(hs2.Client(), hs2.URL, tr, models, &res.Result, diverge)
+		checkListing(drv2, tr, models, &res.Result, diverge)
 	}
 	if len(res.Divergences) > 0 {
 		keep = true
@@ -260,7 +275,7 @@ func RunCrash(tr Trace, cfg CrashConfig) (CrashResult, error) {
 // fires the mid-run checkpoint when the range crosses CheckpointAt (the
 // caller encodes that by the from/to bounds — see RunCrash). Returns true
 // when the divergence budget stopped the replay.
-func replayRange(client *http.Client, base string, tr Trace, from, to int, models map[string]*tenantModel, rcfg RunConfig, onEvent func(int, Event), out *Result, diverge func(int, Event, string, string, string) bool) (stopped bool, err error) {
+func replayRange(d *driver, tr Trace, from, to int, models map[string]*tenantModel, rcfg RunConfig, onEvent func(int, Event), out *Result, diverge func(int, Event, string, string, string) bool) (stopped bool, err error) {
 	for i := from; i < to; i++ {
 		ev := tr.Events[i]
 		if onEvent != nil {
@@ -270,7 +285,7 @@ func replayRange(client *http.Client, base string, tr Trace, from, to int, model
 		if !ok {
 			return false, fmt.Errorf("conformance: event %d targets unknown tenant %q", i, ev.Tenant)
 		}
-		obs, err := call(client, base, ev)
+		obs, err := d.call(ev)
 		if err != nil {
 			return false, fmt.Errorf("conformance: event %d (%s %s): %w", i, ev.Kind, ev.ID, err)
 		}
@@ -299,15 +314,10 @@ func replayRange(client *http.Client, base string, tr Trace, from, to int, model
 	return false, nil
 }
 
-// postCheckpoint fires POST /admin/checkpoint and requires success.
-func postCheckpoint(client *http.Client, base string) error {
-	resp, err := client.Post(base+"/admin/checkpoint", "application/json", nil)
-	if err != nil {
+// postCheckpoint fires POST /v1/admin/checkpoint and requires success.
+func postCheckpoint(d *driver) error {
+	if _, err := d.c.Checkpoint(context.Background()); err != nil {
 		return fmt.Errorf("conformance: checkpoint request: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("conformance: checkpoint returned status %d", resp.StatusCode)
 	}
 	return nil
 }

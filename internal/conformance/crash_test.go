@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func genTrace(t *testing.T, seed int64, events int) Trace {
@@ -58,6 +59,34 @@ func TestCrashRecoveryTornTail(t *testing.T) {
 	}
 	if !res.OK() {
 		t.Fatalf("torn-tail run diverged:\n%s", res.Result)
+	}
+}
+
+// TestCrashRecoveryGroupCommitViaBatch: the WAL v3 + group-commit +
+// batched-ingest stack under the crash oracle. Mutations arrive as
+// one-op batches, fsyncs are shared through the commit scheduler, the
+// server is killed mid-trace with a torn tail — and the recovered state
+// must still diff clean against the oracle's naive replay.
+func TestCrashRecoveryGroupCommitViaBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-recovery conformance skipped in -short")
+	}
+	tr := genTrace(t, 8, 500)
+	res, err := RunCrash(tr, CrashConfig{
+		Cut:               -1,
+		CheckpointAt:      -1,
+		TornTail:          true,
+		ViaBatch:          true,
+		GroupCommitWindow: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("group-commit crash run diverged (cut %d):\n%s", res.Cut, res.Result)
+	}
+	if res.Cut <= 0 || res.CheckpointAt < 0 {
+		t.Fatalf("degenerate run: cut %d, checkpoint %d", res.Cut, res.CheckpointAt)
 	}
 }
 

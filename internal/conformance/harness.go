@@ -1,10 +1,9 @@
 package conformance
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
-	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"stratrec/internal/client"
 	"stratrec/internal/server"
 	"stratrec/internal/strategy"
 )
@@ -30,6 +30,12 @@ type RunConfig struct {
 	// MaxDivergences stops the replay after this many divergences
 	// (default 16; the minimizer runs with 1).
 	MaxDivergences int
+	// ViaBatch routes every mutation through the batched ingest endpoint
+	// (POST /v1/tenants/{tenant}/ops) as a one-op batch instead of its
+	// single-op endpoint, and checks the per-op result against the same
+	// oracle expectation. It proves the two wire surfaces are
+	// observationally identical.
+	ViaBatch bool
 	// Fault, when non-nil, corrupts the observed response before the
 	// oracle comparison. It exists for testing the harness itself: a
 	// fault simulating a solver bug must be caught and must minimize to a
@@ -156,7 +162,7 @@ func Run(tr Trace, cfg RunConfig) (Result, error) {
 		hs.Close()
 		s.Close()
 	}()
-	client := hs.Client()
+	drv := newDriver(hs, cfg.ViaBatch)
 
 	res := Result{Events: len(tr.Events)}
 	wantApplied := map[string]int{}
@@ -175,7 +181,7 @@ func Run(tr Trace, cfg RunConfig) (Result, error) {
 		if !ok {
 			return res, fmt.Errorf("conformance: event %d targets unknown tenant %q", i, ev.Tenant)
 		}
-		obs, err := call(client, hs.URL, ev)
+		obs, err := drv.call(ev)
 		if err != nil {
 			return res, fmt.Errorf("conformance: event %d (%s %s): %w", i, ev.Kind, ev.ID, err)
 		}
@@ -214,7 +220,7 @@ func Run(tr Trace, cfg RunConfig) (Result, error) {
 	// Final cross-checks: the tenant listing agrees with every model, and
 	// the step callback saw exactly the mutations we issued.
 	if len(res.Divergences) < cfg.MaxDivergences {
-		checkListing(client, hs.URL, tr, models, &res, diverge)
+		checkListing(drv, tr, models, &res, diverge)
 	}
 	for name, want := range wantApplied {
 		res.Checks++
@@ -234,74 +240,113 @@ func handlerRejects(ev Event) bool {
 	return ev.Kind == KindSubmit && (ev.ID == "." || ev.ID == "..")
 }
 
+// driver issues trace events against a live server through the typed API
+// client, so the conformance harness exercises the same wire path real
+// callers use. With viaBatch set, mutations travel as one-op batches
+// through the ingest endpoint and the per-op result is mapped back into
+// the single-op Observed shape.
+type driver struct {
+	c        *client.Client
+	viaBatch bool
+}
+
+func newDriver(hs *httptest.Server, viaBatch bool) *driver {
+	return &driver{
+		c:        client.New(hs.URL, client.WithHTTPClient(hs.Client())),
+		viaBatch: viaBatch,
+	}
+}
+
 // call issues one event's HTTP request and decodes the response.
-func call(client *http.Client, base string, ev Event) (*Observed, error) {
-	prefix := base + "/v1/tenants/" + ev.Tenant
-	var (
-		req *http.Request
-		err error
-	)
+func (d *driver) call(ev Event) (*Observed, error) {
+	ctx := context.Background()
+	if d.viaBatch && ev.Kind.Mutates() {
+		return d.callBatched(ctx, ev)
+	}
 	switch ev.Kind {
 	case KindSubmit:
-		body, merr := json.Marshal(server.SubmitRequest{
+		resp, err := d.c.Submit(ctx, ev.Tenant, server.SubmitRequest{
 			ID: ev.ID, Quality: ev.Quality, Cost: ev.Cost, Latency: ev.Latency, K: ev.K,
 		})
-		if merr != nil {
-			return nil, merr
+		if err != nil {
+			return observeError(err)
 		}
-		req, err = http.NewRequest(http.MethodPost, prefix+"/requests", bytes.NewReader(body))
-		if req != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
+		return &Observed{Status: http.StatusOK, Submit: &resp}, nil
 	case KindRevoke:
-		req, err = http.NewRequest(http.MethodDelete, prefix+"/requests/"+ev.ID, nil)
+		resp, err := d.c.Revoke(ctx, ev.Tenant, ev.ID)
+		if err != nil {
+			return observeError(err)
+		}
+		return &Observed{Status: http.StatusOK, Epoch: &resp}, nil
 	case KindDrift:
-		body, merr := json.Marshal(server.AvailabilityRequest{Workforce: ev.Availability})
-		if merr != nil {
-			return nil, merr
+		resp, err := d.c.SetAvailability(ctx, ev.Tenant, ev.Availability)
+		if err != nil {
+			return observeError(err)
 		}
-		req, err = http.NewRequest(http.MethodPut, prefix+"/availability", bytes.NewReader(body))
-		if req != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
+		return &Observed{Status: http.StatusOK, Epoch: &resp}, nil
 	case KindPlan:
-		req, err = http.NewRequest(http.MethodGet, prefix+"/plan", nil)
+		resp, err := d.c.Plan(ctx, ev.Tenant)
+		if err != nil {
+			return observeError(err)
+		}
+		return &Observed{Status: http.StatusOK, Plan: &resp}, nil
 	case KindAlternative:
-		req, err = http.NewRequest(http.MethodGet, prefix+"/requests/"+ev.ID+"/alternative", nil)
+		resp, err := d.c.Alternative(ctx, ev.Tenant, ev.ID)
+		if err != nil {
+			return observeError(err)
+		}
+		return &Observed{Status: http.StatusOK, Alternative: &resp}, nil
 	default:
 		return nil, fmt.Errorf("unknown kind %q", ev.Kind)
 	}
-	if err != nil {
-		return nil, err
+}
+
+// callBatched sends one mutation as a single-op batch and reshapes its
+// per-op result into the Observed the single-op endpoint would yield.
+func (d *driver) callBatched(ctx context.Context, ev Event) (*Observed, error) {
+	var op server.BatchOp
+	switch ev.Kind {
+	case KindSubmit:
+		op = server.BatchOp{Op: server.OpSubmit, ID: ev.ID,
+			Quality: ev.Quality, Cost: ev.Cost, Latency: ev.Latency, K: ev.K}
+	case KindRevoke:
+		op = server.BatchOp{Op: server.OpRevoke, ID: ev.ID}
+	case KindDrift:
+		op = server.BatchOp{Op: server.OpAvailability, Workforce: ev.Availability}
+	default:
+		return nil, fmt.Errorf("kind %q is not a mutation", ev.Kind)
 	}
-	resp, err := client.Do(req)
+	resp, err := d.c.SendOps(ctx, ev.Tenant, []server.BatchOp{op})
 	if err != nil {
-		return nil, err
+		return observeError(err)
 	}
-	defer resp.Body.Close()
-	obs := &Observed{Status: resp.StatusCode}
-	if resp.StatusCode >= 300 {
-		_, _ = io.Copy(io.Discard, resp.Body)
+	if len(resp.Results) != 1 {
+		return nil, fmt.Errorf("batch of 1 op answered %d results", len(resp.Results))
+	}
+	r := resp.Results[0]
+	obs := &Observed{Status: r.Status}
+	if r.Status != http.StatusOK {
 		return obs, nil
 	}
 	switch ev.Kind {
 	case KindSubmit:
-		obs.Submit = new(server.SubmitResponse)
-		err = json.NewDecoder(resp.Body).Decode(obs.Submit)
+		obs.Submit = &server.SubmitResponse{
+			ID: ev.ID, Served: r.Served != nil && *r.Served, Epoch: r.Epoch,
+		}
 	case KindRevoke, KindDrift:
-		obs.Epoch = new(server.EpochResponse)
-		err = json.NewDecoder(resp.Body).Decode(obs.Epoch)
-	case KindPlan:
-		obs.Plan = new(server.PlanResponse)
-		err = json.NewDecoder(resp.Body).Decode(obs.Plan)
-	case KindAlternative:
-		obs.Alternative = new(server.AlternativeResponse)
-		err = json.NewDecoder(resp.Body).Decode(obs.Alternative)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("decoding %s response: %w", ev.Kind, err)
+		obs.Epoch = &server.EpochResponse{Epoch: r.Epoch}
 	}
 	return obs, nil
+}
+
+// observeError converts a client.APIError into the observed status the
+// oracle compares; transport-level failures stay hard errors.
+func observeError(err error) (*Observed, error) {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return &Observed{Status: apiErr.Status}, nil
+	}
+	return nil, err
 }
 
 // compare checks one observed response against the oracle expectation,
@@ -470,16 +515,10 @@ func compareAlternative(i int, ev Event, m *tenantModel, want *altExpect, got *s
 }
 
 // checkListing cross-checks GET /v1/tenants against every model.
-func checkListing(client *http.Client, base string, tr Trace, models map[string]*tenantModel, res *Result, diverge func(int, Event, string, string, string) bool) {
-	resp, err := client.Get(base + "/v1/tenants")
+func checkListing(d *driver, tr Trace, models map[string]*tenantModel, res *Result, diverge func(int, Event, string, string, string) bool) {
+	infos, err := d.c.Tenants(context.Background())
 	if err != nil {
 		diverge(len(tr.Events), Event{Kind: "listing"}, "tenant listing", "reachable", err.Error())
-		return
-	}
-	defer resp.Body.Close()
-	var infos []server.TenantInfo
-	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
-		diverge(len(tr.Events), Event{Kind: "listing"}, "tenant listing", "decodable", err.Error())
 		return
 	}
 	res.Checks++

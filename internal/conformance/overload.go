@@ -75,6 +75,12 @@ type OverloadConfig struct {
 	// P99Budget bounds the client-observed mutation latency p99 (0 = 2s
 	// — generous, the point is that no mutation parks on a blocked send).
 	P99Budget time.Duration
+	// GroupCommitWindow, when positive, runs the overloaded phase-1
+	// server with cross-tenant group commit at that window: the commit
+	// scheduler must uphold acked ⇒ fsynced and no-trace-on-shed under
+	// the same chaos the per-append policy is audited against. The
+	// restarted server recovers with plain per-append fsyncs either way.
+	GroupCommitWindow time.Duration
 	// DataDir is the durability root; empty uses a temp dir removed
 	// after a clean run and kept on violations (CI artifact).
 	DataDir string
@@ -266,11 +272,12 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 		Faults:    faults,
 	}
 	s1, err := server.New(server.Config{
-		Tenants:      map[string]server.TenantConfig{spec.Name: tenantCfg},
-		DataDir:      dataDir,
-		WALSyncEvery: 1,
-		ADPaRWorkers: 1,
-		ADPaRQueue:   1,
+		Tenants:              map[string]server.TenantConfig{spec.Name: tenantCfg},
+		DataDir:              dataDir,
+		WALSyncEvery:         1,
+		WALGroupCommitWindow: cfg.GroupCommitWindow,
+		ADPaRWorkers:         1,
+		ADPaRQueue:           1,
 	})
 	if err != nil {
 		keep = true

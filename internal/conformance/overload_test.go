@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestOverloadProfilesAccounting runs every chaos profile and requires a
@@ -34,6 +35,29 @@ func TestOverloadProfilesAccounting(t *testing.T) {
 				t.Fatal("revoke storm acked nothing")
 			}
 		})
+	}
+}
+
+// TestOverloadGroupCommitAccounting: the commit scheduler under chaos.
+// With group commit sharing fsyncs and the fsync-failure schedule
+// tripping the read-only breaker mid-run, the ledger must still balance:
+// every acked mutation recovered, every shed absent, epochs exactly once.
+func TestOverloadGroupCommitAccounting(t *testing.T) {
+	res, err := RunOverload(OverloadConfig{
+		Profile:           RevokeStormShed,
+		Seed:              31,
+		DeadlineMs:        10,
+		GroupCommitWindow: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.OK() {
+		t.Fatalf("accounting violations under group commit:\n%s", res)
+	}
+	if res.Shed == 0 {
+		t.Fatal("profile shed nothing; the run proves nothing")
 	}
 }
 

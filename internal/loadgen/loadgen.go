@@ -1,11 +1,15 @@
-package server
+// Package loadgen is the HTTP load harness: a synthetic Poisson
+// submit/revoke/drift workload (internal/synth) replayed over the API
+// client by a pool of workers, in per-op mode (one HTTP request per
+// mutation, plus alternative queries on displaced submissions) or
+// batched mode (mutations grouped into POST /ops bodies, the
+// round-trip-amortized ingest path).
+package loadgen
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -13,13 +17,12 @@ import (
 	"sync"
 	"time"
 
+	"stratrec/internal/client"
 	"stratrec/internal/synth"
 )
 
-// LoadConfig parameterizes the load harness: a synthetic Poisson
-// submit/revoke/drift workload (internal/synth) replayed over HTTP against
-// a live server by a pool of workers.
-type LoadConfig struct {
+// Config parameterizes the load harness.
+type Config struct {
 	// BaseURL is the target server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// Tenants are the tenant names to spread workers across
@@ -36,10 +39,15 @@ type LoadConfig struct {
 	Rate float64
 	// RevokeFraction, DriftFraction, TightFraction parameterize the
 	// workload mix (see synth.WorkloadConfig). Tight submissions are
-	// displaced and trigger an ADPaR alternative query.
+	// displaced and trigger an ADPaR alternative query (per-op mode
+	// only).
 	RevokeFraction, DriftFraction, TightFraction float64
 	// PlanEvery inserts a plan read every n-th event per worker (0
-	// disables).
+	// disables). In batched mode the read fires after the batch that
+	// crossed the threshold. The probe uses the ?view=summary projection:
+	// the full plan body grows with the open pool, and a harness that
+	// decodes it on every probe ends up measuring its own JSON parser
+	// instead of the server.
 	PlanEvery int
 	// K is the per-request cardinality constraint (default 3).
 	K int
@@ -49,6 +57,12 @@ type LoadConfig struct {
 	// runs against the same live server avoid ID collisions with
 	// requests an earlier run left open.
 	IDPrefix string
+	// BatchSize, when > 0, switches to batched ingest: each worker
+	// groups its mutations into ordered POST /ops bodies of up to this
+	// many ops (same-worker revokes still land after their submits — the
+	// batch preserves order). Alternative queries are skipped in this
+	// mode; the replay measures pure ingest throughput.
+	BatchSize int
 	// Workloads, when non-nil, are pre-built per-worker event sequences
 	// (e.g. loaded from a file with synth.ReadTrace) replayed verbatim —
 	// one worker per sequence — instead of generating from Seed and the
@@ -60,10 +74,10 @@ type LoadConfig struct {
 	Client *http.Client
 }
 
-// BuildWorkloads generates the per-worker event sequences RunLoad replays
+// BuildWorkloads generates the per-worker event sequences Run replays
 // when cfg.Workloads is nil. It is exported so callers can export a
 // workload (synth.WriteTrace) and replay the identical sequence later.
-func BuildWorkloads(cfg LoadConfig) ([][]synth.WorkloadEvent, error) {
+func BuildWorkloads(cfg Config) ([][]synth.WorkloadEvent, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 4
@@ -98,7 +112,7 @@ func BuildWorkloads(cfg LoadConfig) ([][]synth.WorkloadEvent, error) {
 			IDPrefix:       fmt.Sprintf("%sw%d-", cfg.IDPrefix, i),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("server: load harness workload: %w", err)
+			return nil, fmt.Errorf("loadgen: workload: %w", err)
 		}
 		workloads = append(workloads, wl)
 	}
@@ -116,22 +130,24 @@ type OpStats struct {
 }
 
 // Report is the harness outcome: the repo's measured requests-per-second
-// number and its latency percentiles.
+// and ops-per-second numbers and the latency percentiles.
 type Report struct {
-	Events     int
-	Errors     int
+	Events     int // completed HTTP requests
+	Ops        int // mutations carried (== batch bodies expanded)
+	Errors     int // failed HTTP requests plus failed in-batch ops
 	Duration   time.Duration
 	Throughput float64 // completed HTTP requests per second
+	OpsPerSec  float64 // mutations per second — the ingest number
 	Overall    OpStats
-	PerOp      map[string]OpStats // submit, revoke, drift, plan, alternative
+	PerOp      map[string]OpStats // submit, revoke, drift, plan, alternative, batch
 }
 
 // String renders the report as the human-readable summary the selftest and
 // CI burst print.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "load: %d requests in %v (%.0f req/s), %d errors\n",
-		r.Events, r.Duration.Round(time.Millisecond), r.Throughput, r.Errors)
+	fmt.Fprintf(&b, "load: %d requests, %d ops in %v (%.0f req/s, %.0f ops/s), %d errors\n",
+		r.Events, r.Ops, r.Duration.Round(time.Millisecond), r.Throughput, r.OpsPerSec, r.Errors)
 	fmt.Fprintf(&b, "  %-12s %8s %10s %10s %10s %10s\n", "op", "count", "p50", "p90", "p99", "max")
 	fmt.Fprintf(&b, "  %-12s %8d %10v %10v %10v %10v\n", "all",
 		r.Overall.Count, r.Overall.P50, r.Overall.P90, r.Overall.P99, r.Overall.Max)
@@ -148,24 +164,28 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// sample is one timed HTTP request: the op class, the latency, how many
+// mutations it carried (0 for reads, the body size for batches), and how
+// many operations failed (the whole carry for a failed call).
 type sample struct {
-	op  string
-	d   time.Duration
-	err bool
+	op   string
+	d    time.Duration
+	ops  int
+	errs int
 }
 
-// RunLoad replays the configured workload and reports throughput and
+// Run replays the configured workload and reports throughput and
 // latency percentiles. Every worker replays its own ID-prefixed event
 // sequence (so revokes always target the worker's own submissions in
 // order) and drives one tenant; workers spread round-robin across
 // cfg.Tenants. Sequences come from BuildWorkloads, or verbatim from
 // cfg.Workloads in replay mode.
-func RunLoad(cfg LoadConfig) (Report, error) {
+func Run(cfg Config) (Report, error) {
 	if cfg.BaseURL == "" {
-		return Report{}, errors.New("server: load harness needs a BaseURL")
+		return Report{}, errors.New("loadgen: need a BaseURL")
 	}
 	if len(cfg.Tenants) == 0 {
-		return Report{}, errors.New("server: load harness needs at least one tenant")
+		return Report{}, errors.New("loadgen: need at least one tenant")
 	}
 	// Resolve every worker's event sequence up front, before the clock
 	// starts: a bad workload config (negative rate, NaN fractions) fails
@@ -178,13 +198,14 @@ func RunLoad(cfg LoadConfig) (Report, error) {
 			return Report{}, err
 		}
 	}
-	client := cfg.Client
-	if client == nil {
-		client = &http.Client{Transport: &http.Transport{
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        len(workloads) * 2,
 			MaxIdleConnsPerHost: len(workloads) * 2,
 		}}
 	}
+	c := client.New(cfg.BaseURL, client.WithHTTPClient(hc))
 
 	sampleCh := make(chan []sample, len(workloads))
 	start := time.Now()
@@ -194,7 +215,11 @@ func RunLoad(cfg LoadConfig) (Report, error) {
 		go func(worker int, wl []synth.WorkloadEvent) {
 			defer wg.Done()
 			tenant := cfg.Tenants[worker%len(cfg.Tenants)]
-			sampleCh <- replay(client, cfg.BaseURL, tenant, wl, cfg.PlanEvery, start)
+			if cfg.BatchSize > 0 {
+				sampleCh <- replayBatched(c, tenant, wl, cfg.BatchSize, cfg.PlanEvery, start)
+			} else {
+				sampleCh <- replay(c, tenant, wl, cfg.PlanEvery, start)
+			}
 		}(i, wl)
 	}
 	wg.Wait()
@@ -211,20 +236,15 @@ func RunLoad(cfg LoadConfig) (Report, error) {
 		PerOp:    map[string]OpStats{},
 	}
 	byOp := map[string][]time.Duration{}
+	errsByOp := map[string]int{}
 	var overall []time.Duration
 	for _, s := range all {
 		rep.Events++
-		if s.err {
-			rep.Errors++
-		}
+		rep.Ops += s.ops
+		rep.Errors += s.errs
 		overall = append(overall, s.d)
 		byOp[s.op] = append(byOp[s.op], s.d)
-	}
-	errsByOp := map[string]int{}
-	for _, s := range all {
-		if s.err {
-			errsByOp[s.op]++
-		}
+		errsByOp[s.op] += s.errs
 	}
 	rep.Overall = statsOf(overall, rep.Errors)
 	for op, ds := range byOp {
@@ -232,16 +252,34 @@ func RunLoad(cfg LoadConfig) (Report, error) {
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.Throughput = float64(rep.Events) / secs
+		rep.OpsPerSec = float64(rep.Ops) / secs
 	}
 	return rep, nil
 }
 
-// replay drives one worker's event sequence against one tenant,
-// interleaving alternative queries after displaced submissions and
+// timed runs one client call and grades it into a sample. tolerateRace
+// forgives 404/409 (alternative queries legitimately race the plan).
+func timed(op string, ops int, tolerateRace bool, f func() error) sample {
+	t0 := time.Now()
+	err := f()
+	s := sample{op: op, d: time.Since(t0), ops: ops}
+	if err != nil {
+		var apiErr *client.APIError
+		if tolerateRace && errors.As(err, &apiErr) &&
+			(apiErr.Status == http.StatusNotFound || apiErr.Status == http.StatusConflict) {
+			return s
+		}
+		s.errs = max(ops, 1)
+	}
+	return s
+}
+
+// replay drives one worker's event sequence against one tenant in per-op
+// mode, interleaving alternative queries after displaced submissions and
 // periodic plan reads.
-func replay(client *http.Client, base, tenant string, wl []synth.WorkloadEvent, planEvery int, start time.Time) []sample {
+func replay(c *client.Client, tenant string, wl []synth.WorkloadEvent, planEvery int, start time.Time) []sample {
+	ctx := context.Background()
 	samples := make([]sample, 0, len(wl)+len(wl)/4)
-	prefix := base + "/v1/tenants/" + tenant
 	for i, ev := range wl {
 		if ev.At > 0 {
 			if d := time.Until(start.Add(ev.At)); d > 0 {
@@ -250,76 +288,109 @@ func replay(client *http.Client, base, tenant string, wl []synth.WorkloadEvent, 
 		}
 		switch ev.Kind {
 		case synth.SubmitArrival:
-			body, _ := json.Marshal(SubmitRequest{
-				ID:      ev.Request.ID,
-				Quality: ev.Request.Quality,
-				Cost:    ev.Request.Cost,
-				Latency: ev.Request.Latency,
-				K:       ev.Request.K,
+			var resp client.SubmitResponse
+			s := timed("submit", 1, false, func() (err error) {
+				resp, err = c.Submit(ctx, tenant, client.SubmitRequest{
+					ID:      ev.Request.ID,
+					Quality: ev.Request.Quality,
+					Cost:    ev.Request.Cost,
+					Latency: ev.Request.Latency,
+					K:       ev.Request.K,
+				})
+				return err
 			})
-			var resp SubmitResponse
-			s := timedCall(client, http.MethodPost, prefix+"/requests", body, &resp, false)
-			s.op = "submit"
 			samples = append(samples, s)
-			if !s.err && !resp.Served {
+			if s.errs == 0 && !resp.Served {
 				// Displaced: ask for the ADPaR alternative, the paper's
 				// Section-4 path. 404/409 are tolerated here — they just
 				// mean the plan moved between the two calls.
-				alt := timedCall(client, http.MethodGet, prefix+"/requests/"+ev.Request.ID+"/alternative", nil, nil, true)
-				alt.op = "alternative"
-				samples = append(samples, alt)
+				samples = append(samples, timed("alternative", 0, true, func() error {
+					_, err := c.Alternative(ctx, tenant, ev.Request.ID)
+					return err
+				}))
 			}
 		case synth.RevokeArrival:
-			s := timedCall(client, http.MethodDelete, prefix+"/requests/"+ev.RevokeID, nil, nil, false)
-			s.op = "revoke"
-			samples = append(samples, s)
+			samples = append(samples, timed("revoke", 1, false, func() error {
+				_, err := c.Revoke(ctx, tenant, ev.RevokeID)
+				return err
+			}))
 		case synth.DriftArrival:
-			body, _ := json.Marshal(AvailabilityRequest{Workforce: ev.Availability})
-			s := timedCall(client, http.MethodPut, prefix+"/availability", body, nil, false)
-			s.op = "drift"
-			samples = append(samples, s)
+			samples = append(samples, timed("drift", 1, false, func() error {
+				_, err := c.SetAvailability(ctx, tenant, ev.Availability)
+				return err
+			}))
 		}
 		if planEvery > 0 && (i+1)%planEvery == 0 {
-			s := timedCall(client, http.MethodGet, prefix+"/plan", nil, nil, false)
-			s.op = "plan"
-			samples = append(samples, s)
+			samples = append(samples, timed("plan", 0, false, func() error {
+				_, err := c.PlanSummary(ctx, tenant)
+				return err
+			}))
 		}
 	}
 	return samples
 }
 
-// timedCall performs one HTTP call and decodes out when given. Non-2xx
-// counts as an error, except 404/409 when tolerateRace is set (alternative
-// queries legitimately race the plan).
-func timedCall(client *http.Client, method, url string, body []byte, out any, tolerateRace bool) sample {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	t0 := time.Now()
-	req, err := http.NewRequest(method, url, rd)
-	if err != nil {
-		return sample{d: time.Since(t0), err: true}
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return sample{d: time.Since(t0), err: true}
-	}
-	failed := resp.StatusCode >= 300
-	if tolerateRace && (resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusConflict) {
-		failed = false
-	}
-	if out != nil && resp.StatusCode < 300 {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			failed = true
+// replayBatched drives one worker's sequence through the batched ingest
+// endpoint: mutations accumulate into ordered /ops bodies of up to
+// batchSize ops (pacing sleeps still honor each event's arrival time
+// before it joins a batch), flushed when full and at the end. A
+// processed batch contributes one latency sample; ops whose in-batch
+// result is non-2xx count as errors.
+func replayBatched(c *client.Client, tenant string, wl []synth.WorkloadEvent, batchSize, planEvery int, start time.Time) []sample {
+	ctx := context.Background()
+	samples := make([]sample, 0, len(wl)/batchSize+2)
+	var b client.Batch
+	done, nextPlan := 0, planEvery
+	flush := func() {
+		n := b.Len()
+		if n == 0 {
+			return
+		}
+		var resp client.BatchResponse
+		s := timed("batch", n, false, func() (err error) {
+			resp, err = c.Send(ctx, tenant, &b)
+			return err
+		})
+		if s.errs == 0 {
+			for _, r := range resp.Results {
+				if r.Status >= 300 {
+					s.errs++
+				}
+			}
+		}
+		samples = append(samples, s)
+		b.Reset()
+		for planEvery > 0 && done >= nextPlan {
+			samples = append(samples, timed("plan", 0, false, func() error {
+				_, err := c.PlanSummary(ctx, tenant)
+				return err
+			}))
+			nextPlan += planEvery
 		}
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return sample{d: time.Since(t0), err: failed}
+	for _, ev := range wl {
+		if ev.At > 0 {
+			if d := time.Until(start.Add(ev.At)); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		switch ev.Kind {
+		case synth.SubmitArrival:
+			b.Submit(ev.Request.ID, ev.Request.Quality, ev.Request.Cost, ev.Request.Latency, ev.Request.K)
+		case synth.RevokeArrival:
+			b.Revoke(ev.RevokeID)
+		case synth.DriftArrival:
+			b.SetAvailability(ev.Availability)
+		default:
+			continue
+		}
+		done++
+		if b.Len() >= batchSize {
+			flush()
+		}
+	}
+	flush()
+	return samples
 }
 
 // statsOf computes percentile stats over a latency set.

@@ -1,0 +1,208 @@
+package loadgen
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stratrec/internal/batch"
+	"stratrec/internal/server"
+	"stratrec/internal/synth"
+	"stratrec/internal/workforce"
+)
+
+// synthTenant builds a synthetic tenant catalog for harness tests.
+func synthTenant(seed int64, n int, w float64) server.TenantConfig {
+	gen := synth.DefaultConfig(synth.Uniform)
+	rng := rand.New(rand.NewSource(seed))
+	set := gen.Strategies(rng, n)
+	return server.TenantConfig{
+		Set: set, Models: gen.Models(rng, set),
+		Mode: workforce.MaxCase, Objective: batch.Throughput,
+		InitialW: w,
+	}
+}
+
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+// TestLoadHarnessThousandRequests is the acceptance run: a ≥1k-event
+// synthetic Poisson workload (submits, revokes, availability drift, tight
+// ADPaR-bound requests) replayed against a live two-tenant server, with
+// throughput and latency percentiles in the report.
+func TestLoadHarnessThousandRequests(t *testing.T) {
+	_, hs := newTestServer(t, server.Config{Tenants: map[string]server.TenantConfig{
+		"alpha": synthTenant(10, 16, 0.7),
+		"beta":  synthTenant(11, 16, 0.7),
+	}})
+
+	rep, err := Run(Config{
+		BaseURL:        hs.URL,
+		Tenants:        []string{"alpha", "beta"},
+		Workers:        4,
+		Events:         1000,
+		Rate:           0, // closed loop: as fast as the server allows
+		RevokeFraction: 0.3,
+		DriftFraction:  0.05,
+		TightFraction:  0.3,
+		PlanEvery:      10,
+		K:              3,
+		Seed:           42,
+		Client:         hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ≥1000 workload events, plus interleaved plan reads and alternative
+	// queries on displaced submissions.
+	if rep.Events < 1000 {
+		t.Fatalf("replayed %d events, want >= 1000", rep.Events)
+	}
+	if rep.Ops != 1000 {
+		t.Errorf("carried %d ops, want 1000", rep.Ops)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors during replay\n%s", rep.Errors, rep)
+	}
+	if rep.Throughput <= 0 || rep.OpsPerSec <= 0 {
+		t.Errorf("throughput = %v req/s, %v ops/s", rep.Throughput, rep.OpsPerSec)
+	}
+	if rep.Overall.P50 <= 0 || rep.Overall.P99 < rep.Overall.P50 || rep.Overall.Max < rep.Overall.P99 {
+		t.Errorf("percentiles inconsistent: %+v", rep.Overall)
+	}
+	for _, op := range []string{"submit", "revoke", "plan"} {
+		if rep.PerOp[op].Count == 0 {
+			t.Errorf("no %s operations in the mix\n%s", op, rep)
+		}
+	}
+	if rep.PerOp["alternative"].Count == 0 {
+		t.Errorf("tight fraction 0.3 produced no alternative queries\n%s", rep)
+	}
+	out := rep.String()
+	for _, want := range []string{"req/s", "ops/s", "p50", "p99", "submit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadHarnessBatched: the same workload shape driven through the
+// batched ingest endpoint — one HTTP request per BatchSize mutations,
+// every op accounted, no errors (same-batch revokes land after their
+// submits because batches preserve order).
+func TestLoadHarnessBatched(t *testing.T) {
+	_, hs := newTestServer(t, server.Config{Tenants: map[string]server.TenantConfig{
+		"alpha": synthTenant(10, 16, 0.7),
+		"beta":  synthTenant(11, 16, 0.7),
+	}})
+
+	rep, err := Run(Config{
+		BaseURL:        hs.URL,
+		Tenants:        []string{"alpha", "beta"},
+		Workers:        4,
+		Events:         600,
+		RevokeFraction: 0.3,
+		DriftFraction:  0.05,
+		TightFraction:  0.3,
+		PlanEvery:      50,
+		K:              3,
+		Seed:           42,
+		BatchSize:      32,
+		Client:         hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 600 {
+		t.Fatalf("carried %d ops, want 600\n%s", rep.Ops, rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors during batched replay\n%s", rep.Errors, rep)
+	}
+	// Batching is the point: far fewer HTTP requests than ops.
+	if rep.Events >= rep.Ops/2 {
+		t.Errorf("%d HTTP requests for %d ops — batching did not amortize", rep.Events, rep.Ops)
+	}
+	if rep.PerOp["batch"].Count == 0 || rep.PerOp["plan"].Count == 0 {
+		t.Errorf("op mix: %+v", rep.PerOp)
+	}
+	if rep.PerOp["alternative"].Count != 0 {
+		t.Errorf("batched mode issued alternative queries: %+v", rep.PerOp)
+	}
+	if rep.OpsPerSec <= 0 {
+		t.Errorf("ops/s = %v", rep.OpsPerSec)
+	}
+}
+
+// TestLoadHarnessPacedReplay: a non-zero rate paces arrivals without
+// losing events.
+func TestLoadHarnessPacedReplay(t *testing.T) {
+	_, hs := newTestServer(t, server.Config{Tenants: map[string]server.TenantConfig{
+		"alpha": synthTenant(3, 8, 0.8),
+	}})
+	rep, err := Run(Config{
+		BaseURL: hs.URL,
+		Tenants: []string{"alpha"},
+		Workers: 2,
+		Events:  60,
+		Rate:    2000, // fast pacing, but nonzero offsets
+		Seed:    7,
+		Client:  hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events < 60 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Duration <= 0 {
+		t.Errorf("duration = %v", rep.Duration)
+	}
+}
+
+func TestLoadHarnessValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := Run(Config{BaseURL: "http://localhost:1"}); err == nil {
+		t.Error("missing tenants accepted")
+	}
+}
+
+// TestLoadHarnessSurvivesServerErrors: pointing a worker at a tenant the
+// server does not host must produce error counts, not a hang — in both
+// modes.
+func TestLoadHarnessSurvivesServerErrors(t *testing.T) {
+	_, hs := newTestServer(t, server.Config{Tenants: map[string]server.TenantConfig{
+		"alpha": synthTenant(5, 4, 0.8),
+	}})
+	for _, batchSize := range []int{0, 8} {
+		rep, err := Run(Config{
+			BaseURL:   hs.URL,
+			Tenants:   []string{"ghost"},
+			Workers:   1,
+			Events:    20,
+			Seed:      1,
+			BatchSize: batchSize,
+			Client:    hs.Client(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Errors == 0 {
+			t.Errorf("batchSize %d: unknown tenant produced no errors: %+v", batchSize, rep)
+		}
+	}
+}

@@ -25,26 +25,35 @@ const DeadlineHeader = "X-Request-Deadline-Ms"
 
 // routes wires the HTTP surface:
 //
-//	GET    /healthz                                       liveness
-//	GET    /metrics                                       expvar metrics (JSON)
+//	GET    /v1/healthz                                    liveness
+//	GET    /v1/metrics                                    expvar metrics (JSON)
 //	GET    /v1/tenants                                    hosted tenants
 //	POST   /v1/tenants/{tenant}/requests                  submit a request
 //	DELETE /v1/tenants/{tenant}/requests/{id}             revoke a request
+//	POST   /v1/tenants/{tenant}/ops                       batched ingest (ordered submit/revoke/availability ops)
 //	GET    /v1/tenants/{tenant}/plan                      current plan snapshot
 //	GET    /v1/tenants/{tenant}/requests/{id}/alternative ADPaR alternative
 //	PUT    /v1/tenants/{tenant}/availability              move expected workforce
-//	POST   /admin/checkpoint                              checkpoint + truncate every tenant WAL
+//	POST   /v1/admin/checkpoint                           checkpoint + truncate every tenant WAL
+//
+// /healthz, /metrics and /admin/checkpoint also answer at their
+// original unversioned paths, kept for deployed probes and scripts
+// (deprecated — new integrations should use the /v1 forms).
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.metricsHandler)
+	mux.HandleFunc("GET /v1/metrics", s.metricsHandler)
 	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("POST /v1/tenants/{tenant}/requests", s.tenantHandler(s.handleSubmit))
 	mux.HandleFunc("DELETE /v1/tenants/{tenant}/requests/{id}", s.tenantHandler(s.handleRevoke))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/ops", s.tenantHandler(s.handleBatch))
 	mux.HandleFunc("GET /v1/tenants/{tenant}/plan", s.tenantHandler(handlePlan))
 	mux.HandleFunc("GET /v1/tenants/{tenant}/requests/{id}/alternative", s.tenantHandler(handleAlternative))
 	mux.HandleFunc("PUT /v1/tenants/{tenant}/availability", s.tenantHandler(s.handleAvailability))
 	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	return mux
 }
 
@@ -108,6 +117,22 @@ type PlanResponse struct {
 	Requests     []PlanRequest `json:"requests"`
 }
 
+// PlanSummaryResponse is the ?view=summary projection of the plan: the
+// scalar observables with per-request detail reduced to counts. The full
+// PlanResponse grows with the open pool (every request serialized on
+// every read); the summary stays O(1), which is what epoch/objective
+// pollers and load probes should be paying.
+type PlanSummaryResponse struct {
+	Tenant       string  `json:"tenant"`
+	Epoch        uint64  `json:"epoch"`
+	Availability float64 `json:"availability"`
+	Objective    float64 `json:"objective"`
+	Workforce    float64 `json:"workforce"`
+	Open         int     `json:"open"`
+	Serving      int     `json:"serving"`
+	Displaced    int     `json:"displaced"`
+}
+
 // AlternativeResponse is an ADPaR recommendation for a displaced request.
 type AlternativeResponse struct {
 	ID         string  `json:"id"`
@@ -135,9 +160,90 @@ type CheckpointResponse struct {
 	Tenants map[string]CheckpointInfo `json:"tenants"`
 }
 
+// Error codes carried by ErrorDetail.Code: a stable, machine-matchable
+// vocabulary, independent of error message wording. Clients branch on
+// the code (or just the HTTP status); the message is for humans.
+const (
+	CodeBadRequest      = "bad_request"      // malformed body, header or batch
+	CodeInvalidArgument = "invalid_argument" // well-formed but semantically invalid mutation
+	CodeUnknownTenant   = "unknown_tenant"
+	CodeUnknownRequest  = "unknown_request"
+	CodeDuplicateID     = "duplicate_id"
+	CodeAlreadyServed   = "already_served"
+	CodeNoDurability    = "no_durability"
+	CodeOverloaded      = "overloaded"    // shed; retry after RetryAfterMs
+	CodeTenantClosed    = "tenant_closed" // shutting down; retry against the replacement
+	CodeWALBroken       = "wal_broken"    // read-only until operator restart
+	CodeInternal        = "internal"
+)
+
+// ErrorDetail is the uniform error shape every handler returns: a stable
+// code, a human-readable message, and — for retryable rejections — the
+// same backoff hint the Retry-After header carries, in milliseconds.
+type ErrorDetail struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
 // ErrorResponse carries every non-2xx body.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
+}
+
+// --- batched ingest ---
+
+// Batch op kinds for BatchOp.Op.
+const (
+	OpSubmit       = "submit"
+	OpRevoke       = "revoke"
+	OpAvailability = "availability"
+)
+
+// MaxBatchOps caps how many ops one POST /v1/tenants/{tenant}/ops body
+// may carry. Large enough to amortize a round trip many times over,
+// small enough that one batch cannot monopolize a tenant loop.
+const MaxBatchOps = 1024
+
+// BatchOp is one mutation inside a batched ingest request. Op selects
+// the mutation; the other fields mirror the single-op endpoints (submit
+// uses ID/Quality/Cost/Latency/K, revoke uses ID, availability uses
+// Workforce).
+type BatchOp struct {
+	Op      string  `json:"op"`
+	ID      string  `json:"id,omitempty"`
+	Quality float64 `json:"quality,omitempty"`
+	Cost    float64 `json:"cost,omitempty"`
+	Latency float64 `json:"latency,omitempty"`
+	K       int     `json:"k,omitempty"`
+	// Workforce is the availability op's new expected workforce.
+	Workforce float64 `json:"workforce,omitempty"`
+}
+
+// BatchRequest is the POST /v1/tenants/{tenant}/ops body: an ordered
+// list of mutations, applied in exactly this order through the tenant's
+// event loop (they may coalesce into the same replan cycle, which is the
+// point).
+type BatchRequest struct {
+	Ops []BatchOp `json:"ops"`
+}
+
+// BatchOpResult is one op's outcome. Status is the HTTP status the op
+// would have received at its single-op endpoint; Error carries the same
+// envelope a non-2xx single-op response would. Served is set for
+// successful submits only.
+type BatchOpResult struct {
+	Status int          `json:"status"`
+	Epoch  uint64       `json:"epoch,omitempty"`
+	Served *bool        `json:"served,omitempty"`
+	Error  *ErrorDetail `json:"error,omitempty"`
+}
+
+// BatchResponse answers a processed batch: one result per op, in op
+// order. The HTTP status is 200 whenever the batch itself was processed,
+// even if every op inside failed — per-op outcomes live in Results.
+type BatchResponse struct {
+	Results []BatchOpResult `json:"results"`
 }
 
 // --- handlers ---
@@ -295,8 +401,116 @@ func (s *Server) handleAvailability(t *Tenant, w http.ResponseWriter, r *http.Re
 	writeJSON(w, http.StatusOK, EpochResponse{Epoch: epoch})
 }
 
-func handlePlan(t *Tenant, w http.ResponseWriter, _ *http.Request) {
+// handleBatch is the batched ingest endpoint: an ordered list of
+// submit/revoke/availability ops, applied through the tenant's event
+// loop in body order so they can coalesce into shared replan cycles (and
+// shared WAL commit rounds). One deadline parse covers the whole body —
+// the deadline is a property of the request, not of each op — and a
+// batch the deadline check already dooms is rejected as a unit with one
+// 429 before anything is enqueued. Malformed ops (unknown op kind,
+// unaddressable ID) fail in place with a 400-shaped result without
+// poisoning their neighbours. A processed batch answers 200 with one
+// result per op, each carrying the status and, on failure, the same
+// error envelope the op's single-op endpoint would have returned.
+func (s *Server) handleBatch(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	var body BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, badRequest("invalid JSON: %v", err))
+		return
+	}
+	if len(body.Ops) == 0 {
+		writeError(w, badRequest("empty batch (want 1..%d ops)", MaxBatchOps))
+		return
+	}
+	if len(body.Ops) > MaxBatchOps {
+		writeError(w, badRequest("batch of %d ops exceeds the cap of %d", len(body.Ops), MaxBatchOps))
+		return
+	}
+	ctx, cancel, err := s.mutationContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+
+	results := make([]BatchOpResult, len(body.Ops))
+	ops := make([]op, 0, len(body.Ops))
+	idx := make([]int, 0, len(body.Ops)) // ops[j] answers results[idx[j]]
+	for i, b := range body.Ops {
+		switch b.Op {
+		case OpSubmit:
+			if b.ID == "." || b.ID == ".." {
+				results[i] = batchErrResult(badRequest("request ID %q cannot be addressed as a URL path segment", b.ID))
+				continue
+			}
+			k := b.K
+			if k == 0 {
+				k = 1
+			}
+			ops = append(ops, op{kind: opSubmit, req: strategy.Request{
+				ID:     b.ID,
+				Params: strategy.Params{Quality: b.Quality, Cost: b.Cost, Latency: b.Latency},
+				K:      k,
+			}})
+		case OpRevoke:
+			ops = append(ops, op{kind: opRevoke, id: b.ID})
+		case OpAvailability:
+			ops = append(ops, op{kind: opAvailability, w: b.Workforce})
+		default:
+			results[i] = batchErrResult(badRequest("unknown op %q (want %q, %q or %q)", b.Op, OpSubmit, OpRevoke, OpAvailability))
+			continue
+		}
+		idx = append(idx, i)
+	}
+	opResults, err := t.applyOps(ctx, ops)
+	if err != nil {
+		// Whole-batch rejection: nothing was enqueued, nothing applied.
+		writeError(w, err)
+		return
+	}
+	for j, res := range opResults {
+		i := idx[j]
+		if res.err != nil {
+			results[i] = batchErrResult(res.err)
+			continue
+		}
+		br := BatchOpResult{Status: http.StatusOK, Epoch: res.epoch}
+		if ops[j].kind == opSubmit {
+			served := res.served
+			br.Served = &served
+		}
+		results[i] = br
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// batchErrResult shapes one op's failure exactly like the single-op
+// endpoint's error response.
+func batchErrResult(err error) BatchOpResult {
+	code, d := errorDetail(err)
+	return BatchOpResult{Status: code, Error: &d}
+}
+
+func handlePlan(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	snap := t.Snapshot()
+	switch view := r.URL.Query().Get("view"); view {
+	case "", "full":
+	case "summary":
+		writeJSON(w, http.StatusOK, PlanSummaryResponse{
+			Tenant:       t.name,
+			Epoch:        snap.Epoch,
+			Availability: snap.Availability,
+			Objective:    snap.Plan.Objective,
+			Workforce:    snap.Plan.Workforce,
+			Open:         len(snap.Requests),
+			Serving:      len(snap.Plan.Serving),
+			Displaced:    len(snap.Plan.Displaced),
+		})
+		return
+	default:
+		writeError(w, badRequest("unknown plan view %q (want \"full\" or \"summary\")", view))
+		return
+	}
 	resp := PlanResponse{
 		Tenant:       t.name,
 		Epoch:        snap.Epoch,
@@ -390,46 +604,74 @@ func badRequest(format string, args ...any) error {
 	return statusError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// writeError maps domain errors onto HTTP status codes: unknown
-// tenant/request → 404, duplicate or already-served → 409, validation →
-// 400, shed under overload → 429 with Retry-After, closed or read-only
-// tenant → 503 with Retry-After, anything else → 500.
+// errorDetail maps a domain error onto its HTTP status and uniform
+// envelope: unknown tenant/request → 404, duplicate or already-served →
+// 409, validation → 400, shed under overload → 429 with a retry hint,
+// closed or read-only tenant → 503 with a retry hint, anything else →
+// 500. Single-op handlers and per-op batch results share this mapping,
+// so an op fails identically whichever wire carried it.
 //
-// The 429/503 split is semantic, not cosmetic: 429 means the server chose
-// not to take the work (queue full, deadline unmeetable, pool saturated)
-// and a backoff of Retry-After seconds should succeed; 503 means the
-// tenant cannot take writes at all — shutting down (retry shortly against
-// the replacement) or WAL-broken (no retry helps until an operator
-// restarts, hence the longer hint). Both guarantee the mutation left no
-// trace.
-func writeError(w http.ResponseWriter, err error) {
+// The 429/503 split is semantic, not cosmetic: 429 (overloaded) means
+// the server chose not to take the work (queue full, deadline
+// unmeetable, pool saturated) and a backoff of RetryAfterMs should
+// succeed; 503 means the tenant cannot take writes at all — shutting
+// down (tenant_closed: retry shortly against the replacement) or
+// WAL-broken (wal_broken: no retry helps until an operator restarts,
+// hence the longer hint). Both guarantee the mutation left no trace.
+func errorDetail(err error) (int, ErrorDetail) {
+	d := ErrorDetail{Code: CodeInternal, Message: err.Error()}
 	code := http.StatusInternalServerError
 	var se statusError
 	var oe *OverloadError
 	switch {
 	case errors.As(err, &se):
 		code = se.code
+		d.Code = CodeBadRequest
 	case errors.As(err, &oe):
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(oe.RetryAfter)))
 		code = http.StatusTooManyRequests
-	case errors.Is(err, ErrUnknownTenant), errors.Is(err, stream.ErrUnknownID):
+		d.Code = CodeOverloaded
+		d.RetryAfterMs = oe.RetryAfter.Milliseconds()
+	case errors.Is(err, ErrUnknownTenant):
 		code = http.StatusNotFound
-	case errors.Is(err, stream.ErrDuplicateID), errors.Is(err, stream.ErrServed):
+		d.Code = CodeUnknownTenant
+	case errors.Is(err, stream.ErrUnknownID):
+		code = http.StatusNotFound
+		d.Code = CodeUnknownRequest
+	case errors.Is(err, stream.ErrDuplicateID):
 		code = http.StatusConflict
+		d.Code = CodeDuplicateID
+	case errors.Is(err, stream.ErrServed):
+		code = http.StatusConflict
+		d.Code = CodeAlreadyServed
 	case errors.Is(err, stream.ErrEmptyID), errors.Is(err, stream.ErrBadAvailability),
 		errors.Is(err, strategy.ErrBadParam), errors.Is(err, strategy.ErrBadCardinality),
 		errors.Is(err, adpar.ErrBadK), errors.Is(err, adpar.ErrNotEnoughStrategies):
 		code = http.StatusBadRequest
+		d.Code = CodeInvalidArgument
 	case errors.Is(err, ErrNoDurability):
 		code = http.StatusConflict
+		d.Code = CodeNoDurability
 	case errors.Is(err, ErrTenantClosed):
-		w.Header().Set("Retry-After", "1")
 		code = http.StatusServiceUnavailable
+		d.Code = CodeTenantClosed
+		d.RetryAfterMs = 1000
 	case errors.Is(err, ErrWALBroken):
-		w.Header().Set("Retry-After", "30")
 		code = http.StatusServiceUnavailable
+		d.Code = CodeWALBroken
+		d.RetryAfterMs = 30000
 	}
-	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+	return code, d
+}
+
+// writeError renders one domain error as the whole response, with the
+// Retry-After header mirroring the envelope's hint (rounded up to whole
+// seconds, the header's granularity).
+func writeError(w http.ResponseWriter, err error) {
+	code, d := errorDetail(err)
+	if d.RetryAfterMs > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(time.Duration(d.RetryAfterMs)*time.Millisecond)))
+	}
+	writeJSON(w, code, ErrorResponse{Error: d})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

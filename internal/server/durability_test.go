@@ -16,6 +16,7 @@ import (
 
 	"stratrec/internal/strategy"
 	"stratrec/internal/stream"
+	"stratrec/internal/wal"
 )
 
 // snapshotsEqual diffs two tenant snapshots field by field, the same
@@ -180,7 +181,10 @@ func TestCheckpointWithoutDataDir(t *testing.T) {
 	defer s.Close()
 	var errResp ErrorResponse
 	if code := call(t, hs.Client(), http.MethodPost, hs.URL+"/admin/checkpoint", nil, &errResp); code != http.StatusConflict {
-		t.Fatalf("checkpoint without durability: status %d (%s)", code, errResp.Error)
+		t.Fatalf("checkpoint without durability: status %d (%+v)", code, errResp.Error)
+	}
+	if errResp.Error.Code != CodeNoDurability {
+		t.Fatalf("checkpoint without durability: code %+v", errResp.Error)
 	}
 }
 
@@ -200,30 +204,16 @@ func TestAutoCheckpointTruncates(t *testing.T) {
 	want := tn.Snapshot()
 	s1.Close()
 
-	// Auto-checkpointing must have truncated: no segment may hold more
-	// than CheckpointEvery records, so total on-disk records ≤ 2 budgets.
-	entries, err := os.ReadDir(filepath.Join(dir, "alpha"))
+	// Auto-checkpointing must have truncated: one live segment behind one
+	// checkpoint, holding at most a checkpoint budget of tail records.
+	scanned, err := wal.Scan(filepath.Join(dir, "alpha"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var segs, ckpts, records int
-	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".log") {
-			segs++
-			data, err := os.ReadFile(filepath.Join(dir, "alpha", e.Name()))
-			if err != nil {
-				t.Fatal(err)
-			}
-			records += strings.Count(string(data), "\n")
-		}
-		if strings.HasSuffix(e.Name(), ".ckpt") {
-			ckpts++
-		}
+	if scanned.Segments != 1 || scanned.Checkpoint == nil {
+		t.Fatalf("auto-checkpoint left %d segments, checkpoint %v", scanned.Segments, scanned.Checkpoint)
 	}
-	if segs != 1 || ckpts != 1 {
-		t.Fatalf("auto-checkpoint left %d segments, %d checkpoints", segs, ckpts)
-	}
-	if records > 2*cfg.CheckpointEvery {
+	if records := len(scanned.Tail); records > 2*cfg.CheckpointEvery {
 		t.Fatalf("auto-checkpoint left %d records on disk (budget %d)", records, cfg.CheckpointEvery)
 	}
 

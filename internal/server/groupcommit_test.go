@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stratrec/internal/strategy"
+	"stratrec/internal/stream"
+)
+
+// TestGroupCommitDurability: with the cross-tenant commit scheduler on,
+// every acknowledged mutation still survives a restart — the fsync moved
+// into a shared round, not past the acknowledgement.
+func TestGroupCommitDurability(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Tenants: map[string]TenantConfig{
+			"alpha": fixedTenant(6, 0.7),
+			"beta":  synthTenant(5, 24, 0.6),
+			"gamma": fixedTenant(4, 0.5),
+		},
+		DataDir:              dir,
+		WALGroupCommitWindow: 500 * time.Microsecond,
+	}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent per-tenant writers, so batches from different tenants
+	// finish close together and can share rounds.
+	var wg sync.WaitGroup
+	for _, name := range s1.TenantNames() {
+		tn, _ := s1.Tenant(name)
+		wg.Add(1)
+		go func(name string, tn *Tenant) {
+			defer wg.Done()
+			driveMutations(t, tn, 200, int64(len(name)))
+		}(name, tn)
+	}
+	wg.Wait()
+	want := map[string]*stream.Snapshot{}
+	for _, name := range s1.TenantNames() {
+		tn, _ := s1.Tenant(name)
+		want[name] = tn.Snapshot()
+		if tn.wal.Syncs() == 0 || tn.wal.Appends() == 0 {
+			t.Fatalf("tenant %s never hit the scheduler: %d appends, %d syncs", name, tn.wal.Appends(), tn.wal.Syncs())
+		}
+	}
+	// Every sync went through the scheduler: commits count log-sync
+	// requests, rounds the shared fsync windows that served them.
+	if rounds, commits := s1.gc.rounds.Load(), s1.gc.commits.Load(); rounds == 0 || commits < rounds {
+		t.Fatalf("scheduler accounting: %d rounds, %d commits", rounds, commits)
+	}
+	s1.Close()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for name, w := range want {
+		tn, err := s2.Tenant(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshotsEqual(t, w, tn.Snapshot())
+	}
+}
+
+// TestGroupCommitFailureNoTrace: a failed commit round must behave like
+// an inline fsync failure — the ops it covered get ErrWALBroken, the
+// tenant goes read-only, readers never observe the unacked writes, and
+// the restart rebuilds exactly the durable prefix. The WAL's rollback
+// guarantees the failed round's records cannot resurface even though the
+// buffered writer may already have spilled them into the segment file.
+func TestGroupCommitFailureNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	var failing atomic.Bool
+	tcfg := fixedTenant(6, 0.7)
+	tcfg.Faults = &Faults{WALSync: func() error {
+		if failing.Load() {
+			return errors.New("injected fsync failure")
+		}
+		return nil
+	}}
+	cfg := Config{
+		Tenants:              map[string]TenantConfig{"alpha": tcfg},
+		DataDir:              dir,
+		WALGroupCommitWindow: 200 * time.Microsecond,
+	}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := s1.Tenant("alpha")
+	driveMutations(t, tn, 40, 31)
+	want := tn.Snapshot()
+
+	failing.Store(true)
+	_, err = tn.Submit(context.Background(), strategy.Request{ID: "doomed", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1})
+	if !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("submit through failing commit round: %v, want ErrWALBroken", err)
+	}
+	if _, ok := tn.Snapshot().Request("doomed"); ok {
+		t.Fatal("unacked mutation visible in the published snapshot")
+	}
+	if _, err := tn.Submit(context.Background(), strategy.Request{ID: "after", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1}); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("write after failed round: %v, want ErrWALBroken", err)
+	}
+	snapshotsEqual(t, want, tn.Snapshot())
+	s1.Close()
+
+	// Restart without the fault: exactly the acknowledged state returns.
+	cfg.Tenants = map[string]TenantConfig{"alpha": fixedTenant(6, 0.7)}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	tn2, _ := s2.Tenant("alpha")
+	snapshotsEqual(t, want, tn2.Snapshot())
+}
+
+// TestGroupCommitConcurrentTenantsUnderRace is the -race exercise for the
+// scheduler hand-off: many tenants, many writers per tenant, a real
+// window, and a full cross-check of every acknowledged op after restart.
+func TestGroupCommitConcurrentTenantsUnderRace(t *testing.T) {
+	dir := t.TempDir()
+	tenants := map[string]TenantConfig{}
+	for i := 0; i < 4; i++ {
+		tenants[fmt.Sprintf("t%d", i)] = fixedTenant(5, 0.6)
+	}
+	cfg := Config{
+		Tenants:              tenants,
+		DataDir:              dir,
+		WALGroupCommitWindow: time.Millisecond,
+	}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, name := range s1.TenantNames() {
+		tn, _ := s1.Tenant(name)
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(tn *Tenant, w int) {
+				defer wg.Done()
+				for i := 0; i < 40; i++ {
+					id := fmt.Sprintf("w%d-%d", w, i)
+					if _, err := tn.Submit(context.Background(), strategy.Request{ID: id, Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1}); err != nil {
+						t.Errorf("submit %s: %v", id, err)
+						return
+					}
+					if i%2 == 0 {
+						if _, err := tn.Revoke(context.Background(), id); err != nil {
+							t.Errorf("revoke %s: %v", id, err)
+							return
+						}
+					}
+				}
+			}(tn, w)
+		}
+	}
+	wg.Wait()
+	want := map[string]*stream.Snapshot{}
+	for _, name := range s1.TenantNames() {
+		tn, _ := s1.Tenant(name)
+		want[name] = tn.Snapshot()
+	}
+	s1.Close()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for name, w := range want {
+		tn, _ := s2.Tenant(name)
+		snapshotsEqual(t, w, tn.Snapshot())
+	}
+}

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func newJSONRequest(t *testing.T, method, url string, body any) *http.Request {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanSummaryView: ?view=summary returns the scalar projection of
+// the plan (same values as the full body, per-request detail reduced to
+// counts) and rejects unknown views with the uniform envelope.
+func TestPlanSummaryView(t *testing.T) {
+	_, hs := newTestServer(t, Config{Tenants: map[string]TenantConfig{"alpha": fixedTenant(6, 0.7)}})
+	c := hs.Client()
+	base := hs.URL + "/v1/tenants/alpha"
+
+	for i, id := range []string{"a", "b", "c"} {
+		var sub SubmitResponse
+		if code := call(t, c, http.MethodPost, base+"/requests",
+			SubmitRequest{ID: id, Quality: 0.4 + float64(i)/10, Cost: 0.9, Latency: 0.9, K: 1}, &sub); code != 200 {
+			t.Fatalf("submit %s = %d", id, code)
+		}
+	}
+
+	var full PlanResponse
+	if code := call(t, c, http.MethodGet, base+"/plan", nil, &full); code != 200 {
+		t.Fatalf("full plan = %d", code)
+	}
+	var sum PlanSummaryResponse
+	if code := call(t, c, http.MethodGet, base+"/plan?view=summary", nil, &sum); code != 200 {
+		t.Fatalf("summary plan = %d", code)
+	}
+	if sum.Tenant != full.Tenant || sum.Epoch != full.Epoch ||
+		sum.Availability != full.Availability || sum.Objective != full.Objective ||
+		sum.Workforce != full.Workforce {
+		t.Errorf("summary scalars diverge from full plan:\nfull %+v\nsummary %+v", full, sum)
+	}
+	if sum.Open != len(full.Requests) || sum.Serving != len(full.Serving) || sum.Displaced != len(full.Displaced) {
+		t.Errorf("summary counts = open %d serving %d displaced %d, full has %d/%d/%d",
+			sum.Open, sum.Serving, sum.Displaced, len(full.Requests), len(full.Serving), len(full.Displaced))
+	}
+
+	// ?view=full is the explicit spelling of the default.
+	var full2 PlanResponse
+	if code := call(t, c, http.MethodGet, base+"/plan?view=full", nil, &full2); code != 200 || len(full2.Requests) != len(full.Requests) {
+		t.Errorf("view=full = %d with %d requests, want 200 with %d", code, len(full2.Requests), len(full.Requests))
+	}
+
+	var errResp ErrorResponse
+	if code := call(t, c, http.MethodGet, base+"/plan?view=sideways", nil, &errResp); code != http.StatusBadRequest || errResp.Error.Code != CodeBadRequest {
+		t.Errorf("unknown view = %d %+v, want 400 %s", code, errResp, CodeBadRequest)
+	}
+}
+
+// TestBatchIngestEndToEnd drives the batched ingest endpoint through its
+// happy path and its in-place failure modes: ordered application (a
+// revoke may target a submit earlier in the same batch), per-op results
+// aligned with body order, and malformed or conflicting ops failing
+// individually with the same envelope their single-op endpoints return.
+func TestBatchIngestEndToEnd(t *testing.T) {
+	s, hs := newTestServer(t, Config{Tenants: map[string]TenantConfig{"alpha": fixedTenant(6, 0.7)}})
+	c := hs.Client()
+	url := hs.URL + "/v1/tenants/alpha/ops"
+
+	var resp BatchResponse
+	code := call(t, c, http.MethodPost, url, BatchRequest{Ops: []BatchOp{
+		{Op: OpSubmit, ID: "a", Quality: 0.4, Cost: 0.9, Latency: 0.9, K: 1},
+		{Op: OpSubmit, ID: "b", Quality: 0.5, Cost: 0.9, Latency: 0.9}, // K defaults to 1
+		{Op: OpRevoke, ID: "a"}, // same-batch revoke of op 0
+		{Op: OpAvailability, Workforce: 0.55},
+		{Op: OpSubmit, ID: "b", Quality: 0.5, Cost: 0.9, Latency: 0.9, K: 1}, // duplicate → 409 in place
+		{Op: "defragment"},                                                   // unknown op → 400 in place
+		{Op: OpSubmit, ID: "..", K: 1},                                       // unaddressable ID → 400 in place
+		{Op: OpRevoke, ID: "ghost"},                                          // unknown request → 404 in place
+		{Op: OpAvailability, Workforce: 7},                                   // invalid workforce → 400 in place
+	}}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d %+v", code, resp)
+	}
+	if len(resp.Results) != 9 {
+		t.Fatalf("results = %d, want 9", len(resp.Results))
+	}
+	wantStatus := []int{200, 200, 200, 200, 409, 400, 400, 404, 400}
+	wantCode := []string{"", "", "", "", CodeDuplicateID, CodeBadRequest, CodeBadRequest, CodeUnknownRequest, CodeInvalidArgument}
+	for i, r := range resp.Results {
+		if r.Status != wantStatus[i] {
+			t.Errorf("op %d: status %d, want %d (%+v)", i, r.Status, wantStatus[i], r.Error)
+		}
+		if wantCode[i] == "" {
+			if r.Error != nil {
+				t.Errorf("op %d: unexpected error %+v", i, r.Error)
+			}
+		} else if r.Error == nil || r.Error.Code != wantCode[i] {
+			t.Errorf("op %d: error %+v, want code %s", i, r.Error, wantCode[i])
+		}
+	}
+	// Submits report served; other successes don't.
+	if resp.Results[0].Served == nil || resp.Results[1].Served == nil || resp.Results[2].Served != nil {
+		t.Errorf("served pointers: %+v", resp.Results[:3])
+	}
+	// Epochs along the batch are strictly increasing (one pool generation
+	// per applied mutation, whatever the coalescing).
+	var last uint64
+	for i, r := range resp.Results {
+		if r.Status != http.StatusOK {
+			continue
+		}
+		if r.Epoch <= last {
+			t.Errorf("op %d: epoch %d did not advance past %d", i, r.Epoch, last)
+		}
+		last = r.Epoch
+	}
+
+	// Final state: only "b" open, availability moved.
+	tn, _ := s.Tenant("alpha")
+	snap := tn.Snapshot()
+	if len(snap.Requests) != 1 || snap.Requests[0].ID != "b" || snap.Availability != 0.55 {
+		t.Fatalf("post-batch snapshot: %d open, availability %v", len(snap.Requests), snap.Availability)
+	}
+
+	// Empty and oversized batches are rejected as a unit.
+	var apiErr ErrorResponse
+	if code := call(t, c, http.MethodPost, url, BatchRequest{}, &apiErr); code != 400 || apiErr.Error.Code != CodeBadRequest {
+		t.Errorf("empty batch = %d %+v", code, apiErr)
+	}
+	big := BatchRequest{Ops: make([]BatchOp, MaxBatchOps+1)}
+	for i := range big.Ops {
+		big.Ops[i] = BatchOp{Op: OpAvailability, Workforce: 0.5}
+	}
+	if code := call(t, c, http.MethodPost, url, big, &apiErr); code != 400 {
+		t.Errorf("oversized batch = %d %+v", code, apiErr)
+	}
+	if code := call(t, c, http.MethodPost, hs.URL+"/v1/tenants/nope/ops",
+		BatchRequest{Ops: []BatchOp{{Op: OpAvailability, Workforce: 0.5}}}, &apiErr); code != 404 || apiErr.Error.Code != CodeUnknownTenant {
+		t.Errorf("unknown tenant batch = %d %+v", code, apiErr)
+	}
+}
+
+// TestBatchDeadlineRejectsWholeBatch: when the projected queue wait
+// already overshoots the request deadline, the batch is rejected with a
+// single 429 and nothing is enqueued — no partial application, and the
+// deadline is parsed once for the body, not per op.
+func TestBatchDeadlineRejectsWholeBatch(t *testing.T) {
+	cfg := fixedTenant(6, 0.7)
+	// One slow apply seeds the batch-latency EWMA far above any sane
+	// deadline, so the projection check trips deterministically.
+	cfg.Faults = &Faults{ApplyDelay: func(kind, id string) time.Duration { return 60 * time.Millisecond }}
+	s, hs := newTestServer(t, Config{Tenants: map[string]TenantConfig{"alpha": cfg}})
+	c := hs.Client()
+	url := hs.URL + "/v1/tenants/alpha/ops"
+
+	var warm BatchResponse
+	if code := call(t, c, http.MethodPost, url, BatchRequest{Ops: []BatchOp{
+		{Op: OpAvailability, Workforce: 0.6},
+	}}, &warm); code != http.StatusOK {
+		t.Fatalf("warmup batch = %d", code)
+	}
+
+	body := BatchRequest{Ops: []BatchOp{
+		{Op: OpSubmit, ID: "x", Quality: 0.4, Cost: 0.9, Latency: 0.9, K: 1},
+		{Op: OpSubmit, ID: "y", Quality: 0.4, Cost: 0.9, Latency: 0.9, K: 1},
+	}}
+	req := newJSONRequest(t, http.MethodPost, url, body)
+	req.Header.Set(DeadlineHeader, "1")
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("doomed batch = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed batch carries no Retry-After")
+	}
+	var apiErr ErrorResponse
+	decodeBody(t, resp, &apiErr)
+	if apiErr.Error.Code != CodeOverloaded || apiErr.Error.RetryAfterMs <= 0 {
+		t.Fatalf("shed batch envelope: %+v", apiErr.Error)
+	}
+	// The hard 429 promise: nothing from the batch was enqueued/applied.
+	tn, _ := s.Tenant("alpha")
+	if snap := tn.Snapshot(); len(snap.Requests) != 0 {
+		t.Fatalf("shed batch left %d requests behind", len(snap.Requests))
+	}
+
+	// An invalid deadline header fails once, for the whole body.
+	req = newJSONRequest(t, http.MethodPost, url, body)
+	req.Header.Set(DeadlineHeader, "soon")
+	resp2, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad deadline header = %d", resp2.StatusCode)
+	}
+}
+
+// TestV1Aliases: the unversioned operational endpoints answer identically
+// at their /v1 paths.
+func TestV1Aliases(t *testing.T) {
+	dir := t.TempDir()
+	_, hs := newTestServer(t, Config{
+		Tenants: map[string]TenantConfig{"alpha": fixedTenant(4, 0.7)},
+		DataDir: dir,
+	})
+	c := hs.Client()
+	for _, path := range []string{"/healthz", "/v1/healthz"} {
+		var health HealthResponse
+		if code := call(t, c, http.MethodGet, hs.URL+path, nil, &health); code != 200 || health.Status != "ok" {
+			t.Errorf("GET %s = %d %+v", path, code, health)
+		}
+	}
+	for _, path := range []string{"/metrics", "/v1/metrics"} {
+		var m map[string]any
+		if code := call(t, c, http.MethodGet, hs.URL+path, nil, &m); code != 200 {
+			t.Errorf("GET %s = %d", path, code)
+		} else if _, ok := m["tenants"]; !ok {
+			t.Errorf("GET %s: no tenants key", path)
+		}
+	}
+	for _, path := range []string{"/admin/checkpoint", "/v1/admin/checkpoint"} {
+		var resp CheckpointResponse
+		if code := call(t, c, http.MethodPost, hs.URL+path, nil, &resp); code != 200 {
+			t.Errorf("POST %s = %d", path, code)
+		} else if _, ok := resp.Tenants["alpha"]; !ok {
+			t.Errorf("POST %s: %+v", path, resp)
+		}
+	}
+}

@@ -21,6 +21,10 @@ type tenantMetrics struct {
 	// batchedOps counts the mutations they applied, so
 	// batchedOps/batches is the achieved coalescing factor.
 	batches, batchedOps expvar.Int
+	// ingestBatches counts POST /ops bodies that reached the enqueue
+	// stage; ingestBatchOps the ops they carried (shed ones included —
+	// they are answered per op, not rejected wholesale).
+	ingestBatches, ingestBatchOps expvar.Int
 	// Overload sheds: mutations turned away by a full inbox vs. by a
 	// deadline the projected (or actual) queue wait overshot.
 	shedsQueueFull, shedsDeadline expvar.Int
@@ -42,6 +46,8 @@ func newTenantMetrics(t *Tenant) *tenantMetrics {
 	m.vars.Set("errors", &m.errors)
 	m.vars.Set("coalesced_batches", &m.batches)
 	m.vars.Set("coalesced_ops", &m.batchedOps)
+	m.vars.Set("ingest_batches", &m.ingestBatches)
+	m.vars.Set("ingest_batch_ops", &m.ingestBatchOps)
 	m.vars.Set("sheds_queue_full", &m.shedsQueueFull)
 	m.vars.Set("sheds_deadline", &m.shedsDeadline)
 	// Overload gauges: live inbox pressure and the batch-latency EWMA
@@ -112,6 +118,14 @@ func newMetricsRoot(s *Server) *expvar.Map {
 		pool.Set("sheds", expvar.Func(func() any { return p.sheds.Load() }))
 		pool.Set("wait_us", expvar.Func(func() any { return p.waitEWMA.get(0).Microseconds() }))
 		root.Set("adpar_pool", pool)
+	}
+	if gc := s.gc; gc != nil {
+		g := new(expvar.Map).Init()
+		g.Set("window_us", expvar.Func(func() any { return gc.window.Microseconds() }))
+		g.Set("rounds", expvar.Func(func() any { return gc.rounds.Load() }))
+		g.Set("commits", expvar.Func(func() any { return gc.commits.Load() }))
+		g.Set("max_round", expvar.Func(func() any { return gc.maxRound.Load() }))
+		root.Set("group_commit", g)
 	}
 	return root
 }

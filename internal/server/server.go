@@ -12,9 +12,9 @@
 // adpar.Index. Shutdown is graceful: the HTTP layer drains in-flight
 // requests before the event loops stop.
 //
-// The package also ships a load harness (RunLoad) that replays synthetic
-// Poisson submit/revoke/drift workloads from internal/synth against a live
-// server and reports throughput and latency percentiles.
+// The load harness that replays synthetic Poisson workloads against a
+// live server lives in internal/loadgen, on top of the typed API client
+// in internal/client.
 package server
 
 import (
@@ -54,6 +54,14 @@ type Config struct {
 	// checkpoint. 0 means checkpoints happen only via POST
 	// /admin/checkpoint.
 	CheckpointEvery int
+	// WALGroupCommitWindow, when positive, turns on cross-tenant group
+	// commit: tenant loops stop fsyncing their own logs (WALSyncEvery is
+	// ignored) and instead hand durability to a server-wide commit
+	// scheduler, which collects concurrently-finishing batches for up to
+	// the window and shares one fsync round across them. Every mutation
+	// is still fsynced before it is acknowledged — the window bounds
+	// added ack latency, not durability. 0 disables the scheduler.
+	WALGroupCommitWindow time.Duration
 
 	// ADPaRWorkers caps concurrently running ADPaR alternative solves
 	// across all tenants (0 = GOMAXPROCS). The pool is server-wide
@@ -89,6 +97,9 @@ type Server struct {
 	start   time.Time
 	dataDir string
 	pool    *queryPool
+	// gc is the cross-tenant commit scheduler (nil unless
+	// Config.WALGroupCommitWindow is set and durability is on).
+	gc *groupCommitter
 	// mutDeadline is Config.MutationDeadline (0 = none).
 	mutDeadline time.Duration
 
@@ -112,10 +123,14 @@ func New(cfg Config) (*Server, error) {
 		pool:        newQueryPool(cfg.ADPaRWorkers, cfg.ADPaRQueue),
 		mutDeadline: cfg.MutationDeadline,
 	}
+	if cfg.DataDir != "" && cfg.WALGroupCommitWindow > 0 {
+		s.gc = newGroupCommitter(cfg.WALGroupCommitWindow)
+	}
 	dur := durability{
 		dataDir:         cfg.DataDir,
 		syncEvery:       cfg.WALSyncEvery,
 		checkpointEvery: cfg.CheckpointEvery,
+		gc:              s.gc,
 	}
 	names := make([]string, 0, len(cfg.Tenants))
 	for name := range cfg.Tenants {
@@ -188,6 +203,13 @@ func (s *Server) Close() {
 			}(t)
 		}
 		wg.Wait()
+		// Stop the commit scheduler only after every tenant loop has
+		// exited: loops may be blocked in a commit round right up to the
+		// end, and a stopped scheduler would force them onto the
+		// direct-sync fallback one by one.
+		if s.gc != nil {
+			s.gc.stop()
+		}
 	})
 }
 

@@ -362,8 +362,11 @@ func TestServeShutdownDrains(t *testing.T) {
 		SubmitRequest{ID: "b", Quality: 0.5, Cost: 0.5, Latency: 0.5, K: 1}, &apiErr); code != 503 {
 		t.Errorf("submit after close = %d %+v", code, apiErr)
 	}
-	if !strings.Contains(apiErr.Error, "closed") {
+	if apiErr.Error.Code != CodeTenantClosed || !strings.Contains(apiErr.Error.Message, "closed") {
 		t.Errorf("close error body = %+v", apiErr)
+	}
+	if apiErr.Error.RetryAfterMs != 1000 {
+		t.Errorf("close error retry hint = %+v", apiErr.Error)
 	}
 	// Reads stay available from the last snapshot even after close.
 	var plan PlanResponse

@@ -87,6 +87,10 @@ type durability struct {
 	dataDir         string
 	syncEvery       int
 	checkpointEvery int
+	// gc, when non-nil, is the server's cross-tenant group-commit
+	// scheduler: the tenant opens its WAL in manual-sync mode and asks gc
+	// to make each batch durable instead of fsyncing inline.
+	gc *groupCommitter
 }
 
 // Tenant hosts one strategy catalog behind a single-writer event loop.
@@ -121,6 +125,9 @@ type Tenant struct {
 	readOnly  atomic.Bool
 	ckptEvery int
 	sinceCkpt int
+	// gc is the server's group-commit scheduler; when set, the WAL is in
+	// manual-sync mode and applyBatch commits each batch through it.
+	gc *groupCommitter
 
 	// coalesce is the max ops applied per replan cycle; batch and results
 	// are the loop's reusable drain scratch (loop goroutine only).
@@ -210,6 +217,10 @@ type opResult struct {
 	served bool
 	epoch  uint64
 	err    error
+	// seq is the op's WAL sequence number (live logged mutations only);
+	// under group commit it decides, after a failed commit round, whether
+	// the op's record made it into the durable prefix.
+	seq uint64
 	// ckpt reports checkpoint outcomes (opCheckpoint).
 	ckpt CheckpointInfo
 	// reqWF/reqFeasible echo the replayed submission's recomputed
@@ -262,10 +273,11 @@ func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool) (
 	}
 	var recovered wal.Recovered
 	if dur.dataDir != "" {
-		opts := wal.Options{SyncEvery: dur.syncEvery}
+		opts := wal.Options{SyncEvery: dur.syncEvery, SyncManual: dur.gc != nil}
 		if cfg.Faults != nil && cfg.Faults.WALSync != nil {
 			opts.TestSyncHook = cfg.Faults.WALSync
 		}
+		t.gc = dur.gc
 		l, rec, err := wal.Open(filepath.Join(dur.dataDir, name), opts)
 		if err != nil {
 			return nil, fmt.Errorf("server: tenant %s: opening WAL: %w", name, err)
@@ -464,6 +476,7 @@ func (t *Tenant) applyBatch(ops []op) {
 	results := t.results[:0]
 	walFailed := false
 	anyApplied := false
+	appended := false
 	t.mgr.Begin()
 	for _, o := range ops {
 		var res opResult
@@ -506,7 +519,7 @@ func (t *Tenant) applyBatch(ops []op) {
 				}
 			}
 			if t.wal != nil && !o.replay {
-				if werr := t.logMutation(o, res); werr != nil {
+				if seq, werr := t.logMutation(o, res); werr != nil {
 					// The triggering op reports ErrWALBroken like every
 					// write after it: its apply will not survive the
 					// restart, so the client must read the 503 as "not
@@ -517,6 +530,9 @@ func (t *Tenant) applyBatch(ops []op) {
 					// record: freeze the divergence at this one unacked op.
 					t.readOnly.Store(true)
 					walFailed = true
+				} else {
+					res.seq = seq
+					appended = true
 				}
 			}
 			if res.err == nil {
@@ -526,6 +542,30 @@ func (t *Tenant) applyBatch(ops []op) {
 		results = append(results, res)
 	}
 	t.mgr.Commit()
+	if t.gc != nil && appended && !walFailed {
+		// Group commit: the batch's appends are buffered, not yet durable.
+		// Hand the log to the shared scheduler and block until its fsync
+		// round completes — still strictly before the snapshot publish and
+		// the replies, so acked ⇒ logged ⇒ fsynced holds per op exactly as
+		// it does with inline syncs; only the fsync is shared.
+		if cerr := t.gc.commit(t.wal); cerr != nil {
+			// The round failed and the log rolled itself back to its
+			// durable prefix. Records at sequence numbers beyond that
+			// prefix are gone — their ops flip to ErrWALBroken (never
+			// acknowledged, absent after restart). Records at or below it
+			// were made durable earlier (a mid-batch auto-checkpoint) and
+			// their acks stand.
+			durable := t.wal.DurableSeq()
+			for i := range results {
+				if results[i].err == nil && results[i].seq > durable {
+					results[i].err = fmt.Errorf("%w (group commit failed: %v)", ErrWALBroken, cerr)
+				}
+			}
+			t.met.walErrors.Add(1)
+			t.readOnly.Store(true)
+			walFailed = true
+		}
+	}
 	if anyApplied && !walFailed {
 		t.snap.Store(t.mgr.Snapshot())
 	}
@@ -565,13 +605,13 @@ func (k opKind) mutates() bool {
 // possibly mid-batch, before the deferred replan — so the record carries
 // only replan-independent fields: the pool-generation epoch and, for
 // submits, the admission-time requirement fingerprint.
-func (t *Tenant) logMutation(o op, res opResult) error {
+func (t *Tenant) logMutation(o op, res opResult) (uint64, error) {
 	rec := wal.Record{Epoch: res.epoch}
 	switch o.kind {
 	case opSubmit:
 		seq, ok := t.mgr.SubmissionSeq(o.req.ID)
 		if !ok {
-			return fmt.Errorf("submitted request %s missing from its own pool", o.req.ID)
+			return 0, fmt.Errorf("submitted request %s missing from its own pool", o.req.ID)
 		}
 		rec.Kind = wal.KindSubmit
 		rec.ID = o.req.ID
@@ -593,20 +633,22 @@ func (t *Tenant) logMutation(o op, res opResult) error {
 		rec.Kind = wal.KindAvailability
 		rec.W = o.w
 	}
-	if _, err := t.wal.Append(rec); err != nil {
-		return err
+	walSeq, err := t.wal.Append(rec)
+	if err != nil {
+		return 0, err
 	}
 	t.sinceCkpt++
 	if t.ckptEvery > 0 && t.sinceCkpt >= t.ckptEvery {
 		// An auto-checkpoint failure is not the triggering mutation's
-		// problem: that mutation is applied and durably logged. Count it
-		// and retry at the next append (sinceCkpt keeps growing); the log
-		// just stays longer than intended until a checkpoint lands.
+		// problem: that mutation is applied and durably logged (under
+		// group commit: will be, before its ack). Count it and retry at
+		// the next append (sinceCkpt keeps growing); the log just stays
+		// longer than intended until a checkpoint lands.
 		if _, err := t.checkpointNow(); err != nil {
 			t.met.checkpointErrors.Add(1)
 		}
 	}
-	return nil
+	return walSeq, nil
 }
 
 // checkpointNow (loop goroutine only) freezes the manager state into a
@@ -775,6 +817,95 @@ func (t *Tenant) SetAvailability(ctx context.Context, w float64) (uint64, error)
 	}
 	t.met.drifts.Add(1)
 	return res.epoch, nil
+}
+
+// applyOps routes an ordered batch of live mutations through the event
+// loop — the engine behind POST /v1/tenants/{tenant}/ops. Admission runs
+// once for the whole batch: a read-only tenant, an already-expired
+// deadline, or a projected queue wait the deadline cannot absorb rejects
+// the batch as a unit (non-nil error, nothing enqueued, no partial
+// application). Past admission, ops enqueue in order with the same
+// non-blocking policy as single ops — an inbox that fills mid-batch
+// sheds the remaining ops individually (429 with Retry-After) rather
+// than blocking the ingest handler — and every enqueued op gets the
+// loop's definitive reply, exactly as do does. Because the inbox is
+// FIFO and this goroutine is the only sender of these ops, the batch
+// applies in body order; consecutive ops land in the same coalesced
+// replan cycle (and, under group commit, the same fsync round) whenever
+// the loop drains them together, which is the endpoint's point.
+func (t *Tenant) applyOps(ctx context.Context, ops []op) ([]opResult, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	if t.readOnly.Load() {
+		t.met.errors.Add(1)
+		return nil, ErrWALBroken
+	}
+	if ctx != nil {
+		if ctx.Err() != nil {
+			return nil, t.shedDeadline("batch deadline expired before enqueue", t.projectedWait(len(t.ops)))
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			wait := t.projectedWait(len(t.ops))
+			if time.Now().Add(wait).After(dl) {
+				return nil, t.shedDeadline(
+					fmt.Sprintf("projected queue wait %v exceeds batch deadline", wait), wait)
+			}
+		}
+	}
+	results := make([]opResult, len(ops))
+	pending := make([]int, 0, len(ops))
+	for i := range ops {
+		ops[i].ctx = ctx
+		ops[i].reply = make(chan opResult, 1)
+		select {
+		case t.ops <- ops[i]:
+			pending = append(pending, i)
+		case <-t.quit:
+			results[i] = opResult{err: ErrTenantClosed}
+		default:
+			select {
+			case <-t.quit:
+				results[i] = opResult{err: ErrTenantClosed}
+			default:
+				results[i] = opResult{err: t.shedQueueFull()}
+			}
+		}
+	}
+	// Replies arrive in enqueue order (FIFO inbox, in-order loop), so a
+	// sequential collect never waits on an op behind an unserved one.
+	for _, i := range pending {
+		select {
+		case res := <-ops[i].reply:
+			results[i] = res
+		case <-t.done:
+			select {
+			case res := <-ops[i].reply:
+				results[i] = res
+			default:
+				results[i] = opResult{err: ErrTenantClosed}
+			}
+		}
+	}
+	// Per-op accounting feeds the same counters as the single-op paths,
+	// so dashboards see one traffic stream regardless of wire shape.
+	for i := range ops {
+		if err := results[i].err; err != nil {
+			t.noteMutationErr(err)
+			continue
+		}
+		switch ops[i].kind {
+		case opSubmit:
+			t.met.submits.Add(1)
+		case opRevoke:
+			t.met.revokes.Add(1)
+		case opAvailability:
+			t.met.drifts.Add(1)
+		}
+	}
+	t.met.ingestBatches.Add(1)
+	t.met.ingestBatchOps.Add(int64(len(ops)))
+	return results, nil
 }
 
 // noteMutationErr counts a failed mutation, keeping sheds out of the

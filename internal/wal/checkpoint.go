@@ -74,8 +74,12 @@ func DecodeCheckpoint(data []byte) (Checkpoint, error) {
 	if err := json.Unmarshal(payload, &cp); err != nil {
 		return Checkpoint{}, fmt.Errorf("%w: %v", ErrCheckpoint, err)
 	}
-	if cp.V != FormatVersion {
-		return Checkpoint{}, fmt.Errorf("%w: version %d (this build reads %d)", ErrCheckpoint, cp.V, FormatVersion)
+	// v2 checkpoints carry the identical schema under the identical JSON
+	// framing — only the record framing changed in v3 — so a v2-written
+	// data dir recovers unchanged under this build.
+	if cp.V != FormatVersion && cp.V != jsonFormatVersion {
+		return Checkpoint{}, fmt.Errorf("%w: version %d (this build reads %d and %d)",
+			ErrCheckpoint, cp.V, jsonFormatVersion, FormatVersion)
 	}
 	return cp, nil
 }

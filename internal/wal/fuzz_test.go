@@ -13,9 +13,9 @@ import (
 func FuzzWALDecode(f *testing.F) {
 	// Seed with valid frames of every kind, plus near-misses.
 	for _, rec := range []Record{
-		{V: FormatVersion, Seq: 1, Kind: KindSubmit, ID: "d1", Quality: 0.4, Cost: 0.3, Latency: 0.2, K: 3, Sub: 0, Epoch: 1},
-		{V: FormatVersion, Seq: 2, Kind: KindRevoke, ID: "d1", Epoch: 2},
-		{V: FormatVersion, Seq: 3, Kind: KindAvailability, W: 0.7, Epoch: 2},
+		{V: jsonFormatVersion, Seq: 1, Kind: KindSubmit, ID: "d1", Quality: 0.4, Cost: 0.3, Latency: 0.2, K: 3, Sub: 0, Epoch: 1},
+		{V: jsonFormatVersion, Seq: 2, Kind: KindRevoke, ID: "d1", Epoch: 2},
+		{V: jsonFormatVersion, Seq: 3, Kind: KindAvailability, W: 0.7, Epoch: 2},
 	} {
 		line, err := EncodeRecord(rec)
 		if err != nil {
@@ -28,6 +28,7 @@ func FuzzWALDecode(f *testing.F) {
 	f.Add([]byte("deadbeef {\"v\":1,\"seq\":9,\"kind\":\"submit\",\"epoch\":0}"))
 	f.Add(frame([]byte(`{"v":1,"seq":9,"kind":"submit","epoch":0}`)))
 	f.Add(frame([]byte(`{"v":2,"seq":9,"kind":"submit","epoch":0}`)))
+	f.Add(frame([]byte(`{"v":3,"seq":9,"kind":"submit","epoch":0}`)))
 
 	f.Fuzz(func(t *testing.T, line []byte) {
 		rec, err := DecodeRecord(line)
@@ -50,6 +51,41 @@ func FuzzWALDecode(f *testing.F) {
 		// A well-formed frame is canonical modulo its trailing newline.
 		if trimmed := bytes.TrimSuffix(line, []byte("\n")); bytes.ContainsAny(trimmed, "\n") {
 			t.Fatalf("accepted multi-line frame %q", line)
+		}
+	})
+}
+
+// FuzzWALDecodeV3 is the binary-framing counterpart: arbitrary bytes must
+// decode to a record whose re-encoding is byte-identical to the consumed
+// frame, or fail with a typed error — never panic, never accept two
+// different byte strings for the same record. (Byte comparison rather than
+// struct equality keeps the property honest for NaN float payloads, where
+// rec != rec.)
+func FuzzWALDecodeV3(f *testing.F) {
+	for _, rec := range []Record{
+		{Seq: 1, Kind: KindSubmit, ID: "d1", Quality: 0.4, Cost: 0.3, Latency: 0.2, K: 3, Sub: 0, Epoch: 1},
+		{Seq: 2, Kind: KindSubmit, ID: "", K: 1, Epoch: 2, Infeasible: true},
+		{Seq: 3, Kind: KindRevoke, ID: "d1", Epoch: 3},
+		{Seq: 4, Kind: KindAvailability, W: 0.7, Epoch: 4},
+	} {
+		f.Add(AppendRecordBinary(nil, rec))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{magicV3})
+	f.Add([]byte{magicV3, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte("00000000 {}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := DecodeRecordBinary(data)
+		if err != nil {
+			return // typed rejection is always acceptable
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("accepted frame with consumed=%d of %d bytes", n, len(data))
+		}
+		enc := AppendRecordBinary(nil, rec)
+		if !bytes.Equal(enc, data[:n]) {
+			t.Fatalf("non-canonical frame accepted:\n consumed %x\nre-encode %x\nrecord %+v", data[:n], enc, rec)
 		}
 	})
 }

@@ -28,6 +28,13 @@ type Options struct {
 	// is durable before the caller replies. Larger values batch fsyncs,
 	// trading the last <n records on a crash for append throughput.
 	SyncEvery int
+	// SyncManual disables the count-based fsync policy entirely: Append
+	// only buffers, and the owner decides when records become durable by
+	// calling Sync. This is the group-commit mode — the server's commit
+	// scheduler syncs once per coalesced batch (possibly shared across
+	// tenants), and the tenant loop acknowledges nothing before that
+	// Sync returns. SyncEvery is ignored when set.
+	SyncManual bool
 	// TestSyncHook, when non-nil, runs at the start of every fsync batch,
 	// before the buffered records are flushed to the file. Sleeping inside
 	// models fsync latency; returning an error fails the sync (and the
@@ -119,15 +126,38 @@ func scan(dir string) (scanState, error) {
 		st.rec.Segments++
 		off := int64(0)
 		for off < int64(len(data)) {
-			nl := bytes.IndexByte(data[off:], '\n')
-			var line []byte
-			complete := nl >= 0
-			if complete {
-				line = data[off : off+int64(nl)]
+			// The first byte discriminates the framings: 0xB3 opens a v3
+			// binary frame, a hex digit opens a v1/v2 JSON line. A segment
+			// may mix them — the upgrade restart appends binary records
+			// after the JSON head the old binary wrote.
+			var (
+				rec  Record
+				derr error
+				size int64
+			)
+			if data[off] == magicV3 {
+				r, n, e := DecodeRecordBinary(data[off:])
+				rec, derr, size = r, e, int64(n)
 			} else {
-				line = data[off:]
+				nl := bytes.IndexByte(data[off:], '\n')
+				var line []byte
+				complete := nl >= 0
+				if complete {
+					line = data[off : off+int64(nl)]
+					size = int64(nl) + 1
+				} else {
+					line = data[off:]
+					size = int64(len(data)) - off
+				}
+				rec, derr = DecodeRecord(line)
+				if derr == nil && !complete && last {
+					// CRC-complete record that lost only its newline: keep
+					// it, but remember to restore the separator before
+					// appending (a binary frame written straight after it
+					// would otherwise fuse with the line and corrupt both).
+					st.needNewline = true
+				}
 			}
-			rec, derr := DecodeRecord(line)
 			if derr != nil {
 				if last && !validRecordFollows(data, off) {
 					// The one legitimate fault: a torn append at the very
@@ -141,11 +171,6 @@ func scan(dir string) (scanState, error) {
 				// recover a log with a hole in it.
 				return st, fmt.Errorf("wal: %s: record at offset %d: %w", segmentName(first), off, derr)
 			}
-			if !complete && last {
-				// CRC-complete record that lost only its newline: keep it,
-				// but remember to restore the separator before appending.
-				st.needNewline = true
-			}
 			if rec.Seq > cpSeq {
 				if rec.Seq != want {
 					return st, fmt.Errorf("%w: %s offset %d: want seq %d, got %d",
@@ -155,11 +180,7 @@ func scan(dir string) (scanState, error) {
 				st.rec.Tail = append(st.rec.Tail, rec)
 				st.rec.LastSeq = rec.Seq
 			}
-			if complete {
-				off += int64(nl) + 1
-			} else {
-				off = int64(len(data))
-			}
+			off += size
 			if last {
 				st.validOffset = off
 			}
@@ -169,25 +190,28 @@ func scan(dir string) (scanState, error) {
 }
 
 // validRecordFollows reports whether any complete, decodable record
-// exists after the line starting at off — distinguishing a torn tail
-// (nothing valid follows) from mid-log corruption (valid data follows).
+// exists after the broken record starting at off — distinguishing a torn
+// tail (nothing valid follows) from mid-log corruption (valid data
+// follows). A torn binary frame gives no way to know where the next
+// record would have started, so every plausible start after off is
+// probed: each magic byte (binary frame) and each position following a
+// newline (JSON line).
 func validRecordFollows(data []byte, off int64) bool {
-	nl := bytes.IndexByte(data[off:], '\n')
-	if nl < 0 {
-		return false // the broken line runs to EOF: nothing follows at all
-	}
-	rest := data[off+int64(nl)+1:]
-	for len(rest) > 0 {
-		end := bytes.IndexByte(rest, '\n')
-		line := rest
-		if end >= 0 {
-			line = rest[:end]
-			rest = rest[end+1:]
-		} else {
-			rest = nil
+	for i := int(off) + 1; i < len(data); i++ {
+		if data[i] == magicV3 {
+			if _, _, err := DecodeRecordBinary(data[i:]); err == nil {
+				return true
+			}
 		}
-		if _, err := DecodeRecord(line); err == nil {
-			return true
+		if data[i] == '\n' && i+1 < len(data) && data[i+1] != magicV3 {
+			rest := data[i+1:]
+			line := rest
+			if end := bytes.IndexByte(rest, '\n'); end >= 0 {
+				line = rest[:end]
+			}
+			if _, err := DecodeRecord(line); err == nil {
+				return true
+			}
 		}
 	}
 	return false
@@ -206,16 +230,30 @@ type Log struct {
 	lock     *os.File // flock-held .lock file: one live appender per dir
 	pending  int      // records appended since the last fsync
 	segFirst uint64   // first seq of the current segment (its name)
-	// broken is set on the first append/sync failure. The buffered bytes
-	// then belong to the one record whose append failed — a mutation the
-	// caller was never acknowledged for — so Close discards them instead
-	// of flushing: flushing would make the unacknowledged record durable
-	// and recovery would resurrect a write the client was told was shed.
+	enc      []byte   // reusable binary-encoding scratch (appender only)
+	// logicalOff is the end of everything written to the current segment,
+	// buffered bytes included; durableOff is the prefix covered by the
+	// last successful fsync. Under manual sync a whole coalesced batch
+	// sits between the two, and on a sync failure the segment is rolled
+	// back to durableOff: every record past it belongs to mutations whose
+	// callers will be told the write failed, so none of those bytes —
+	// buffered or already spilled to the file by the bufio writer — may
+	// survive to resurface at recovery.
+	logicalOff int64
+	durableOff int64
+	// broken is set on the first append/sync failure. The bytes past
+	// durableOff then belong to records whose appends failed — mutations
+	// the callers were never acknowledged for — so the failure handler
+	// discards the buffer and truncates the file back to durableOff
+	// instead of flushing: flushing would make unacknowledged records
+	// durable and recovery would resurrect writes the clients were told
+	// were shed.
 	broken bool
 
-	seq     atomic.Uint64 // last assigned sequence number
-	appends atomic.Uint64
-	syncs   atomic.Uint64
+	seq        atomic.Uint64 // last assigned sequence number
+	durableSeq atomic.Uint64 // last sequence number covered by an fsync
+	appends    atomic.Uint64
+	syncs      atomic.Uint64
 }
 
 // Open scans dir (creating it if needed), truncates a torn tail, and
@@ -246,6 +284,7 @@ func Open(dir string, opts Options) (*Log, Recovered, error) {
 	}
 	l := &Log{dir: dir, opts: opts.withDefaults(), lock: lock}
 	l.seq.Store(st.rec.LastSeq)
+	l.durableSeq.Store(st.rec.LastSeq)
 
 	if st.lastSegPath != "" {
 		f, err := os.OpenFile(st.lastSegPath, os.O_RDWR, 0o644)
@@ -263,11 +302,14 @@ func Open(dir string, opts Options) (*Log, Recovered, error) {
 		l.f = f
 		l.w = bufio.NewWriter(f)
 		l.segFirst = st.lastSegFirst
+		l.logicalOff = st.validOffset
+		l.durableOff = st.validOffset
 		if st.needNewline {
 			if _, err := l.w.WriteString("\n"); err != nil {
 				f.Close()
 				return nil, Recovered{}, err
 			}
+			l.logicalOff++
 		}
 		if st.rec.TornBytes > 0 || st.needNewline {
 			// Make the repair durable before any new append lands on top.
@@ -308,30 +350,38 @@ func (l *Log) startSegment(firstSeq uint64) error {
 	l.f = f
 	l.w = bufio.NewWriter(f)
 	l.segFirst = firstSeq
+	l.logicalOff = 0
+	l.durableOff = 0
 	return syncDir(l.dir)
 }
 
-// Append assigns the next sequence number, frames and writes the record,
-// and fsyncs according to Options.SyncEvery. When Append returns with the
-// sync boundary crossed, the record is durable.
+// errBroken rejects every operation after the first append/sync failure.
+var errBroken = errors.New("wal: log is broken after an earlier append failure")
+
+// Append assigns the next sequence number, frames the record in the v3
+// binary encoding, writes it, and fsyncs according to Options.SyncEvery.
+// When Append returns with the sync boundary crossed, the record is
+// durable. Under Options.SyncManual nothing is fsynced here: the record
+// is durable only once a later Sync returns nil.
 func (l *Log) Append(rec Record) (uint64, error) {
 	rec.V = FormatVersion
 	rec.Seq = l.seq.Load() + 1
 	if l.broken {
-		return 0, errors.New("wal: log is broken after an earlier append failure")
+		return 0, errBroken
 	}
-	line, err := EncodeRecord(rec)
-	if err != nil {
+	if _, ok := binKindOf(rec.Kind); !ok {
+		return 0, fmt.Errorf("%w: %q", ErrKind, rec.Kind)
+	}
+	l.enc = AppendRecordBinary(l.enc[:0], rec)
+	if _, err := l.w.Write(l.enc); err != nil {
+		l.fail()
 		return 0, err
 	}
-	if _, err := l.w.Write(line); err != nil {
-		l.broken = true
-		return 0, err
-	}
+	l.logicalOff += int64(len(l.enc))
 	l.seq.Store(rec.Seq)
 	l.appends.Add(1)
 	l.pending++
-	if l.pending >= l.opts.SyncEvery {
+	if !l.opts.SyncManual && l.pending >= l.opts.SyncEvery {
 		if err := l.sync(); err != nil {
 			return 0, err
 		}
@@ -339,8 +389,14 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	return rec.Seq, nil
 }
 
-// Sync flushes buffered records and fsyncs the segment.
+// Sync flushes buffered records and fsyncs the segment. Under group
+// commit this is the commit point: the scheduler calls it once per
+// coalesced batch, and the tenant loop acknowledges the batch's
+// mutations only after it returns nil.
 func (l *Log) Sync() error {
+	if l.broken {
+		return errBroken
+	}
 	if l.pending == 0 {
 		return nil
 	}
@@ -350,23 +406,41 @@ func (l *Log) Sync() error {
 func (l *Log) sync() error {
 	if l.opts.TestSyncHook != nil {
 		if err := l.opts.TestSyncHook(); err != nil {
-			// Injected sync failure: the triggering record is still in the
-			// buffer, unflushed. Mark the log broken so Close discards it.
-			l.broken = true
+			l.fail()
 			return err
 		}
 	}
 	if err := l.w.Flush(); err != nil {
-		l.broken = true
+		l.fail()
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
-		l.broken = true
+		l.fail()
 		return err
 	}
 	l.pending = 0
+	l.durableOff = l.logicalOff
+	l.durableSeq.Store(l.seq.Load())
 	l.syncs.Add(1)
 	return nil
+}
+
+// fail marks the log broken and rolls the segment back to its last
+// durable byte. Everything past durableOff belongs to appends whose
+// callers will be told the write failed (ErrWALBroken → 503, a promise
+// the mutation leaves no trace): the bufio buffer is discarded, and any
+// bytes an earlier buffer spill already pushed into the file are
+// truncated away — best-effort, with a best-effort fsync of the
+// truncation, since the log takes no further writes either way and
+// recovery's torn-tail handling covers a truncation lost to a crash.
+func (l *Log) fail() {
+	l.broken = true
+	l.pending = 0
+	l.w.Reset(l.f)
+	if err := l.f.Truncate(l.durableOff); err == nil {
+		l.f.Sync()
+	}
+	l.logicalOff = l.durableOff
 }
 
 // Checkpoint makes cp durable as of the log's current tip, rotates onto a
@@ -382,13 +456,22 @@ func (l *Log) Checkpoint(cp Checkpoint) (int, error) {
 	cp.V = FormatVersion
 	cp.Seq = l.seq.Load()
 	// Everything the checkpoint claims to cover must be durable first.
+	// This can run mid-coalesced-batch (an auto-checkpoint between a
+	// batch's appends, including under manual sync): making the batch's
+	// records-so-far durable early is always safe — durable records are
+	// acknowledged records — and durableOff/durableSeq advance so a later
+	// group-commit failure in the same batch knows these ops survived.
 	if err := l.w.Flush(); err != nil {
+		l.fail()
 		return 0, err
 	}
 	if err := l.f.Sync(); err != nil {
+		l.fail()
 		return 0, err
 	}
 	l.pending = 0
+	l.durableOff = l.logicalOff
+	l.durableSeq.Store(l.seq.Load())
 
 	// Durable checkpoint first: temp file, fsync, atomic rename, dir sync.
 	line, err := EncodeCheckpoint(cp)
@@ -443,6 +526,13 @@ func (l *Log) Checkpoint(cp Checkpoint) (int, error) {
 // LastSeq returns the last assigned sequence number. Safe from any
 // goroutine.
 func (l *Log) LastSeq() uint64 { return l.seq.Load() }
+
+// DurableSeq returns the last sequence number covered by a successful
+// fsync — records at or below it survive a crash; records above it are
+// buffered (or page-cached) only. Under the default sync policy it trails
+// LastSeq by at most the in-flight append; under manual sync (group
+// commit) by up to a whole coalesced batch. Safe from any goroutine.
+func (l *Log) DurableSeq() uint64 { return l.durableSeq.Load() }
 
 // Appends returns the number of records appended since Open. Safe from
 // any goroutine.

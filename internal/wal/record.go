@@ -12,17 +12,26 @@
 //	    wal-00000000000000000421.log    current segment, open for append
 //	    checkpoint-00000000000000000420.ckpt
 //
-// A log segment is a sequence of framed records, one per line:
+// A log segment is a sequence of framed records in one of two framings.
+// New records are written in the v3 binary framing (see binary.go):
+//
+//	<0xB3> <payload len, u32 LE> <crc32c, u32 LE> <payload>
+//
+// Older segments — and the head of the segment that was live at the
+// v2→v3 upgrade — hold the v1/v2 JSON framing, one record per line:
 //
 //	<crc32c hex, 8 chars> <space> <JSON payload> <newline>
 //
-// The CRC covers exactly the JSON payload bytes, so any torn or corrupted
-// line is detected before it is trusted. Payloads are versioned
-// (Record.V) and carry a log-wide monotonically increasing sequence
-// number assigned at append time; recovery rejects gaps and regressions,
-// and tolerates exactly one torn record at the very tail of the last
-// segment (the unacknowledged write a crash can leave behind), which is
-// truncated away before the log reopens for append.
+// The first byte discriminates the framings (JSON frames start with a
+// lowercase-hex digit, never 0xB3), so one segment may mix them and the
+// scan handles the upgrade boundary without a migration step. In both
+// framings the CRC covers exactly the payload bytes, so any torn or
+// corrupted record is detected before it is trusted. Payloads are
+// versioned (Record.V) and carry a log-wide monotonically increasing
+// sequence number assigned at append time; recovery rejects gaps and
+// regressions, and tolerates exactly one torn record at the very tail of
+// the last segment (the unacknowledged write a crash can leave behind),
+// which is truncated away before the log reopens for append.
 //
 // A checkpoint file is a single framed line whose payload is a Checkpoint:
 // the full tenant state (open requests in admission order with their
@@ -76,7 +85,15 @@ import (
 //	    mutation, serving-set change or not), and submit records carry
 //	    the admitted request's computed workforce requirement as a
 //	    recovery fingerprint.
-const FormatVersion = 2
+//	3 — same record schema as v2, binary framing (binary.go): no JSON
+//	    on the append or replay hot path. v2 JSON records remain
+//	    readable forever; v2 and v3 records may share a segment.
+const FormatVersion = 3
+
+// jsonFormatVersion is the newest JSON-framed record version this build
+// still reads. v3 records are binary-only, so a CRC-valid JSON payload
+// claiming v3 was not written by any released encoder and is rejected.
+const jsonFormatVersion = 2
 
 // Record kinds mirror the three mutations of a stream.Manager.
 const (
@@ -152,7 +169,10 @@ func appendFrame(dst, payload []byte) []byte {
 	return append(dst, '\n')
 }
 
-// EncodeRecord renders one framed log line for the record.
+// EncodeRecord renders one JSON-framed log line for the record — the
+// v1/v2 framing. The live append path writes binary v3 frames
+// (AppendRecordBinary); this encoder remains for tests and tools that
+// fabricate upgrade-era logs.
 func EncodeRecord(rec Record) ([]byte, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
@@ -181,11 +201,11 @@ func decodeFrame(line []byte) ([]byte, error) {
 	return payload, nil
 }
 
-// DecodeRecord parses and verifies one framed log line (with or without
-// its trailing newline). It is the single entry point recovery uses per
-// line, and the surface FuzzWALDecode hammers: any input must either
-// yield a valid record or a typed error, never a panic or a silently
-// wrong record.
+// DecodeRecord parses and verifies one JSON-framed log line (with or
+// without its trailing newline) — the v1/v2 framing the scan falls back
+// to for lines that do not open with the binary magic byte. It is the
+// surface FuzzWALDecode hammers: any input must either yield a valid
+// record or a typed error, never a panic or a silently wrong record.
 func DecodeRecord(line []byte) (Record, error) {
 	line = bytes.TrimSuffix(line, []byte("\n"))
 	payload, err := decodeFrame(line)
@@ -200,8 +220,9 @@ func DecodeRecord(line []byte) (Record, error) {
 		// frame written by something else entirely.
 		return Record{}, fmt.Errorf("%w: CRC-valid frame with bad payload: %v", ErrKind, err)
 	}
-	if rec.V != FormatVersion {
-		return Record{}, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, rec.V, FormatVersion)
+	if rec.V != jsonFormatVersion {
+		return Record{}, fmt.Errorf("%w: JSON frame version %d (this build reads v%d JSON and v%d binary)",
+			ErrVersion, rec.V, jsonFormatVersion, FormatVersion)
 	}
 	switch rec.Kind {
 	case KindSubmit, KindRevoke, KindAvailability:

@@ -27,13 +27,15 @@ func appendN(t *testing.T, l *Log, n int, from uint64) {
 }
 
 func TestRecordRoundTrip(t *testing.T) {
+	// The JSON framing is frozen at v2: the encoder/decoder pair stays
+	// round-trip-exact so upgrade-era log heads keep recovering.
 	recs := []Record{
 		submitRec("a", 0, 1),
 		{Kind: KindRevoke, ID: "a", Epoch: 2},
 		{Kind: KindAvailability, W: 0.35, Epoch: 3},
 	}
 	for _, rec := range recs {
-		rec.V = FormatVersion
+		rec.V = jsonFormatVersion
 		rec.Seq = 7
 		line, err := EncodeRecord(rec)
 		if err != nil {
@@ -50,7 +52,7 @@ func TestRecordRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRejects(t *testing.T) {
-	line, err := EncodeRecord(Record{V: FormatVersion, Seq: 1, Kind: KindSubmit, ID: "a"})
+	line, err := EncodeRecord(Record{V: jsonFormatVersion, Seq: 1, Kind: KindSubmit, ID: "a"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,6 +68,7 @@ func TestDecodeRejects(t *testing.T) {
 		{"no space", []byte(strings.Replace(string(line), " ", "_", 1)), ErrCRC},
 		{"crc-valid garbage", frame([]byte("not json")), ErrKind},
 		{"wrong version", frame([]byte(`{"v":99,"seq":1,"kind":"submit","epoch":0}`)), ErrVersion},
+		{"v3 json frame", frame([]byte(`{"v":3,"seq":1,"kind":"submit","epoch":0}`)), ErrVersion},
 		{"unknown kind", frame([]byte(`{"v":2,"seq":1,"kind":"explode","epoch":0}`)), ErrKind},
 		{"unknown field", frame([]byte(`{"v":2,"seq":1,"kind":"submit","zzz":4,"epoch":0}`)), ErrKind},
 	}
@@ -274,25 +277,27 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 }
 
+// TestMissingTrailingNewlineKept: a v2-era segment whose final JSON
+// record lost only its newline (CRC-complete line at EOF) must keep the
+// record, and the reopening v3 binary must restore the separator before
+// appending binary frames after it — a binary frame fused onto the
+// newline-less line would corrupt both records.
 func TestMissingTrailingNewlineKept(t *testing.T) {
 	dir := t.TempDir()
-	l, _, err := Open(dir, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	appendN(t, l, 3, 0)
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
-	segs, _, _ := listDir(dir)
-	path := filepath.Join(dir, segmentName(segs[0]))
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
+	var data []byte
+	for i := 0; i < 3; i++ {
+		rec := submitRec(fmt.Sprintf("d%d", i), uint64(i), uint64(i))
+		rec.V = jsonFormatVersion
+		rec.Seq = uint64(i + 1)
+		line, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, line...)
 	}
 	// Chop only the final newline: the record itself is CRC-complete and
 	// must survive recovery.
-	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), data[:len(data)-1], 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -303,7 +308,7 @@ func TestMissingTrailingNewlineKept(t *testing.T) {
 	if rec.LastSeq != 3 || len(rec.Tail) != 3 {
 		t.Fatalf("newline-less tail: %+v", rec)
 	}
-	appendN(t, l, 1, 3)
+	appendN(t, l, 1, 3) // a binary v3 record lands after the repaired line
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -313,6 +318,9 @@ func TestMissingTrailingNewlineKept(t *testing.T) {
 	}
 	if got.LastSeq != 4 || len(got.Tail) != 4 {
 		t.Fatalf("after newline repair: %+v", got)
+	}
+	if got.Tail[2].V != jsonFormatVersion || got.Tail[3].V != FormatVersion {
+		t.Fatalf("expected v2 head + v3 tail, got versions %d, %d", got.Tail[2].V, got.Tail[3].V)
 	}
 }
 
@@ -369,7 +377,7 @@ func TestSequenceGapRejected(t *testing.T) {
 	// followed by another valid record so the gap is not a tail fault.
 	var extra []byte
 	for _, seq := range []uint64{9, 10} {
-		line, err := EncodeRecord(Record{V: FormatVersion, Seq: seq, Kind: KindRevoke, ID: "x", Epoch: 1})
+		line, err := EncodeRecord(Record{V: jsonFormatVersion, Seq: seq, Kind: KindRevoke, ID: "x", Epoch: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
