@@ -72,6 +72,13 @@ type OverloadConfig struct {
 	// never), tripping the read-only breaker mid-run. RevokeStormShed
 	// defaults it to 40 when unset.
 	WALFailSyncs int
+	// WALFailAppends fails every WAL record append from the Nth onward
+	// (0 = never). Unlike a sync failure, an append failure rolls the
+	// log back to its durable prefix — under group commit that prefix
+	// excludes earlier records of the same coalesced batch, so the
+	// server must un-acknowledge those ops too (503, absent after
+	// restart) or the ledger shows acked-but-absent mutations.
+	WALFailAppends int
 	// P99Budget bounds the client-observed mutation latency p99 (0 = 2s
 	// — generous, the point is that no mutation parks on a blocked send).
 	P99Budget time.Duration
@@ -258,6 +265,16 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 			syncs++ // loop goroutine only, per Faults contract
 			if syncs >= cfg.WALFailSyncs {
 				return fmt.Errorf("injected fsync failure (sync %d)", syncs)
+			}
+			return nil
+		}
+	}
+	if cfg.WALFailAppends > 0 {
+		appends := 0
+		faults.WALAppend = func() error {
+			appends++ // loop goroutine only, per Faults contract
+			if appends >= cfg.WALFailAppends {
+				return fmt.Errorf("injected append failure (append %d)", appends)
 			}
 			return nil
 		}
@@ -617,9 +634,11 @@ func verifyAccounting(cfg OverloadConfig, initialW float64, ledgers []*workerLed
 	}
 
 	// Epoch exactly-once: acked epochs are exactly {1..N}, recovered
-	// epoch is N. Valid even under an injected WAL failure: the one
-	// applied-but-unlogged mutation is by construction the last apply
-	// before read-only, and it was never acked.
+	// epoch is N. Valid even under an injected WAL failure: the
+	// applied-but-undurable mutations (one for a failed sync; up to a
+	// whole rolled-back batch for a failed append under group commit)
+	// are by construction the last applies before read-only, and none
+	// of them was acked.
 	sort.Slice(acked, func(i, j int) bool { return acked[i].epoch < acked[j].epoch })
 	for i, a := range acked {
 		if a.epoch != uint64(i+1) {

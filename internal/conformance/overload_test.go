@@ -61,6 +61,34 @@ func TestOverloadGroupCommitAccounting(t *testing.T) {
 	}
 }
 
+// TestOverloadGroupCommitAppendFailureAccounting: the append-path
+// counterpart of the group-commit chaos run. A WAL append failure rolls
+// the log back to its durable prefix, which under group commit destroys
+// the earlier records of the same coalesced batch — ops whose appends
+// succeeded and whose records are suddenly gone. The ledger must still
+// balance: no op acked before the mid-batch failure may turn up
+// acked-but-absent after the restart, and everything rolled back must
+// have been answered 503.
+func TestOverloadGroupCommitAppendFailureAccounting(t *testing.T) {
+	res, err := RunOverload(OverloadConfig{
+		Profile:           RevokeStormShed,
+		Seed:              31,
+		DeadlineMs:        10,
+		GroupCommitWindow: 200 * time.Microsecond,
+		WALFailAppends:    25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.OK() {
+		t.Fatalf("accounting violations under a mid-run append failure:\n%s", res)
+	}
+	if res.Shed == 0 {
+		t.Fatal("profile shed nothing; the run proves nothing")
+	}
+}
+
 // TestOverloadThunderingHerdPoolSheds: the herd profile must also have
 // driven the 1-worker alternative pool into shedding reads.
 func TestOverloadThunderingHerdPoolSheds(t *testing.T) {

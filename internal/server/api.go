@@ -205,6 +205,14 @@ const (
 // small enough that one batch cannot monopolize a tenant loop.
 const MaxBatchOps = 1024
 
+// MaxBatchBodyBytes caps how many bytes of a batch body the server will
+// buffer before rejecting it: decoding happens before the op-count cap
+// can be enforced, so without a byte limit an arbitrarily large ops
+// array (or huge strings inside one) would be read fully into memory
+// just to be refused. Sized for MaxBatchOps worst-case ops with ample
+// slack.
+const MaxBatchBodyBytes = 1 << 20
+
 // BatchOp is one mutation inside a batched ingest request. Op selects
 // the mutation; the other fields mirror the single-op endpoints (submit
 // uses ID/Quality/Cost/Latency/K, revoke uses ID, availability uses
@@ -413,8 +421,14 @@ func (s *Server) handleAvailability(t *Tenant, w http.ResponseWriter, r *http.Re
 // result per op, each carrying the status and, on failure, the same
 // error envelope the op's single-op endpoint would have returned.
 func (s *Server) handleBatch(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBatchBodyBytes)
 	var body BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, badRequest("batch body exceeds %d bytes", int64(MaxBatchBodyBytes)))
+			return
+		}
 		writeError(w, badRequest("invalid JSON: %v", err))
 		return
 	}

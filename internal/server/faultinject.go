@@ -28,6 +28,17 @@ type Faults struct {
 	// discarded, never flushed (see wal.Options.TestSyncHook), so a 503
 	// keeps its meaning: not acknowledged, not recovered.
 	WALSync func() error
+	// WALAppend, when non-nil, runs at the start of every WAL record
+	// append, before the record's bytes reach the log's buffered writer.
+	// Returning an error fails that append like a disk write failure:
+	// the log rolls back to its durable prefix (destroying any earlier
+	// same-batch records the prefix does not cover — the group-commit
+	// case, where a whole coalesced batch is buffered between fsyncs),
+	// the tenant trips its read-only circuit breaker, and every op whose
+	// record was rolled back answers ErrWALBroken. WALSync never fires
+	// inside a manual-sync append, so append-path failures need this
+	// separate hook (see wal.Options.TestWriteHook).
+	WALAppend func() error
 	// SolveDelay, unlike the loop hooks above, runs on HANDLER
 	// goroutines: it stretches every ADPaR alternative solve while its
 	// query-pool slot is held, so chaos profiles can saturate the pool

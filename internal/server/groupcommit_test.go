@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -116,6 +117,115 @@ func TestGroupCommitFailureNoTrace(t *testing.T) {
 	s1.Close()
 
 	// Restart without the fault: exactly the acknowledged state returns.
+	cfg.Tenants = map[string]TenantConfig{"alpha": fixedTenant(6, 0.7)}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	tn2, _ := s2.Tenant("alpha")
+	snapshotsEqual(t, want, tn2.Snapshot())
+}
+
+// TestGroupCommitMidBatchAppendFailureNoLostRollback: under group
+// commit a whole coalesced batch is buffered between fsyncs, so a WAL
+// append failure mid-batch rolls the log back past the batch's earlier
+// records too. Those earlier ops applied cleanly and their appends
+// succeeded — but their records are gone, so acknowledging them would
+// be an acked-then-absent durability violation. Every op of the failed
+// batch must answer ErrWALBroken, the snapshot must stay pre-batch, and
+// the restart must rebuild exactly the durable prefix.
+func TestGroupCommitMidBatchAppendFailureNoLostRollback(t *testing.T) {
+	dir := t.TempDir()
+	gateEntered := make(chan struct{})
+	gateRelease := make(chan struct{})
+	tcfg := fixedTenant(6, 0.7)
+	appends := 0 // loop goroutine only, per Faults contract
+	tcfg.Faults = &Faults{
+		ApplyDelay: func(kind, id string) time.Duration {
+			if id == "gate" {
+				close(gateEntered)
+				<-gateRelease
+			}
+			return 0
+		},
+		// Appends: #1 the gate submit (committed durably by its own
+		// round), then the 3-op batch below: #2 succeeds (buffered),
+		// #3 fails mid-batch.
+		WALAppend: func() error {
+			appends++
+			if appends == 3 {
+				return errors.New("injected append failure")
+			}
+			return nil
+		},
+	}
+	cfg := Config{
+		Tenants:              map[string]TenantConfig{"alpha": tcfg},
+		DataDir:              dir,
+		WALGroupCommitWindow: 200 * time.Microsecond,
+	}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := s1.Tenant("alpha")
+
+	// Block the loop inside the gate submit's apply, queue three ops
+	// behind it, then release: the loop drains all three into one
+	// coalesced batch.
+	gateDone := make(chan error, 1)
+	go func() {
+		_, err := tn.Submit(context.Background(), strategy.Request{ID: "gate", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1})
+		gateDone <- err
+	}()
+	<-gateEntered
+	batch := []op{
+		{kind: opSubmit, req: strategy.Request{ID: "first", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1}},
+		{kind: opSubmit, req: strategy.Request{ID: "doomed", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1}},
+		{kind: opSubmit, req: strategy.Request{ID: "after", Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1}},
+	}
+	type applied struct {
+		results []opResult
+		err     error
+	}
+	batchDone := make(chan applied, 1)
+	go func() {
+		results, err := tn.applyOps(context.Background(), batch)
+		batchDone <- applied{results, err}
+	}()
+	// The enqueue path is non-blocking, so once all three ops sit in the
+	// inbox the loop is guaranteed to drain them together.
+	for len(tn.ops) < len(batch) {
+		runtime.Gosched()
+	}
+	close(gateRelease)
+	if err := <-gateDone; err != nil {
+		t.Fatalf("gate submit: %v", err)
+	}
+	got := <-batchDone
+	if got.err != nil {
+		t.Fatalf("applyOps rejected the batch as a unit: %v", got.err)
+	}
+	for i, res := range got.results {
+		// "first" is the op the rollback destroys behind a successful
+		// append: acknowledging it (err == nil) is the acked-then-absent
+		// bug this test pins down.
+		if !errors.Is(res.err, ErrWALBroken) {
+			t.Fatalf("batch op %d (%s): err %v, want ErrWALBroken", i, batch[i].req.ID, res.err)
+		}
+	}
+	want := tn.Snapshot()
+	if _, ok := want.Request("first"); ok {
+		t.Fatal("rolled-back mutation visible in the published snapshot")
+	}
+	if _, ok := want.Request("gate"); !ok {
+		t.Fatal("durably committed gate submit missing from the snapshot")
+	}
+	s1.Close()
+
+	// Restart without the fault: exactly the durable prefix — the gate
+	// submit, none of the failed batch — comes back.
 	cfg.Tenants = map[string]TenantConfig{"alpha": fixedTenant(6, 0.7)}
 	s2, err := New(cfg)
 	if err != nil {

@@ -152,6 +152,23 @@ func TestBatchIngestEndToEnd(t *testing.T) {
 	if code := call(t, c, http.MethodPost, url, big, &apiErr); code != 400 {
 		t.Errorf("oversized batch = %d %+v", code, apiErr)
 	}
+	// A body over the byte cap is refused without being buffered: the
+	// op-count cap only engages after a full decode, so the byte limit is
+	// what actually protects the ingest endpoint's memory.
+	huge, err := http.NewRequest(http.MethodPost, url,
+		bytes.NewReader(bytes.Repeat([]byte("x"), MaxBatchBodyBytes+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hugeResp, err := c.Do(huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, hugeResp, &apiErr)
+	hugeResp.Body.Close()
+	if hugeResp.StatusCode != 400 || apiErr.Error.Code != CodeBadRequest {
+		t.Errorf("over-byte-cap batch = %d %+v", hugeResp.StatusCode, apiErr)
+	}
 	if code := call(t, c, http.MethodPost, hs.URL+"/v1/tenants/nope/ops",
 		BatchRequest{Ops: []BatchOp{{Op: OpAvailability, Workforce: 0.5}}}, &apiErr); code != 404 || apiErr.Error.Code != CodeUnknownTenant {
 		t.Errorf("unknown tenant batch = %d %+v", code, apiErr)

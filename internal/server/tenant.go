@@ -277,6 +277,9 @@ func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool) (
 		if cfg.Faults != nil && cfg.Faults.WALSync != nil {
 			opts.TestSyncHook = cfg.Faults.WALSync
 		}
+		if cfg.Faults != nil && cfg.Faults.WALAppend != nil {
+			opts.TestWriteHook = cfg.Faults.WALAppend
+		}
 		t.gc = dur.gc
 		l, rec, err := wal.Open(filepath.Join(dur.dataDir, name), opts)
 		if err != nil {
@@ -468,9 +471,14 @@ func (t *Tenant) applyAdmin(o op) {
 // have produced. On a WAL append failure the failing mutation is applied
 // but unlogged: the whole batch's snapshot is withheld so no reader ever
 // observes it, the remaining ops are rejected unapplied, and the tenant
-// goes read-only (ErrWALBroken) — ops earlier in the batch are durably
-// logged and acknowledged, but stay invisible until the restart rebuilds
-// exactly the logged state.
+// goes read-only (ErrWALBroken). The log's failure handler rolls the
+// segment back to its durable prefix, so ops earlier in the batch are
+// acknowledged only if their records are inside that prefix (an inline
+// sync or a mid-batch auto-checkpoint made them durable); anything past
+// it — buffered records a manual-sync batch had not yet committed — is
+// re-marked ErrWALBroken before the replies, keeping acked ⇒ logged ⇒
+// fsynced exact. Acknowledged ops stay invisible until the restart
+// rebuilds exactly the logged state.
 func (t *Tenant) applyBatch(ops []op) {
 	start := time.Now()
 	results := t.results[:0]
@@ -564,6 +572,26 @@ func (t *Tenant) applyBatch(ops []op) {
 			t.met.walErrors.Add(1)
 			t.readOnly.Store(true)
 			walFailed = true
+		}
+	}
+	if walFailed {
+		// A failed append rolled the log back to its durable prefix
+		// (wal fail), destroying not just the failing record but any
+		// earlier same-batch records still buffered — or spilled to the
+		// file but not yet fsynced — past that prefix. Their ops carry
+		// err==nil and a seq beyond the prefix: acknowledging them would
+		// violate acked ⇒ logged ⇒ fsynced (the mutations vanish on
+		// restart), so they flip to ErrWALBroken exactly like the failed
+		// commit round above. After a failed round this pass is a no-op:
+		// the cerr branch already re-marked everything past the prefix.
+		// Records at or below the prefix were made durable earlier (an
+		// inline sync or a mid-batch auto-checkpoint) and their acks
+		// stand.
+		durable := t.wal.DurableSeq()
+		for i := range results {
+			if results[i].err == nil && results[i].seq > durable {
+				results[i].err = fmt.Errorf("%w (a later append in the batch failed; this record was rolled back)", ErrWALBroken)
+			}
 		}
 	}
 	if anyApplied && !walFailed {

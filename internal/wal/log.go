@@ -44,6 +44,17 @@ type Options struct {
 	// schedules for chaos/conformance testing hang off this hook;
 	// production configs leave it nil.
 	TestSyncHook func() error
+	// TestWriteHook, when non-nil, runs at the start of every Append,
+	// before the record's bytes reach the buffered writer. Returning an
+	// error fails the append exactly like a disk write failure: the log
+	// marks itself broken and rolls the segment back to its durable
+	// prefix — destroying any records buffered (or spilled but not yet
+	// fsynced) past it, which under manual sync can include earlier
+	// records of the same coalesced batch. That rollback is precisely
+	// the hazard the hook exists to exercise: TestSyncHook never fires
+	// inside a manual-sync Append, so append-path failures need their
+	// own injection point. Production configs leave it nil.
+	TestWriteHook func() error
 }
 
 func (o Options) withDefaults() Options {
@@ -371,6 +382,12 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	}
 	if _, ok := binKindOf(rec.Kind); !ok {
 		return 0, fmt.Errorf("%w: %q", ErrKind, rec.Kind)
+	}
+	if l.opts.TestWriteHook != nil {
+		if err := l.opts.TestWriteHook(); err != nil {
+			l.fail()
+			return 0, err
+		}
 	}
 	l.enc = AppendRecordBinary(l.enc[:0], rec)
 	if _, err := l.w.Write(l.enc); err != nil {
