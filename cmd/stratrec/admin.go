@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"time"
+
+	"stratrec/internal/client"
+	"stratrec/internal/server"
+	"stratrec/internal/store"
+)
+
+// runAdmin implements `stratrec admin`, the operator CLI over the
+// server's runtime admin API:
+//
+//	stratrec admin [-addr url] tenant create <name> -catalog file.json [-objective o] [-mode m]
+//	stratrec admin [-addr url] tenant drain  <name>
+//	stratrec admin [-addr url] tenant status <name>
+//
+// create registers a new tenant on a live server from a single-catalog
+// JSON file (the same shape one tenant of a -tenants file holds); drain
+// stops accepting its writes, cuts a final checkpoint when durability is
+// on, and detaches it; status prints the operator's view of one tenant.
+func runAdmin(args []string) error {
+	fs := flag.NewFlagSet("admin", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+		timeout = fs.Duration("timeout", 30*time.Second, "request timeout")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: stratrec admin [flags] tenant create|drain|status <name> [create flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 3 || rest[0] != "tenant" {
+		fs.Usage()
+		return fmt.Errorf("expected: tenant create|drain|status <name>")
+	}
+	verb, name := rest[1], rest[2]
+
+	c := client.New(*addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch verb {
+	case "create":
+		cfs := flag.NewFlagSet("admin tenant create", flag.ContinueOnError)
+		var (
+			catalogPath = cfs.String("catalog", "", "strategy catalog JSON file (required)")
+			objective   = cfs.String("objective", "", "platform goal: throughput (default) or payoff")
+			mode        = cfs.String("mode", "", "workforce aggregation: max (default) or sum")
+			coalesce    = cfs.Int("coalesce", 0, "event-loop coalesce limit (0 = server default)")
+			opBuffer    = cfs.Int("op-buffer", 0, "mutation inbox capacity (0 = server default)")
+		)
+		if err := cfs.Parse(rest[3:]); err != nil {
+			return err
+		}
+		if *catalogPath == "" {
+			return fmt.Errorf("tenant create: -catalog is required")
+		}
+		cat, err := store.LoadCatalog(*catalogPath)
+		if err != nil {
+			return err
+		}
+		st, err := c.CreateTenant(ctx, name, client.CreateTenantRequest{
+			Objective: *objective,
+			Mode:      *mode,
+			Coalesce:  *coalesce,
+			OpBuffer:  *opBuffer,
+			Catalog:   cat,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created tenant %s: %d strategies, availability %.2f, epoch %d\n",
+			st.Name, st.Strategies, st.Availability, st.Epoch)
+		return nil
+
+	case "drain":
+		resp, err := c.DrainTenant(ctx, name)
+		if err != nil {
+			return err
+		}
+		if resp.Checkpoint.LastSeq > 0 || resp.Checkpoint.Requests > 0 {
+			fmt.Printf("drained tenant %s: final checkpoint at seq %d (%d open requests)\n",
+				resp.Tenant, resp.Checkpoint.LastSeq, resp.Checkpoint.Requests)
+		} else {
+			fmt.Printf("drained tenant %s\n", resp.Tenant)
+		}
+		return nil
+
+	case "status":
+		st, err := c.TenantStatus(ctx, name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tenant %s: %s\n", st.Name, st.Health.Status)
+		fmt.Printf("  strategies   %d\n", st.Strategies)
+		fmt.Printf("  open         %d\n", st.Open)
+		fmt.Printf("  serving      %d\n", st.Serving)
+		fmt.Printf("  epoch        %d\n", st.Epoch)
+		fmt.Printf("  availability %.3f\n", st.Availability)
+		if st.Health.QueueCapacity > 0 {
+			fmt.Printf("  queue        %d/%d\n", st.Health.QueueDepth, st.Health.QueueCapacity)
+		}
+		if st.Health.Status == server.HealthReadOnly {
+			fmt.Println("  READ-ONLY: WAL circuit breaker tripped")
+		}
+		if st.Draining {
+			fmt.Println("  DRAINING")
+		}
+		return nil
+
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown admin verb %q", verb)
+	}
+}

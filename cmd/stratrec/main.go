@@ -15,6 +15,7 @@
 //	stratrec conform -replay f.json  # replay a minimized failure trace
 //	stratrec conform -profile crash-recovery  # kill/restart differential oracle
 //	stratrec recover -data-dir d     # inspect a durability dir; -verify replays it
+//	stratrec admin tenant create|drain|status  # runtime tenant admin on a live server
 //
 // The input file format:
 //
@@ -85,6 +86,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "conform" {
 		if err := runConform(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "stratrec conform:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "admin" {
+		if err := runAdmin(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "stratrec admin:", err)
 			os.Exit(1)
 		}
 		return

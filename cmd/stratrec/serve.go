@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -40,6 +41,8 @@ func runServe(args []string) error {
 		adparWork   = fs.Int("adpar-workers", 0, "server-wide ADPaR alternative-query pool workers (0 = GOMAXPROCS)")
 		adparQueue  = fs.Int("adpar-queue", 0, "alternative queries that may wait for a pool worker before shedding 429 (0 = 2x workers)")
 		mutDeadline = fs.Duration("mutation-deadline", 0, "default mutation deadline when no X-Request-Deadline-Ms header is sent; 0 disables projected-wait shedding for headerless mutations")
+		logFormat   = fs.String("log", "off", "structured operation log on stderr: json, text, or off")
+		logLevel    = fs.String("log-level", "info", "structured log threshold: debug (per-op admit/apply/append/commit/publish), info (terminal reply/shed + lifecycle), warn (sheds only)")
 		demoTenants = fs.Int("demo-tenants", 2, "synthetic tenant count when -tenants is empty")
 		demoSize    = fs.Int("demo-strategies", 64, "strategies per synthetic tenant")
 		seed        = fs.Int64("seed", 2020, "synthetic tenant / selftest workload seed")
@@ -81,6 +84,11 @@ func runServe(args []string) error {
 	cfg.ADPaRWorkers = *adparWork
 	cfg.ADPaRQueue = *adparQueue
 	cfg.MutationDeadline = *mutDeadline
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	cfg.Logger = logger
 	for name, tc := range cfg.Tenants {
 		tc.Coalesce = *coalesce
 		tc.OpBuffer = *opBuffer
@@ -124,6 +132,36 @@ func runServe(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// buildLogger maps the -log/-log-level flags onto a slog.Logger for
+// server.Config.Logger. Logs go to stderr — stdout stays reserved for
+// the human-readable startup banner and the selftest report, which CI
+// greps.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	if format == "off" || format == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info or warn)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want json, text or off)", format)
+	}
 }
 
 // catalogFlags is the tenant-universe selection shared by `serve` and
@@ -323,14 +361,8 @@ func writeWorkloadFile(path string, events []synth.WorkloadEvent) error {
 }
 
 // anchoredModels is the Section 3.1 default for catalog entries without
-// fitted models: linear responses anchored at the entry's advertised
-// parameters for the ambient workforce (same rule as batch mode's
-// defaultModels).
+// fitted models, shared with the server's runtime tenant-admin endpoint
+// via store.AnchoredModels so both materialization paths agree.
 func anchoredModels(p strategy.Params, W float64) linmodel.ParamModels {
-	qAlpha := p.Quality * 0.4
-	return linmodel.ParamModels{
-		Quality: linmodel.Model{Alpha: qAlpha, Beta: p.Quality - qAlpha*W},
-		Cost:    linmodel.Model{Alpha: -0.1, Beta: p.Cost + 0.1*W},
-		Latency: linmodel.Model{Alpha: -0.3, Beta: p.Latency + 0.3*W},
-	}
+	return store.AnchoredModels(p, W)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -251,5 +252,128 @@ func TestBatchBuilder(t *testing.T) {
 	b.Reset()
 	if b.Len() != 0 {
 		t.Fatalf("len after reset = %d", b.Len())
+	}
+}
+
+// TestJitteredWait: the jittered backoff stays inside [wait/2, wait] and
+// actually varies — two clients handed the same hint must decorrelate,
+// or the herd that was shed together retries together.
+func TestJitteredWait(t *testing.T) {
+	const wait = 100 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		got := jitteredWait(wait)
+		if got < wait/2 || got > wait {
+			t.Fatalf("jitteredWait(%v) = %v outside [%v, %v]", wait, got, wait/2, wait)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 draws produced %d distinct waits — no decorrelation", len(seen))
+	}
+	// Degenerate hints pass through unjittered.
+	for _, w := range []time.Duration{0, 1} {
+		if got := jitteredWait(w); got != w {
+			t.Fatalf("jitteredWait(%v) = %v", w, got)
+		}
+	}
+}
+
+// TestParseRetryAfter: both RFC 9110 forms — delta-seconds and HTTP-date —
+// plus the garbage cases proxies actually emit.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"7", 7 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // date in the past
+		{"soon", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterMillisecondPrecision: the envelope's retry_after_ms wins
+// over the whole-second header, end to end — a 10ms hint decodes as 10ms,
+// not the 1s the rounded header implies.
+func TestRetryAfterMillisecondPrecision(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1") // whole-second ceiling of 10ms
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: server.ErrorDetail{
+			Code: server.CodeOverloaded, Message: "queue full", RetryAfterMs: 10,
+		}})
+	}))
+	defer ts.Close()
+	var apiErr *APIError
+	if _, err := New(ts.URL).Submit(context.Background(), "alpha", SubmitRequest{ID: "r1"}); !errors.As(err, &apiErr) {
+		t.Fatalf("submit: %v", err)
+	}
+	if apiErr.RetryAfter != 10*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 10ms (envelope must beat the rounded header)", apiErr.RetryAfter)
+	}
+
+	// An HTTP-date header with no envelope still yields a usable hint.
+	dated := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(5*time.Second).Format(http.TimeFormat))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("maintenance\n"))
+	}))
+	defer dated.Close()
+	if _, err := New(dated.URL).Plan(context.Background(), "alpha"); !errors.As(err, &apiErr) {
+		t.Fatalf("plan: %v", err)
+	}
+	if apiErr.RetryAfter <= 0 || apiErr.RetryAfter > 5*time.Second {
+		t.Fatalf("HTTP-date RetryAfter = %v, want (0, 5s]", apiErr.RetryAfter)
+	}
+}
+
+// TestClientTrace: WithTrace stamps every logical call, retries of the
+// same call reuse the ID, and the server echo lands in APIError.TraceID.
+func TestClientTrace(t *testing.T) {
+	var calls atomic.Int32
+	traces := make(chan string, 8)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(server.TraceHeader)
+		traces <- id
+		w.Header().Set(server.TraceHeader, id)
+		if calls.Add(1) <= 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: server.ErrorDetail{
+				Code: server.CodeOverloaded, Message: "queue full", RetryAfterMs: 1, TraceID: id,
+			}})
+			return
+		}
+		json.NewEncoder(w).Encode(SubmitResponse{ID: "r1", Epoch: 1})
+	}))
+	defer ts.Close()
+
+	n := 0
+	c := New(ts.URL, WithRetry(2), WithTrace(func() string { n++; return fmt.Sprintf("trace-%d", n) }))
+	if _, err := c.Submit(context.Background(), "alpha", SubmitRequest{ID: "r1", K: 1}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	first, second := <-traces, <-traces
+	if first != "trace-1" || second != "trace-1" {
+		t.Fatalf("retry changed trace: %q then %q", first, second)
+	}
+
+	// Unretried shed: the envelope's trace comes back on the error.
+	calls.Store(-10)
+	var apiErr *APIError
+	if _, err := c.Submit(context.Background(), "alpha", SubmitRequest{ID: "r2"}); !errors.As(err, &apiErr) {
+		t.Fatalf("shed submit: %v", err)
+	}
+	if apiErr.TraceID != "trace-2" {
+		t.Fatalf("TraceID = %q, want trace-2", apiErr.TraceID)
 	}
 }

@@ -1,0 +1,73 @@
+package conformance
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"sync"
+)
+
+// logRecorder is the slog.Handler the overload oracle attaches to the
+// phase-1 server: it writes every event as a JSON line to
+// <dataDir>/structured-logs.jsonl (kept on violations, so CI uploads it
+// with the rest of the durability root) and indexes terminal events —
+// "reply" and "shed" — by trace ID so verifyAccounting can correlate
+// every client-observed ack and shed to exactly one log line. Handler
+// clones from WithAttrs share the core, so the lock covers every writer.
+type logRecorder struct {
+	core  *logCore
+	bound []slog.Attr
+}
+
+type logCore struct {
+	mu    sync.Mutex
+	f     *os.File
+	enc   *json.Encoder
+	terms map[string][]string // trace ID -> terminal event names, in order
+}
+
+func newLogRecorder(path string) (*logRecorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &logRecorder{core: &logCore{f: f, enc: json.NewEncoder(f), terms: map[string][]string{}}}, nil
+}
+
+// terminals returns the terminal event names recorded for a trace ID.
+func (r *logRecorder) terminals(trace string) []string {
+	r.core.mu.Lock()
+	defer r.core.mu.Unlock()
+	return r.core.terms[trace]
+}
+
+func (r *logRecorder) close() error { return r.core.f.Close() }
+
+func (r *logRecorder) Enabled(_ context.Context, l slog.Level) bool { return l >= slog.LevelInfo }
+
+func (r *logRecorder) Handle(_ context.Context, rec slog.Record) error {
+	line := map[string]any{"level": rec.Level.String(), "event": rec.Message}
+	for _, a := range r.bound {
+		line[a.Key] = a.Value.Any()
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		line[a.Key] = a.Value.Any()
+		return true
+	})
+	r.core.mu.Lock()
+	defer r.core.mu.Unlock()
+	if rec.Message == "reply" || rec.Message == "shed" {
+		if trace, ok := line["trace"].(string); ok && trace != "" {
+			r.core.terms[trace] = append(r.core.terms[trace], rec.Message)
+		}
+	}
+	return r.core.enc.Encode(line)
+}
+
+func (r *logRecorder) WithAttrs(attrs []slog.Attr) slog.Handler {
+	bound := append(append([]slog.Attr{}, r.bound...), attrs...)
+	return &logRecorder{core: r.core, bound: bound}
+}
+
+func (r *logRecorder) WithGroup(string) slog.Handler { return r }

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -179,6 +181,7 @@ type ackRecord struct {
 	id    string  // submit/revoke
 	w     float64 // drift
 	epoch uint64
+	trace string // the X-Trace-Id the mutation carried
 }
 
 // workerLedger is one writer's private accounting — merged after the
@@ -187,6 +190,10 @@ type workerLedger struct {
 	acked      []ackRecord
 	shedSubmit []string
 	shedRevoke []string
+	// shedTraces collects the trace IDs of every shed mutation (submit,
+	// revoke and drift): each must correlate to exactly one "shed" log
+	// line, the observability half of the no-trace-on-shed promise.
+	shedTraces []string
 	domain     int
 	latencies  []time.Duration
 	err        error
@@ -288,6 +295,14 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 		OpBuffer:  cfg.OpBuffer,
 		Faults:    faults,
 	}
+	// The phase-1 server logs structured events through a recorder that
+	// both persists them (CI artifact on failure) and indexes terminal
+	// events by trace for the correlation check below.
+	rec, err := newLogRecorder(filepath.Join(dataDir, "structured-logs.jsonl"))
+	if err != nil {
+		keep = true
+		return res, err
+	}
 	s1, err := server.New(server.Config{
 		Tenants:              map[string]server.TenantConfig{spec.Name: tenantCfg},
 		DataDir:              dataDir,
@@ -295,9 +310,11 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 		WALGroupCommitWindow: cfg.GroupCommitWindow,
 		ADPaRWorkers:         1,
 		ADPaRQueue:           1,
+		Logger:               slog.New(rec),
 	})
 	if err != nil {
 		keep = true
+		rec.close()
 		return res, err
 	}
 	hs := httptest.NewServer(s1.Handler())
@@ -305,6 +322,10 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 	ledgers := runStorm(hs, spec.Name, cfg, res)
 	hs.Close()
 	s1.Close() // the kill: WAL closes with only-acked bytes on disk
+	if err := rec.close(); err != nil {
+		keep = true
+		return res, err
+	}
 	for _, l := range ledgers {
 		if l.err != nil {
 			keep = true
@@ -342,6 +363,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 	}
 
 	verifyAccounting(cfg, spec.InitialW, ledgers, tn, res)
+	verifyTraceCorrelation(ledgers, rec, res)
 	if !res.OK() {
 		keep = true
 	}
@@ -501,18 +523,20 @@ func submitParams(w, i int) (q, c, l float64) {
 
 func doSubmit(client *http.Client, base string, cfg OverloadConfig, w, i, deadlineMs int, led *workerLedger) {
 	id := fmt.Sprintf("w%d-%d", w, i)
+	trace := "sub-" + id // worker-scoped ID spaces make these globally unique
 	q, c, l := submitParams(w, i)
 	body, _ := json.Marshal(server.SubmitRequest{ID: id, Quality: q, Cost: c, Latency: l, K: 1})
-	status, out, err := doMutation(client, "POST", base+"/requests", body, deadlineMs, led)
+	status, out, err := doMutation(client, "POST", base+"/requests", body, deadlineMs, trace, led)
 	if err != nil {
 		led.err = err
 		return
 	}
 	switch {
 	case status == http.StatusOK:
-		led.acked = append(led.acked, ackRecord{kind: KindSubmit, id: id, epoch: out.Epoch})
+		led.acked = append(led.acked, ackRecord{kind: KindSubmit, id: id, epoch: out.Epoch, trace: trace})
 	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
 		led.shedSubmit = append(led.shedSubmit, id)
+		led.shedTraces = append(led.shedTraces, trace)
 	case status >= 400 && status < 500:
 		led.domain++
 	default:
@@ -521,16 +545,18 @@ func doSubmit(client *http.Client, base string, cfg OverloadConfig, w, i, deadli
 }
 
 func doRevoke(client *http.Client, base string, id string, deadlineMs int, led *workerLedger) {
-	status, out, err := doMutation(client, "DELETE", base+"/requests/"+id, nil, deadlineMs, led)
+	trace := "rev-" + id // one revoke per ID per worker (see revokedAlready)
+	status, out, err := doMutation(client, "DELETE", base+"/requests/"+id, nil, deadlineMs, trace, led)
 	if err != nil {
 		led.err = err
 		return
 	}
 	switch {
 	case status == http.StatusOK:
-		led.acked = append(led.acked, ackRecord{kind: KindRevoke, id: id, epoch: out.Epoch})
+		led.acked = append(led.acked, ackRecord{kind: KindRevoke, id: id, epoch: out.Epoch, trace: trace})
 	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
 		led.shedRevoke = append(led.shedRevoke, id)
+		led.shedTraces = append(led.shedTraces, trace)
 	case status >= 400 && status < 500:
 		led.domain++
 	default:
@@ -539,18 +565,20 @@ func doRevoke(client *http.Client, base string, id string, deadlineMs int, led *
 }
 
 func doDrift(client *http.Client, base string, w float64, deadlineMs int, led *workerLedger) {
+	trace := fmt.Sprintf("drift-%v", w) // drift values are globally unique
 	body, _ := json.Marshal(server.AvailabilityRequest{Workforce: w})
-	status, out, err := doMutation(client, "PUT", base+"/availability", body, deadlineMs, led)
+	status, out, err := doMutation(client, "PUT", base+"/availability", body, deadlineMs, trace, led)
 	if err != nil {
 		led.err = err
 		return
 	}
 	switch {
 	case status == http.StatusOK:
-		led.acked = append(led.acked, ackRecord{kind: KindDrift, w: w, epoch: out.Epoch})
+		led.acked = append(led.acked, ackRecord{kind: KindDrift, w: w, epoch: out.Epoch, trace: trace})
 	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
-		// A shed drift simply never happened; nothing to track beyond
-		// the count (drift values are unique, absence needs no ID).
+		// A shed drift simply never happened in the recovered state, but
+		// its shed must still log exactly once.
+		led.shedTraces = append(led.shedTraces, trace)
 	case status >= 400 && status < 500:
 		led.domain++
 	default:
@@ -564,8 +592,8 @@ type mutationAck struct {
 }
 
 // doMutation performs one HTTP mutation, timing it and validating the
-// 429/503 Retry-After contract.
-func doMutation(client *http.Client, method, url string, body []byte, deadlineMs int, led *workerLedger) (int, mutationAck, error) {
+// 429/503 Retry-After contract and the trace echo.
+func doMutation(client *http.Client, method, url string, body []byte, deadlineMs int, trace string, led *workerLedger) (int, mutationAck, error) {
 	var out mutationAck
 	req, err := http.NewRequest(method, url, bytes.NewReader(body))
 	if err != nil {
@@ -577,6 +605,7 @@ func doMutation(client *http.Client, method, url string, body []byte, deadlineMs
 	if deadlineMs > 0 {
 		req.Header.Set(server.DeadlineHeader, strconv.Itoa(deadlineMs))
 	}
+	req.Header.Set(server.TraceHeader, trace)
 	start := time.Now()
 	resp, err := client.Do(req)
 	elapsed := time.Since(start)
@@ -585,6 +614,9 @@ func doMutation(client *http.Client, method, url string, body []byte, deadlineMs
 	}
 	defer resp.Body.Close()
 	led.latencies = append(led.latencies, elapsed)
+	if echo := resp.Header.Get(server.TraceHeader); echo != trace {
+		return resp.StatusCode, out, fmt.Errorf("conformance: trace echo %q != sent %q", echo, trace)
+	}
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			return resp.StatusCode, out, fmt.Errorf("conformance: decoding ack: %w", err)
@@ -717,6 +749,41 @@ func verifyAccounting(cfg OverloadConfig, initialW float64, ledgers []*workerLed
 		res.P99 = lat[len(lat)*99/100]
 		if res.P99 > cfg.P99Budget {
 			violate("mutation latency p99 %v exceeds budget %v", res.P99, cfg.P99Budget)
+		}
+	}
+}
+
+// verifyTraceCorrelation checks the logging contract against the
+// phase-1 structured log: every client-observed ack correlates to
+// exactly one "reply" terminal line by trace ID, every client-observed
+// shed to exactly one "shed" line. More than one terminal line per
+// mutation would break log-based accounting (double-counted ops);
+// zero would make an invisible outcome; a shed logged as "reply" (or
+// vice versa) would contradict what the client was told.
+func verifyTraceCorrelation(ledgers []*workerLedger, rec *logRecorder, res *OverloadResult) {
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	for _, led := range ledgers {
+		for _, a := range led.acked {
+			switch terms := rec.terminals(a.trace); {
+			case len(terms) == 0:
+				violate("acked mutation (trace %s) has no terminal log line", a.trace)
+			case len(terms) > 1:
+				violate("acked mutation (trace %s) has %d terminal log lines %v, want exactly one", a.trace, len(terms), terms)
+			case terms[0] != "reply":
+				violate("acked mutation (trace %s) logged terminal %q, want reply", a.trace, terms[0])
+			}
+		}
+		for _, trace := range led.shedTraces {
+			switch terms := rec.terminals(trace); {
+			case len(terms) == 0:
+				violate("shed mutation (trace %s) has no terminal log line", trace)
+			case len(terms) > 1:
+				violate("shed mutation (trace %s) has %d terminal log lines %v, want exactly one", trace, len(terms), terms)
+			case terms[0] != "shed":
+				violate("shed mutation (trace %s) logged terminal %q, want shed", trace, terms[0])
+			}
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stratrec/internal/client"
@@ -205,7 +206,13 @@ func Run(cfg Config) (Report, error) {
 			MaxIdleConnsPerHost: len(workloads) * 2,
 		}}
 	}
-	c := client.New(cfg.BaseURL, client.WithHTTPClient(hc))
+	// Every op carries a distinct trace ID, so a selftest anomaly can be
+	// chased into the server's structured log (serve -log json).
+	var traceSeq atomic.Int64
+	c := client.New(cfg.BaseURL, client.WithHTTPClient(hc),
+		client.WithTrace(func() string {
+			return fmt.Sprintf("load-%d", traceSeq.Add(1))
+		}))
 
 	sampleCh := make(chan []sample, len(workloads))
 	start := time.Now()

@@ -11,8 +11,12 @@ import (
 	"time"
 
 	"stratrec/internal/adpar"
+	"stratrec/internal/batch"
+	"stratrec/internal/linmodel"
+	"stratrec/internal/store"
 	"stratrec/internal/strategy"
 	"stratrec/internal/stream"
+	"stratrec/internal/workforce"
 )
 
 // DeadlineHeader lets a client attach a per-request deadline to a
@@ -35,10 +39,20 @@ const DeadlineHeader = "X-Request-Deadline-Ms"
 //	GET    /v1/tenants/{tenant}/requests/{id}/alternative ADPaR alternative
 //	PUT    /v1/tenants/{tenant}/availability              move expected workforce
 //	POST   /v1/admin/checkpoint                           checkpoint + truncate every tenant WAL
+//	POST   /v1/admin/tenants/{tenant}                     create a tenant at runtime
+//	DELETE /v1/admin/tenants/{tenant}                     drain + remove a tenant
+//	GET    /v1/admin/tenants/{tenant}                     tenant admin status
+//
+// /metrics answers expvar JSON by default and Prometheus text format
+// with ?format=prometheus.
 //
 // /healthz, /metrics and /admin/checkpoint also answer at their
 // original unversioned paths, kept for deployed probes and scripts
 // (deprecated — new integrations should use the /v1 forms).
+//
+// The {tenant} path value resolves against the live registry per
+// request, so tenants created or drained at runtime come and go without
+// any mux change.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -54,6 +68,9 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("PUT /v1/tenants/{tenant}/availability", s.tenantHandler(s.handleAvailability))
 	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /v1/admin/tenants/{tenant}", s.handleTenantCreate)
+	mux.HandleFunc("DELETE /v1/admin/tenants/{tenant}", s.handleTenantDrain)
+	mux.HandleFunc("GET /v1/admin/tenants/{tenant}", s.handleTenantStatus)
 	return mux
 }
 
@@ -171,19 +188,25 @@ const (
 	CodeDuplicateID     = "duplicate_id"
 	CodeAlreadyServed   = "already_served"
 	CodeNoDurability    = "no_durability"
-	CodeOverloaded      = "overloaded"    // shed; retry after RetryAfterMs
-	CodeTenantClosed    = "tenant_closed" // shutting down; retry against the replacement
-	CodeWALBroken       = "wal_broken"    // read-only until operator restart
+	CodeOverloaded      = "overloaded"       // shed; retry after RetryAfterMs
+	CodeTenantClosed    = "tenant_closed"    // shutting down; retry against the replacement
+	CodeWALBroken       = "wal_broken"       // read-only until operator restart
+	CodeDuplicateTenant = "duplicate_tenant" // runtime create against an existing name
 	CodeInternal        = "internal"
 )
 
 // ErrorDetail is the uniform error shape every handler returns: a stable
-// code, a human-readable message, and — for retryable rejections — the
-// same backoff hint the Retry-After header carries, in milliseconds.
+// code, a human-readable message, for retryable rejections the same
+// backoff hint the Retry-After header carries (in milliseconds, keeping
+// the server's precision the header's whole seconds destroy), and the
+// request's trace ID — the same one the X-Trace-Id response header
+// echoes — so a client holding a shed 429 can hand an operator a string
+// that greps straight to the server's structured log line for it.
 type ErrorDetail struct {
 	Code         string `json:"code"`
 	Message      string `json:"message"`
 	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+	TraceID      string `json:"trace_id,omitempty"`
 }
 
 // ErrorResponse carries every non-2xx body.
@@ -263,10 +286,15 @@ type BatchResponse struct {
 // read-only, so orchestrators don't restart a fleet member that is still
 // serving N-1 tenants.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	resp := HealthResponse{Tenants: make(map[string]TenantHealth, len(s.names))}
+	names := s.TenantNames()
+	resp := HealthResponse{Tenants: make(map[string]TenantHealth, len(names))}
 	allOK, allDown := true, true
-	for _, name := range s.names {
-		h := s.tenants[name].health()
+	for _, name := range names {
+		t, err := s.Tenant(name)
+		if err != nil {
+			continue // drained between the listing and the lookup
+		}
+		h := t.health()
 		resp.Tenants[name] = h
 		if h.Status != HealthOK {
 			allOK = false
@@ -289,9 +317,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
-	out := make([]TenantInfo, 0, len(s.names))
-	for _, name := range s.names {
-		t := s.tenants[name]
+	names := s.TenantNames()
+	out := make([]TenantInfo, 0, len(names))
+	for _, name := range names {
+		t, err := s.Tenant(name)
+		if err != nil {
+			continue // drained between the listing and the lookup
+		}
 		snap := t.snap.Load()
 		out = append(out, TenantInfo{
 			Name:         name,
@@ -325,6 +357,13 @@ func (s *Server) tenantHandler(h func(*Tenant, http.ResponseWriter, *http.Reques
 // logged) mutation into a shed — the handler always waits for the loop's
 // definitive answer, and only the loop sheds, only before apply.
 func (s *Server) mutationContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	base := context.Background()
+	// The trace ID is the one value the fresh context does inherit from
+	// the request: correlation must survive the deliberate detach from
+	// r.Context().
+	if id := traceFrom(r.Context()); id != "" {
+		base = withTrace(base, id)
+	}
 	d := s.mutDeadline
 	if h := r.Header.Get(DeadlineHeader); h != "" {
 		ms, err := strconv.ParseInt(h, 10, 64)
@@ -334,9 +373,9 @@ func (s *Server) mutationContext(r *http.Request) (context.Context, context.Canc
 		d = time.Duration(ms) * time.Millisecond
 	}
 	if d <= 0 {
-		return context.Background(), func() {}, nil
+		return base, func() {}, nil
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), d)
+	ctx, cancel := context.WithTimeout(base, d)
 	return ctx, cancel, nil
 }
 
@@ -593,9 +632,14 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 		writeError(w, ErrNoDurability)
 		return
 	}
-	resp := CheckpointResponse{Tenants: make(map[string]CheckpointInfo, len(s.names))}
-	for _, name := range s.names {
-		info, err := s.tenants[name].Checkpoint()
+	names := s.TenantNames()
+	resp := CheckpointResponse{Tenants: make(map[string]CheckpointInfo, len(names))}
+	for _, name := range names {
+		t, err := s.Tenant(name)
+		if err != nil {
+			continue // drained between the listing and the lookup
+		}
+		info, err := t.Checkpoint()
 		if err != nil {
 			writeError(w, fmt.Errorf("tenant %s: %w", name, err))
 			return
@@ -603,6 +647,159 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 		resp.Tenants[name] = info
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- runtime tenant admin ---
+
+// CreateTenantRequest is the POST /v1/admin/tenants/{tenant} body: a
+// strategy catalog (the same JSON shape `stratrec serve -tenants` files
+// hold per tenant) plus planning semantics. Entries without fitted
+// models get the Section 3.1 anchored defaults — identical to what the
+// CLI's boot-time materialization applies, so a tenant created over the
+// wire plans exactly like one loaded from disk.
+type CreateTenantRequest struct {
+	// Objective is "throughput" (default) or "payoff".
+	Objective string `json:"objective,omitempty"`
+	// Mode is the workforce aggregation: "max" (default) or "sum".
+	Mode string `json:"mode,omitempty"`
+	// Coalesce and OpBuffer tune the tenant's event loop (0 = defaults).
+	Coalesce int `json:"coalesce,omitempty"`
+	OpBuffer int `json:"op_buffer,omitempty"`
+	// Catalog is the strategy catalog, workforce included.
+	Catalog store.Catalog `json:"catalog"`
+}
+
+// TenantStatusResponse is the GET /v1/admin/tenants/{tenant} body: the
+// operator's view of one tenant — plan scalars plus the health row
+// /healthz would report.
+type TenantStatusResponse struct {
+	Name         string       `json:"name"`
+	Strategies   int          `json:"strategies"`
+	Open         int          `json:"open"`
+	Serving      int          `json:"serving"`
+	Epoch        uint64       `json:"epoch"`
+	Availability float64      `json:"availability"`
+	Health       TenantHealth `json:"health"`
+	Draining     bool         `json:"draining"`
+}
+
+// DrainTenantResponse is the DELETE /v1/admin/tenants/{tenant} body.
+type DrainTenantResponse struct {
+	Tenant string `json:"tenant"`
+	// Checkpoint is the final checkpoint cut during the drain (zero when
+	// the server runs without durability).
+	Checkpoint CheckpointInfo `json:"checkpoint"`
+}
+
+// tenantConfigFromCreate materializes a CreateTenantRequest into a
+// TenantConfig.
+func tenantConfigFromCreate(body CreateTenantRequest) (TenantConfig, error) {
+	var obj batch.Objective
+	switch body.Objective {
+	case "", "throughput":
+		obj = batch.Throughput
+	case "payoff":
+		obj = batch.Payoff
+	default:
+		return TenantConfig{}, badRequest("unknown objective %q (want throughput or payoff)", body.Objective)
+	}
+	var agg workforce.Mode
+	switch body.Mode {
+	case "", "max":
+		agg = workforce.MaxCase
+	case "sum":
+		agg = workforce.SumCase
+	default:
+		return TenantConfig{}, badRequest("unknown mode %q (want max or sum)", body.Mode)
+	}
+	set, models, err := body.Catalog.Materialize(func(e store.Entry) linmodel.ParamModels {
+		return store.AnchoredModels(e.Params, body.Catalog.Workforce)
+	})
+	if err != nil {
+		return TenantConfig{}, badRequest("invalid catalog: %v", err)
+	}
+	return TenantConfig{
+		Set: set, Models: models,
+		Mode: agg, Objective: obj,
+		InitialW: body.Catalog.Workforce,
+		Coalesce: body.Coalesce,
+		OpBuffer: body.OpBuffer,
+	}, nil
+}
+
+// handleTenantCreate adds a tenant at runtime. 201 on success; 409
+// (duplicate_tenant) when the name is taken; 400 for an invalid name or
+// catalog. When the server runs with durability, the new tenant recovers
+// whatever WAL state a previous tenant of the same name left under the
+// data directory — created-drained-recreated round-trips keep their
+// durable state.
+func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	var body CreateTenantRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, badRequest("invalid JSON: %v", err))
+		return
+	}
+	cfg, err := tenantConfigFromCreate(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.CreateTenant(name, cfg); err != nil {
+		var se statusError
+		if !errors.Is(err, ErrDuplicateTenant) && !errors.As(err, &se) {
+			err = badRequest("creating tenant %s: %v", name, err)
+		}
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.tenantStatus(name))
+}
+
+// handleTenantDrain drains and removes a tenant: new writes 503 during
+// the drain, a final checkpoint is cut, the loop stops, and the name
+// 404s afterwards.
+func (s *Server) handleTenantDrain(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	info, err := s.DrainTenant(name)
+	if err != nil {
+		if errors.Is(err, ErrUnknownTenant) {
+			err = fmt.Errorf("%w: %s", ErrUnknownTenant, name)
+		}
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DrainTenantResponse{Tenant: name, Checkpoint: info})
+}
+
+// handleTenantStatus reports one tenant's admin view.
+func (s *Server) handleTenantStatus(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	if _, err := s.Tenant(name); err != nil {
+		writeError(w, fmt.Errorf("%w: %s", ErrUnknownTenant, name))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tenantStatus(name))
+}
+
+// tenantStatus assembles the admin status row (zero value when the
+// tenant vanished between lookup and assembly).
+func (s *Server) tenantStatus(name string) TenantStatusResponse {
+	t, err := s.Tenant(name)
+	if err != nil {
+		return TenantStatusResponse{Name: name}
+	}
+	snap := t.snap.Load()
+	return TenantStatusResponse{
+		Name:         name,
+		Strategies:   t.ix.Len(),
+		Open:         len(snap.Requests),
+		Serving:      len(snap.Plan.Serving),
+		Epoch:        snap.Epoch,
+		Availability: snap.Availability,
+		Health:       t.health(),
+		Draining:     t.draining.Load(),
+	}
 }
 
 // --- plumbing ---
@@ -644,7 +841,14 @@ func errorDetail(err error) (int, ErrorDetail) {
 	case errors.As(err, &oe):
 		code = http.StatusTooManyRequests
 		d.Code = CodeOverloaded
+		// The envelope carries the precise projected wait in milliseconds;
+		// only the Retry-After header (writeError) rounds up to whole
+		// seconds. The floor of 1 keeps the hint present and parseable even
+		// when the projected wait is under a millisecond.
 		d.RetryAfterMs = oe.RetryAfter.Milliseconds()
+		if d.RetryAfterMs < 1 {
+			d.RetryAfterMs = 1
+		}
 	case errors.Is(err, ErrUnknownTenant):
 		code = http.StatusNotFound
 		d.Code = CodeUnknownTenant
@@ -662,6 +866,9 @@ func errorDetail(err error) (int, ErrorDetail) {
 		errors.Is(err, adpar.ErrBadK), errors.Is(err, adpar.ErrNotEnoughStrategies):
 		code = http.StatusBadRequest
 		d.Code = CodeInvalidArgument
+	case errors.Is(err, ErrDuplicateTenant):
+		code = http.StatusConflict
+		d.Code = CodeDuplicateTenant
 	case errors.Is(err, ErrNoDurability):
 		code = http.StatusConflict
 		d.Code = CodeNoDurability
@@ -679,9 +886,11 @@ func errorDetail(err error) (int, ErrorDetail) {
 
 // writeError renders one domain error as the whole response, with the
 // Retry-After header mirroring the envelope's hint (rounded up to whole
-// seconds, the header's granularity).
+// seconds, the header's granularity) and the envelope echoing the trace
+// ID the middleware already stamped on the response header.
 func writeError(w http.ResponseWriter, err error) {
 	code, d := errorDetail(err)
+	d.TraceID = w.Header().Get(TraceHeader)
 	if d.RetryAfterMs > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(time.Duration(d.RetryAfterMs)*time.Millisecond)))
 	}

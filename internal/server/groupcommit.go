@@ -41,6 +41,12 @@ type groupCommitter struct {
 	rounds   atomic.Int64
 	commits  atomic.Int64
 	maxRound atomic.Int64
+	// directSyncs counts commits that resolved through the shutdown
+	// fallback (scheduler stopped, caller fsynced its own log). They are
+	// deliberately outside rounds/commits — no round happened — and a
+	// nonzero value under normal operation means the Server.Close
+	// ordering (tenant loops first, scheduler last) has regressed.
+	directSyncs atomic.Int64
 }
 
 type gcReq struct {
@@ -73,6 +79,10 @@ func (gc *groupCommitter) commit(l *wal.Log) error {
 	case gc.reqs <- r:
 		return <-r.done
 	case <-gc.quit:
+		// Accounted separately: without this, shutdown-window commits
+		// silently vanished from /metrics (neither rounds nor commits
+		// moved), hiding a broken Close ordering.
+		gc.directSyncs.Add(1)
 		return l.Sync()
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"stratrec/internal/strategy"
 	"stratrec/internal/stream"
+	"stratrec/internal/wal"
 )
 
 // TestGroupCommitDurability: with the cross-tenant commit scheduler on,
@@ -293,5 +294,93 @@ func TestGroupCommitConcurrentTenantsUnderRace(t *testing.T) {
 	for name, w := range want {
 		tn, _ := s2.Tenant(name)
 		snapshotsEqual(t, w, tn.Snapshot())
+	}
+}
+
+// TestGroupCommitDirectSyncFallback: a commit racing scheduler shutdown
+// resolves through the direct-fsync fallback — same durability, no
+// sharing — and is accounted in direct_syncs, not rounds/commits.
+func TestGroupCommitDirectSyncFallback(t *testing.T) {
+	l, _, err := wal.Open(t.TempDir(), wal.Options{SyncManual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	gc := newGroupCommitter(time.Millisecond)
+
+	// Through the live scheduler: a round, no direct sync.
+	if err := gc.commit(l); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if gc.rounds.Load() != 1 || gc.commits.Load() != 1 || gc.directSyncs.Load() != 0 {
+		t.Fatalf("live commit accounting: rounds=%d commits=%d direct=%d",
+			gc.rounds.Load(), gc.commits.Load(), gc.directSyncs.Load())
+	}
+
+	gc.stop()
+	// A buffered append makes the fallback's fsync observable: Sync on a
+	// clean log is a no-op and would not move the counter.
+	if _, err := l.Append(wal.Record{Kind: wal.KindAvailability, W: 0.5, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	syncsBefore := l.Syncs()
+	if err := gc.commit(l); err != nil {
+		t.Fatalf("commit after stop: %v", err)
+	}
+	if l.Syncs() != syncsBefore+1 {
+		t.Fatalf("fallback skipped the fsync: %d syncs, want %d", l.Syncs(), syncsBefore+1)
+	}
+	if gc.directSyncs.Load() != 1 {
+		t.Fatalf("direct_syncs = %d, want 1", gc.directSyncs.Load())
+	}
+	if gc.rounds.Load() != 1 || gc.commits.Load() != 1 {
+		t.Fatalf("fallback leaked into round accounting: rounds=%d commits=%d",
+			gc.rounds.Load(), gc.commits.Load())
+	}
+}
+
+// TestServerCloseOrderingNoDirectSyncs: Server.Close stops tenant loops
+// before the commit scheduler, so even a Close racing live writers must
+// leave direct_syncs at zero — a nonzero value means ops could still be
+// asking a dead scheduler for durability.
+func TestServerCloseOrderingNoDirectSyncs(t *testing.T) {
+	cfg := Config{
+		Tenants: map[string]TenantConfig{
+			"alpha": fixedTenant(6, 0.7),
+			"beta":  fixedTenant(5, 0.6),
+		},
+		DataDir:              t.TempDir(),
+		WALGroupCommitWindow: 500 * time.Microsecond,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writers run through the Close: late submits answer ErrTenantClosed,
+	// which is fine — the point is they must never hit the fallback path.
+	var wg sync.WaitGroup
+	for _, name := range s.TenantNames() {
+		tn, _ := s.Tenant(name)
+		wg.Add(1)
+		go func(tn *Tenant) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				_, err := tn.Submit(context.Background(), strategy.Request{
+					ID: fmt.Sprintf("r%d", i), Params: strategy.Params{Quality: 0.3, Cost: 0.9, Latency: 0.9}, K: 1,
+				})
+				if err != nil {
+					return // loop closed under us
+				}
+			}
+		}(tn)
+	}
+	time.Sleep(5 * time.Millisecond) // let traffic overlap the Close
+	s.Close()
+	wg.Wait()
+	if n := s.gc.directSyncs.Load(); n != 0 {
+		t.Fatalf("Server.Close left %d direct syncs — tenant loops outlived the scheduler", n)
+	}
+	if s.gc.rounds.Load() == 0 {
+		t.Fatal("no commit rounds — the test never exercised the scheduler")
 	}
 }

@@ -97,13 +97,19 @@ func (m *tenantMetrics) noteRecovery(rec wal.Recovered, d time.Duration) {
 	m.tornBytes.Set(int64(rec.TornBytes))
 }
 
-// newMetricsRoot assembles the server-wide expvar tree.
-func newMetricsRoot(s *Server) *expvar.Map {
+// newMetricsRoot assembles the server-wide expvar tree. It also returns
+// the "tenants" submap so runtime tenant admin can add and remove
+// entries (expvar.Map is concurrency-safe).
+func newMetricsRoot(s *Server) (*expvar.Map, *expvar.Map) {
 	root := new(expvar.Map).Init()
 	root.Set("uptime_seconds", expvar.Func(func() any {
 		return s.now().Sub(s.start).Seconds()
 	}))
-	root.Set("tenant_count", expvar.Func(func() any { return len(s.tenants) }))
+	root.Set("tenant_count", expvar.Func(func() any {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return len(s.tenants)
+	}))
 	tenants := new(expvar.Map).Init()
 	for name, t := range s.tenants {
 		tenants.Set(name, t.met.vars)
@@ -125,14 +131,24 @@ func newMetricsRoot(s *Server) *expvar.Map {
 		g.Set("rounds", expvar.Func(func() any { return gc.rounds.Load() }))
 		g.Set("commits", expvar.Func(func() any { return gc.commits.Load() }))
 		g.Set("max_round", expvar.Func(func() any { return gc.maxRound.Load() }))
+		g.Set("direct_syncs", expvar.Func(func() any { return gc.directSyncs.Load() }))
 		root.Set("group_commit", g)
 	}
-	return root
+	return root, tenants
 }
 
-// metricsHandler renders the expvar tree; expvar.Map.String() is valid
-// JSON, nested maps and Funcs included.
-func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	io.WriteString(w, s.vars.String())
+// metricsHandler renders the metrics tree: expvar JSON by default
+// (expvar.Map.String() is valid JSON, nested maps and Funcs included),
+// Prometheus text format with ?format=prometheus.
+func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "expvar", "json":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		io.WriteString(w, s.vars.String())
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.writePrometheus(w)
+	default:
+		writeError(w, badRequest("unknown metrics format %q (want expvar or prometheus)", f))
+	}
 }

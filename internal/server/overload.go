@@ -38,7 +38,14 @@ func (e *OverloadError) Error() string {
 func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // retryAfterSeconds rounds a wait estimate up to the whole seconds the
-// Retry-After header speaks, with a floor of 1.
+// Retry-After header speaks, with a floor of 1. It is a presentation
+// concern of the HTTP header writer ONLY: OverloadError.RetryAfter
+// carries the precise projected wait, and the JSON envelope's
+// retry_after_ms keeps its millisecond precision end-to-end. Rounding at
+// error-construction time was the Retry-After granularity bug — a 5ms
+// projected wait became a 1s backoff hint, 200x the wait admission
+// control actually projected, exactly the tail latency the overload
+// layer exists to protect.
 func retryAfterSeconds(d time.Duration) int {
 	s := int(math.Ceil(d.Seconds()))
 	if s < 1 {
@@ -89,7 +96,7 @@ func (t *Tenant) shedQueueFull() error {
 	t.met.shedsQueueFull.Add(1)
 	wait := t.projectedWait(cap(t.ops))
 	return &OverloadError{
-		RetryAfter: time.Duration(retryAfterSeconds(wait)) * time.Second,
+		RetryAfter: wait,
 		Reason:     fmt.Sprintf("tenant %s inbox full (%d ops)", t.name, cap(t.ops)),
 	}
 }
@@ -100,7 +107,7 @@ func (t *Tenant) shedQueueFull() error {
 func (t *Tenant) shedDeadline(reason string, wait time.Duration) error {
 	t.met.shedsDeadline.Add(1)
 	return &OverloadError{
-		RetryAfter: time.Duration(retryAfterSeconds(wait)) * time.Second,
+		RetryAfter: wait,
 		Reason:     reason,
 	}
 }
@@ -149,7 +156,7 @@ func (p *queryPool) acquire(ctx context.Context) error {
 		p.sheds.Add(1)
 		wait := time.Duration(p.queueCap) * p.waitEWMA.get(time.Millisecond)
 		return &OverloadError{
-			RetryAfter: time.Duration(retryAfterSeconds(wait)) * time.Second,
+			RetryAfter: wait,
 			Reason:     fmt.Sprintf("alternative-query pool saturated (%d workers, %d queued)", cap(p.slots), p.queueCap),
 		}
 	}

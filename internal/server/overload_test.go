@@ -60,7 +60,7 @@ func gatedTenantConfig(buf, coalesce int) (TenantConfig, chan struct{}, *sync.Wa
 // resumes.
 func TestAdmissionQueueFullSheds(t *testing.T) {
 	cfg, gate, entered := gatedTenantConfig(1, 1)
-	tn, err := newTenant("x", cfg, durability{}, nil)
+	tn, err := newTenant("x", cfg, durability{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestAdmissionQueueFullSheds(t *testing.T) {
 		t.Fatalf("submit into full inbox: %v, want ErrOverloaded", err)
 	}
 	var oe *OverloadError
-	if !errors.As(err, &oe) || oe.RetryAfter < time.Second {
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
 		t.Fatalf("shed error %v lacks a usable RetryAfter", err)
 	}
 	if got := tn.met.shedsQueueFull.Value(); got != 1 {
@@ -103,7 +103,7 @@ func TestAdmissionQueueFullSheds(t *testing.T) {
 // reaching the loop.
 func TestAdmissionDeadlineProjection(t *testing.T) {
 	cfg := fixedTenant(4, 1)
-	tn, err := newTenant("x", cfg, durability{}, nil)
+	tn, err := newTenant("x", cfg, durability{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestAdmissionDeadlineProjection(t *testing.T) {
 // mutates state, never reaches the WAL.
 func TestLoopShedsExpiredBeforeApply(t *testing.T) {
 	cfg, gate, entered := gatedTenantConfig(4, 1)
-	tn, err := newTenant("x", cfg, durability{}, nil)
+	tn, err := newTenant("x", cfg, durability{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,6 +244,73 @@ func TestShutdownUnderLoadAcksOrShedsEverything(t *testing.T) {
 	}
 	if snap.Epoch != uint64(len(acked)) {
 		t.Fatalf("recovered epoch %d != %d acked mutations", snap.Epoch, len(acked))
+	}
+}
+
+// TestRetryAfterMillisecondPrecision is the regression test for the
+// Retry-After granularity bug: shed errors used to round the projected
+// wait up to whole seconds at construction time, so the envelope's
+// retry_after_ms was always a multiple of 1000 even when the projected
+// wait was 10ms — clients backed off up to 200x longer than the server
+// actually estimated. The precise duration must now survive into
+// retry_after_ms, with only the Retry-After *header* rounded up to the
+// whole seconds HTTP speaks.
+func TestRetryAfterMillisecondPrecision(t *testing.T) {
+	cfg, gate, entered := gatedTenantConfig(1, 1)
+	var once sync.Once
+	openGate := func() { once.Do(func() { close(gate) }) }
+	s, hs := newTestServer(t, Config{Tenants: map[string]TenantConfig{"x": cfg}})
+	t.Cleanup(openGate) // registered after newTestServer's: runs first, unfreezes the loop for Close
+
+	tn, _ := s.Tenant("x")
+	done := make(chan struct{}, 2)
+	go func() { tn.Submit(context.Background(), submitReqN("a", 0.52)); done <- struct{}{} }()
+	entered.Wait() // loop frozen applying "a"
+	go func() { tn.Submit(context.Background(), submitReqN("b", 0.52)); done <- struct{}{} }()
+	for len(tn.ops) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Pin the batch-latency EWMA: with cap(ops)=1 and coalesce=1 the
+	// projected drain wait on a queue-full shed is (1/1+1) * 5ms = 10ms.
+	tn.batchLatency.nanos.Store(int64(5 * time.Millisecond))
+
+	resp := postSubmit(t, hs.Client(), hs.URL, "x", SubmitRequest{ID: "c", Quality: 0.52, Cost: 0.9, Latency: 0.9, K: 1})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed submit = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After header = %q, want \"1\" (sub-second wait rounds up to the header's whole-second floor)", got)
+	}
+	// Re-issue to read the envelope (postSubmit discards the body).
+	data, _ := json.Marshal(SubmitRequest{ID: "c", Quality: 0.52, Cost: 0.9, Latency: 0.9, K: 1})
+	resp2, err := hs.Client().Post(hs.URL+"/v1/tenants/x/requests", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var envelope ErrorResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != CodeOverloaded {
+		t.Fatalf("envelope code = %q, want %q", envelope.Error.Code, CodeOverloaded)
+	}
+	if ms := envelope.Error.RetryAfterMs; ms != 10 {
+		t.Fatalf("retry_after_ms = %d, want the precise 10ms projected wait (whole-second rounding destroyed the hint)", ms)
+	}
+
+	openGate()
+	<-done
+	<-done
+}
+
+// TestRetryAfterEnvelopeFloor: a projected wait under a millisecond still
+// yields a present, parseable retry_after_ms (floor 1), so every shed's
+// hint stays machine-readable.
+func TestRetryAfterEnvelopeFloor(t *testing.T) {
+	_, d := errorDetail(&OverloadError{RetryAfter: 100 * time.Microsecond, Reason: "test"})
+	if d.RetryAfterMs != 1 {
+		t.Fatalf("retry_after_ms = %d for a 100µs wait, want floor 1", d.RetryAfterMs)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -75,6 +76,14 @@ type Config struct {
 	// means no default: such mutations only shed on a full inbox, never
 	// on projected wait.
 	MutationDeadline time.Duration
+
+	// Logger receives the server's structured events (admit, shed, apply,
+	// append, commit, publish, reply, checkpoint, recovery, admin), each
+	// stamped with the op's trace ID. Nil disables logging (a discard
+	// handler; hot paths then skip attribute construction entirely).
+	// Terminal per-op events (reply, shed) are Info/Warn; per-stage
+	// progress events are Debug.
+	Logger *slog.Logger
 }
 
 // ErrUnknownTenant reports a request for a tenant the server does not
@@ -89,19 +98,34 @@ var ErrNoDurability = errors.New("server: durability disabled (no data dir)")
 // with New, expose Handler over any net/http server, and Close it to stop
 // the tenant event loops (after the HTTP layer has drained).
 type Server struct {
+	// mu guards tenants and names: the registry is mutable at runtime
+	// via CreateTenant / DrainTenant. Request paths take the read lock
+	// once per request (Tenant lookup); admin operations take the write
+	// lock.
+	mu      sync.RWMutex
 	tenants map[string]*Tenant
 	names   []string // sorted, for deterministic listings
+
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the trace middleware
 	vars    *expvar.Map
-	now     func() time.Time
-	start   time.Time
-	dataDir string
-	pool    *queryPool
+	// tenantVars is the "tenants" submap of the expvar tree; runtime
+	// tenant admin adds and removes entries (expvar.Map is
+	// concurrency-safe).
+	tenantVars *expvar.Map
+	now        func() time.Time
+	start      time.Time
+	dataDir    string
+	// dur carries the WAL settings runtime-created tenants inherit.
+	dur  durability
+	pool *queryPool
 	// gc is the cross-tenant commit scheduler (nil unless
 	// Config.WALGroupCommitWindow is set and durability is on).
 	gc *groupCommitter
 	// mutDeadline is Config.MutationDeadline (0 = none).
 	mutDeadline time.Duration
+	// log is the structured logger (never nil; discard by default).
+	log *slog.Logger
 
 	closeOnce sync.Once
 }
@@ -115,6 +139,10 @@ func New(cfg Config) (*Server, error) {
 	if now == nil {
 		now = time.Now
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = discardLogger()
+	}
 	s := &Server{
 		tenants:     make(map[string]*Tenant, len(cfg.Tenants)),
 		now:         now,
@@ -122,11 +150,12 @@ func New(cfg Config) (*Server, error) {
 		dataDir:     cfg.DataDir,
 		pool:        newQueryPool(cfg.ADPaRWorkers, cfg.ADPaRQueue),
 		mutDeadline: cfg.MutationDeadline,
+		log:         logger,
 	}
 	if cfg.DataDir != "" && cfg.WALGroupCommitWindow > 0 {
 		s.gc = newGroupCommitter(cfg.WALGroupCommitWindow)
 	}
-	dur := durability{
+	s.dur = durability{
 		dataDir:         cfg.DataDir,
 		syncEvery:       cfg.WALSyncEvery,
 		checkpointEvery: cfg.CheckpointEvery,
@@ -143,7 +172,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		t, err := newTenant(name, cfg.Tenants[name], dur, s.pool)
+		t, err := newTenant(name, cfg.Tenants[name], s.dur, s.pool, s.log)
 		if err != nil {
 			s.Close()
 			return nil, err
@@ -151,8 +180,9 @@ func New(cfg Config) (*Server, error) {
 		s.tenants[name] = t
 		s.names = append(s.names, name)
 	}
-	s.vars = newMetricsRoot(s)
+	s.vars, s.tenantVars = newMetricsRoot(s)
 	s.mux = s.routes()
+	s.handler = traceMiddleware(s.mux)
 	return s, nil
 }
 
@@ -165,15 +195,19 @@ func validateTenantDirName(name string) error {
 	return nil
 }
 
-// Handler returns the server's HTTP handler. See api.go for the routes.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the routed mux wrapped in
+// the trace middleware, so every response — sheds included — carries an
+// X-Trace-Id. See api.go for the routes.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // DataDir returns the durability root ("" when durability is disabled).
 func (s *Server) DataDir() string { return s.dataDir }
 
 // Tenant returns a hosted tenant by name.
 func (s *Server) Tenant(name string) (*Tenant, error) {
+	s.mu.RLock()
 	t, ok := s.tenants[name]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, ErrUnknownTenant
 	}
@@ -182,9 +216,97 @@ func (s *Server) Tenant(name string) (*Tenant, error) {
 
 // TenantNames lists hosted tenants in sorted order.
 func (s *Server) TenantNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, len(s.names))
 	copy(out, s.names)
 	return out
+}
+
+// ErrDuplicateTenant reports a CreateTenant against a name already
+// hosted.
+var ErrDuplicateTenant = errors.New("server: tenant already exists")
+
+// CreateTenant adds a tenant at runtime: its event loop starts, its WAL
+// opens under the server's data directory (recovering any state a
+// previously drained or crashed tenant of the same name left behind),
+// and its routes and metrics go live immediately — {tenant} path values
+// resolve against the registry per request, so no mux change is needed.
+func (s *Server) CreateTenant(name string, cfg TenantConfig) error {
+	if s.dataDir != "" {
+		if err := validateTenantDirName(name); err != nil {
+			return err
+		}
+	}
+	s.mu.RLock()
+	_, exists := s.tenants[name]
+	s.mu.RUnlock()
+	if exists {
+		return fmt.Errorf("%w: %s", ErrDuplicateTenant, name)
+	}
+	// Build outside the lock — index compilation and WAL recovery can
+	// take a while, and requests to existing tenants must not stall.
+	t, err := newTenant(name, cfg, s.dur, s.pool, s.log)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, exists := s.tenants[name]; exists {
+		s.mu.Unlock()
+		t.close()
+		return fmt.Errorf("%w: %s", ErrDuplicateTenant, name)
+	}
+	s.tenants[name] = t
+	s.names = append(s.names, name)
+	sort.Strings(s.names)
+	s.mu.Unlock()
+	s.tenantVars.Set(name, t.met.vars)
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, evCreate,
+		slog.String("tenant", name),
+		slog.Int("strategies", t.ix.Len()))
+	return nil
+}
+
+// DrainTenant removes a tenant at runtime: new writes are rejected with
+// 503 (ErrTenantClosed — same promise as shutdown: never applied, never
+// logged), a final checkpoint freezes the durable state, the event loop
+// stops, and the tenant detaches from the registry (subsequent requests
+// 404). Reads keep serving the last snapshot until detach. The returned
+// CheckpointInfo describes the final checkpoint; with durability off it
+// is zero and the drain still completes.
+func (s *Server) DrainTenant(name string) (CheckpointInfo, error) {
+	s.mu.RLock()
+	t, ok := s.tenants[name]
+	s.mu.RUnlock()
+	if !ok {
+		return CheckpointInfo{}, ErrUnknownTenant
+	}
+	t.draining.Store(true)
+	// Final checkpoint through the loop (admin ops bypass the draining
+	// gate): the WAL truncates to one snapshot, so the eventual restart
+	// — or a CreateTenant of the same name — recovers instantly.
+	info, err := t.Checkpoint()
+	if err != nil && (errors.Is(err, ErrNoDurability) || errors.Is(err, ErrTenantClosed)) {
+		// No WAL to checkpoint, or the loop is already stopping — the
+		// drain itself still proceeds.
+		err = nil
+	}
+	t.close()
+	s.mu.Lock()
+	delete(s.tenants, name)
+	for i, n := range s.names {
+		if n == name {
+			s.names = append(s.names[:i], s.names[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	s.tenantVars.Delete(name)
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, evDrain,
+		slog.String("tenant", name),
+		slog.Uint64("checkpoint_seq", info.LastSeq),
+		slog.Int("checkpoint_requests", info.Requests))
+	return info, err
 }
 
 // Close stops every tenant event loop and waits for them to exit. Call it
@@ -194,8 +316,14 @@ func (s *Server) TenantNames() []string {
 // idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
-		var wg sync.WaitGroup
+		s.mu.RLock()
+		tenants := make([]*Tenant, 0, len(s.tenants))
 		for _, t := range s.tenants {
+			tenants = append(tenants, t)
+		}
+		s.mu.RUnlock()
+		var wg sync.WaitGroup
+		for _, t := range tenants {
 			wg.Add(1)
 			go func(t *Tenant) {
 				defer wg.Done()
@@ -217,7 +345,7 @@ func (s *Server) Close() {
 // shuts down gracefully: in-flight HTTP requests get drainTimeout to
 // finish before the tenant loops stop.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
-	hs := &http.Server{Addr: addr, Handler: s.mux}
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -122,7 +124,11 @@ type Tenant struct {
 	wal *wal.Log
 	// readOnly is the WAL circuit breaker: written only by the loop
 	// goroutine, read by the loop, admission control and /healthz.
-	readOnly  atomic.Bool
+	readOnly atomic.Bool
+	// draining marks a tenant being removed at runtime: live mutations
+	// are rejected with ErrTenantClosed (503) while the final checkpoint
+	// and loop shutdown proceed. Reads keep serving until detach.
+	draining  atomic.Bool
 	ckptEvery int
 	sinceCkpt int
 	// gc is the server's group-commit scheduler; when set, the WAL is in
@@ -144,11 +150,18 @@ type Tenant struct {
 	// pool throttles ADPaR alternative queries; nil means uncapped
 	// (direct tenant embedding without a Server).
 	pool *queryPool
+	// log is the tenant's structured logger ("tenant" attr pre-attached);
+	// never nil — a discard logger when the server runs unlogged, so hot
+	// paths guard with Enabled and pay nothing.
+	log *slog.Logger
 
 	ops  chan op
 	quit chan struct{}
 	done chan struct{}
 	snap atomic.Pointer[stream.Snapshot]
+	// closeOnce makes close idempotent: a drained tenant may also be
+	// swept by Server.Close racing the drain.
+	closeOnce sync.Once
 }
 
 type opKind int
@@ -211,6 +224,12 @@ type op struct {
 	// acknowledgement always refers to a logged mutation.
 	ctx   context.Context
 	reply chan opResult
+	// trace is the op's correlation ID (live mutations only), stamped on
+	// every structured log event the op produces end-to-end.
+	trace string
+	// enq is when the op entered admission; reply-event latency measures
+	// from here.
+	enq time.Time
 }
 
 type opResult struct {
@@ -236,7 +255,10 @@ type opResult struct {
 // through the event loop itself before newTenant returns, so by the time
 // the server exposes its handler the tenant's published snapshot is the
 // recovered state.
-func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool) (*Tenant, error) {
+func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool, logger *slog.Logger) (*Tenant, error) {
+	if logger == nil {
+		logger = discardLogger()
+	}
 	mgr, err := stream.NewManager(cfg.Set, cfg.Models, cfg.Mode, cfg.Objective, cfg.InitialW)
 	if err != nil {
 		return nil, fmt.Errorf("server: tenant %s: %w", name, err)
@@ -264,6 +286,7 @@ func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool) (
 		onApply:  cfg.OnApply,
 		faults:   cfg.Faults,
 		pool:     pool,
+		log:      logger.With(slog.String("tenant", name)),
 		coalesce: coalesce,
 		batch:    make([]op, 0, coalesce),
 		results:  make([]opResult, 0, coalesce),
@@ -299,6 +322,15 @@ func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool) (
 			return nil, fmt.Errorf("server: tenant %s: recovery: %w", name, err)
 		}
 		t.met.noteRecovery(recovered, time.Since(start))
+		ckptRequests := 0
+		if recovered.Checkpoint != nil {
+			ckptRequests = len(recovered.Checkpoint.Requests)
+		}
+		t.log.LogAttrs(context.Background(), slog.LevelInfo, evRecovery,
+			slog.Int("checkpoint_requests", ckptRequests),
+			slog.Int("tail_records", len(recovered.Tail)),
+			slog.Int("torn_bytes", recovered.TornBytes),
+			slog.Int64("latency_us", time.Since(start).Microseconds()))
 	}
 	return t, nil
 }
@@ -485,6 +517,10 @@ func (t *Tenant) applyBatch(ops []op) {
 	walFailed := false
 	anyApplied := false
 	appended := false
+	// Progress events are debug-level and guarded once per batch, so an
+	// unlogged server pays one atomic load here, not per-op attribute
+	// construction.
+	dbg := t.log.Enabled(context.Background(), slog.LevelDebug)
 	t.mgr.Begin()
 	for _, o := range ops {
 		var res opResult
@@ -520,6 +556,18 @@ func (t *Tenant) applyBatch(ops []op) {
 			res.err = t.mgr.SetAvailability(o.w)
 		}
 		res.epoch = t.mgr.Epoch()
+		if dbg && !o.replay {
+			attrs := []slog.Attr{
+				slog.String("trace", o.trace),
+				slog.String("kind", o.kind.String()),
+				slog.String("id", appliedID(o)),
+				slog.Uint64("epoch", res.epoch),
+			}
+			if res.err != nil {
+				attrs = append(attrs, slog.String("error", res.err.Error()))
+			}
+			t.log.LogAttrs(context.Background(), slog.LevelDebug, evApply, attrs...)
+		}
 		if res.err == nil {
 			if o.kind == opSubmit {
 				if req, ok := t.mgr.Requirement(o.req.ID); ok {
@@ -541,6 +589,13 @@ func (t *Tenant) applyBatch(ops []op) {
 				} else {
 					res.seq = seq
 					appended = true
+					if dbg {
+						t.log.LogAttrs(context.Background(), slog.LevelDebug, evAppend,
+							slog.String("trace", o.trace),
+							slog.String("kind", o.kind.String()),
+							slog.String("id", appliedID(o)),
+							slog.Uint64("seq", seq))
+					}
 				}
 			}
 			if res.err == nil {
@@ -572,6 +627,10 @@ func (t *Tenant) applyBatch(ops []op) {
 			t.met.walErrors.Add(1)
 			t.readOnly.Store(true)
 			walFailed = true
+		} else if dbg {
+			t.log.LogAttrs(context.Background(), slog.LevelDebug, evCommit,
+				slog.Int("batch_ops", len(ops)),
+				slog.Uint64("durable_seq", t.wal.DurableSeq()))
 		}
 	}
 	if walFailed {
@@ -596,6 +655,11 @@ func (t *Tenant) applyBatch(ops []op) {
 	}
 	if anyApplied && !walFailed {
 		t.snap.Store(t.mgr.Snapshot())
+		if dbg && !ops[0].replay {
+			t.log.LogAttrs(context.Background(), slog.LevelDebug, evPublish,
+				slog.Uint64("epoch", t.mgr.Epoch()),
+				slog.Int("batch_ops", len(ops)))
+		}
 	}
 	if !ops[0].replay {
 		t.met.batches.Add(1)
@@ -726,6 +790,10 @@ func (t *Tenant) checkpointNow() (CheckpointInfo, error) {
 	}
 	t.sinceCkpt = 0
 	t.met.checkpoints.Add(1)
+	t.log.LogAttrs(context.Background(), slog.LevelInfo, evCheckpoint,
+		slog.Uint64("last_seq", t.wal.LastSeq()),
+		slog.Int("requests", len(cp.Requests)),
+		slog.Int("removed_segments", removed))
 	return CheckpointInfo{
 		LastSeq:         t.wal.LastSeq(),
 		Requests:        len(cp.Requests),
@@ -750,31 +818,15 @@ func (t *Tenant) checkpointNow() (CheckpointInfo, error) {
 // leak) even when the waiter has resolved through the closed done channel.
 func (t *Tenant) do(ctx context.Context, o op) opResult {
 	o.reply = make(chan opResult, 1)
-	if o.kind.mutates() && !o.replay {
+	live := o.kind.mutates() && !o.replay
+	if live {
 		o.ctx = ctx
-		if t.readOnly.Load() {
-			return opResult{err: ErrWALBroken}
-		}
-		if dl, ok := ctx.Deadline(); ok {
-			wait := t.projectedWait(len(t.ops))
-			if time.Now().Add(wait).After(dl) {
-				return opResult{err: t.shedDeadline(
-					fmt.Sprintf("projected queue wait %v exceeds request deadline", wait), wait)}
-			}
-		}
-		select {
-		case t.ops <- o:
-		case <-t.quit:
-			return opResult{err: ErrTenantClosed}
-		default:
-			select {
-			// The inbox is full, but distinguish shutdown from overload:
-			// a closing tenant is 503, not 429.
-			case <-t.quit:
-				return opResult{err: ErrTenantClosed}
-			default:
-				return opResult{err: t.shedQueueFull()}
-			}
+		o.trace = traceFrom(ctx)
+		o.enq = time.Now()
+		res, ok := t.admit(&o)
+		if !ok {
+			t.logTerminal(o, res)
+			return res
 		}
 	} else {
 		select {
@@ -783,6 +835,58 @@ func (t *Tenant) do(ctx context.Context, o op) opResult {
 			return opResult{err: ErrTenantClosed}
 		}
 	}
+	res := t.await(&o)
+	if live {
+		t.logTerminal(o, res)
+	}
+	return res
+}
+
+// admit runs admission control for one live mutation and enqueues it.
+// ok=false means the op was rejected without being enqueued (the result
+// carries the shed/rejection error).
+func (t *Tenant) admit(o *op) (opResult, bool) {
+	if t.readOnly.Load() {
+		return opResult{err: ErrWALBroken}, false
+	}
+	if t.draining.Load() {
+		// The tenant is being removed at runtime: same contract as
+		// shutdown — the mutation was never enqueued, never applied.
+		return opResult{err: ErrTenantClosed}, false
+	}
+	if dl, ok := o.ctx.Deadline(); ok {
+		wait := t.projectedWait(len(t.ops))
+		if time.Now().Add(wait).After(dl) {
+			return opResult{err: t.shedDeadline(
+				fmt.Sprintf("projected queue wait %v exceeds request deadline", wait), wait)}, false
+		}
+	}
+	select {
+	case t.ops <- *o:
+	case <-t.quit:
+		return opResult{err: ErrTenantClosed}, false
+	default:
+		select {
+		// The inbox is full, but distinguish shutdown from overload:
+		// a closing tenant is 503, not 429.
+		case <-t.quit:
+			return opResult{err: ErrTenantClosed}, false
+		default:
+			return opResult{err: t.shedQueueFull()}, false
+		}
+	}
+	if t.log.Enabled(context.Background(), slog.LevelDebug) {
+		t.log.LogAttrs(context.Background(), slog.LevelDebug, evAdmit,
+			slog.String("trace", o.trace),
+			slog.String("kind", o.kind.String()),
+			slog.String("id", appliedID(*o)),
+			slog.Int("queue_depth", len(t.ops)))
+	}
+	return opResult{}, true
+}
+
+// await collects the loop's definitive reply for an enqueued op.
+func (t *Tenant) await(o *op) opResult {
 	select {
 	case res := <-o.reply:
 		return res
@@ -795,6 +899,38 @@ func (t *Tenant) do(ctx context.Context, o op) opResult {
 			return opResult{err: ErrTenantClosed}
 		}
 	}
+}
+
+// logTerminal emits a live mutation's single terminal event: "shed" when
+// the op was rejected without a surviving, durable apply (overload,
+// deadline, tenant closed or draining, WAL broken), "reply" otherwise —
+// the loop's definitive answer, acks and domain errors alike. Exactly
+// one terminal event per live mutation is a contract the conformance
+// oracle checks: it correlates every ack and shed to one log line by
+// trace ID.
+func (t *Tenant) logTerminal(o op, res opResult) {
+	ev, lvl := evReply, slog.LevelInfo
+	if err := res.err; err != nil &&
+		(errors.Is(err, ErrOverloaded) || errors.Is(err, ErrTenantClosed) || errors.Is(err, ErrWALBroken)) {
+		ev, lvl = evShed, slog.LevelWarn
+	}
+	if !t.log.Enabled(context.Background(), lvl) {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("trace", o.trace),
+		slog.String("kind", o.kind.String()),
+		slog.String("id", appliedID(o)),
+		slog.Uint64("epoch", res.epoch),
+		slog.Int64("latency_us", time.Since(o.enq).Microseconds()),
+	}
+	if res.seq > 0 {
+		attrs = append(attrs, slog.Uint64("seq", res.seq))
+	}
+	if res.err != nil {
+		attrs = append(attrs, slog.String("error", res.err.Error()))
+	}
+	t.log.LogAttrs(context.Background(), lvl, ev, attrs...)
 }
 
 // Name returns the tenant's name.
@@ -867,28 +1003,46 @@ func (t *Tenant) applyOps(ctx context.Context, ops []op) ([]opResult, error) {
 	}
 	if t.readOnly.Load() {
 		t.met.errors.Add(1)
-		return nil, ErrWALBroken
+		return nil, t.logBatchShed(ctx, len(ops), ErrWALBroken)
+	}
+	if t.draining.Load() {
+		return nil, t.logBatchShed(ctx, len(ops), ErrTenantClosed)
 	}
 	if ctx != nil {
 		if ctx.Err() != nil {
-			return nil, t.shedDeadline("batch deadline expired before enqueue", t.projectedWait(len(t.ops)))
+			return nil, t.logBatchShed(ctx, len(ops),
+				t.shedDeadline("batch deadline expired before enqueue", t.projectedWait(len(t.ops))))
 		}
 		if dl, ok := ctx.Deadline(); ok {
 			wait := t.projectedWait(len(t.ops))
 			if time.Now().Add(wait).After(dl) {
-				return nil, t.shedDeadline(
-					fmt.Sprintf("projected queue wait %v exceeds batch deadline", wait), wait)
+				return nil, t.logBatchShed(ctx, len(ops), t.shedDeadline(
+					fmt.Sprintf("projected queue wait %v exceeds batch deadline", wait), wait))
 			}
 		}
 	}
+	trace := traceFrom(ctx)
+	enq := time.Now()
+	dbg := t.log.Enabled(context.Background(), slog.LevelDebug)
 	results := make([]opResult, len(ops))
 	pending := make([]int, 0, len(ops))
 	for i := range ops {
 		ops[i].ctx = ctx
+		// Every op of the batch shares the request's trace ID; the per-op
+		// "id" attr disambiguates within the batch.
+		ops[i].trace = trace
+		ops[i].enq = enq
 		ops[i].reply = make(chan opResult, 1)
 		select {
 		case t.ops <- ops[i]:
 			pending = append(pending, i)
+			if dbg {
+				t.log.LogAttrs(context.Background(), slog.LevelDebug, evAdmit,
+					slog.String("trace", trace),
+					slog.String("kind", ops[i].kind.String()),
+					slog.String("id", appliedID(ops[i])),
+					slog.Int("queue_depth", len(t.ops)))
+			}
 		case <-t.quit:
 			results[i] = opResult{err: ErrTenantClosed}
 		default:
@@ -916,8 +1070,10 @@ func (t *Tenant) applyOps(ctx context.Context, ops []op) ([]opResult, error) {
 		}
 	}
 	// Per-op accounting feeds the same counters as the single-op paths,
-	// so dashboards see one traffic stream regardless of wire shape.
+	// so dashboards see one traffic stream regardless of wire shape —
+	// and each op gets its terminal log event, same as a single op.
 	for i := range ops {
+		t.logTerminal(ops[i], results[i])
 		if err := results[i].err; err != nil {
 			t.noteMutationErr(err)
 			continue
@@ -934,6 +1090,26 @@ func (t *Tenant) applyOps(ctx context.Context, ops []op) ([]opResult, error) {
 	t.met.ingestBatches.Add(1)
 	t.met.ingestBatchOps.Add(int64(len(ops)))
 	return results, nil
+}
+
+// logBatchShed emits the single terminal "shed" event for a batched
+// ingest rejected as a unit (read-only, draining, deadline) — nothing
+// was enqueued, so there are no per-op events to carry the trace. It
+// returns err unchanged so rejection sites stay one-line.
+func (t *Tenant) logBatchShed(ctx context.Context, n int, err error) error {
+	if !t.log.Enabled(context.Background(), slog.LevelWarn) {
+		return err
+	}
+	var trace string
+	if ctx != nil {
+		trace = traceFrom(ctx)
+	}
+	t.log.LogAttrs(context.Background(), slog.LevelWarn, evShed,
+		slog.String("trace", trace),
+		slog.String("kind", "batch"),
+		slog.Int("batch_ops", n),
+		slog.String("error", err.Error()))
+	return err
 }
 
 // noteMutationErr counts a failed mutation, keeping sheds out of the
@@ -1016,11 +1192,14 @@ func (t *Tenant) Alternative(ctx context.Context, id string) (adpar.Solution, st
 
 // close stops the event loop, then flushes and closes the WAL. Pending
 // ops that the loop never accepted (and callers racing the shutdown) get
-// ErrTenantClosed.
+// ErrTenantClosed. Idempotent: a runtime drain and Server.Close may
+// race.
 func (t *Tenant) close() {
-	close(t.quit)
-	<-t.done
-	if t.wal != nil {
-		t.wal.Close()
-	}
+	t.closeOnce.Do(func() {
+		close(t.quit)
+		<-t.done
+		if t.wal != nil {
+			t.wal.Close()
+		}
+	})
 }

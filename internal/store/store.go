@@ -96,6 +96,23 @@ func (c Catalog) Materialize(defaults func(Entry) linmodel.ParamModels) (strateg
 	return set, models, nil
 }
 
+// AnchoredModels is the Section 3.1 default for catalog entries without
+// fitted models: linear responses anchored at the entry's advertised
+// parameters for the ambient workforce W. Quality improves with
+// availability (slope 0.4·q); cost and latency fall with fixed slopes
+// (-0.1, -0.3); the intercepts are chosen so each model passes through
+// the advertised value at W. Both cmd/stratrec and the server's runtime
+// tenant-admin endpoint materialize catalogs with this rule, so a
+// catalog created over the API plans identically to one loaded at boot.
+func AnchoredModels(p strategy.Params, W float64) linmodel.ParamModels {
+	qAlpha := p.Quality * 0.4
+	return linmodel.ParamModels{
+		Quality: linmodel.Model{Alpha: qAlpha, Beta: p.Quality - qAlpha*W},
+		Cost:    linmodel.Model{Alpha: -0.1, Beta: p.Cost + 0.1*W},
+		Latency: linmodel.Model{Alpha: -0.3, Beta: p.Latency + 0.3*W},
+	}
+}
+
 // FromRuntime builds a catalog from runtime types, the inverse of
 // Materialize.
 func FromRuntime(set strategy.Set, models workforce.PerStrategyModels, W float64) (Catalog, error) {
