@@ -1,0 +1,105 @@
+// Command stratrec-lint is the multichecker for stratrec's
+// domain-specific analyzers (internal/lint): loopsafety, ackorder,
+// clockdiscipline, floatdet, errvocab, metricname.
+//
+// Two drive modes:
+//
+//	stratrec-lint [packages]         standalone; defaults to ./...
+//	go vet -vettool=stratrec-lint    as a vet tool (unitchecker protocol)
+//
+// Standalone mode loads packages through the go command and prints
+// diagnostics as file:line:col: analyzer: message. In vettool mode go
+// vet invokes the binary once per package with a JSON config file;
+// diagnostics go to stderr in vet's format. Exit status is 0 when
+// clean, 2 on findings — matching go vet.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"stratrec/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The unitchecker handshake: go vet probes the tool's version and
+	// flags before using it.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "-V":
+			// Any stable line naming the tool is accepted as a version.
+			fmt.Println("stratrec-lint version 1 (analyzers: " + analyzerNames() + ")")
+			return 0
+		case args[0] == "-flags":
+			// No tool-specific flags are exposed to vet.
+			fmt.Println("[]")
+			return 0
+		case args[0] == "help":
+			printHelp()
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			exit, err := lint.RunUnit(args[0], lint.All())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stratrec-lint:", err)
+				if exit == 0 {
+					exit = 1
+				}
+			}
+			return exit
+		}
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stratrec-lint:", err)
+		return 1
+	}
+	found := false
+	for _, target := range targets {
+		diags, err := lint.Run(target, lint.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stratrec-lint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Println(d.String())
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range lint.All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+func printHelp() {
+	fmt.Println("stratrec-lint statically enforces stratrec's runtime contracts.")
+	fmt.Println()
+	fmt.Println("Usage:")
+	fmt.Println("  stratrec-lint [packages]              lint packages (default ./...)")
+	fmt.Println("  go vet -vettool=$(which stratrec-lint) ./...")
+	fmt.Println()
+	for _, a := range lint.All() {
+		fmt.Println(a.Doc)
+		fmt.Println()
+	}
+	fmt.Println("Suppress a finding with a justified directive on or above the line:")
+	fmt.Println("  //lint:allow <name>[,<name>] -- <reason>")
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the vettool once per test binary run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "stratrec-lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building stratrec-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolSmoke runs the real `go vet -vettool=` pipeline — version
+// handshake, per-package cfg files, exit status — against the known-bad
+// testdata module and asserts the exact diagnostics, file:line included.
+func TestVettoolSmoke(t *testing.T) {
+	bin := buildTool(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	runErr := cmd.Run()
+	if runErr == nil {
+		t.Fatalf("go vet on badmod succeeded; want findings\n%s", out.String())
+	}
+
+	// Normalize: strip the "# badmod/server" header and the dir prefix so
+	// assertions pin file:line:col + message, not the checkout path.
+	var got []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "exit status") {
+			continue
+		}
+		line = strings.TrimPrefix(line, dir+string(os.PathSeparator))
+		got = append(got, line)
+	}
+
+	want := []string{
+		"server" + string(os.PathSeparator) + "bad.go:16:9: time.Now reads the wall clock: use the injected clock (Config.Now / tenant now) so behavior is reproducible under a fake clock, or annotate `//lint:allow clockdiscipline -- reason`",
+		"server" + string(os.PathSeparator) + "bad.go:20:13: error compared with ==: wrapped sentinels (fmt.Errorf %w, custom Unwrap) make identity comparison silently false — use errors.Is",
+		"server" + string(os.PathSeparator) + "bad.go:25:8: expvar key \"Bad-Name\" does not match ^[a-z][a-z0-9_]*$: the Prometheus rendering of the metrics tree (stratrec_* families) cannot carry it",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics:\ngot  %q\nwant %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\ngot  %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestVettoolHandshake covers the unitchecker probe calls go vet makes
+// before trusting the tool.
+func TestVettoolHandshake(t *testing.T) {
+	bin := buildTool(t)
+	for _, probe := range []struct{ arg, wantPrefix string }{
+		{"-V=full", "stratrec-lint version"},
+		{"-flags", "[]"},
+	} {
+		out, err := exec.Command(bin, probe.arg).Output()
+		if err != nil {
+			t.Fatalf("%s %s: %v", bin, probe.arg, err)
+		}
+		if !strings.HasPrefix(string(out), probe.wantPrefix) {
+			t.Errorf("%s => %q, want prefix %q", probe.arg, out, probe.wantPrefix)
+		}
+	}
+}
+
+// capture runs fn with stdout and stderr redirected and returns both.
+func capture(t *testing.T, fn func()) (stdout, stderr string) {
+	t.Helper()
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errR, errW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	savedOut, savedErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = outW, errW
+	defer func() { os.Stdout, os.Stderr = savedOut, savedErr }()
+	outC := make(chan string)
+	errC := make(chan string)
+	go func() { var b bytes.Buffer; b.ReadFrom(outR); outC <- b.String() }()
+	go func() { var b bytes.Buffer; b.ReadFrom(errR); errC <- b.String() }()
+	fn()
+	outW.Close()
+	errW.Close()
+	return <-outC, <-errC
+}
+
+// TestRunHandshakeInProcess drives run() directly through the probe and
+// help arguments.
+func TestRunHandshakeInProcess(t *testing.T) {
+	for _, tc := range []struct {
+		args       []string
+		wantPrefix string
+	}{
+		{[]string{"-V=full"}, "stratrec-lint version"},
+		{[]string{"-V"}, "stratrec-lint version"},
+		{[]string{"-flags"}, "[]"},
+		{[]string{"help"}, "stratrec-lint statically enforces"},
+	} {
+		var exit int
+		stdout, _ := capture(t, func() { exit = run(tc.args) })
+		if exit != 0 {
+			t.Errorf("run(%v) = %d, want 0", tc.args, exit)
+		}
+		if !strings.HasPrefix(stdout, tc.wantPrefix) {
+			t.Errorf("run(%v) stdout %q, want prefix %q", tc.args, stdout, tc.wantPrefix)
+		}
+	}
+	if !strings.Contains(analyzerNames(), "ackorder") {
+		t.Errorf("analyzerNames() = %q, missing ackorder", analyzerNames())
+	}
+}
+
+// TestRunStandaloneInProcess drives run() in standalone mode over the
+// bad module: default ./... patterns, findings on stdout, exit 2.
+func TestRunStandaloneInProcess(t *testing.T) {
+	t.Chdir(filepath.Join("testdata", "badmod"))
+	var exit int
+	stdout, _ := capture(t, func() { exit = run(nil) })
+	if exit != 2 {
+		t.Fatalf("run() in badmod = %d, want 2\n%s", exit, stdout)
+	}
+	for _, want := range []string{
+		"bad.go:16:9: clockdiscipline:",
+		"bad.go:20:13: errvocab:",
+		"bad.go:25:8: metricname:",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestRunErrorsInProcess: a cfg file that cannot be read and a pattern
+// that matches nothing both exit nonzero with a message on stderr.
+func TestRunErrorsInProcess(t *testing.T) {
+	t.Chdir(filepath.Join("testdata", "badmod"))
+	var exit int
+	_, stderr := capture(t, func() {
+		exit = run([]string{filepath.Join(t.TempDir(), "absent.cfg")})
+	})
+	if exit == 0 || !strings.Contains(stderr, "stratrec-lint:") {
+		t.Errorf("missing cfg: exit %d, stderr %q", exit, stderr)
+	}
+	_, stderr = capture(t, func() { exit = run([]string{"./no-such-dir"}) })
+	if exit == 0 || !strings.Contains(stderr, "stratrec-lint:") {
+		t.Errorf("bad pattern: exit %d, stderr %q", exit, stderr)
+	}
+}
+
+// TestStandaloneCleanTree: the repo's own tree must stay free of
+// unsuppressed diagnostics — the acceptance bar the CI lint job holds.
+func TestStandaloneCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole tree")
+	}
+	bin := buildTool(t)
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("stratrec-lint ./... on the repo tree: %v\n%s", err, out)
+	}
+	if len(bytes.TrimSpace(out)) != 0 {
+		t.Fatalf("unexpected output on clean tree:\n%s", out)
+	}
+}

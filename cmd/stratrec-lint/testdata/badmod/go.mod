@@ -1,0 +1,3 @@
+module badmod
+
+go 1.24

@@ -1,0 +1,26 @@
+// Package server is the vettool smoke-test corpus: three known
+// violations at pinned lines — the smoke test asserts the exact
+// file:line diagnostics go vet relays. Edit with care: line numbers are
+// load-bearing (see cmd/stratrec-lint/main_test.go).
+package server
+
+import (
+	"errors"
+	"expvar"
+	"time"
+)
+
+var ErrClosed = errors.New("closed")
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func closed(err error) bool {
+	return err == ErrClosed
+}
+
+func metrics() {
+	m := new(expvar.Map).Init()
+	m.Set("Bad-Name", new(expvar.Int))
+}

@@ -217,9 +217,9 @@ func RunCrash(tr Trace, cfg CrashConfig) (CrashResult, error) {
 
 	// --- Restart: recovery from checkpoint + tail through the real
 	// tenant event loops ---
-	start := time.Now()
+	start := time.Now() //lint:allow clockdiscipline -- RecoveryDuration reports real restart latency to the operator
 	s2, err := server.New(srvCfg)
-	res.RecoveryDuration = time.Since(start)
+	res.RecoveryDuration = time.Since(start) //lint:allow clockdiscipline -- RecoveryDuration reports real restart latency to the operator
 	if err != nil {
 		keep = true
 		return res, fmt.Errorf("conformance: recovery failed: %w", err)

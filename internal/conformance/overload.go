@@ -344,13 +344,13 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 	// fsync-failure schedule must not survive the operator restart the
 	// read-only breaker asks for.
 	tenantCfg.Faults = nil
-	start := time.Now()
+	start := time.Now() //lint:allow clockdiscipline -- RecoveryDuration reports real restart latency to the operator
 	s2, err := server.New(server.Config{
 		Tenants:      map[string]server.TenantConfig{spec.Name: tenantCfg},
 		DataDir:      dataDir,
 		WALSyncEvery: 1,
 	})
-	res.RecoveryDuration = time.Since(start)
+	res.RecoveryDuration = time.Since(start) //lint:allow clockdiscipline -- RecoveryDuration reports real restart latency to the operator
 	if err != nil {
 		keep = true
 		return res, fmt.Errorf("conformance: recovery after overload: %w", err)
@@ -606,9 +606,9 @@ func doMutation(client *http.Client, method, url string, body []byte, deadlineMs
 		req.Header.Set(server.DeadlineHeader, strconv.Itoa(deadlineMs))
 	}
 	req.Header.Set(server.TraceHeader, trace)
-	start := time.Now()
+	start := time.Now() //lint:allow clockdiscipline -- storm ledgers record real HTTP round-trip latency
 	resp, err := client.Do(req)
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:allow clockdiscipline -- storm ledgers record real HTTP round-trip latency
 	if err != nil {
 		return 0, out, err
 	}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerAckOrder enforces acked ⇒ logged and shed ⇒ no WAL trace in
+// the server package.
+var AnalyzerAckOrder = &Analyzer{
+	Name: "ackorder",
+	Doc: `ackorder: acks follow WAL appends; shed paths never append.
+
+Two syntactic orderings back the durability contract in internal/server:
+
+ 1. Within a function, no WAL append (wal.Log.Append or the tenant's
+    logMutation wrapper) may appear after a result-channel send (a send
+    whose element type is opResult). An acknowledgement must refer to an
+    already-logged mutation, so the append belongs strictly before the
+    ack.
+ 2. In a function that appends to the WAL, a shed construction
+    (shedQueueFull/shedDeadline) must sit on a terminating path — its
+    enclosing block must contain no later append and must end in
+    return, continue, break, or goto. A 429 is a hard promise that the
+    mutation left no trace; the chaos oracle verifies this after the
+    fact, ackorder refuses to compile the violation in.`,
+	Run: runAckOrder,
+}
+
+func runAckOrder(pass *Pass) error {
+	if !pkgOneOf(pass, "server") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkAckOrder(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// isWALAppend reports whether call appends to the write-ahead log:
+// wal.Log.Append directly, or through the tenant's logMutation wrapper.
+func isWALAppend(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return false
+	}
+	if methodOn(fn, "Append", "Log", "wal") {
+		return true
+	}
+	return fn.Name() == "logMutation" && recvName(fn) != ""
+}
+
+// isAckSend reports whether stmt sends an opResult — the loop handing a
+// mutation's definitive answer back to its waiter.
+func isAckSend(info *types.Info, stmt *ast.SendStmt) bool {
+	tv, ok := info.Types[stmt.Chan]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	named, ok := ch.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "opResult"
+}
+
+// isShedCall reports whether call builds a shed rejection.
+func isShedCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return false
+	}
+	return fn.Name() == "shedQueueFull" || fn.Name() == "shedDeadline"
+}
+
+func checkAckOrder(pass *Pass, fd *ast.FuncDecl) {
+	var ackSends, appends []token.Pos
+	var sheds []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if isAckSend(pass.Info, n) {
+				ackSends = append(ackSends, n.Pos())
+			}
+		case *ast.CallExpr:
+			if isWALAppend(pass.Info, n) {
+				appends = append(appends, n.Pos())
+			} else if isShedCall(pass.Info, n) {
+				sheds = append(sheds, n)
+			}
+		}
+		return true
+	})
+
+	// Rule 1: an append after an ack send acknowledges before logging.
+	for _, ap := range appends {
+		for _, send := range ackSends {
+			if ap > send {
+				pass.Reportf(ap,
+					"WAL append after an opResult send in %s: an acknowledgement must follow the op's WAL append (acked => logged)",
+					fd.Name.Name)
+				break
+			}
+		}
+	}
+
+	// Rule 2: in an appending function, every shed must terminate its
+	// block before another append can run.
+	if len(appends) == 0 {
+		return
+	}
+	for _, shed := range sheds {
+		if !shedPathTerminates(pass, fd.Body, shed) {
+			pass.Reportf(shed.Pos(),
+				"shed constructed on a path that can reach a WAL append in %s: a 429 promises the mutation left no trace (shed => not logged)",
+				fd.Name.Name)
+		}
+	}
+}
+
+// shedPathTerminates checks that the statement list innermost around the
+// shed call neither appends to the WAL after the shed nor falls through:
+// after the shed-containing statement the block must be append-free and
+// end in a terminating statement. A shed inside a return statement
+// terminates trivially.
+func shedPathTerminates(pass *Pass, body *ast.BlockStmt, shed *ast.CallExpr) bool {
+	stmts, idx := innermostList(body, shed.Pos())
+	if stmts == nil {
+		return false
+	}
+	if _, ok := stmts[idx].(*ast.ReturnStmt); ok {
+		return true
+	}
+	rest := stmts[idx:]
+	for _, s := range rest[1:] {
+		bad := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isWALAppend(pass.Info, call) {
+				bad = true
+			}
+			return !bad
+		})
+		if bad {
+			return false
+		}
+	}
+	switch last := rest[len(rest)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.CONTINUE || last.Tok == token.BREAK || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		// panic(...) terminates.
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// innermostList finds the deepest statement list containing pos and the
+// index of the statement that contains it.
+func innermostList(body *ast.BlockStmt, pos token.Pos) (stmts []ast.Stmt, idx int) {
+	var walk func(list []ast.Stmt) bool
+	walk = func(list []ast.Stmt) bool {
+		for i, s := range list {
+			if s.Pos() <= pos && pos < s.End() {
+				stmts, idx = list, i
+				// Recurse: a deeper list inside this statement wins.
+				ast.Inspect(s, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.BlockStmt:
+						if n.Pos() <= pos && pos < n.End() {
+							walk(n.List)
+						}
+					case *ast.CaseClause:
+						if n.Pos() <= pos && pos < n.End() {
+							walk(n.Body)
+						}
+					case *ast.CommClause:
+						if n.Pos() <= pos && pos < n.End() {
+							walk(n.Body)
+						}
+					}
+					return true
+				})
+				return true
+			}
+		}
+		return false
+	}
+	walk(body.List)
+	return stmts, idx
+}

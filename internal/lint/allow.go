@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	// line is the source line the directive suppresses: its own line, so
+	// both a trailing comment and a directive on the line above the
+	// offending statement (which suppresses line+1) work.
+	line      int
+	file      string
+	names     []string
+	hasReason bool
+	pos       token.Pos
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllows collects every //lint:allow directive in the file. A
+// directive without a non-empty reason after " -- " is itself reported
+// (on every analyzer's run it would otherwise silently mask) and
+// suppresses nothing: the escape hatch's price is a recorded
+// justification, the same bar the runtime oracles set for disabling a
+// check.
+func parseAllows(fset *token.FileSet, f *ast.File) []allowDirective {
+	var out []allowDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			rest := text[len(allowPrefix):]
+			// Require a separator so //lint:allowother doesn't parse.
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			d := allowDirective{pos: c.Pos()}
+			p := fset.Position(c.Pos())
+			d.line, d.file = p.Line, p.Filename
+			body, reason, found := strings.Cut(rest, " -- ")
+			if found && strings.TrimSpace(reason) != "" {
+				d.hasReason = true
+			}
+			for _, name := range strings.Split(body, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					d.names = append(d.names, name)
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressor answers "is this diagnostic allowed here?" for one package.
+type suppressor struct {
+	// byKey maps file:line:analyzer to a suppression.
+	byKey map[string]bool
+}
+
+func newSuppressor(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) *suppressor {
+	s := &suppressor{byKey: make(map[string]bool)}
+	for _, f := range files {
+		for _, d := range parseAllows(fset, f) {
+			if !d.hasReason {
+				report(Diagnostic{
+					Pos:      fset.Position(d.pos),
+					Analyzer: "allowdirective",
+					Message:  "//lint:allow directive without a justification (want `//lint:allow name -- reason`); it suppresses nothing",
+				})
+				continue
+			}
+			for _, name := range d.names {
+				// The directive covers its own line (trailing comment)
+				// and the next line (comment above the statement).
+				s.byKey[suppressKey(d.file, d.line, name)] = true
+				s.byKey[suppressKey(d.file, d.line+1, name)] = true
+			}
+		}
+	}
+	return s
+}
+
+func suppressKey(file string, line int, analyzer string) string {
+	return file + ":" + itoa(line) + ":" + analyzer
+}
+
+func (s *suppressor) allowed(d Diagnostic) bool {
+	return s.byKey[suppressKey(d.Pos.Filename, d.Pos.Line, d.Analyzer)]
+}
+
+// itoa avoids strconv for this one hot key join.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerErrVocab pins the error-comparison idiom and the stable
+// envelope code vocabulary.
+var AnalyzerErrVocab = &Analyzer{
+	Name: "errvocab",
+	Doc: `errvocab: errors.Is for sentinels, Code* constants for envelopes.
+
+Two rules keep the error surface stable:
+
+ 1. Comparing an error with == or != (except against nil) breaks as
+    soon as anyone wraps the sentinel — and this codebase wraps
+    deliberately (ErrWALBroken with append context, OverloadError
+    unwrapping to ErrOverloaded). Use errors.Is.
+ 2. The HTTP envelope's "code" field is a client-facing contract fixed
+    by the Code* constant set in internal/server/api.go. Writing a raw
+    string literal into ErrorDetail.Code mints a code the vocabulary
+    does not know, which clients cannot switch on and the docs do not
+    list. Use (or extend) the constants.`,
+	Run: runErrVocab,
+}
+
+func runErrVocab(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, n)
+			case *ast.CompositeLit:
+				checkCodeLit(pass, n)
+			case *ast.AssignStmt:
+				checkCodeAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the error interface (or a named type
+// whose underlying is exactly it).
+func isErrorType(t types.Type) bool {
+	it, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return it.NumMethods() == 1 && it.Method(0).Name() == "Error"
+}
+
+func isNilLit(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func checkErrCompare(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	xt, xok := pass.Info.Types[bin.X]
+	yt, yok := pass.Info.Types[bin.Y]
+	if !xok || !yok {
+		return
+	}
+	if !isErrorType(xt.Type) && !isErrorType(yt.Type) {
+		return
+	}
+	if isNilLit(pass.Info, bin.X) || isNilLit(pass.Info, bin.Y) {
+		return
+	}
+	pass.Reportf(bin.OpPos,
+		"error compared with %s: wrapped sentinels (fmt.Errorf %%w, custom Unwrap) make identity comparison silently false — use errors.Is",
+		bin.Op)
+}
+
+// isErrorDetail reports whether t is the server's ErrorDetail envelope
+// struct.
+func isErrorDetail(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ErrorDetail" && obj.Pkg() != nil && pathBase(obj.Pkg().Path()) == "server"
+}
+
+// checkCodeLit flags ErrorDetail{Code: "raw string"}.
+func checkCodeLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || !isErrorDetail(tv.Type) {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Code" {
+			continue
+		}
+		if isRawString(pass.Info, kv.Value) {
+			pass.Reportf(kv.Value.Pos(),
+				"raw string literal written to ErrorDetail.Code: the envelope code vocabulary is the Code* constant set (stable client contract) — use a constant")
+		}
+	}
+}
+
+// checkCodeAssign flags d.Code = "raw string".
+func checkCodeAssign(pass *Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Code" || i >= len(as.Rhs) {
+			continue
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok || !isErrorDetail(tv.Type) {
+			continue
+		}
+		if isRawString(pass.Info, as.Rhs[i]) {
+			pass.Reportf(as.Rhs[i].Pos(),
+				"raw string literal written to ErrorDetail.Code: the envelope code vocabulary is the Code* constant set (stable client contract) — use a constant")
+		}
+	}
+}
+
+// isRawString reports whether e is a string literal (not a named
+// constant, whose use is the point of the vocabulary).
+func isRawString(info *types.Info, e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestFixtures runs every analyzer against its flagging and clean
+// fixture packages in the testdata module (its own Go module, so the
+// deliberately-broken code never enters the real build). The flagging
+// fixtures double as the suite's regression corpus: each carries
+// // want comments the kit matches one-to-one against diagnostics, so
+// both false negatives (a want with no diagnostic) and false positives
+// (a diagnostic with no want) fail.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		pkgs     []string
+	}{
+		{AnalyzerLoopSafety, []string{"lintfix/loopsafety/server", "lintfix/loopsafetyclean/server"}},
+		{AnalyzerAckOrder, []string{"lintfix/ackorder/server", "lintfix/ackorderclean/server"}},
+		{AnalyzerClockDiscipline, []string{"lintfix/clockdiscipline/server", "lintfix/clockdisciplineclean/server"}},
+		{AnalyzerFloatDet, []string{"lintfix/floatdet/batch", "lintfix/floatdetclean/batch"}},
+		{AnalyzerErrVocab, []string{"lintfix/errvocab/server", "lintfix/errvocabclean/server"}},
+		{AnalyzerMetricName, []string{"lintfix/metricname/server", "lintfix/metricnameclean/server"}},
+	}
+	for _, c := range cases {
+		for _, pkg := range c.pkgs {
+			t.Run(c.analyzer.Name+"/"+pathBase(pkg), func(t *testing.T) {
+				problems, err := CheckFixture("testdata", pkg, []*Analyzer{c.analyzer})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range problems {
+					t.Error(p)
+				}
+			})
+		}
+	}
+}
+
+// TestHelperPackagesStayClean: the fixture dependency packages (the
+// stream and wal mimics) must not themselves trip any analyzer —
+// their package base names are in-scope on purpose.
+func TestHelperPackagesStayClean(t *testing.T) {
+	for _, pkg := range []string{"lintfix/loopsafety/stream", "lintfix/ackorder/wal"} {
+		problems, err := CheckFixture("testdata", pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range problems {
+			t.Error(p)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatDet guards the solvers' bit-identity contract against map
+// iteration order.
+var AnalyzerFloatDet = &Analyzer{
+	Name: "floatdet",
+	Doc: `floatdet: no order-sensitive float arithmetic over map iteration.
+
+The solver packages (internal/batch, internal/adpar, internal/strategy,
+internal/knapsack) promise bit-identical answers for identical inputs —
+the paper's exact-reproduction contract, and what the golden conformance
+fixtures pin. Go randomizes map iteration order, and float addition is
+not associative, so accumulating floats (or collecting float values) in
+a range-over-map body yields run-to-run different bits. floatdet flags:
+
+  - compound assignment (+=, -=, *=, /=) to a float inside a
+    range-over-map body, and its spelled-out form x = x + e;
+  - append of float-typed values inside a range-over-map body (the
+    slice's later sort by those float keys inherits the random order of
+    equal keys).
+
+Iterate sorted keys instead, or restructure so the fold is over a slice
+with a deterministic order.`,
+	Run: runFloatDet,
+}
+
+func runFloatDet(pass *Pass) error {
+	if !pkgOneOf(pass, "batch", "adpar", "strategy", "knapsack") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkFloatDetBody(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFloatDetBody(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested ranges run their own check; don't double-report.
+			if n != rng {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkFloatAssign(pass, n)
+		case *ast.CallExpr:
+			checkFloatAppend(pass, n)
+		}
+		return true
+	})
+}
+
+// checkFloatAssign flags float accumulation whose result depends on the
+// map's iteration order: x += e, x -= e, x *= e, x /= e, and x = x + e.
+func checkFloatAssign(pass *Pass, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if tv, ok := pass.Info.Types[lhs]; ok && isFloat(tv.Type) {
+				pass.Reportf(as.Pos(),
+					"float accumulation in map iteration order: float %s is not associative, so the result's bits depend on Go's randomized order — iterate sorted keys",
+					as.Tok)
+			}
+		}
+	case token.ASSIGN:
+		// x = x + e (or x = e + x): the same fold, spelled out.
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		tv, ok := pass.Info.Types[as.Lhs[0]]
+		if !ok || !isFloat(tv.Type) {
+			return
+		}
+		bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return
+		}
+		lobj := pass.Info.Uses[lhs]
+		if lobj == nil {
+			if def := pass.Info.Defs[lhs]; def != nil {
+				lobj = def
+			}
+		}
+		reads := false
+		ast.Inspect(bin, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == lobj && lobj != nil {
+				reads = true
+			}
+			return !reads
+		})
+		if reads {
+			pass.Reportf(as.Pos(),
+				"float accumulation in map iteration order: float %s is not associative, so the result's bits depend on Go's randomized order — iterate sorted keys", bin.Op)
+		}
+	}
+}
+
+// checkFloatAppend flags collecting float-typed values in map iteration
+// order.
+func checkFloatAppend(pass *Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := pass.Info.Types[arg]
+		if ok && isFloat(tv.Type) {
+			pass.Reportf(call.Pos(),
+				"collecting float values in map iteration order: the slice's order (and any later sort's tie-breaking) depends on Go's randomized order — iterate sorted keys")
+			return
+		}
+	}
+}

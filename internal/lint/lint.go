@@ -1,0 +1,110 @@
+// Package lint is stratrec's domain-specific static-analysis suite: six
+// analyzers that turn the system's cross-cutting runtime contracts —
+// acked ⇒ logged ⇒ fsynced, shed ⇒ no WAL trace, single-writer
+// stream.Manager access, injected clocks, bit-identical solver
+// arithmetic, the stable error-code and metric-name vocabularies — into
+// compile-time checks. The conformance and chaos oracles catch a
+// violation after it ships into a run; these analyzers catch it at vet
+// time, before it runs at all.
+//
+// The suite is built on a small stdlib-only mirror of the
+// golang.org/x/tools/go/analysis API (this module has no dependencies,
+// by design): an Analyzer inspects one typechecked package through a
+// Pass and reports Diagnostics. cmd/stratrec-lint drives the suite both
+// standalone (stratrec-lint ./...) and as a `go vet -vettool=`
+// unitchecker (see unit.go).
+//
+// Suppression: a finding can be silenced with
+//
+//	//lint:allow <name>[,<name>...] -- <reason>
+//
+// on the offending line or the line directly above. The reason is
+// mandatory — a directive without one is itself a diagnostic and
+// suppresses nothing (see allow.go).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check over a typechecked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces, shown by
+	// `stratrec-lint help`.
+	Doc string
+	// Run inspects the package behind pass and reports findings through
+	// pass.Report/Reportf. A returned error aborts the whole run (it
+	// means the analyzer itself is broken, not that the code is).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test syntax trees (the runner filters
+	// _test.go files for every analyzer: the invariants are
+	// production-code contracts, and tests deliberately violate them —
+	// white-box fixtures, direct manager access, literal envelopes).
+	Files []*ast.File
+	// Pkg and Info are the typechecker's view of those files.
+	Pkg  *types.Package
+	Info *types.Info
+	// PkgPath is the package's import path (Pkg.Path unless typechecking
+	// degraded).
+	PkgPath string
+	// Report delivers one finding. The runner owns the sink; analyzers
+	// should prefer Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned for the file:line:col format go
+// vet speaks.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerLoopSafety,
+		AnalyzerAckOrder,
+		AnalyzerClockDiscipline,
+		AnalyzerFloatDet,
+		AnalyzerErrVocab,
+		AnalyzerMetricName,
+	}
+}
+
+// pathBase returns the final segment of an import path: analyzers scope
+// by it so the real packages (stratrec/internal/server) and the testdata
+// fixtures (lintfix/clockdiscipline/server) match the same rule.
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

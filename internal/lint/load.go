@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// listPackage is the slice of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") in dir to typechecked Targets.
+//
+// It shells out to `go list -e -deps -export -json`: the go command does
+// the build-system work — pattern expansion, import resolution, and
+// compiling export data into the build cache — and the loader only
+// parses and typechecks the matched packages themselves, importing their
+// dependencies from the compiler's export files. Fully offline: export
+// data comes from the local build cache, and this module has none but
+// stdlib dependencies anyway.
+func Load(dir string, patterns []string) ([]*Target, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json=Dir,ImportPath,Name,Export,GoFiles,CgoFiles,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			pkgs = append(pkgs, &p)
+		}
+	}
+
+	var targets []*Target
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("lint: %s: cgo packages are not supported", p.ImportPath)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		t, err := typecheck(p.ImportPath, files, func(path string) (string, bool) {
+			f, ok := exports[path]
+			return f, ok
+		})
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	return targets, nil
+}
+
+// typecheck parses files and typechecks them as package pkgPath,
+// importing dependencies through export-data files resolved by lookup.
+func typecheck(pkgPath string, files []string, lookup func(path string) (string, bool)) (*Target, error) {
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		syntax = append(syntax, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		// Soft errors (unused variables in fixtures) must not abort
+		// analysis; hard errors surface through the returned error.
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %v", pkgPath, err)
+	}
+	return &Target{PkgPath: pkgPath, Fset: fset, Files: syntax, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// managerMutators are the stream.Manager methods that change manager
+// state. The Manager is not goroutine-safe: the tenant's single-writer
+// event loop owns it, and every other goroutine reads only the published
+// immutable snapshot.
+var managerMutators = map[string]bool{
+	"Submit":          true,
+	"Resubmit":        true,
+	"Revoke":          true,
+	"SetAvailability": true,
+	"RestoreCounters": true,
+	"Begin":           true,
+	"Commit":          true,
+	"AttachIndex":     true,
+}
+
+// loopOwners are the functions allowed to call those mutators: tenant
+// construction (the loop has not started or recovery owns it), the event
+// loop's apply paths, and recovery replay. Everything else — HTTP
+// handlers, pool workers, metrics gauges — must go through the op
+// channel.
+var loopOwners = map[string]bool{
+	"newTenant":  true,
+	"applyAdmin": true,
+	"applyBatch": true,
+	"restore":    true,
+}
+
+// AnalyzerLoopSafety enforces single-writer ownership of stream.Manager.
+var AnalyzerLoopSafety = &Analyzer{
+	Name: "loopsafety",
+	Doc: `loopsafety: stream.Manager mutations only from the tenant event loop.
+
+stream.Manager is not goroutine-safe. Its mutating methods (Submit,
+Resubmit, Revoke, SetAvailability, RestoreCounters, Begin, Commit,
+AttachIndex) may be called only from the loop-owning functions in the
+server package: newTenant, applyAdmin, applyBatch, and restore. A call
+anywhere else is a data race with the event loop, the class of bug the
+op-channel architecture exists to make impossible.`,
+	Run: runLoopSafety,
+}
+
+func runLoopSafety(pass *Pass) error {
+	if !pkgOneOf(pass, "server") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && !loopOwners[fd.Name.Name] {
+				checkLoopSafety(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkLoopSafety(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pass.Info, call)
+		if fn == nil || !managerMutators[fn.Name()] {
+			return true
+		}
+		if !methodOn(fn, fn.Name(), "Manager", "stream") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"stream.Manager.%s called from %s: mutating Manager methods may only be called from the tenant event loop or recovery (%s)",
+			fn.Name(), fd.Name.Name, "newTenant, applyAdmin, applyBatch, restore")
+		return true
+	})
+}

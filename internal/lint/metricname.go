@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// AnalyzerMetricName keeps every expvar key inside the documented
+// stratrec_* Prometheus mapping rules.
+var AnalyzerMetricName = &Analyzer{
+	Name: "metricname",
+	Doc: `metricname: expvar keys must survive the Prometheus mapping.
+
+The server's metrics tree is one source of truth rendered two ways:
+expvar JSON and the stratrec_* Prometheus families documented in
+internal/server/prometheus.go. A key published into the registry
+(expvar.Map.Set, expvar.Publish, expvar.NewInt/NewFloat/NewMap/
+NewString) must therefore be a valid metric-name segment —
+^[a-z][a-z0-9_]*$ — or the scrape-time lint of the /metrics endpoint
+fails for a name minted at runtime, long after review. Dynamic keys
+(tenant names used as map keys, validated elsewhere) take the escape
+hatch:
+
+	//lint:allow metricname -- <where the key is validated>`,
+	Run: runMetricName,
+}
+
+func runMetricName(pass *Pass) error {
+	if !pkgOneOf(pass, "server") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeOf(pass.Info, call)
+			if fn == nil || !isExpvarKeySink(fn) {
+				return true
+			}
+			checkMetricKey(pass, call.Args[0])
+			return true
+		})
+	}
+	return nil
+}
+
+// isExpvarKeySink reports whether fn takes a registry key as its first
+// argument.
+func isExpvarKeySink(fn *types.Func) bool {
+	if methodOn(fn, "Set", "Map", "expvar") {
+		return true
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "expvar" {
+		return false
+	}
+	switch fn.Name() {
+	case "Publish", "NewInt", "NewFloat", "NewMap", "NewString":
+		return true
+	}
+	return false
+}
+
+func checkMetricKey(pass *Pass, arg ast.Expr) {
+	lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+	if !ok {
+		// A non-literal key is minted at runtime; the static rule cannot
+		// vouch for it. Require the annotation to say who does.
+		if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil {
+			// A typed constant is as good as a literal.
+			if s, err := strconv.Unquote(tv.Value.ExactString()); err == nil {
+				checkKeyText(pass, arg, s)
+				return
+			}
+		}
+		pass.Reportf(arg.Pos(),
+			"dynamic expvar key: the Prometheus mapping cannot validate a runtime-minted name — annotate `//lint:allow metricname -- <where the key is validated>` or use a literal")
+		return
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	checkKeyText(pass, arg, s)
+}
+
+// checkKeyText enforces ^[a-z][a-z0-9_]*$, the charset the stratrec_*
+// family names in prometheus.go are built from.
+func checkKeyText(pass *Pass, arg ast.Expr, s string) {
+	if validMetricKey(s) {
+		return
+	}
+	pass.Reportf(arg.Pos(),
+		"expvar key %q does not match ^[a-z][a-z0-9_]*$: the Prometheus rendering of the metrics tree (stratrec_* families) cannot carry it", s)
+}
+
+func validMetricKey(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r == '_' && i > 0:
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Target is one typechecked package ready for analysis, however it was
+// produced — the standalone loader (load.go), the vet unitchecker
+// (unit.go), or the fixture kit (testkit.go).
+type Target struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// Run executes the analyzers over one package and returns the surviving
+// diagnostics, sorted by position. Centralized here, for every analyzer
+// alike:
+//
+//   - _test.go files are excluded. The invariants are production-code
+//     contracts; tests violate them on purpose (white-box fixtures call
+//     newTenant directly, client tests build envelope literals, bench
+//     code reads the wall clock).
+//   - //lint:allow suppression is applied, and directives missing a
+//     justification are themselves diagnostics.
+func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	files := make([]*ast.File, 0, len(t.Files))
+	for _, f := range t.Files {
+		if name := t.Fset.Position(f.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+	sup := newSuppressor(t.Fset, files, collect)
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     t.Fset,
+			Files:    files,
+			Pkg:      t.Pkg,
+			Info:     t.Info,
+			PkgPath:  t.PkgPath,
+			Report: func(d Diagnostic) {
+				if !sup.allowed(d) {
+					collect(d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

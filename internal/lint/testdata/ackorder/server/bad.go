@@ -1,0 +1,44 @@
+// Package server is the ackorder flagging fixture: an ack sent before
+// the op's WAL append, and a shed path that falls through to an append.
+package server
+
+import "lintfix/ackorder/wal"
+
+type opResult struct {
+	err error
+	seq uint64
+}
+
+type op struct {
+	id    string
+	reply chan opResult
+}
+
+type tenant struct {
+	wal  *wal.Log
+	ops  chan op
+	full bool
+}
+
+func (t *tenant) shedQueueFull() error { return nil }
+
+func (t *tenant) shedDeadline(reason string) error { return nil }
+
+// applyAckFirst acknowledges before logging: on a crash between the two
+// the client holds an ack for a mutation recovery will not replay.
+func (t *tenant) applyAckFirst(o op) {
+	var res opResult
+	o.reply <- res
+	seq, err := t.wal.Append(wal.Record{Kind: "submit"}) // want `WAL append after an opResult send`
+	res.seq, res.err = seq, err
+}
+
+// applyShedFallthrough sheds but keeps going: the shed op reaches the
+// append below, leaving the WAL trace a 429 promises does not exist.
+func (t *tenant) applyShedFallthrough(o op) error {
+	if t.full {
+		_ = t.shedQueueFull() // want `shed constructed on a path that can reach a WAL append`
+	}
+	_, err := t.wal.Append(wal.Record{Kind: "submit"})
+	return err
+}

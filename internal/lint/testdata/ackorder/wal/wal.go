@@ -1,0 +1,16 @@
+// Package wal mimics stratrec/internal/wal for the ackorder fixtures.
+package wal
+
+type Record struct {
+	Kind string
+	Seq  uint64
+}
+
+type Log struct {
+	next uint64
+}
+
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.next++
+	return l.next, nil
+}

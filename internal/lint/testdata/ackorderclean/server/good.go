@@ -1,0 +1,67 @@
+// Package server is the ackorder clean fixture: append strictly before
+// the ack, sheds on terminating paths only.
+package server
+
+import "lintfix/ackorder/wal"
+
+type opResult struct {
+	err error
+	seq uint64
+}
+
+type op struct {
+	id      string
+	expired bool
+	reply   chan opResult
+}
+
+type tenant struct {
+	wal  *wal.Log
+	ops  chan op
+	full bool
+}
+
+func (t *tenant) shedQueueFull() error { return nil }
+
+func (t *tenant) shedDeadline(reason string) error { return nil }
+
+// applyBatch logs each op before any reply is sent, and sheds expired
+// ops on a continue path that never reaches the append.
+func (t *tenant) applyBatch(ops []op) {
+	results := make([]opResult, 0, len(ops))
+	for _, o := range ops {
+		var res opResult
+		if o.expired {
+			res.err = t.shedDeadline("expired while queued")
+			results = append(results, res)
+			continue
+		}
+		res.seq, res.err = t.wal.Append(wal.Record{Kind: "submit"})
+		results = append(results, res)
+	}
+	for i, o := range ops {
+		o.reply <- results[i]
+	}
+}
+
+// logMutation mirrors the real tenant's append helper: ackorder
+// recognizes it by name and receiver, not just by the wal.Log type.
+func (t *tenant) logMutation(o op) (uint64, error) {
+	return t.wal.Append(wal.Record{Kind: o.id})
+}
+
+// applyOne appends through the helper strictly before the ack.
+func (t *tenant) applyOne(o op) {
+	var res opResult
+	res.seq, res.err = t.logMutation(o)
+	o.reply <- res
+}
+
+// admit sheds through a return — trivially no trace.
+func (t *tenant) admit(o op) (opResult, bool) {
+	if t.full {
+		return opResult{err: t.shedQueueFull()}, false
+	}
+	t.ops <- o
+	return opResult{}, true
+}

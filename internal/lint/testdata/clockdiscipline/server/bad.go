@@ -1,0 +1,28 @@
+// Package server is the clockdiscipline flagging fixture: wall-clock
+// reads where the injected clock rules, plus an allow directive with no
+// justification (which suppresses nothing and is itself a finding).
+package server
+
+import "time"
+
+type tenant struct {
+	now func() time.Time
+	enq time.Time
+}
+
+func (t *tenant) stamp() {
+	t.enq = time.Now() // want `time\.Now reads the wall clock`
+}
+
+func (t *tenant) latency() time.Duration {
+	return time.Since(t.enq) // want `time\.Since reads the wall clock`
+}
+
+func (t *tenant) timeout() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After reads the wall clock`
+}
+
+//lint:allow clockdiscipline // want `without a justification`
+func (t *tenant) unjustified() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,40 @@
+// Package server is the errvocab flagging fixture — and the analyzer's
+// intentionally-broken regression corpus: sentinel identity comparisons
+// and raw envelope code strings, the exact bugs the analyzer exists to
+// keep out of the real server package.
+package server
+
+import "errors"
+
+var ErrTenantClosed = errors.New("tenant closed")
+
+const CodeUnavailable = "unavailable"
+
+type ErrorDetail struct {
+	Code    string
+	Message string
+}
+
+// submit wraps the sentinel, as the real write path does.
+func submit() error {
+	return errors.New("wrapped: " + ErrTenantClosed.Error())
+}
+
+func handle(err error) string {
+	if err == ErrTenantClosed { // want `error compared with ==`
+		return "closed"
+	}
+	if err != nil && err != ErrTenantClosed { // want `error compared with !=`
+		return "other"
+	}
+	return "ok"
+}
+
+func envelope(err error) ErrorDetail {
+	d := ErrorDetail{Code: "tenant_closed"} // want `raw string literal written to ErrorDetail\.Code`
+	if err != nil {
+		d.Code = "internal_error" // want `raw string literal written to ErrorDetail\.Code`
+		d.Message = err.Error()
+	}
+	return d
+}

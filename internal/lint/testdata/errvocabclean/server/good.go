@@ -1,0 +1,37 @@
+// Package server is the errvocab clean fixture: errors.Is for
+// sentinels, nil comparisons stay legal, envelope codes come from the
+// constant vocabulary.
+package server
+
+import "errors"
+
+var ErrTenantClosed = errors.New("tenant closed")
+
+const (
+	CodeTenantClosed = "tenant_closed"
+	CodeInternal     = "internal_error"
+)
+
+type ErrorDetail struct {
+	Code    string
+	Message string
+}
+
+func handle(err error) string {
+	if errors.Is(err, ErrTenantClosed) {
+		return "closed"
+	}
+	if err != nil {
+		return "other"
+	}
+	return "ok"
+}
+
+func envelope(err error) ErrorDetail {
+	d := ErrorDetail{Code: CodeTenantClosed}
+	if err != nil {
+		d.Code = CodeInternal
+		d.Message = err.Error()
+	}
+	return d
+}

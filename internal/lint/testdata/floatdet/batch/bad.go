@@ -1,0 +1,32 @@
+// Package batch is the floatdet flagging fixture: order-sensitive float
+// arithmetic driven by map iteration.
+package batch
+
+// sumDemand folds float weights in map order: float addition is not
+// associative, so the sum's bits differ run to run.
+func sumDemand(weights map[string]float64) float64 {
+	var total float64
+	for _, w := range weights {
+		total += w // want `float accumulation in map iteration order`
+	}
+	return total
+}
+
+// product spells the fold out with plain assignment.
+func product(factors map[int]float64) float64 {
+	p := 1.0
+	for _, f := range factors {
+		p = p * f // want `float accumulation in map iteration order`
+	}
+	return p
+}
+
+// collectScores gathers floats in map order; the later sort's
+// tie-breaking inherits the randomness.
+func collectScores(scores map[string]float64) []float64 {
+	var out []float64
+	for _, s := range scores {
+		out = append(out, s) // want `collecting float values in map iteration order`
+	}
+	return out
+}

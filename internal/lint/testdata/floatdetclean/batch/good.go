@@ -1,0 +1,41 @@
+// Package batch is the floatdet clean fixture: deterministic folds —
+// sorted keys, integer accumulation, slice iteration.
+package batch
+
+import "sort"
+
+// sumDemand iterates sorted keys: same order, same bits, every run.
+func sumDemand(weights map[string]float64) float64 {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += weights[k]
+	}
+	return total
+}
+
+// countLarge accumulates an int in map order — integer addition is
+// associative, order cannot change the answer.
+func countLarge(weights map[string]float64, cut float64) int {
+	n := 0
+	for _, w := range weights {
+		if w > cut {
+			n++
+		}
+	}
+	return n
+}
+
+// sumSlice folds floats over a slice: the order is the caller's, not
+// the runtime's.
+func sumSlice(ws []float64) float64 {
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	return total
+}

@@ -1,0 +1,3 @@
+module lintfix
+
+go 1.24

@@ -1,0 +1,26 @@
+// Package server is the loopsafety flagging fixture: Manager mutations
+// from outside the loop-owning allowlist.
+package server
+
+import "lintfix/loopsafety/stream"
+
+type tenant struct {
+	mgr *stream.Manager
+}
+
+// handleSubmit models an HTTP handler mutating the manager directly —
+// a data race with the event loop.
+func (t *tenant) handleSubmit(id string) error {
+	return t.mgr.Submit(id) // want `stream\.Manager\.Submit called from handleSubmit`
+}
+
+// metricsGauge models a metrics reader that "just flips" state.
+func (t *tenant) metricsGauge(w float64) {
+	t.mgr.SetAvailability(w) // want `stream\.Manager\.SetAvailability called from metricsGauge`
+	t.mgr.Begin()            // want `stream\.Manager\.Begin called from metricsGauge`
+}
+
+// reads stay legal anywhere.
+func (t *tenant) health() uint64 {
+	return t.mgr.Epoch()
+}

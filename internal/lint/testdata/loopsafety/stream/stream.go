@@ -1,0 +1,20 @@
+// Package stream mimics stratrec/internal/stream for the loopsafety
+// fixtures: the package base name and the Manager method set are what
+// the analyzer keys on.
+package stream
+
+type Manager struct {
+	epoch uint64
+	w     float64
+}
+
+func (m *Manager) Submit(id string) error      { m.epoch++; return nil }
+func (m *Manager) Revoke(id string) error      { m.epoch++; return nil }
+func (m *Manager) SetAvailability(w float64) error {
+	m.w = w
+	return nil
+}
+func (m *Manager) Begin()         {}
+func (m *Manager) Commit()        { m.epoch++ }
+func (m *Manager) Epoch() uint64  { return m.epoch }
+func (m *Manager) Open() int      { return 0 }

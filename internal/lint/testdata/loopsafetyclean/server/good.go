@@ -1,0 +1,36 @@
+// Package server is the loopsafety clean fixture: mutations only from
+// the loop-owning allowlist, reads from anywhere.
+package server
+
+import "lintfix/loopsafety/stream"
+
+type tenant struct {
+	mgr *stream.Manager
+}
+
+func newTenant(id string) (*tenant, error) {
+	t := &tenant{mgr: &stream.Manager{}}
+	if err := t.mgr.Submit(id); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *tenant) applyBatch(ids []string) error {
+	t.mgr.Begin()
+	for _, id := range ids {
+		if err := t.mgr.Submit(id); err != nil {
+			return err
+		}
+	}
+	t.mgr.Commit()
+	return nil
+}
+
+func (t *tenant) restore(w float64) error {
+	return t.mgr.SetAvailability(w)
+}
+
+func (t *tenant) health() (uint64, int) {
+	return t.mgr.Epoch(), t.mgr.Open()
+}

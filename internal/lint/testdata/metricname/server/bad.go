@@ -1,0 +1,16 @@
+// Package server is the metricname flagging fixture: registry keys the
+// stratrec_* Prometheus mapping cannot carry, and an unannotated
+// dynamic key.
+package server
+
+import "expvar"
+
+func register(tenant string) *expvar.Map {
+	m := new(expvar.Map).Init()
+	m.Set("Submits", new(expvar.Int))      // want `expvar key "Submits" does not match`
+	m.Set("queue-depth", new(expvar.Int))  // want `expvar key "queue-depth" does not match`
+	m.Set("1st_batch", new(expvar.Int))    // want `expvar key "1st_batch" does not match`
+	m.Set(tenant, new(expvar.Int))         // want `dynamic expvar key`
+	expvar.Publish("shed.count", expvar.Func(func() any { return 0 })) // want `expvar key "shed\.count" does not match`
+	return m
+}

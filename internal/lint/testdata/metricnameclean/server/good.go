@@ -1,0 +1,18 @@
+// Package server is the metricname clean fixture: snake_case literal
+// keys, a constant key, and an annotated dynamic key.
+package server
+
+import "expvar"
+
+const keyBatchLatency = "batch_latency_us"
+
+func register(tenant string) *expvar.Map {
+	m := new(expvar.Map).Init()
+	m.Set("submits", new(expvar.Int))
+	m.Set("sheds_queue_full", new(expvar.Int))
+	m.Set(keyBatchLatency, new(expvar.Int))
+	// Tenant names are validated as directory-safe identifiers at
+	// creation; the key is as constrained as a literal.
+	m.Set(tenant, new(expvar.Map)) //lint:allow metricname -- tenant names validated at CreateTenant
+	return m
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// The fixture kit: an analysistest-style runner over the testdata module
+// (internal/lint/testdata is its own Go module, invisible to ./...).
+// Offending fixture lines carry trailing
+//
+//	// want "regexp"
+//
+// comments; the kit checks reported diagnostics and expectations match
+// one-to-one per line.
+
+var (
+	fixturesOnce sync.Once
+	fixtures     map[string]*Target // import path -> target
+	fixturesErr  error
+)
+
+// loadFixtures loads every package of the testdata module exactly once
+// per test binary.
+func loadFixtures(testdataDir string) (map[string]*Target, error) {
+	fixturesOnce.Do(func() {
+		targets, err := Load(testdataDir, []string{"./..."})
+		if err != nil {
+			fixturesErr = err
+			return
+		}
+		fixtures = make(map[string]*Target, len(targets))
+		for _, t := range targets {
+			fixtures[t.PkgPath] = t
+		}
+	})
+	return fixtures, fixturesErr
+}
+
+// wantExpectation is one // want comment.
+type wantExpectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRe accepts both `// want "pattern"` and backquoted
+// `// want `+"`pattern`"+` forms; the pattern is taken raw (it is a
+// regexp, not a Go string — no escape processing).
+var wantRe = regexp.MustCompile("// want (?:\"([^\"]*)\"|`([^`]*)`)")
+
+// parseWants extracts the expectations from a target's files.
+func parseWants(t *Target) ([]wantExpectation, error) {
+	var wants []wantExpectation
+	for _, f := range t.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatchIndex(c.Text)
+				if m == nil {
+					continue
+				}
+				var pat string
+				if m[2] >= 0 {
+					pat = c.Text[m[2]:m[3]]
+				} else {
+					pat = c.Text[m[4]:m[5]]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("lint: bad want regexp %q: %v", pat, err)
+				}
+				pos := t.Fset.Position(c.Pos())
+				wants = append(wants, wantExpectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// CheckFixture runs the analyzers over one fixture package of the
+// testdata module and verifies the diagnostics against its // want
+// comments. It returns a list of mismatches, empty on success.
+func CheckFixture(testdataDir, pkgPath string, analyzers []*Analyzer) ([]string, error) {
+	targets, err := loadFixtures(testdataDir)
+	if err != nil {
+		return nil, err
+	}
+	target, ok := targets[pkgPath]
+	if !ok {
+		known := make([]string, 0, len(targets))
+		for p := range targets {
+			known = append(known, p)
+		}
+		return nil, fmt.Errorf("lint: fixture package %q not in testdata module (have %s)", pkgPath, strings.Join(known, ", "))
+	}
+	diags, err := Run(target, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	wants, err := parseWants(target)
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re))
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// vetConfig is the .cfg file `go vet -vettool=` hands the tool once per
+// package — the unitchecker protocol. Only the fields this driver reads
+// are declared; the file carries more.
+type vetConfig struct {
+	ID         string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	NonGoFiles []string
+	// ImportMap maps source-level import paths to the canonical package
+	// paths whose export data PackageFile knows.
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	// VetxOnly marks a dependency-facts-only invocation: the driver must
+	// write its output file and exit without analyzing.
+	VetxOnly   bool
+	VetxOutput string
+	// SucceedOnTypecheckFailure makes typecheck errors a silent success —
+	// the compiler will report them better.
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes the suite as one `go vet` unit: it reads the cfg
+// file, typechecks the package against the export data the build system
+// already produced, runs the analyzers, and prints surviving diagnostics
+// to stderr in vet's file:line:col format. The returned exit code is 0
+// for a clean package and 2 for findings, matching vet's own convention.
+//
+// The protocol obliges the driver to write VetxOutput (the analysis-facts
+// file downstream packages would read) in every outcome; this suite
+// computes no cross-package facts, so the file is an empty placeholder.
+func RunUnit(cfgFile string, analyzers []*Analyzer) (exit int, err error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("lint: parsing vet config %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("stratrec-lint: no facts\n"), 0o666); err != nil {
+			return 1, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0, nil
+	}
+	target, err := typecheck(cfg.ImportPath, cfg.GoFiles, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, err
+	}
+	diags, err := Run(target, analyzers)
+	if err != nil {
+		return 1, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildVetConfig assembles the unitchecker cfg go vet would hand the
+// tool for one fixture package: GoFiles from the package itself,
+// ImportMap/PackageFile from the export data `go list -export` already
+// compiled into the build cache.
+func buildVetConfig(t *testing.T, pattern string) vetConfig {
+	t.Helper()
+	cmd := exec.Command("go", "list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly", pattern)
+	cmd.Dir = testdataDir(t)
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list %s: %v", pattern, err)
+	}
+	cfg := vetConfig{
+		ImportMap:   make(map[string]string),
+		PackageFile: make(map[string]string),
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p struct {
+			ImportPath string
+			Dir        string
+			GoFiles    []string
+			Export     string
+			DepOnly    bool
+		}
+		if err := dec.Decode(&p); err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			cfg.ImportMap[p.ImportPath] = p.ImportPath
+			cfg.PackageFile[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			cfg.ID = p.ImportPath
+			cfg.Dir = p.Dir
+			cfg.ImportPath = p.ImportPath
+			for _, f := range p.GoFiles {
+				cfg.GoFiles = append(cfg.GoFiles, filepath.Join(p.Dir, f))
+			}
+		}
+	}
+	return cfg
+}
+
+func testdataDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// writeVetConfig marshals cfg to a .cfg file in a temp dir and points
+// VetxOutput there too, mirroring vet's layout.
+func writeVetConfig(t *testing.T, cfg vetConfig) (cfgFile, vetxFile string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfgFile = filepath.Join(dir, "vet.cfg")
+	vetxFile = filepath.Join(dir, "vet.out")
+	cfg.VetxOutput = vetxFile
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgFile, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgFile, vetxFile
+}
+
+// captureStderr runs fn with os.Stderr redirected to a pipe and returns
+// what it wrote.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = saved }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	return <-done
+}
+
+func TestRunUnitFindings(t *testing.T) {
+	cfgFile, vetxFile := writeVetConfig(t, buildVetConfig(t, "./clockdiscipline/server"))
+	var exit int
+	var runErr error
+	stderr := captureStderr(t, func() {
+		exit, runErr = RunUnit(cfgFile, All())
+	})
+	if runErr != nil {
+		t.Fatalf("RunUnit: %v", runErr)
+	}
+	if exit != 2 {
+		t.Fatalf("exit = %d, want 2 (findings)\nstderr:\n%s", exit, stderr)
+	}
+	if !strings.Contains(stderr, "time.Now reads the wall clock") {
+		t.Errorf("stderr missing the clockdiscipline diagnostic:\n%s", stderr)
+	}
+	// The protocol demands the facts file in every outcome.
+	if _, err := os.Stat(vetxFile); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestRunUnitCleanPackage(t *testing.T) {
+	cfgFile, _ := writeVetConfig(t, buildVetConfig(t, "./clockdisciplineclean/server"))
+	exit, err := RunUnit(cfgFile, All())
+	if err != nil || exit != 0 {
+		t.Fatalf("RunUnit on clean package = (%d, %v), want (0, nil)", exit, err)
+	}
+}
+
+func TestRunUnitVetxOnly(t *testing.T) {
+	cfgFile, vetxFile := writeVetConfig(t, vetConfig{ID: "facts-only", VetxOnly: true})
+	exit, err := RunUnit(cfgFile, All())
+	if err != nil || exit != 0 {
+		t.Fatalf("VetxOnly = (%d, %v), want (0, nil)", exit, err)
+	}
+	if _, err := os.Stat(vetxFile); err != nil {
+		t.Errorf("VetxOutput not written on VetxOnly run: %v", err)
+	}
+}
+
+func TestRunUnitNoGoFiles(t *testing.T) {
+	cfgFile, _ := writeVetConfig(t, vetConfig{ID: "empty"})
+	exit, err := RunUnit(cfgFile, All())
+	if err != nil || exit != 0 {
+		t.Fatalf("empty GoFiles = (%d, %v), want (0, nil)", exit, err)
+	}
+}
+
+func TestRunUnitCfgErrors(t *testing.T) {
+	if exit, err := RunUnit(filepath.Join(t.TempDir(), "absent.cfg"), All()); err == nil || exit != 1 {
+		t.Errorf("missing cfg = (%d, %v), want exit 1 and an error", exit, err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.cfg")
+	if err := os.WriteFile(bad, []byte("not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if exit, err := RunUnit(bad, All()); err == nil || exit != 1 {
+		t.Errorf("malformed cfg = (%d, %v), want exit 1 and an error", exit, err)
+	}
+}
+
+func TestRunUnitTypecheckFailure(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "broken.go")
+	if err := os.WriteFile(src, []byte("package p\n\nfunc f() { undefined() }\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg := vetConfig{ID: "broken", ImportPath: "broken", GoFiles: []string{src}}
+
+	cfgFile, _ := writeVetConfig(t, cfg)
+	if exit, err := RunUnit(cfgFile, All()); err == nil || exit != 1 {
+		t.Errorf("typecheck failure = (%d, %v), want exit 1 and an error", exit, err)
+	}
+
+	// With SucceedOnTypecheckFailure vet expects silence: the compiler
+	// will report the error better.
+	cfg.SucceedOnTypecheckFailure = true
+	cfgFile, _ = writeVetConfig(t, cfg)
+	if exit, err := RunUnit(cfgFile, All()); err != nil || exit != 0 {
+		t.Errorf("SucceedOnTypecheckFailure = (%d, %v), want (0, nil)", exit, err)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "api.go", Line: 3, Column: 7},
+		Analyzer: "clockdiscipline",
+		Message:  "boom",
+	}
+	if got, want := d.String(), "api.go:3:7: clockdiscipline: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

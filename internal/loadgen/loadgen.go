@@ -215,7 +215,7 @@ func Run(cfg Config) (Report, error) {
 		}))
 
 	sampleCh := make(chan []sample, len(workloads))
-	start := time.Now()
+	start := time.Now() //lint:allow clockdiscipline -- loadgen measures real wall-clock throughput against a live server
 	var wg sync.WaitGroup
 	for i, wl := range workloads {
 		wg.Add(1)
@@ -236,7 +236,7 @@ func Run(cfg Config) (Report, error) {
 	for ss := range sampleCh {
 		all = append(all, ss...)
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:allow clockdiscipline -- real run duration is the report's denominator
 
 	rep := Report{
 		Duration: elapsed,
@@ -267,9 +267,9 @@ func Run(cfg Config) (Report, error) {
 // timed runs one client call and grades it into a sample. tolerateRace
 // forgives 404/409 (alternative queries legitimately race the plan).
 func timed(op string, ops int, tolerateRace bool, f func() error) sample {
-	t0 := time.Now()
+	t0 := time.Now() //lint:allow clockdiscipline -- latency samples measure the real round-trip
 	err := f()
-	s := sample{op: op, d: time.Since(t0), ops: ops}
+	s := sample{op: op, d: time.Since(t0), ops: ops} //lint:allow clockdiscipline -- latency samples measure the real round-trip
 	if err != nil {
 		var apiErr *client.APIError
 		if tolerateRace && errors.As(err, &apiErr) &&
@@ -289,6 +289,7 @@ func replay(c *client.Client, tenant string, wl []synth.WorkloadEvent, planEvery
 	samples := make([]sample, 0, len(wl)+len(wl)/4)
 	for i, ev := range wl {
 		if ev.At > 0 {
+			//lint:allow clockdiscipline -- arrival pacing sleeps against the real clock
 			if d := time.Until(start.Add(ev.At)); d > 0 {
 				time.Sleep(d)
 			}
@@ -377,6 +378,7 @@ func replayBatched(c *client.Client, tenant string, wl []synth.WorkloadEvent, ba
 	}
 	for _, ev := range wl {
 		if ev.At > 0 {
+			//lint:allow clockdiscipline -- arrival pacing sleeps against the real clock
 			if d := time.Until(start.Add(ev.At)); d > 0 {
 				time.Sleep(d)
 			}

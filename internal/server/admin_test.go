@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -134,7 +135,7 @@ func TestDrainRejectsLiveWrites(t *testing.T) {
 	defer s.Close()
 	tn, _ := s.Tenant("alpha")
 	tn.draining.Store(true)
-	if _, err := tn.Submit(context.Background(), submitReqN("x", 0.3)); err != ErrTenantClosed {
+	if _, err := tn.Submit(context.Background(), submitReqN("x", 0.3)); !errors.Is(err, ErrTenantClosed) {
 		t.Fatalf("submit while draining: %v, want ErrTenantClosed", err)
 	}
 }

@@ -375,7 +375,12 @@ func (s *Server) mutationContext(r *http.Request) (context.Context, context.Canc
 	if d <= 0 {
 		return base, func() {}, nil
 	}
-	ctx, cancel := context.WithTimeout(base, d)
+	// The deadline is anchored on the injected clock, not the runtime's:
+	// admission projection, the loop's pre-apply expiry check (ctxExpired)
+	// and this stamp must all read the same timeline for shed decisions —
+	// and the retry_after_ms they advertise — to be reproducible under the
+	// conformance harness's fixed or stepped clock.
+	ctx, cancel := context.WithDeadline(base, s.now().Add(d))
 	return ctx, cancel, nil
 }
 

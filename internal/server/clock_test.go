@@ -1,0 +1,197 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-stepped clock for the deadline-shed tests: the
+// server, its tenants, and the query pool all read it through Config.Now,
+// so every time-derived observable (enqueue stamps, EWMA samples,
+// projected waits, deadline comparisons) moves only when the test says so.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1700000000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) step(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// postSubmit sends a submit with an X-Request-Deadline-Ms header and
+// decodes the error envelope on a non-2xx answer.
+func postSubmitDeadline(t *testing.T, client *http.Client, url, id string, deadlineMs string) (int, ErrorResponse) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/tenants/alpha/requests",
+		strings.NewReader(`{"id":"`+id+`","quality":0.3,"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if deadlineMs != "" {
+		req.Header.Set(DeadlineHeader, deadlineMs)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope ErrorResponse
+	if resp.StatusCode >= 400 {
+		decodeBody(t, resp, &envelope)
+	}
+	return resp.StatusCode, envelope
+}
+
+// TestDeadlineShedDeterministicRetryAfter: with a fixed injected clock
+// and a seeded batch-latency EWMA, admission-control deadline shedding is
+// a pure function of configuration — the same request sheds with the
+// exact same retry_after_ms every run, because no wall-clock reading
+// leaks into the projection. This is the regression test for the raw
+// time.Now() call sites that used to sit in admit/projectedWait's inputs
+// (tenant.go enqueue stamps, overload.go EWMA timing): under the old
+// code the projection mixed fake deadlines with real waits and the hint
+// drifted run to run.
+func TestDeadlineShedDeterministicRetryAfter(t *testing.T) {
+	for run := 0; run < 2; run++ {
+		clk := newFakeClock()
+		s, hs := newTestServer(t, Config{
+			Tenants: map[string]TenantConfig{"alpha": fixedTenant(4, 0.7)},
+			Now:     clk.now,
+		})
+		tn, err := s.Tenant("alpha")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Seed the EWMA as if the loop had measured one 8ms coalesced
+		// batch. projectedWait(0) = (0/coalesce + 1) * 8ms = 8ms.
+		tn.batchLatency.observe(8 * time.Millisecond)
+
+		// A 1ms deadline cannot absorb the projected 8ms wait: admission
+		// sheds without enqueueing, and the hint is exactly the projection.
+		code, envelope := postSubmitDeadline(t, hs.Client(), hs.URL, "r1", "1")
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("run %d: submit = %d, want 429", run, code)
+		}
+		if envelope.Error.Code != CodeOverloaded {
+			t.Fatalf("run %d: code = %q, want %q", run, envelope.Error.Code, CodeOverloaded)
+		}
+		if envelope.Error.RetryAfterMs != 8 {
+			t.Fatalf("run %d: retry_after_ms = %d, want exactly 8", run, envelope.Error.RetryAfterMs)
+		}
+		if got := tn.met.shedsDeadline.Value(); got != 1 {
+			t.Fatalf("run %d: sheds_deadline = %d, want 1", run, got)
+		}
+		// A 9ms deadline absorbs the 8ms projection: the mutation is
+		// admitted, applied, and acknowledged — the fixed clock never
+		// expires it while queued.
+		if code, _ := postSubmitDeadline(t, hs.Client(), hs.URL, "r2", "9"); code != http.StatusOK {
+			t.Fatalf("run %d: submit within deadline = %d, want 200", run, code)
+		}
+	}
+}
+
+// TestLoopDeadlineShedUnderSteppedClock drives the loop-side pre-apply
+// shed deterministically: a blocker op freezes the event loop mid-batch
+// (ApplyDelay gate), a second op with a 5ms deadline enqueues behind it,
+// the fake clock steps 10ms while the loop is frozen, and on release the
+// blocker's batch records an exactly-10ms EWMA sample. The loop then
+// finds the queued op expired (stepped now > its deadline) and sheds it
+// before apply with retry_after_ms equal to the projection from that
+// 10ms sample — every number a function of the steps the test made.
+func TestLoopDeadlineShedUnderSteppedClock(t *testing.T) {
+	clk := newFakeClock()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var gateOnce sync.Once
+	cfg := fixedTenant(4, 0.7)
+	cfg.Faults = &Faults{
+		ApplyDelay: func(kind, id string) time.Duration {
+			if id == "blocker" {
+				gateOnce.Do(func() {
+					close(entered)
+					<-release
+				})
+			}
+			return 0
+		},
+	}
+	s, hs := newTestServer(t, Config{
+		Tenants: map[string]TenantConfig{"alpha": cfg},
+		Now:     clk.now,
+	})
+	tn, err := s.Tenant("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type reply struct {
+		code     int
+		envelope ErrorResponse
+	}
+	blockerDone := make(chan reply, 1)
+	go func() {
+		code, env := postSubmitDeadline(t, hs.Client(), hs.URL, "blocker", "")
+		blockerDone <- reply{code, env}
+	}()
+	<-entered // loop is mid-batch, frozen on the gate
+
+	// The victim clears admission (projected wait = 500µs fallback, well
+	// inside 5ms) and enqueues behind the frozen batch.
+	victimDone := make(chan reply, 1)
+	go func() {
+		code, env := postSubmitDeadline(t, hs.Client(), hs.URL, "victim", "5")
+		victimDone <- reply{code, env}
+	}()
+	deadlineWait := time.Now().Add(5 * time.Second)
+	for len(tn.ops) == 0 {
+		if time.Now().After(deadlineWait) {
+			t.Fatal("victim op never reached the inbox")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// While the loop is frozen, 10ms pass on the injected timeline: past
+	// the victim's deadline, and exactly the latency the blocker's batch
+	// will record into the EWMA.
+	clk.step(10 * time.Millisecond)
+	close(release)
+
+	if r := <-blockerDone; r.code != http.StatusOK {
+		t.Fatalf("blocker = %d, want 200", r.code)
+	}
+	r := <-victimDone
+	if r.code != http.StatusTooManyRequests {
+		t.Fatalf("victim = %d, want 429", r.code)
+	}
+	if r.envelope.Error.Code != CodeOverloaded {
+		t.Fatalf("victim code = %q, want %q", r.envelope.Error.Code, CodeOverloaded)
+	}
+	if r.envelope.Error.RetryAfterMs != 10 {
+		t.Fatalf("victim retry_after_ms = %d, want exactly 10 (the stepped batch latency)", r.envelope.Error.RetryAfterMs)
+	}
+	if got := tn.met.shedsDeadline.Value(); got != 1 {
+		t.Fatalf("sheds_deadline = %d, want 1", got)
+	}
+	// Two batches ran on the stepped timeline: the blocker's (10ms, the
+	// first sample) and the victim's shed batch (0ms under the now-static
+	// clock), leaving 10ms + (0-10ms)/4 = 7.5ms — exact, every run.
+	if got := tn.batchLatency.get(0); got != 7500*time.Microsecond {
+		t.Fatalf("batch latency EWMA = %v, want exactly 7.5ms", got)
+	}
+}

@@ -112,7 +112,7 @@ func newMetricsRoot(s *Server) (*expvar.Map, *expvar.Map) {
 	}))
 	tenants := new(expvar.Map).Init()
 	for name, t := range s.tenants {
-		tenants.Set(name, t.met.vars)
+		tenants.Set(name, t.met.vars) //lint:allow metricname -- tenant names are validated directory-safe labels, rendered as label values not metric names
 	}
 	root.Set("tenants", tenants)
 	if p := s.pool; p != nil {

@@ -125,20 +125,27 @@ func (t *Tenant) shedDeadline(reason string, wait time.Duration) error {
 type queryPool struct {
 	slots    chan struct{}
 	queueCap int
+	// now is the pool's clock, inherited from Config.Now (never nil):
+	// queue-wait EWMA samples feed Retry-After hints, which must be
+	// reproducible under the conformance harness's stepped clock.
+	now func() time.Time
 
 	waiting  atomic.Int64
 	sheds    atomic.Int64
 	waitEWMA ewma
 }
 
-func newQueryPool(workers, queue int) *queryPool {
+func newQueryPool(workers, queue int, now func() time.Time) *queryPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if queue <= 0 {
 		queue = 2 * workers
 	}
-	return &queryPool{slots: make(chan struct{}, workers), queueCap: queue}
+	if now == nil {
+		now = time.Now //lint:allow clockdiscipline -- default wall clock when no injected clock is configured
+	}
+	return &queryPool{slots: make(chan struct{}, workers), queueCap: queue, now: now}
 }
 
 // acquire takes a worker slot, waiting in the bounded queue when all
@@ -161,10 +168,10 @@ func (p *queryPool) acquire(ctx context.Context) error {
 		}
 	}
 	defer p.waiting.Add(-1)
-	start := time.Now()
+	start := p.now()
 	select {
 	case p.slots <- struct{}{}:
-		p.waitEWMA.observe(time.Since(start))
+		p.waitEWMA.observe(p.now().Sub(start))
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

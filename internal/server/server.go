@@ -137,7 +137,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	now := cfg.Now
 	if now == nil {
-		now = time.Now
+		now = time.Now //lint:allow clockdiscipline -- default wall clock when no injected clock is configured
 	}
 	logger := cfg.Logger
 	if logger == nil {
@@ -148,7 +148,7 @@ func New(cfg Config) (*Server, error) {
 		now:         now,
 		start:       now(),
 		dataDir:     cfg.DataDir,
-		pool:        newQueryPool(cfg.ADPaRWorkers, cfg.ADPaRQueue),
+		pool:        newQueryPool(cfg.ADPaRWorkers, cfg.ADPaRQueue, now),
 		mutDeadline: cfg.MutationDeadline,
 		log:         logger,
 	}
@@ -172,7 +172,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		t, err := newTenant(name, cfg.Tenants[name], s.dur, s.pool, s.log)
+		t, err := newTenant(name, cfg.Tenants[name], s.dur, s.pool, s.log, s.now)
 		if err != nil {
 			s.Close()
 			return nil, err
@@ -246,7 +246,7 @@ func (s *Server) CreateTenant(name string, cfg TenantConfig) error {
 	}
 	// Build outside the lock — index compilation and WAL recovery can
 	// take a while, and requests to existing tenants must not stall.
-	t, err := newTenant(name, cfg, s.dur, s.pool, s.log)
+	t, err := newTenant(name, cfg, s.dur, s.pool, s.log, s.now)
 	if err != nil {
 		return err
 	}
@@ -260,7 +260,7 @@ func (s *Server) CreateTenant(name string, cfg TenantConfig) error {
 	s.names = append(s.names, name)
 	sort.Strings(s.names)
 	s.mu.Unlock()
-	s.tenantVars.Set(name, t.met.vars)
+	s.tenantVars.Set(name, t.met.vars) //lint:allow metricname -- tenant names are validated directory-safe labels, rendered as label values not metric names
 	s.log.LogAttrs(context.Background(), slog.LevelInfo, evCreate,
 		slog.String("tenant", name),
 		slog.Int("strategies", t.ix.Len()))

@@ -430,7 +430,7 @@ func TestServeReadYourWrites(t *testing.T) {
 // equals the manager's own Alternative on the shared warm index.
 func TestTenantSharedIndexMatchesManager(t *testing.T) {
 	cfg := fixedTenant(5, 0.5)
-	tn, err := newTenant("x", cfg, durability{}, nil, nil)
+	tn, err := newTenant("x", cfg, durability{}, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -154,6 +154,14 @@ type Tenant struct {
 	// never nil — a discard logger when the server runs unlogged, so hot
 	// paths guard with Enabled and pay nothing.
 	log *slog.Logger
+	// now is the tenant's clock, inherited from Config.Now (never nil).
+	// Every time-derived observable on the write path — enqueue stamps,
+	// batch-latency EWMA samples, projected-wait deadline checks,
+	// recovery timing — reads this clock, never time.Now, so the
+	// conformance harness's fixed or stepped clock makes overload
+	// shedding and Retry-After hints bit-reproducible. The clockdiscipline
+	// analyzer (internal/lint) enforces this statically.
+	now func() time.Time
 
 	ops  chan op
 	quit chan struct{}
@@ -255,9 +263,12 @@ type opResult struct {
 // through the event loop itself before newTenant returns, so by the time
 // the server exposes its handler the tenant's published snapshot is the
 // recovered state.
-func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool, logger *slog.Logger) (*Tenant, error) {
+func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool, logger *slog.Logger, now func() time.Time) (*Tenant, error) {
 	if logger == nil {
 		logger = discardLogger()
+	}
+	if now == nil {
+		now = time.Now //lint:allow clockdiscipline -- default wall clock when no injected clock is configured
 	}
 	mgr, err := stream.NewManager(cfg.Set, cfg.Models, cfg.Mode, cfg.Objective, cfg.InitialW)
 	if err != nil {
@@ -293,6 +304,7 @@ func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool, l
 		ops:      make(chan op, buf),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
+		now:      now,
 	}
 	var recovered wal.Recovered
 	if dur.dataDir != "" {
@@ -316,12 +328,12 @@ func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool, l
 	t.snap.Store(mgr.Snapshot())
 	go t.loop()
 	if t.wal != nil {
-		start := time.Now()
+		start := t.now()
 		if err := t.restore(recovered); err != nil {
 			t.close()
 			return nil, fmt.Errorf("server: tenant %s: recovery: %w", name, err)
 		}
-		t.met.noteRecovery(recovered, time.Since(start))
+		t.met.noteRecovery(recovered, t.now().Sub(start))
 		ckptRequests := 0
 		if recovered.Checkpoint != nil {
 			ckptRequests = len(recovered.Checkpoint.Requests)
@@ -330,7 +342,7 @@ func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool, l
 			slog.Int("checkpoint_requests", ckptRequests),
 			slog.Int("tail_records", len(recovered.Tail)),
 			slog.Int("torn_bytes", recovered.TornBytes),
-			slog.Int64("latency_us", time.Since(start).Microseconds()))
+			slog.Int64("latency_us", t.now().Sub(start).Microseconds()))
 	}
 	return t, nil
 }
@@ -512,7 +524,7 @@ func (t *Tenant) applyAdmin(o op) {
 // fsynced exact. Acknowledged ops stay invisible until the restart
 // rebuilds exactly the logged state.
 func (t *Tenant) applyBatch(ops []op) {
-	start := time.Now()
+	start := t.now()
 	results := t.results[:0]
 	walFailed := false
 	anyApplied := false
@@ -534,7 +546,7 @@ func (t *Tenant) applyBatch(ops []op) {
 		// whose caller deadline already expired while it queued is shed
 		// here — before apply, therefore before any WAL append — so a
 		// 429 is as absolute a promise as a never-enqueued shed.
-		if o.ctx != nil && o.ctx.Err() != nil {
+		if ctxExpired(o.ctx, t.now) {
 			res.err = t.shedDeadline(
 				fmt.Sprintf("deadline expired while queued (%s %s)", o.kind, appliedID(o)),
 				t.projectedWait(len(t.ops)))
@@ -664,7 +676,7 @@ func (t *Tenant) applyBatch(ops []op) {
 	if !ops[0].replay {
 		t.met.batches.Add(1)
 		t.met.batchedOps.Add(int64(len(ops)))
-		t.batchLatency.observe(time.Since(start))
+		t.batchLatency.observe(t.now().Sub(start))
 	}
 	for i, o := range ops {
 		res := results[i]
@@ -822,7 +834,7 @@ func (t *Tenant) do(ctx context.Context, o op) opResult {
 	if live {
 		o.ctx = ctx
 		o.trace = traceFrom(ctx)
-		o.enq = time.Now()
+		o.enq = t.now()
 		res, ok := t.admit(&o)
 		if !ok {
 			t.logTerminal(o, res)
@@ -842,6 +854,33 @@ func (t *Tenant) do(ctx context.Context, o op) opResult {
 	return res
 }
 
+// ctxExpired reports whether ctx has ended, judging its deadline (if any)
+// against the injected clock rather than the runtime's wall clock. The
+// HTTP layer derives mutation deadlines from the same clock (see
+// mutationContext), so under a fake clock the whole deadline path —
+// stamping, admission projection, and this pre-apply check — lives on one
+// timeline; under the real clock the comparison is equivalent to ctx.Err.
+// Cancellation (client gone) is still honored directly.
+func ctxExpired(ctx context.Context, now func() time.Time) bool {
+	if ctx == nil {
+		return false
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// A deadline-bearing mutation context (mutationContext) is detached
+		// from the request and cancelled only by its own deadline, so the
+		// injected-clock comparison is the sole judge — the runtime timer
+		// behind ctx.Done() reads the wall clock and would fire early (or
+		// never) under a fake one.
+		return !now().Before(dl)
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
 // admit runs admission control for one live mutation and enqueues it.
 // ok=false means the op was rejected without being enqueued (the result
 // carries the shed/rejection error).
@@ -856,7 +895,7 @@ func (t *Tenant) admit(o *op) (opResult, bool) {
 	}
 	if dl, ok := o.ctx.Deadline(); ok {
 		wait := t.projectedWait(len(t.ops))
-		if time.Now().Add(wait).After(dl) {
+		if t.now().Add(wait).After(dl) {
 			return opResult{err: t.shedDeadline(
 				fmt.Sprintf("projected queue wait %v exceeds request deadline", wait), wait)}, false
 		}
@@ -922,7 +961,7 @@ func (t *Tenant) logTerminal(o op, res opResult) {
 		slog.String("kind", o.kind.String()),
 		slog.String("id", appliedID(o)),
 		slog.Uint64("epoch", res.epoch),
-		slog.Int64("latency_us", time.Since(o.enq).Microseconds()),
+		slog.Int64("latency_us", t.now().Sub(o.enq).Microseconds()),
 	}
 	if res.seq > 0 {
 		attrs = append(attrs, slog.Uint64("seq", res.seq))
@@ -1009,20 +1048,20 @@ func (t *Tenant) applyOps(ctx context.Context, ops []op) ([]opResult, error) {
 		return nil, t.logBatchShed(ctx, len(ops), ErrTenantClosed)
 	}
 	if ctx != nil {
-		if ctx.Err() != nil {
+		if ctxExpired(ctx, t.now) {
 			return nil, t.logBatchShed(ctx, len(ops),
 				t.shedDeadline("batch deadline expired before enqueue", t.projectedWait(len(t.ops))))
 		}
 		if dl, ok := ctx.Deadline(); ok {
 			wait := t.projectedWait(len(t.ops))
-			if time.Now().Add(wait).After(dl) {
+			if t.now().Add(wait).After(dl) {
 				return nil, t.logBatchShed(ctx, len(ops), t.shedDeadline(
 					fmt.Sprintf("projected queue wait %v exceeds batch deadline", wait), wait))
 			}
 		}
 	}
 	trace := traceFrom(ctx)
-	enq := time.Now()
+	enq := t.now()
 	dbg := t.log.Enabled(context.Background(), slog.LevelDebug)
 	results := make([]opResult, len(ops))
 	pending := make([]int, 0, len(ops))
