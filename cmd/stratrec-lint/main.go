@@ -1,20 +1,23 @@
 // Command stratrec-lint is the multichecker for stratrec's
 // domain-specific analyzers (internal/lint): loopsafety, ackorder,
-// clockdiscipline, floatdet, errvocab, metricname.
+// snapshotimmut, walexhaustive, allocbound, clockdiscipline, floatdet,
+// errvocab, metricname.
 //
 // Two drive modes:
 //
-//	stratrec-lint [packages]         standalone; defaults to ./...
-//	go vet -vettool=stratrec-lint    as a vet tool (unitchecker protocol)
+//	stratrec-lint [-json file] [packages]    standalone; defaults to ./...
+//	go vet -vettool=stratrec-lint            as a vet tool (unitchecker protocol)
 //
 // Standalone mode loads packages through the go command and prints
-// diagnostics as file:line:col: analyzer: message. In vettool mode go
-// vet invokes the binary once per package with a JSON config file;
-// diagnostics go to stderr in vet's format. Exit status is 0 when
-// clean, 2 on findings — matching go vet.
+// diagnostics as file:line:col: analyzer: message; -json additionally
+// writes the findings as a machine-readable report for CI artifacts. In
+// vettool mode go vet invokes the binary once per package with a JSON
+// config file; diagnostics go to stderr in vet's format. Exit status is
+// 0 when clean, 2 on findings — matching go vet.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
@@ -24,6 +27,23 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// jsonFinding is one diagnostic in the -json report.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json report: the analyzer roster makes a clean run
+// distinguishable from a run where an analyzer silently did not load.
+type jsonReport struct {
+	Analyzers []string      `json:"analyzers"`
+	Packages  []string      `json:"packages"`
+	Findings  []jsonFinding `json:"findings"`
 }
 
 func run(args []string) int {
@@ -54,7 +74,23 @@ func run(args []string) int {
 		}
 	}
 
-	patterns := args
+	jsonPath := ""
+	patterns := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-json" || args[i] == "--json":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "stratrec-lint: -json requires a file argument")
+				return 1
+			}
+			i++
+			jsonPath = args[i]
+		case strings.HasPrefix(args[i], "-json="):
+			jsonPath = args[i][len("-json="):]
+		default:
+			patterns = append(patterns, args[i])
+		}
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -63,8 +99,13 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "stratrec-lint:", err)
 		return 1
 	}
+	report := jsonReport{
+		Analyzers: strings.Split(analyzerNames(), ","),
+		Findings:  []jsonFinding{},
+	}
 	found := false
 	for _, target := range targets {
+		report.Packages = append(report.Packages, target.PkgPath)
 		diags, err := lint.Run(target, lint.All())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stratrec-lint:", err)
@@ -73,6 +114,24 @@ func run(args []string) int {
 		for _, d := range diags {
 			found = true
 			fmt.Println(d.String())
+			report.Findings = append(report.Findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stratrec-lint:", err)
+			return 1
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "stratrec-lint:", err)
+			return 1
 		}
 	}
 	if found {
@@ -93,13 +152,14 @@ func printHelp() {
 	fmt.Println("stratrec-lint statically enforces stratrec's runtime contracts.")
 	fmt.Println()
 	fmt.Println("Usage:")
-	fmt.Println("  stratrec-lint [packages]              lint packages (default ./...)")
+	fmt.Println("  stratrec-lint [-json report.json] [packages]   lint packages (default ./...)")
 	fmt.Println("  go vet -vettool=$(which stratrec-lint) ./...")
 	fmt.Println()
 	for _, a := range lint.All() {
 		fmt.Println(a.Doc)
 		fmt.Println()
 	}
-	fmt.Println("Suppress a finding with a justified directive on or above the line:")
+	fmt.Println("Suppress a finding with a justified directive on or above the line;")
+	fmt.Println("a directive on its own line before a block covers the whole block:")
 	fmt.Println("  //lint:allow <name>[,<name>] -- <reason>")
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -170,6 +171,41 @@ func TestRunErrorsInProcess(t *testing.T) {
 	_, stderr = capture(t, func() { exit = run([]string{"./no-such-dir"}) })
 	if exit == 0 || !strings.Contains(stderr, "stratrec-lint:") {
 		t.Errorf("bad pattern: exit %d, stderr %q", exit, stderr)
+	}
+}
+
+// TestRunJSONReport: -json writes the machine-readable report CI
+// uploads, mirroring the text findings.
+func TestRunJSONReport(t *testing.T) {
+	t.Chdir(filepath.Join("testdata", "badmod"))
+	reportPath := filepath.Join(t.TempDir(), "lint-report.json")
+	var exit int
+	capture(t, func() { exit = run([]string{"-json", reportPath, "./..."}) })
+	if exit != 2 {
+		t.Fatalf("run(-json) in badmod = %d, want 2", exit)
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if len(report.Analyzers) != len(strings.Split(analyzerNames(), ",")) {
+		t.Errorf("report names %d analyzers, want the full roster %q", len(report.Analyzers), analyzerNames())
+	}
+	wantAnalyzers := []string{"clockdiscipline", "errvocab", "metricname"}
+	if len(report.Findings) != len(wantAnalyzers) {
+		t.Fatalf("report has %d findings, want %d:\n%s", len(report.Findings), len(wantAnalyzers), data)
+	}
+	for i, f := range report.Findings {
+		if f.Analyzer != wantAnalyzers[i] {
+			t.Errorf("finding %d analyzer = %q, want %q", i, f.Analyzer, wantAnalyzers[i])
+		}
+		if f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("finding %d incomplete: %+v", i, f)
+		}
 	}
 }
 

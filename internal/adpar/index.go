@@ -337,6 +337,7 @@ type outerCandList struct {
 	from  int       // index of tail[0] in Index.distinct[outer]
 }
 
+//lint:allocfree
 func (ix *Index) outerCands(dim int, u geometry.Point3) outerCandList {
 	from := sort.SearchFloat64s(ix.distinct[dim], math.Nextafter(u[dim], math.Inf(1)))
 	return outerCandList{first: u[dim], tail: ix.distinct[dim][from:], from: from}
@@ -363,6 +364,8 @@ func (c outerCandList) searchStart(threshold float64) int {
 
 // admitCount returns how many points candidate ci admits: those whose outer
 // coordinate is at most the candidate value.
+//
+//lint:allocfree
 func (ix *Index) admitCount(outer int, cands outerCandList, ci int) int {
 	if ci == 0 {
 		// Points at or below the original bound: everything before the
@@ -449,6 +452,8 @@ type sweepOutcome struct {
 // maps are precompiled on the index), and the scan walks set bits word by
 // word. The visit order is identical to a full scan that tests and skips
 // non-admitted points, so heap states and corners are unchanged.
+//
+//lint:allocfree
 func (ix *Index) sweepRange(u geometry.Point3, k, outer, dimA, dimB int, cands outerCandList, start, residue, stride int, shared *atomicMinFloat64, sc *sweepScratch) sweepOutcome {
 	ptsA := ix.byDim[dimA]
 	pairData := ix.pair(outer, dimA)

@@ -101,6 +101,8 @@ func (p *Planner) markDirty(pos int) {
 
 // insertAt finds the ordered position of it (its lower bound under
 // compareItems).
+//
+//lint:allocfree
 func (p *Planner) insertAt(it Item) int {
 	return sort.Search(len(p.items), func(i int) bool { return compareItems(it, p.items[i]) < 0 })
 }
@@ -135,6 +137,8 @@ func (p *Planner) Insert(it Item) error {
 
 // Remove deletes the item with the given index from the pool, reporting
 // whether it was present.
+//
+//lint:allocfree
 func (p *Planner) Remove(index int) bool {
 	it, ok := p.byIndex[index]
 	if !ok {
@@ -181,6 +185,7 @@ func (p *Planner) SetBudget(w float64) {
 	}
 }
 
+//lint:allocfree
 func (p *Planner) toggle(index int) {
 	if p.flipped[index] {
 		delete(p.flipped, index)
@@ -194,6 +199,8 @@ func (p *Planner) toggle(index int) {
 // untouched prefix — the incremental core. Positions before dirty keep
 // decisions and sums bit-identical to a fresh run by induction; positions
 // from dirty on are recomputed exactly as a fresh run would.
+//
+//lint:allocfree
 func (p *Planner) repair() {
 	if p.dirty < 0 {
 		return

@@ -12,47 +12,84 @@ var AnalyzerAckOrder = &Analyzer{
 	Name: "ackorder",
 	Doc: `ackorder: acks follow WAL appends; shed paths never append.
 
-Two syntactic orderings back the durability contract in internal/server:
+Two orderings back the durability contract in internal/server, checked
+over the package call graph so a helper cannot launder either side:
 
- 1. Within a function, no WAL append (wal.Log.Append or the tenant's
-    logMutation wrapper) may appear after a result-channel send (a send
-    whose element type is opResult). An acknowledgement must refer to an
+ 1. No WAL append — wal.Log.Append directly, or a call to any helper
+    that transitively appends — may be fall-through reachable after a
+    result-channel send (a send whose element type is opResult, again
+    directly or through helpers). An acknowledgement must refer to an
     already-logged mutation, so the append belongs strictly before the
-    ack.
+    ack. A call to a function that both appends and acks is a
+    self-contained apply cycle and is neither event.
  2. In a function that appends to the WAL, a shed construction
-    (shedQueueFull/shedDeadline) must sit on a terminating path — its
-    enclosing block must contain no later append and must end in
-    return, continue, break, or goto. A 429 is a hard promise that the
-    mutation left no trace; the chaos oracle verifies this after the
-    fact, ackorder refuses to compile the violation in.`,
+    (shedQueueFull/shedDeadline, directly or via a shedding helper)
+    must sit on a terminating path — its enclosing block must contain
+    no later append and must end in return, continue, break, or goto.
+    A 429 is a hard promise that the mutation left no trace; the chaos
+    oracle verifies this after the fact, ackorder refuses to compile
+    the violation in.
+
+Interprocedural diagnostics carry the helper chain that reaches the
+append/ack/shed, e.g. "WAL append via persist → persistInner".`,
 	Run: runAckOrder,
+}
+
+// ackEvent is one place a function may append, ack, or shed: a direct
+// occurrence (via == nil) or a call into a helper holding the fact.
+type ackEvent struct {
+	pos token.Pos
+	via *cgNode
 }
 
 func runAckOrder(pass *Pass) error {
 	if !pkgOneOf(pass, "server") {
 		return nil
 	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkAckOrder(pass, fd)
+	g := buildCallGraph(pass)
+
+	appendSeeds := make(map[*cgNode]token.Pos)
+	ackSeeds := make(map[*cgNode]token.Pos)
+	shedSeeds := make(map[*cgNode]token.Pos)
+	for _, n := range g.nodes {
+		n := n
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			switch x := node.(type) {
+			case *ast.SendStmt:
+				if isAckSend(pass.Info, x) {
+					seed(ackSeeds, n, x.Pos())
+				}
+			case *ast.CallExpr:
+				if isWALAppend(pass.Info, x) {
+					seed(appendSeeds, n, x.Pos())
+				} else if isShedCall(pass.Info, x) {
+					seed(shedSeeds, n, x.Pos())
+				}
 			}
-		}
+			return true
+		})
+	}
+	appendF := propagateFact(g, appendSeeds)
+	ackF := propagateFact(g, ackSeeds)
+	shedF := propagateFact(g, shedSeeds)
+
+	for _, n := range g.nodes {
+		checkAckOrderFn(pass, g, n, appendF, ackF, shedF)
 	}
 	return nil
 }
 
-// isWALAppend reports whether call appends to the write-ahead log:
-// wal.Log.Append directly, or through the tenant's logMutation wrapper.
+func seed(m map[*cgNode]token.Pos, n *cgNode, pos token.Pos) {
+	if _, ok := m[n]; !ok {
+		m[n] = pos
+	}
+}
+
+// isWALAppend reports whether call appends to the write-ahead log
+// directly. Wrappers (logMutation and friends) need no special case:
+// fact propagation marks them.
 func isWALAppend(info *types.Info, call *ast.CallExpr) bool {
-	fn := calleeOf(info, call)
-	if fn == nil {
-		return false
-	}
-	if methodOn(fn, "Append", "Log", "wal") {
-		return true
-	}
-	return fn.Name() == "logMutation" && recvName(fn) != ""
+	return methodOn(calleeOf(info, call), "Append", "Log", "wal")
 }
 
 // isAckSend reports whether stmt sends an opResult — the loop handing a
@@ -79,34 +116,79 @@ func isShedCall(info *types.Info, call *ast.CallExpr) bool {
 	return fn.Name() == "shedQueueFull" || fn.Name() == "shedDeadline"
 }
 
-func checkAckOrder(pass *Pass, fd *ast.FuncDecl) {
-	var ackSends, appends []token.Pos
-	var sheds []*ast.CallExpr
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
+// collectAckEvents classifies every append/ack/shed event in n's body.
+// A call into a helper with exactly one of the append/ack facts is that
+// kind of event at the call site; a helper with both is a self-contained
+// apply cycle (it orders its own append before its own ack — rule 1
+// fires inside it if not) and is no event at all, so two sequential
+// batch applies do not read as cross-batch violations.
+func collectAckEvents(pass *Pass, g *callGraph, n *cgNode, appendF, ackF, shedF *factSet) (appends, acks, sheds []ackEvent) {
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
 		case *ast.SendStmt:
-			if isAckSend(pass.Info, n) {
-				ackSends = append(ackSends, n.Pos())
+			if isAckSend(pass.Info, x) {
+				acks = append(acks, ackEvent{pos: x.Pos()})
 			}
 		case *ast.CallExpr:
-			if isWALAppend(pass.Info, n) {
-				appends = append(appends, n.Pos())
-			} else if isShedCall(pass.Info, n) {
-				sheds = append(sheds, n)
+			if isWALAppend(pass.Info, x) {
+				appends = append(appends, ackEvent{pos: x.Pos()})
+				return true
+			}
+			if isShedCall(pass.Info, x) {
+				sheds = append(sheds, ackEvent{pos: x.Pos()})
+				return true
+			}
+			c := g.node(calleeOf(pass.Info, x))
+			if c == nil || c == n {
+				return true
+			}
+			mayAppend, mayAck := appendF.has(c), ackF.has(c)
+			switch {
+			case mayAppend && !mayAck:
+				appends = append(appends, ackEvent{pos: x.Pos(), via: c})
+			case mayAck && !mayAppend:
+				acks = append(acks, ackEvent{pos: x.Pos(), via: c})
+			}
+			if shedF.has(c) && !mayAppend {
+				sheds = append(sheds, ackEvent{pos: x.Pos(), via: c})
 			}
 		}
 		return true
 	})
+	return appends, acks, sheds
+}
 
-	// Rule 1: an append after an ack send acknowledges before logging.
+// eventChain renders "helper → deeper → deepest" for a laundered event.
+func eventChain(c *cgNode, fs *factSet) string {
+	name := c.fn.Name()
+	if rest := fs.chain(c); rest != "" {
+		name += " → " + rest
+	}
+	return name
+}
+
+func checkAckOrderFn(pass *Pass, g *callGraph, n *cgNode, appendF, ackF, shedF *factSet) {
+	appends, acks, sheds := collectAckEvents(pass, g, n, appendF, ackF, shedF)
+	body := n.decl.Body
+	fname := n.decl.Name.Name
+
+	// Rule 1: an append fall-through reachable after an ack send
+	// acknowledges before logging.
 	for _, ap := range appends {
-		for _, send := range ackSends {
-			if ap > send {
-				pass.Reportf(ap,
-					"WAL append after an opResult send in %s: an acknowledgement must follow the op's WAL append (acked => logged)",
-					fd.Name.Name)
-				break
+		for _, ack := range acks {
+			if ack.pos >= ap.pos || !fallsThroughTo(body, ack.pos, ap.pos) {
+				continue
 			}
+			msg := "WAL append after an opResult send in " + fname +
+				": an acknowledgement must follow the op's WAL append (acked => logged)"
+			if ap.via != nil {
+				msg += " [append via " + eventChain(ap.via, appendF) + "]"
+			}
+			if ack.via != nil {
+				msg += " [ack via " + eventChain(ack.via, ackF) + "]"
+			}
+			pass.Reportf(ap.pos, "%s", msg)
+			break
 		}
 	}
 
@@ -116,48 +198,53 @@ func checkAckOrder(pass *Pass, fd *ast.FuncDecl) {
 		return
 	}
 	for _, shed := range sheds {
-		if !shedPathTerminates(pass, fd.Body, shed) {
-			pass.Reportf(shed.Pos(),
-				"shed constructed on a path that can reach a WAL append in %s: a 429 promises the mutation left no trace (shed => not logged)",
-				fd.Name.Name)
+		if shedPathTerminates(body, shed.pos, appends) {
+			continue
 		}
+		msg := "shed constructed on a path that can reach a WAL append in " + fname +
+			": a 429 promises the mutation left no trace (shed => not logged)"
+		if shed.via != nil {
+			msg += " [shed via " + eventChain(shed.via, shedF) + "]"
+		}
+		pass.Reportf(shed.pos, "%s", msg)
 	}
 }
 
 // shedPathTerminates checks that the statement list innermost around the
-// shed call neither appends to the WAL after the shed nor falls through:
-// after the shed-containing statement the block must be append-free and
-// end in a terminating statement. A shed inside a return statement
-// terminates trivially.
-func shedPathTerminates(pass *Pass, body *ast.BlockStmt, shed *ast.CallExpr) bool {
-	stmts, idx := innermostList(body, shed.Pos())
-	if stmts == nil {
+// shed event neither reaches a WAL append event after the shed nor falls
+// through: after the shed-containing statement the block must be free of
+// append events and end in a terminating statement. A shed inside a
+// return statement terminates trivially.
+func shedPathTerminates(body *ast.BlockStmt, shedPos token.Pos, appends []ackEvent) bool {
+	levels := enclosingLists(body, shedPos)
+	if len(levels) == 0 {
 		return false
 	}
-	if _, ok := stmts[idx].(*ast.ReturnStmt); ok {
+	lv := levels[0]
+	if _, ok := lv.stmts[lv.idx].(*ast.ReturnStmt); ok {
 		return true
 	}
-	rest := stmts[idx:]
+	rest := lv.stmts[lv.idx:]
 	for _, s := range rest[1:] {
-		bad := false
-		ast.Inspect(s, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok && isWALAppend(pass.Info, call) {
-				bad = true
+		for _, ap := range appends {
+			if s.Pos() <= ap.pos && ap.pos < s.End() {
+				return false
 			}
-			return !bad
-		})
-		if bad {
-			return false
 		}
 	}
-	switch last := rest[len(rest)-1].(type) {
+	return stmtTerminates(rest[len(rest)-1])
+}
+
+// stmtTerminates reports whether s unconditionally leaves its statement
+// list: return, continue/break/goto, or a panic call.
+func stmtTerminates(s ast.Stmt) bool {
+	switch st := s.(type) {
 	case *ast.ReturnStmt:
 		return true
 	case *ast.BranchStmt:
-		return last.Tok == token.CONTINUE || last.Tok == token.BREAK || last.Tok == token.GOTO
+		return st.Tok == token.CONTINUE || st.Tok == token.BREAK || st.Tok == token.GOTO
 	case *ast.ExprStmt:
-		// panic(...) terminates.
-		if call, ok := last.X.(*ast.CallExpr); ok {
+		if call, ok := st.X.(*ast.CallExpr); ok {
 			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
 				return true
 			}
@@ -166,37 +253,83 @@ func shedPathTerminates(pass *Pass, body *ast.BlockStmt, shed *ast.CallExpr) boo
 	return false
 }
 
-// innermostList finds the deepest statement list containing pos and the
-// index of the statement that contains it.
-func innermostList(body *ast.BlockStmt, pos token.Pos) (stmts []ast.Stmt, idx int) {
-	var walk func(list []ast.Stmt) bool
-	walk = func(list []ast.Stmt) bool {
+// listCtx is one statement list on the path from a function body down to
+// a position: the list and the index of the statement containing it.
+type listCtx struct {
+	stmts []ast.Stmt
+	idx   int
+}
+
+// enclosingLists returns every statement list containing pos, innermost
+// first.
+func enclosingLists(body *ast.BlockStmt, pos token.Pos) []listCtx {
+	var out []listCtx
+	list := body.List
+	for list != nil {
+		idx := -1
 		for i, s := range list {
 			if s.Pos() <= pos && pos < s.End() {
-				stmts, idx = list, i
-				// Recurse: a deeper list inside this statement wins.
-				ast.Inspect(s, func(n ast.Node) bool {
-					switch n := n.(type) {
-					case *ast.BlockStmt:
-						if n.Pos() <= pos && pos < n.End() {
-							walk(n.List)
-						}
-					case *ast.CaseClause:
-						if n.Pos() <= pos && pos < n.End() {
-							walk(n.Body)
-						}
-					case *ast.CommClause:
-						if n.Pos() <= pos && pos < n.End() {
-							walk(n.Body)
-						}
-					}
-					return true
-				})
-				return true
+				idx = i
+				break
 			}
 		}
-		return false
+		if idx < 0 {
+			break
+		}
+		out = append(out, listCtx{stmts: list, idx: idx})
+		list = childListContaining(list[idx], pos)
 	}
-	walk(body.List)
-	return stmts, idx
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// childListContaining returns the statement list one nesting level below
+// s that contains pos, nil when pos sits directly in s (e.g. in an if
+// condition).
+func childListContaining(s ast.Stmt, pos token.Pos) []ast.Stmt {
+	var out []ast.Stmt
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found || n == s {
+			return !found
+		}
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			if b.Pos() <= pos && pos < b.End() {
+				out, found = b.List, true
+			}
+		case *ast.CaseClause:
+			if b.Pos() <= pos && pos < b.End() {
+				out, found = b.Body, true
+			}
+		case *ast.CommClause:
+			if b.Pos() <= pos && pos < b.End() {
+				out, found = b.Body, true
+			}
+		}
+		return !found
+	})
+	return out
+}
+
+// fallsThroughTo reports whether execution can fall from the statement
+// containing `from` to the statement containing `to` by walking the
+// enclosing statement lists outward: at each level the statements after
+// the current one run next unless a terminator (return, branch, panic)
+// intervenes first. Cross-iteration flow (a loop body wrapping around)
+// is deliberately out of scope: per-op ordering restarts each iteration.
+func fallsThroughTo(body *ast.BlockStmt, from, to token.Pos) bool {
+	for _, lv := range enclosingLists(body, from) {
+		for _, s := range lv.stmts[lv.idx+1:] {
+			if s.Pos() <= to && to < s.End() {
+				return true
+			}
+			if stmtTerminates(s) {
+				return false
+			}
+		}
+	}
+	return false
 }

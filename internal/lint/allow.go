@@ -8,9 +8,11 @@ import (
 
 // allowDirective is one parsed //lint:allow comment.
 type allowDirective struct {
-	// line is the source line the directive suppresses: its own line, so
-	// both a trailing comment and a directive on the line above the
-	// offending statement (which suppresses line+1) work.
+	// line is the source line the directive sits on. A directive covers
+	// its own line (trailing comment) and the next line (comment above
+	// the statement); a directive on its own line immediately before a
+	// statement that opens a block covers the whole block (see
+	// newSuppressor).
 	line      int
 	file      string
 	names     []string
@@ -66,6 +68,7 @@ type suppressor struct {
 func newSuppressor(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) *suppressor {
 	s := &suppressor{byKey: make(map[string]bool)}
 	for _, f := range files {
+		codeLines, blockEnds := fileLineShape(fset, f)
 		for _, d := range parseAllows(fset, f) {
 			if !d.hasReason {
 				report(Diagnostic{
@@ -75,15 +78,57 @@ func newSuppressor(fset *token.FileSet, files []*ast.File, report func(Diagnosti
 				})
 				continue
 			}
+			// The directive covers its own line (trailing comment) and
+			// the next line (comment above the statement). When it sits
+			// on a line of its own and the next line opens a block, it
+			// covers the whole block — one justified directive instead
+			// of one per offending line.
+			last := d.line + 1
+			if !codeLines[d.line] {
+				if end, ok := blockEnds[d.line+1]; ok && end > last {
+					last = end
+				}
+			}
 			for _, name := range d.names {
-				// The directive covers its own line (trailing comment)
-				// and the next line (comment above the statement).
-				s.byKey[suppressKey(d.file, d.line, name)] = true
-				s.byKey[suppressKey(d.file, d.line+1, name)] = true
+				for line := d.line; line <= last; line++ {
+					s.byKey[suppressKey(d.file, line, name)] = true
+				}
 			}
 		}
 	}
 	return s
+}
+
+// fileLineShape surveys one file for the block-scope rule: which lines
+// carry code (a directive sharing a line with code stays per-line), and
+// for each line that starts a block-opening construct, the line its
+// block closes on. When several block-openers start on one line (for {
+// if { ... ) the outermost — largest end — wins.
+func fileLineShape(fset *token.FileSet, f *ast.File) (codeLines map[int]bool, blockEnds map[int]int) {
+	codeLines = make(map[int]bool)
+	blockEnds = make(map[int]int)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		codeLines[fset.Position(n.Pos()).Line] = true
+		opens := false
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			opens = true
+		}
+		if opens {
+			start := fset.Position(n.Pos()).Line
+			end := fset.Position(n.End()).Line
+			if end > blockEnds[start] {
+				blockEnds[start] = end
+			}
+		}
+		return true
+	})
+	return codeLines, blockEnds
 }
 
 func suppressKey(file string, line int, analyzer string) string {

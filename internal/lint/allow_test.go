@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func buildSuppressor(t *testing.T, src string) (*suppressor, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow_src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reported []Diagnostic
+	s := newSuppressor(fset, []*ast.File{f}, func(d Diagnostic) { reported = append(reported, d) })
+	return s, reported
+}
+
+func allowedAt(s *suppressor, line int, analyzer string) bool {
+	return s.allowed(Diagnostic{Pos: token.Position{Filename: "allow_src.go", Line: line}, Analyzer: analyzer})
+}
+
+// The scope shapes: trailing directives stay per-line; an own-line
+// directive before a block-opener covers the block; before anything
+// else it keeps the two-line coverage; an inner-block directive must
+// not leak past its block into the enclosing function.
+const blockScopeSrc = `package p
+
+func f() {
+	x := 1 //lint:allow alpha -- trailing stays per-line
+	_ = x
+	_ = x
+}
+
+//lint:allow beta -- own-line before a func covers the whole body
+func g() {
+	a := 1
+	_ = a
+}
+
+func h() {
+	//lint:allow gamma -- own-line before an inner loop covers the loop only
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+	tail := 1
+	_ = tail
+}
+
+func k() {
+	//lint:allow delta -- before a plain statement: two-line coverage only
+	v := 1
+	_ = v
+}
+
+func m() {
+	y := 1 //lint:allow eps -- sharing a line with code forfeits block scope
+	if y > 0 {
+		_ = y
+	}
+	_ = y
+}
+`
+
+func TestAllowScopes(t *testing.T) {
+	s, reported := buildSuppressor(t, blockScopeSrc)
+	if len(reported) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", reported)
+	}
+	checks := []struct {
+		name     string
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"trailing covers own line", "alpha", 4, true},
+		{"trailing covers next line", "alpha", 5, true},
+		{"trailing stops after next line", "alpha", 6, false},
+
+		{"func scope covers first body line", "beta", 11, true},
+		{"func scope covers closing brace", "beta", 13, true},
+		{"func scope ends at the function", "beta", 15, false},
+
+		{"inner-block scope covers the loop body", "gamma", 18, true},
+		{"inner-block scope covers the loop close", "gamma", 19, true},
+		{"inner-block scope does not leak to the tail", "gamma", 20, false},
+
+		{"non-block line keeps two-line coverage", "delta", 26, true},
+		{"non-block line does not extend further", "delta", 27, false},
+
+		{"code-sharing directive covers its line", "eps", 31, true},
+		{"code-sharing directive covers next line", "eps", 32, true},
+		{"code-sharing directive skips the block body", "eps", 33, false},
+
+		{"names do not cross-suppress", "beta", 4, false},
+	}
+	for _, c := range checks {
+		if got := allowedAt(s, c.line, c.analyzer); got != c.want {
+			t.Errorf("%s: allowed(%d, %s) = %v, want %v", c.name, c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+func TestAllowMultiName(t *testing.T) {
+	s, reported := buildSuppressor(t, `package p
+
+//lint:allow alpha, beta -- one directive, two analyzers, whole func
+func f() {
+	x := 1
+	_ = x
+}
+`)
+	if len(reported) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", reported)
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		if !allowedAt(s, 5, name) {
+			t.Errorf("allowed(5, %s) = false, want true", name)
+		}
+	}
+	if allowedAt(s, 5, "gamma") {
+		t.Error("allowed(5, gamma) = true, want false")
+	}
+}
+
+func TestAllowWithoutReason(t *testing.T) {
+	s, reported := buildSuppressor(t, `package p
+
+func f() {
+	x := 1 //lint:allow alpha
+	_ = x
+}
+`)
+	if len(reported) != 1 {
+		t.Fatalf("reported = %v, want exactly one allowdirective diagnostic", reported)
+	}
+	if reported[0].Analyzer != "allowdirective" {
+		t.Errorf("reported analyzer = %q, want allowdirective", reported[0].Analyzer)
+	}
+	if allowedAt(s, 4, "alpha") {
+		t.Error("reasonless directive must suppress nothing")
+	}
+}

@@ -18,6 +18,9 @@ func TestFixtures(t *testing.T) {
 	}{
 		{AnalyzerLoopSafety, []string{"lintfix/loopsafety/server", "lintfix/loopsafetyclean/server"}},
 		{AnalyzerAckOrder, []string{"lintfix/ackorder/server", "lintfix/ackorderclean/server"}},
+		{AnalyzerSnapshotImmut, []string{"lintfix/snapshotimmut/server", "lintfix/snapshotimmut/stream", "lintfix/snapshotimmutclean/server"}},
+		{AnalyzerWALExhaustive, []string{"lintfix/walexhaustive/wal", "lintfix/walexhaustive/server", "lintfix/walexhaustiveclean/wal"}},
+		{AnalyzerAllocBound, []string{"lintfix/allocbound/server", "lintfix/allocboundclean/server"}},
 		{AnalyzerClockDiscipline, []string{"lintfix/clockdiscipline/server", "lintfix/clockdisciplineclean/server"}},
 		{AnalyzerFloatDet, []string{"lintfix/floatdet/batch", "lintfix/floatdetclean/batch"}},
 		{AnalyzerErrVocab, []string{"lintfix/errvocab/server", "lintfix/errvocabclean/server"}},
@@ -42,7 +45,7 @@ func TestFixtures(t *testing.T) {
 // stream and wal mimics) must not themselves trip any analyzer —
 // their package base names are in-scope on purpose.
 func TestHelperPackagesStayClean(t *testing.T) {
-	for _, pkg := range []string{"lintfix/loopsafety/stream", "lintfix/ackorder/wal"} {
+	for _, pkg := range []string{"lintfix/loopsafety/stream", "lintfix/ackorder/wal", "lintfix/snapshotimmutclean/stream"} {
 		problems, err := CheckFixture("testdata", pkg, All())
 		if err != nil {
 			t.Fatal(err)

@@ -1,11 +1,12 @@
-// Package lint is stratrec's domain-specific static-analysis suite: six
-// analyzers that turn the system's cross-cutting runtime contracts —
-// acked ⇒ logged ⇒ fsynced, shed ⇒ no WAL trace, single-writer
-// stream.Manager access, injected clocks, bit-identical solver
-// arithmetic, the stable error-code and metric-name vocabularies — into
-// compile-time checks. The conformance and chaos oracles catch a
-// violation after it ships into a run; these analyzers catch it at vet
-// time, before it runs at all.
+// Package lint is stratrec's domain-specific static-analysis suite:
+// nine analyzers that turn the system's cross-cutting runtime contracts
+// — acked ⇒ logged ⇒ fsynced, shed ⇒ no WAL trace, single-writer
+// stream.Manager access, snapshot immutability, WAL replay
+// exhaustiveness, zero-allocation hot paths, injected clocks,
+// bit-identical solver arithmetic, the stable error-code and
+// metric-name vocabularies — into compile-time checks. The conformance
+// and chaos oracles catch a violation after it ships into a run; these
+// analyzers catch it at vet time, before it runs at all.
 //
 // The suite is built on a small stdlib-only mirror of the
 // golang.org/x/tools/go/analysis API (this module has no dependencies,
@@ -14,13 +15,20 @@
 // standalone (stratrec-lint ./...) and as a `go vet -vettool=`
 // unitchecker (see unit.go).
 //
+// Since PR 10 the suite is whole-program within each package: a call
+// graph (callgraph.go) with bottom-up fact propagation (facts.go) lets
+// ackorder, loopsafety, and snapshotimmut see a violation laundered
+// through any depth of helper functions, and their diagnostics carry
+// the call chain that reaches the offending operation.
+//
 // Suppression: a finding can be silenced with
 //
 //	//lint:allow <name>[,<name>...] -- <reason>
 //
-// on the offending line or the line directly above. The reason is
-// mandatory — a directive without one is itself a diagnostic and
-// suppresses nothing (see allow.go).
+// on the offending line or the line directly above; a directive on its
+// own line immediately before a statement that opens a block covers the
+// whole block. The reason is mandatory — a directive without one is
+// itself a diagnostic and suppresses nothing (see allow.go).
 package lint
 
 import (
@@ -90,6 +98,9 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerLoopSafety,
 		AnalyzerAckOrder,
+		AnalyzerSnapshotImmut,
+		AnalyzerWALExhaustive,
+		AnalyzerAllocBound,
 		AnalyzerClockDiscipline,
 		AnalyzerFloatDet,
 		AnalyzerErrVocab,

@@ -96,7 +96,17 @@ func Load(dir string, patterns []string) ([]*Target, error) {
 
 // typecheck parses files and typechecks them as package pkgPath,
 // importing dependencies through export-data files resolved by lookup.
-func typecheck(pkgPath string, files []string, lookup func(path string) (string, bool)) (*Target, error) {
+//
+// The gc export-data importer panics on some malformed inputs (a stale
+// or truncated export file, a version skew) instead of returning an
+// error; the recover turns that into a loader diagnostic so a broken
+// build cache reads as "what went wrong", not a stack trace.
+func typecheck(pkgPath string, files []string, lookup func(path string) (string, bool)) (target *Target, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			target, err = nil, fmt.Errorf("lint: typechecking %s: importer panic: %v (is the build cache stale? try `go build ./...` first)", pkgPath, r)
+		}
+	}()
 	fset := token.NewFileSet()
 	var syntax []*ast.File
 	for _, name := range files {

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The loader's error paths: every way a package fails to load must come
+// back as a readable error, never a panic or a bare stack trace.
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadSyntaxError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":  "module broken\n\ngo 1.24\n",
+		"main.go": "package broken\n\nfunc f() {\n\tx :=\n}\n",
+	})
+	_, err := Load(root, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a syntax error")
+	}
+	if !strings.HasPrefix(err.Error(), "lint:") {
+		t.Errorf("error not in the loader's vocabulary: %v", err)
+	}
+}
+
+func TestLoadVendoredDependency(t *testing.T) {
+	// A consistent vendor tree must load: go list compiles export data
+	// for vendored packages the same as cached ones.
+	root := writeModule(t, map[string]string{
+		"go.mod":                        "module vendored\n\ngo 1.24\n\nrequire example.com/dep v1.0.0\n",
+		"main.go":                       "package vendored\n\nimport \"example.com/dep\"\n\nvar V = dep.Answer\n",
+		"vendor/modules.txt":            "# example.com/dep v1.0.0\n## explicit; go 1.24\nexample.com/dep\n",
+		"vendor/example.com/dep/dep.go": "package dep\n\nconst Answer = 42\n",
+	})
+	targets, err := Load(root, []string{"."})
+	if err != nil {
+		t.Fatalf("Load on a consistent vendor tree: %v", err)
+	}
+	if len(targets) != 1 || targets[0].PkgPath != "vendored" {
+		t.Fatalf("targets = %v, want the one vendored package", targets)
+	}
+}
+
+func TestLoadInconsistentVendor(t *testing.T) {
+	// modules.txt missing the imported package: the go command's vendor
+	// consistency check must surface as a loader error, not a typecheck
+	// panic about missing export data.
+	root := writeModule(t, map[string]string{
+		"go.mod":                        "module vendored\n\ngo 1.24\n\nrequire example.com/dep v1.0.0\n",
+		"main.go":                       "package vendored\n\nimport \"example.com/dep\"\n\nvar V = dep.Answer\n",
+		"vendor/modules.txt":            "# example.com/other v1.0.0\n## explicit; go 1.24\nexample.com/other\n",
+		"vendor/example.com/dep/dep.go": "package dep\n\nconst Answer = 42\n",
+	})
+	_, err := Load(root, []string{"."})
+	if err == nil {
+		t.Fatal("Load succeeded on an inconsistent vendor tree")
+	}
+	if !strings.HasPrefix(err.Error(), "lint:") {
+		t.Errorf("error not in the loader's vocabulary: %v", err)
+	}
+}
+
+func TestTypecheckMissingExportData(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"main.go": "package p\n\nimport \"fmt\"\n\nvar _ = fmt.Sprintf\n",
+	})
+	_, err := typecheck("p", []string{filepath.Join(root, "main.go")}, func(string) (string, bool) {
+		return "", false
+	})
+	if err == nil {
+		t.Fatal("typecheck succeeded without export data for fmt")
+	}
+	if !strings.Contains(err.Error(), "no export data") {
+		t.Errorf("error does not name the missing export data: %v", err)
+	}
+}
+
+func TestTypecheckCorruptExportData(t *testing.T) {
+	// A stale or truncated export file makes the gc importer panic; the
+	// loader must convert that into an error that points at the build
+	// cache, not a crash.
+	root := writeModule(t, map[string]string{
+		"main.go": "package p\n\nimport \"fmt\"\n\nvar _ = fmt.Sprintf\n",
+		"fmt.a":   "this is not export data",
+	})
+	garbage := filepath.Join(root, "fmt.a")
+	_, err := typecheck("p", []string{filepath.Join(root, "main.go")}, func(path string) (string, bool) {
+		return garbage, true
+	})
+	if err == nil {
+		t.Fatal("typecheck succeeded with corrupt export data")
+	}
+	if !strings.HasPrefix(err.Error(), "lint:") {
+		t.Errorf("error not in the loader's vocabulary: %v", err)
+	}
+}

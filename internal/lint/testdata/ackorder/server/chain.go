@@ -1,0 +1,38 @@
+// Laundering fixtures for the interprocedural ackorder: the ack, the
+// append, and the shed each hide behind helper chains PR 9's
+// per-function scan could not see through.
+package server
+
+import "lintfix/ackorder/wal"
+
+func (t *tenant) notifyDone(o op) { t.notify(o) }
+
+func (t *tenant) notify(o op) { o.reply <- opResult{} }
+
+func (t *tenant) persist(o op) (uint64, error) { return t.persistInner(o) }
+
+func (t *tenant) persistInner(o op) (uint64, error) {
+	return t.wal.Append(wal.Record{Kind: o.id})
+}
+
+// applyLaundered acknowledges through one two-level helper chain, then
+// appends through another: acked => logged, violated at depth two.
+func (t *tenant) applyLaundered(o op) {
+	t.notifyDone(o)
+	t.persist(o) // want `WAL append after an opResult send in applyLaundered.*append via persist → persistInner.*ack via notifyDone → notify`
+}
+
+func (t *tenant) rejectLate(o op) opResult {
+	return opResult{err: t.shedDeadline("late")}
+}
+
+// applyShedLaundered sheds through a helper on a path that falls
+// through to an append, itself reached through a helper.
+func (t *tenant) applyShedLaundered(ops []op) {
+	for _, o := range ops {
+		if o.id == "" {
+			_ = t.rejectLate(o) // want `shed constructed on a path that can reach a WAL append in applyShedLaundered.*shed via rejectLate`
+		}
+		t.persist(o)
+	}
+}

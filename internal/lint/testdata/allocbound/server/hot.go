@@ -1,0 +1,23 @@
+// Package server is the allocbound flagging fixture: a function
+// annotated alloc-free whose body the compiler proves allocates.
+package server
+
+// sum is genuinely alloc-free and keeps the package honest.
+//
+//lint:allocfree
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// leak is annotated alloc-free but returns the address of a local: the
+// compiler moves it to the heap, one allocation per call.
+//
+//lint:allocfree
+func leak() *int {
+	x := 0 // want `leak is annotated //lint:allocfree but the compiler reports "moved to heap: x"`
+	return &x
+}

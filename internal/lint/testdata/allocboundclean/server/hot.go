@@ -1,0 +1,29 @@
+// Package server is the allocbound clean fixture: annotated functions
+// the compiler agrees are alloc-free.
+package server
+
+//lint:allocfree
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+//lint:allocfree
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// escape allocates but carries no annotation: out of scope.
+func escape() *int {
+	x := 7
+	return &x
+}

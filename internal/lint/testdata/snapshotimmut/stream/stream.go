@@ -1,0 +1,39 @@
+// Package stream is the snapshotimmut fixture's stream mimic: the
+// Snapshot shape, its single sanctioned constructor, and one in-package
+// violation proving even stream itself may not write a finished
+// snapshot.
+package stream
+
+type RequestState struct {
+	ID         string
+	Serving    bool
+	Strategies []int
+}
+
+type Snapshot struct {
+	Epoch    uint64
+	Requests []RequestState
+
+	byID map[string]int
+}
+
+type Manager struct {
+	epoch uint64
+	order []string
+}
+
+// Snapshot is the allowlisted construction site: these writes assemble
+// the copies before the pointer is published and must not flag.
+func (m *Manager) Snapshot() *Snapshot {
+	s := &Snapshot{Epoch: m.epoch, byID: make(map[string]int, len(m.order))}
+	for i, id := range m.order {
+		s.byID[id] = i
+		s.Requests = append(s.Requests, RequestState{ID: id})
+	}
+	return s
+}
+
+// Rewrite mutates a finished snapshot outside the constructor.
+func (m *Manager) Rewrite(s *Snapshot) {
+	s.Epoch++ // want `write to memory reachable from a stream\.Snapshot in Rewrite`
+}

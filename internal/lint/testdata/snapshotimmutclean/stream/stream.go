@@ -1,0 +1,29 @@
+// Package stream is the snapshotimmut clean fixture's stream mimic.
+package stream
+
+type RequestState struct {
+	ID      string
+	Serving bool
+}
+
+type Snapshot struct {
+	Epoch    uint64
+	Requests []RequestState
+
+	byID map[string]int
+}
+
+type Manager struct {
+	epoch uint64
+	order []string
+}
+
+// Snapshot is the sanctioned constructor.
+func (m *Manager) Snapshot() *Snapshot {
+	s := &Snapshot{Epoch: m.epoch, byID: make(map[string]int, len(m.order))}
+	for i, id := range m.order {
+		s.byID[id] = i
+		s.Requests = append(s.Requests, RequestState{ID: id})
+	}
+	return s
+}

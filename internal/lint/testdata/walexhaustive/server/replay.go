@@ -1,0 +1,18 @@
+// Package server is the walexhaustive replay fixture: recovery's
+// dispatch missing a kind the wal package defines.
+package server
+
+import "lintfix/walexhaustive/wal"
+
+func replay(records []wal.Record) int {
+	applied := 0
+	for _, r := range records {
+		switch r.Kind { // want `WAL kind switch is not exhaustive: missing KindAvailability`
+		case wal.KindSubmit:
+			applied++
+		case wal.KindRevoke:
+			applied++
+		}
+	}
+	return applied
+}

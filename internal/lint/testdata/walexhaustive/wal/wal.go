@@ -1,0 +1,69 @@
+// Package wal is the walexhaustive flagging fixture: kind inventories
+// derived from the Kind*/binKind* const groups, dispatches with missing
+// arms.
+package wal
+
+const (
+	KindSubmit       = "submit"
+	KindRevoke       = "revoke"
+	KindAvailability = "availability"
+)
+
+const (
+	binKindSubmit       = 1
+	binKindRevoke       = 2
+	binKindAvailability = 3
+)
+
+type Record struct {
+	Kind string
+	Seq  uint64
+}
+
+// binKindOf covers every kind and stays clean.
+func binKindOf(kind string) int {
+	switch kind {
+	case KindSubmit:
+		return binKindSubmit
+	case KindRevoke:
+		return binKindRevoke
+	case KindAvailability:
+		return binKindAvailability
+	}
+	return 0
+}
+
+// encode forgot the availability arm: a kind the decoder accepts is
+// silently never written.
+func encode(r Record) int {
+	switch r.Kind { // want `WAL kind switch is not exhaustive: missing KindAvailability`
+	case KindSubmit:
+		return binKindSubmit
+	case KindRevoke:
+		return binKindRevoke
+	}
+	return 0
+}
+
+// decodeBin forgot the binary availability arm; the default arm does
+// not excuse it.
+func decodeBin(kb int) string {
+	switch kb { // want `WAL kind switch is not exhaustive: missing binKindAvailability`
+	case binKindSubmit:
+		return KindSubmit
+	case binKindRevoke:
+		return KindRevoke
+	default:
+		return ""
+	}
+}
+
+// isSubmit names a single kind: a comparison, not a dispatch, and out
+// of scope by the two-member threshold.
+func isSubmit(r Record) bool {
+	switch r.Kind {
+	case KindSubmit:
+		return true
+	}
+	return false
+}

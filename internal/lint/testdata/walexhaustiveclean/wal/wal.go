@@ -1,0 +1,37 @@
+// Package wal is the walexhaustive clean fixture: every dispatch
+// handles every kind.
+package wal
+
+const (
+	KindSubmit       = "submit"
+	KindRevoke       = "revoke"
+	KindAvailability = "availability"
+)
+
+type Record struct {
+	Kind string
+}
+
+func binKindOf(kind string) int {
+	switch kind {
+	case KindSubmit:
+		return 1
+	case KindRevoke:
+		return 2
+	case KindAvailability:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// switches over non-kind values are out of scope.
+func sizeClass(n int) string {
+	switch n {
+	case 0:
+		return "empty"
+	case 1:
+		return "single"
+	}
+	return "batch"
+}

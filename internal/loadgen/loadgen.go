@@ -181,6 +181,8 @@ type sample struct {
 // order) and drives one tenant; workers spread round-robin across
 // cfg.Tenants. Sequences come from BuildWorkloads, or verbatim from
 // cfg.Workloads in replay mode.
+//
+//lint:allow clockdiscipline -- loadgen measures real wall-clock throughput and run duration against a live server
 func Run(cfg Config) (Report, error) {
 	if cfg.BaseURL == "" {
 		return Report{}, errors.New("loadgen: need a BaseURL")
@@ -215,7 +217,7 @@ func Run(cfg Config) (Report, error) {
 		}))
 
 	sampleCh := make(chan []sample, len(workloads))
-	start := time.Now() //lint:allow clockdiscipline -- loadgen measures real wall-clock throughput against a live server
+	start := time.Now()
 	var wg sync.WaitGroup
 	for i, wl := range workloads {
 		wg.Add(1)
@@ -236,7 +238,7 @@ func Run(cfg Config) (Report, error) {
 	for ss := range sampleCh {
 		all = append(all, ss...)
 	}
-	elapsed := time.Since(start) //lint:allow clockdiscipline -- real run duration is the report's denominator
+	elapsed := time.Since(start)
 
 	rep := Report{
 		Duration: elapsed,
@@ -266,10 +268,12 @@ func Run(cfg Config) (Report, error) {
 
 // timed runs one client call and grades it into a sample. tolerateRace
 // forgives 404/409 (alternative queries legitimately race the plan).
+//
+//lint:allow clockdiscipline -- latency samples measure the real round-trip
 func timed(op string, ops int, tolerateRace bool, f func() error) sample {
-	t0 := time.Now() //lint:allow clockdiscipline -- latency samples measure the real round-trip
+	t0 := time.Now()
 	err := f()
-	s := sample{op: op, d: time.Since(t0), ops: ops} //lint:allow clockdiscipline -- latency samples measure the real round-trip
+	s := sample{op: op, d: time.Since(t0), ops: ops}
 	if err != nil {
 		var apiErr *client.APIError
 		if tolerateRace && errors.As(err, &apiErr) &&

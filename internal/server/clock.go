@@ -1,0 +1,11 @@
+package server
+
+import "time"
+
+// defaultClock returns the wall clock — the single sanctioned fallback
+// when a caller injects no clock. Every injectable-clock default in the
+// package routes through here so the clockdiscipline escape hatch lives,
+// and is suppressed, in exactly one place.
+func defaultClock() func() time.Time {
+	return time.Now //lint:allow clockdiscipline -- the one sanctioned wall-clock fallback; every uninjected-clock default routes here
+}

@@ -143,7 +143,7 @@ func newQueryPool(workers, queue int, now func() time.Time) *queryPool {
 		queue = 2 * workers
 	}
 	if now == nil {
-		now = time.Now //lint:allow clockdiscipline -- default wall clock when no injected clock is configured
+		now = defaultClock()
 	}
 	return &queryPool{slots: make(chan struct{}, workers), queueCap: queue, now: now}
 }

@@ -137,7 +137,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	now := cfg.Now
 	if now == nil {
-		now = time.Now //lint:allow clockdiscipline -- default wall clock when no injected clock is configured
+		now = defaultClock()
 	}
 	logger := cfg.Logger
 	if logger == nil {

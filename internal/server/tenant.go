@@ -268,7 +268,7 @@ func newTenant(name string, cfg TenantConfig, dur durability, pool *queryPool, l
 		logger = discardLogger()
 	}
 	if now == nil {
-		now = time.Now //lint:allow clockdiscipline -- default wall clock when no injected clock is configured
+		now = defaultClock()
 	}
 	mgr, err := stream.NewManager(cfg.Set, cfg.Models, cfg.Mode, cfg.Objective, cfg.InitialW)
 	if err != nil {
